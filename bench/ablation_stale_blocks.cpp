@@ -1,0 +1,40 @@
+// Ablation: stale-block communication. The paper claims that refreshing
+// global data (beta aggregates + far-edge coordinates) only once per block
+// of 2-8 iterations reduces global communication with "no observable
+// change in the quality of the embeddings". Sweep the block size and
+// report embedding-stage collectives/bytes and the resulting cut.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  Options opts(argc, argv);
+  auto cfg = bench::BenchConfig::from_options(opts);
+  const std::uint32_t p = static_cast<std::uint32_t>(opts.get_int("p", 64));
+
+  bench::print_header("Ablation: stale-block size (P=" + std::to_string(p) +
+                      ", delaunay_n20 + hugetrace analogues)");
+  std::printf("%7s %14s %14s %14s %10s\n", "block", "collectives",
+              "comm bytes", "embed comm", "cut");
+  bench::print_rule();
+
+  for (const char* name : {"delaunay_n20", "hugetrace-00000"}) {
+    auto g = bench::build_one(cfg, name);
+    std::printf("%s (n=%u)\n", name, g.graph.num_vertices());
+    for (std::uint32_t block : {1u, 2u, 4u, 8u}) {
+      auto opt = bench::sp_options(cfg, p);
+      opt.embed.stale_block = block;
+      auto r = core::scalapart_partition(g.graph, opt);
+      auto sum = r.stats.stage_sum("embed");
+      std::printf("%7u %14llu %13.1fMB %14s %10s\n", block,
+                  static_cast<unsigned long long>(sum.collectives),
+                  static_cast<double>(sum.bytes_sent) / 1e6,
+                  bench::time_str(r.stages.embed_comm_seconds).c_str(),
+                  with_commas(r.report.cut).c_str());
+    }
+    bench::print_rule();
+  }
+  std::printf("Expected: collectives fall ~linearly with the block size; "
+              "cuts stay in the\nsame range (paper: no observable quality "
+              "change for blocks of 2-8).\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "comm/engine.hpp"
+#include "graph/distributed_graph.hpp"
+#include "partition/parallel_rcb.hpp"
+
+namespace sp::bench {
+
+std::vector<graph::gen::GeneratedGraph> build_suite(const BenchConfig& cfg) {
+  std::vector<graph::gen::GeneratedGraph> out;
+  for (const auto& entry : core::paper_suite()) {
+    out.push_back(core::make_suite_graph(entry.name, cfg.scale, cfg.seed));
+  }
+  return out;
+}
+
+graph::gen::GeneratedGraph build_one(const BenchConfig& cfg,
+                                     const std::string& name) {
+  return core::make_suite_graph(name, cfg.scale, cfg.seed);
+}
+
+core::ScalaPartOptions sp_options(const BenchConfig& cfg, std::uint32_t p) {
+  core::ScalaPartOptions opt;
+  opt.nranks = p;
+  opt.seed = cfg.seed * 1000003ull + 17;
+  return opt;
+}
+
+TimedGraph prepare_timed(const graph::gen::GeneratedGraph& g,
+                         const BenchConfig& cfg) {
+  TimedGraph tg;
+  tg.graph = &g;
+  coarsen::HierarchyOptions hopt;
+  hopt.coarsest_size = 160;
+  hopt.rounds_per_level = 1;
+  hopt.seed = cfg.seed;
+  tg.baseline_hierarchy = coarsen::Hierarchy::build(g.graph, hopt);
+  return tg;
+}
+
+MethodTimes measure_times(const TimedGraph& tg, std::uint32_t p,
+                          const BenchConfig& cfg) {
+  MethodTimes out;
+  const auto& g = *tg.graph;
+  auto model = comm::CostModel::nehalem_qdr();
+
+  out.ptscotch = core::modeled_multilevel_time(
+                     tg.baseline_hierarchy, p,
+                     partition::MlPreset::kPtScotchLike, model)
+                     .total();
+  out.parmetis = core::modeled_multilevel_time(
+                     tg.baseline_hierarchy, p,
+                     partition::MlPreset::kParMetisLike, model)
+                     .total();
+
+  // ScalaPart: full BSP pipeline (modeled virtual clock).
+  auto sp = core::scalapart_partition(g.graph, sp_options(cfg, p));
+  out.scalapart = sp.modeled_seconds;
+  out.sp_stages = sp.stages;
+  out.sp_cut = sp.report.cut;
+
+  // SP-PG7-NL on the graph's own coordinates (the Fig. 4 use case).
+  auto ppg = core::sp_pg7nl_partition(g.graph, g.coords, sp_options(cfg, p));
+  out.sp_pg7nl = ppg.partition_only_seconds;
+
+  // Parallel RCB, also on the graph's coordinates.
+  {
+    comm::BspEngine::Options eopt;
+    eopt.nranks = p;
+    comm::BspEngine engine(eopt);
+    const auto& gg = g;
+    auto stats = engine.run([&](comm::Comm& c) {
+      c.set_stage("rcb");
+      graph::LocalView view(gg.graph, c.rank(), c.nranks());
+      partition::ParallelRcbOptions ropt;
+      ropt.seed = cfg.seed;
+      partition::parallel_rcb(c, view, gg.coords, ropt);
+    });
+    out.rcb = stats.stage_max("rcb").total();
+  }
+  return out;
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+void print_rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+std::string time_str(double seconds) {
+  char buf[48];
+  if (seconds >= 0.1) {
+    std::snprintf(buf, sizeof(buf), "%8.2fs", seconds);
+  } else if (seconds >= 1e-4) {
+    std::snprintf(buf, sizeof(buf), "%7.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%7.2fus", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace sp::bench

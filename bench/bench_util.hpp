@@ -1,0 +1,93 @@
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure). Each binary accepts:
+//   --scale=S   fraction of the paper's graph sizes to synthesize
+//               (default 0.002: hugebubbles ~ 42k vertices; raise toward
+//               1.0 to approach the paper's 21M — runtime scales linearly)
+//   --seed=N    master seed
+//   --pmax=P    largest rank count in sweeps (default 1024)
+// and prints the paper's reported numbers next to the measured ones.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "coarsen/hierarchy.hpp"
+#include "core/baseline_model.hpp"
+#include "core/scalapart.hpp"
+#include "core/testsuite.hpp"
+#include "graph/generators.hpp"
+#include "support/options.hpp"
+#include "support/stats.hpp"
+
+namespace sp::bench {
+
+struct BenchConfig {
+  double scale = 0.002;
+  std::uint64_t seed = 1;
+  std::uint32_t pmax = 1024;
+
+  static BenchConfig from_options(const Options& opt) {
+    BenchConfig cfg;
+    cfg.scale = opt.get_double("scale", cfg.scale);
+    cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+    cfg.pmax = static_cast<std::uint32_t>(opt.get_int("pmax", 1024));
+    return cfg;
+  }
+};
+
+/// The paper's processor sweep (powers of 4 keep runtime modest while
+/// covering the 1..1024 range of Figures 3-6).
+inline std::vector<std::uint32_t> p_sweep(std::uint32_t pmax) {
+  std::vector<std::uint32_t> ps;
+  for (std::uint32_t p = 1; p <= pmax; p *= 4) ps.push_back(p);
+  if (ps.back() != pmax) ps.push_back(pmax);
+  return ps;
+}
+
+/// Builds all nine suite graphs at the configured scale (memoised per
+/// binary run).
+std::vector<graph::gen::GeneratedGraph> build_suite(const BenchConfig& cfg);
+
+/// Loads or builds one suite graph.
+graph::gen::GeneratedGraph build_one(const BenchConfig& cfg,
+                                     const std::string& name);
+
+/// Default ScalaPart options for bench runs at rank count p.
+core::ScalaPartOptions sp_options(const BenchConfig& cfg, std::uint32_t p);
+
+/// Modeled one-bisection execution times of every method at P ranks.
+/// ScalaPart / SP-PG7-NL / RCB come from actual BSP runs (traced clocks);
+/// the multilevel baselines from the calibrated per-level model driven by
+/// a real halving hierarchy of the graph (see core/baseline_model.hpp).
+struct MethodTimes {
+  double ptscotch = 0.0;
+  double parmetis = 0.0;
+  double rcb = 0.0;
+  double scalapart = 0.0;
+  double sp_pg7nl = 0.0;  // partition stage only (Fig. 4)
+  core::StageBreakdown sp_stages;
+  graph::Weight sp_cut = 0;
+};
+
+/// Cache of per-graph state reused across the P sweep (baseline hierarchy).
+struct TimedGraph {
+  const graph::gen::GeneratedGraph* graph = nullptr;
+  coarsen::Hierarchy baseline_hierarchy;
+};
+
+TimedGraph prepare_timed(const graph::gen::GeneratedGraph& g,
+                         const BenchConfig& cfg);
+
+MethodTimes measure_times(const TimedGraph& tg, std::uint32_t p,
+                          const BenchConfig& cfg);
+
+/// Pretty horizontal rule + header helpers.
+void print_header(const std::string& title);
+void print_rule();
+
+/// "x.xx" with fixed decimals, or scientific for small values.
+std::string time_str(double seconds);
+
+}  // namespace sp::bench

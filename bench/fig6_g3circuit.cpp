@@ -1,0 +1,28 @@
+// Figure 6: execution time vs P for G3_circuit. Paper reference at
+// P=1024: ParMetis 77% faster than Pt-Scotch, ScalaPart 97% faster
+// (speed-ups 4.28 and 32.21 in Table 4).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  Options opts(argc, argv);
+  auto cfg = bench::BenchConfig::from_options(opts);
+  auto ps = bench::p_sweep(cfg.pmax);
+
+  auto g = bench::build_one(cfg, "G3_circuit");
+  auto tg = bench::prepare_timed(g, cfg);
+  bench::print_header("Figure 6: execution time for G3_circuit (n=" +
+                      std::to_string(g.graph.num_vertices()) + ")");
+  std::printf("%6s %12s %12s %12s %12s\n", "P", "Pt-Scotch", "ParMetis",
+              "ScalaPart", "RCB");
+  bench::print_rule();
+  for (std::uint32_t p : ps) {
+    auto t = bench::measure_times(tg, p, cfg);
+    std::printf("%6u %12s %12s %12s %12s\n", p,
+                bench::time_str(t.ptscotch).c_str(),
+                bench::time_str(t.parmetis).c_str(),
+                bench::time_str(t.scalapart).c_str(),
+                bench::time_str(t.rcb).c_str());
+  }
+  return 0;
+}

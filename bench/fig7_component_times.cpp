@@ -1,0 +1,35 @@
+// Figure 7: ScalaPart component times (coarsening / embedding /
+// partitioning) as fractions of the total, across P. Paper: embedding is
+// by far the largest fraction at every P.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  Options opts(argc, argv);
+  auto cfg = bench::BenchConfig::from_options(opts);
+  auto ps = bench::p_sweep(cfg.pmax);
+
+  bench::print_header("Figure 7: ScalaPart component times over all 9 "
+                      "graphs (fraction of total)");
+  std::printf("%6s %12s | %9s %9s %9s\n", "P", "total", "coarsen", "embed",
+              "partition");
+  bench::print_rule();
+
+  auto suite = bench::build_suite(cfg);
+  for (std::uint32_t p : ps) {
+    double coarsen = 0, embed = 0, part = 0;
+    for (const auto& g : suite) {
+      auto r = core::scalapart_partition(g.graph, bench::sp_options(cfg, p));
+      coarsen += r.stages.coarsen_seconds;
+      embed += r.stages.embed_seconds;
+      part += r.stages.partition_seconds;
+    }
+    double total = coarsen + embed + part;
+    std::printf("%6u %12s | %8.1f%% %8.1f%% %8.1f%%\n", p,
+                bench::time_str(total).c_str(), 100.0 * coarsen / total,
+                100.0 * embed / total, 100.0 * part / total);
+  }
+  std::printf("\nExpected shape (paper): embedding dominates (>70%%) at "
+              "every P.\n");
+  return 0;
+}

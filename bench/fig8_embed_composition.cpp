@@ -1,0 +1,42 @@
+// Figure 8: composition of the embedding time — communication vs
+// computation — across P. Paper: the communication fraction grows with P
+// but flattens between 256 and 1024 (fewer smoothing iterations are
+// effectively needed at high P; here: the compute shrinks per rank while
+// block-staleness bounds the collective count).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  Options opts(argc, argv);
+  auto cfg = bench::BenchConfig::from_options(opts);
+  auto ps = bench::p_sweep(cfg.pmax);
+
+  bench::print_header("Figure 8: embedding time composition over all 9 "
+                      "graphs");
+  std::printf("%6s %12s | %9s %9s | %12s %12s\n", "P", "embed total",
+              "compute", "comm", "msgs", "collectives");
+  bench::print_rule();
+
+  auto suite = bench::build_suite(cfg);
+  for (std::uint32_t p : ps) {
+    double compute = 0, comm_s = 0;
+    std::uint64_t msgs = 0, colls = 0;
+    for (const auto& g : suite) {
+      auto r = core::scalapart_partition(g.graph, bench::sp_options(cfg, p));
+      compute += r.stages.embed_compute_seconds;
+      comm_s += r.stages.embed_comm_seconds;
+      auto sum = r.stats.stage_sum("embed");
+      msgs += sum.messages;
+      colls += sum.collectives;
+    }
+    double total = compute + comm_s;
+    std::printf("%6u %12s | %8.1f%% %8.1f%% | %12llu %12llu\n", p,
+                bench::time_str(total).c_str(), 100.0 * compute / total,
+                100.0 * comm_s / total,
+                static_cast<unsigned long long>(msgs),
+                static_cast<unsigned long long>(colls));
+  }
+  std::printf("\nExpected shape (paper): communication fraction rises with P "
+              "and flattens\nbetween 256 and 1024.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 9: execution times for the four largest graphs (hugetrace-00000,
+// delaunay_n23, delaunay_n24, hugebubbles-00020) on P = 16..1024, plus the
+// average across the four. Paper: ScalaPart significantly slower at 16,
+// the fastest at 1024 (speed-up 14.37 vs Pt-Scotch; ParMetis 3.42).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  Options opts(argc, argv);
+  auto cfg = bench::BenchConfig::from_options(opts);
+  std::vector<std::uint32_t> ps;
+  for (std::uint32_t p = 16; p <= cfg.pmax; p *= 4) ps.push_back(p);
+  if (ps.empty() || ps.back() != cfg.pmax) ps.push_back(cfg.pmax);
+
+  const std::vector<std::string> names = {
+      "hugetrace-00000", "delaunay_n23", "delaunay_n24", "hugebubbles-00020"};
+
+  bench::print_header("Figure 9: times for the 4 largest graphs (per graph "
+                      "and average)");
+
+  std::vector<graph::gen::GeneratedGraph> graphs;
+  std::vector<bench::TimedGraph> timed;
+  for (const auto& name : names) {
+    graphs.push_back(bench::build_one(cfg, name));
+  }
+  for (const auto& g : graphs) timed.push_back(bench::prepare_timed(g, cfg));
+
+  for (std::uint32_t p : ps) {
+    std::printf("P = %u\n", p);
+    std::printf("  %-20s %12s %12s %12s\n", "graph", "Pt-Scotch", "ParMetis",
+                "ScalaPart");
+    double ps_avg = 0, pm_avg = 0, sp_avg = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      auto t = bench::measure_times(timed[i], p, cfg);
+      ps_avg += t.ptscotch;
+      pm_avg += t.parmetis;
+      sp_avg += t.scalapart;
+      std::printf("  %-20s %12s %12s %12s\n", names[i].c_str(),
+                  bench::time_str(t.ptscotch).c_str(),
+                  bench::time_str(t.parmetis).c_str(),
+                  bench::time_str(t.scalapart).c_str());
+    }
+    double k = static_cast<double>(names.size());
+    std::printf("  %-20s %12s %12s %12s   (SP speed-up vs PS: %.2f)\n",
+                "average", bench::time_str(ps_avg / k).c_str(),
+                bench::time_str(pm_avg / k).c_str(),
+                bench::time_str(sp_avg / k).c_str(), ps_avg / sp_avg);
+    bench::print_rule();
+  }
+  std::printf("Paper at P=1024 (large 4): speed-ups vs Pt-Scotch: ScalaPart "
+              "14.37, ParMetis 3.42.\n");
+  return 0;
+}

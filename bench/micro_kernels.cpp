@@ -1,0 +1,161 @@
+// Microbenchmarks (google-benchmark) for the library's kernels: matching,
+// contraction, FM refinement, quadtree build + force pass, centerpoint,
+// Delaunay triangulation, cut evaluation, BSP collectives.
+#include <benchmark/benchmark.h>
+
+#include "coarsen/contract.hpp"
+#include "coarsen/matching.hpp"
+#include "comm/engine.hpp"
+#include "geometry/delaunay.hpp"
+#include "geometry/quadtree.hpp"
+#include "geometry/sphere.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "refine/fm.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace sp;
+
+const graph::gen::GeneratedGraph& mesh(std::int64_t n) {
+  static std::map<std::int64_t, graph::gen::GeneratedGraph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, graph::gen::delaunay(static_cast<std::uint32_t>(n), 7))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_HeavyEdgeMatching(benchmark::State& state) {
+  const auto& g = mesh(state.range(0)).graph;
+  Rng rng(1);
+  for (auto _ : state) {
+    auto match = coarsen::heavy_edge_matching(g, rng);
+    benchmark::DoNotOptimize(match.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_arcs()));
+}
+BENCHMARK(BM_HeavyEdgeMatching)->Arg(10000)->Arg(50000);
+
+void BM_Contraction(benchmark::State& state) {
+  const auto& g = mesh(state.range(0)).graph;
+  Rng rng(1);
+  auto match = coarsen::heavy_edge_matching(g, rng);
+  for (auto _ : state) {
+    auto c = coarsen::contract(g, match);
+    benchmark::DoNotOptimize(c.coarse.num_vertices());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_arcs()));
+}
+BENCHMARK(BM_Contraction)->Arg(10000)->Arg(50000);
+
+void BM_FmRefinement(benchmark::State& state) {
+  const auto& g = mesh(state.range(0)).graph;
+  graph::Bipartition base(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    base[v] = static_cast<std::uint8_t>(hash64(v) & 1);
+  }
+  refine::FmOptions opt;
+  opt.max_passes = 2;
+  for (auto _ : state) {
+    graph::Bipartition part = base;
+    auto r = refine::fm_refine(g, part, opt);
+    benchmark::DoNotOptimize(r.final_cut);
+  }
+}
+BENCHMARK(BM_FmRefinement)->Arg(10000)->Arg(50000);
+
+void BM_QuadTreeBuild(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<geom::Vec2> pts(static_cast<std::size_t>(state.range(0)));
+  for (auto& p : pts) p = geom::vec2(rng.uniform(), rng.uniform());
+  for (auto _ : state) {
+    geom::QuadTree tree(pts, {});
+    benchmark::DoNotOptimize(tree.total_mass());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuadTreeBuild)->Arg(10000)->Arg(100000);
+
+void BM_QuadTreeForcePass(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<geom::Vec2> pts(static_cast<std::size_t>(state.range(0)));
+  for (auto& p : pts) p = geom::vec2(rng.uniform(), rng.uniform());
+  geom::QuadTree tree(pts, {});
+  auto kernel = [](const geom::Vec2& d, double m) {
+    double d2 = std::max(d.norm2(), 1e-9);
+    return d * (m / d2);
+  };
+  for (auto _ : state) {
+    geom::Vec2 total{};
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      total += tree.accumulate(pts[i], static_cast<std::int64_t>(i), 0.9,
+                               kernel);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuadTreeForcePass)->Arg(10000);
+
+void BM_Centerpoint(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<geom::Vec3> pts(static_cast<std::size_t>(state.range(0)));
+  for (auto& p : pts) p = geom::random_unit_vector(rng);
+  for (auto _ : state) {
+    Rng cp_rng(11);
+    auto cp = geom::approximate_centerpoint(pts, cp_rng, 800);
+    benchmark::DoNotOptimize(cp);
+  }
+}
+BENCHMARK(BM_Centerpoint)->Arg(10000);
+
+void BM_DelaunayTriangulation(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<geom::Vec2> pts(static_cast<std::size_t>(state.range(0)));
+  for (auto& p : pts) p = geom::vec2(rng.uniform(), rng.uniform());
+  for (auto _ : state) {
+    auto edges = geom::delaunay_edges(pts);
+    benchmark::DoNotOptimize(edges.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DelaunayTriangulation)->Arg(10000)->Arg(50000);
+
+void BM_CutEvaluation(benchmark::State& state) {
+  const auto& g = mesh(state.range(0)).graph;
+  graph::Bipartition part(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    part[v] = static_cast<std::uint8_t>(hash64(v) & 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::cut_size(g, part));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_arcs()));
+}
+BENCHMARK(BM_CutEvaluation)->Arg(50000);
+
+void BM_BspAllReduce(benchmark::State& state) {
+  comm::BspEngine::Options opt;
+  opt.nranks = static_cast<std::uint32_t>(state.range(0));
+  comm::BspEngine engine(opt);
+  for (auto _ : state) {
+    auto stats = engine.run([](comm::Comm& c) {
+      for (int i = 0; i < 16; ++i) {
+        benchmark::DoNotOptimize(c.allreduce<double>(1.0, comm::ReduceOp::kSum));
+      }
+    });
+    benchmark::DoNotOptimize(stats.makespan());
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * state.range(0));
+}
+BENCHMARK(BM_BspAllReduce)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Table 1: the test suite of graphs. Prints the paper's (N, M) next to the
+// synthetic analogues' sizes at the configured scale, plus structural
+// sanity data (degrees, components).
+#include "bench_util.hpp"
+#include "graph/partition.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  Options opts(argc, argv);
+  auto cfg = bench::BenchConfig::from_options(opts);
+
+  bench::print_header(
+      "Table 1: test suite of graphs (paper sizes vs synthetic analogues "
+      "at scale=" +
+      fixed(cfg.scale, 4) + ")");
+  std::printf("%-18s %10s %10s | %10s %10s %8s %5s\n", "graph", "paper N(M)",
+              "paper M(M)", "N", "M(arcs)", "avgdeg", "comp");
+  bench::print_rule();
+
+  const auto& suite = core::paper_suite();
+  for (const auto& entry : suite) {
+    auto g = core::make_suite_graph(entry.name, cfg.scale, cfg.seed);
+    graph::VertexId comps = 0;
+    graph::connected_components(g.graph, &comps);
+    std::printf("%-18s %10.2f %10.2f | %10s %10s %8.2f %5u\n",
+                entry.name.c_str(), entry.paper_n_millions,
+                entry.paper_m_millions,
+                with_commas(g.graph.num_vertices()).c_str(),
+                with_commas(static_cast<long long>(g.graph.num_arcs())).c_str(),
+                g.graph.average_degree(), comps);
+  }
+  bench::print_rule();
+  std::printf("M counts directed arcs (2x undirected edges), the Table 1 "
+              "convention.\n");
+  return 0;
+}

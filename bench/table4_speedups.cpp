@@ -1,0 +1,65 @@
+// Table 4: speed-ups at P=1024 relative to Pt-Scotch (= 1).
+// Rows: G3_circuit, hugebubbles-00020, all 9 graphs, the 4 largest graphs.
+// Columns: ParMetis, RCB, ScalaPart, SP-PG7-NL.
+#include <map>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  Options opts(argc, argv);
+  auto cfg = bench::BenchConfig::from_options(opts);
+  const std::uint32_t P = cfg.pmax;
+
+  bench::print_header("Table 4: speed-ups at P=" + std::to_string(P) +
+                      " relative to Pt-Scotch = 1 (measured | paper)");
+
+  std::map<std::string, bench::MethodTimes> times;
+  for (const auto& entry : core::paper_suite()) {
+    auto g = core::make_suite_graph(entry.name, cfg.scale, cfg.seed);
+    auto tg = bench::prepare_timed(g, cfg);
+    times[entry.name] = bench::measure_times(tg, P, cfg);
+  }
+
+  auto speedups = [&](const std::vector<std::string>& names) {
+    double ps = 0, pm = 0, rcb = 0, sp = 0, ppg = 0;
+    for (const auto& name : names) {
+      const auto& t = times.at(name);
+      ps += t.ptscotch;
+      pm += t.parmetis;
+      rcb += t.rcb;
+      sp += t.scalapart;
+      ppg += t.sp_pg7nl;
+    }
+    return std::array<double, 4>{ps / pm, ps / rcb, ps / sp, ps / ppg};
+  };
+
+  std::vector<std::string> all, large4 = {"hugetrace-00000", "delaunay_n23",
+                                          "delaunay_n24", "hugebubbles-00020"};
+  for (const auto& entry : core::paper_suite()) all.push_back(entry.name);
+
+  struct Row {
+    std::string label;
+    std::vector<std::string> names;
+    double paper[4];
+  };
+  std::vector<Row> rows = {
+      {"G3_circuit", {"G3_circuit"}, {4.28, 34.92, 32.21, 74.52}},
+      {"hugebubbles", {"hugebubbles-00020"}, {1.92, 21.37, 10.75, 75.24}},
+      {"All Graphs", all, {4.21, 25.69, 16.23, 57.92}},
+      {"Large 4 graphs", large4, {3.42, 22.64, 14.37, 77.48}},
+  };
+
+  std::printf("%-16s %16s %16s %16s %16s\n", "", "ParMetis", "RCB",
+              "ScalaPart", "SP-PG7-NL");
+  bench::print_rule();
+  for (const auto& row : rows) {
+    auto s = speedups(row.names);
+    std::printf("%-16s %7.2f | %6.2f %7.2f | %6.2f %7.2f | %6.2f %7.2f | %6.2f\n",
+                row.label.c_str(), s[0], row.paper[0], s[1], row.paper[1],
+                s[2], row.paper[2], s[3], row.paper[3]);
+  }
+  std::printf("\nEach cell: measured | paper. Expected ordering per row: "
+              "SP-PG7-NL > RCB ~ SP > ParMetis > 1.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Side-by-side comparison of every partitioner in the library on one
+// graph: the two multilevel baselines, the sequential geometric variants,
+// RCB, and ScalaPart at several simulated rank counts.
+//
+//   ./compare_methods [--name=kkt_power] [--scale=0.005] [--seed=1]
+#include <cstdio>
+
+#include "core/scalapart.hpp"
+#include "core/testsuite.hpp"
+#include "partition/geometric_mesh.hpp"
+#include "partition/multilevel_kl.hpp"
+#include "partition/rcb.hpp"
+#include "support/options.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  Options opts(argc, argv);
+  std::string name = opts.get("name", "delaunay_n20");
+  double scale = opts.get_double("scale", 0.005);
+  auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+
+  auto g = core::make_suite_graph(name, scale, seed);
+  std::printf("Graph %s: %s vertices, %s edges\n", g.name.c_str(),
+              with_commas(g.graph.num_vertices()).c_str(),
+              with_commas(static_cast<long long>(g.graph.num_edges())).c_str());
+  std::printf("%-22s %10s %10s %10s\n", "method", "cut", "imbalance",
+              "wall time");
+  auto row = [](const std::string& method, graph::Weight cut, double imb,
+                double secs) {
+    std::printf("%-22s %10s %9.2f%% %9.3fs\n", method.c_str(),
+                with_commas(cut).c_str(), 100.0 * imb, secs);
+  };
+
+  {
+    partition::MultilevelKLOptions mko;
+    mko.preset = partition::MlPreset::kPtScotchLike;
+    mko.seed = seed;
+    auto r = partition::multilevel_partition(g.graph, mko);
+    row(r.method, r.report.cut, r.report.imbalance, r.seconds);
+    mko.preset = partition::MlPreset::kParMetisLike;
+    r = partition::multilevel_partition(g.graph, mko);
+    row(r.method, r.report.cut, r.report.imbalance, r.seconds);
+  }
+  {
+    auto r = partition::gmt_partition(g.graph, g.coords,
+                                      partition::GeometricMeshOptions::g30(),
+                                      "G30 (geometric)");
+    row(r.method, r.report.cut, r.report.imbalance, r.seconds);
+    r = partition::gmt_partition(g.graph, g.coords,
+                                 partition::GeometricMeshOptions::g7nl(),
+                                 "G7-NL (geometric)");
+    row(r.method, r.report.cut, r.report.imbalance, r.seconds);
+  }
+  {
+    auto r = partition::rcb_partition(g.graph, g.coords);
+    row("RCB", r.report.cut, r.report.imbalance, r.seconds);
+  }
+  for (std::uint32_t p : {1u, 16u, 64u}) {
+    WallTimer timer;
+    core::ScalaPartOptions opt;
+    opt.nranks = p;
+    opt.seed = seed;
+    auto r = core::scalapart_partition(g.graph, opt);
+    row("ScalaPart P=" + std::to_string(p), r.report.cut, r.report.imbalance,
+        timer.seconds());
+  }
+  std::printf("\nWall time here is single-core host time; parallel scaling "
+              "uses the modeled\nclock (see the bench/ harnesses).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Mesh repartitioning scenario (the paper's Figure 4 use case).
+//
+// A finite-element style mesh already carries coordinates — e.g. after a
+// simulation step deformed the load distribution. Repartitioning must be
+// fast at high rank counts and the cut decides the halo traffic of every
+// subsequent timestep. This example pits Zoltan-style parallel RCB
+// against ScalaPart's partition-only path (SP-PG7-NL: parallel geometric
+// mesh partitioning + strip FM) over a P sweep.
+//
+//   ./mesh_repartition [--n=40000] [--pmax=256] [--shape=bubbles|trace|delaunay]
+#include <cstdio>
+
+#include "comm/engine.hpp"
+#include "core/scalapart.hpp"
+#include "graph/distributed_graph.hpp"
+#include "graph/generators.hpp"
+#include "partition/parallel_rcb.hpp"
+#include "support/options.hpp"
+#include "support/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  Options opts(argc, argv);
+  auto n = static_cast<std::uint32_t>(opts.get_int("n", 40000));
+  auto pmax = static_cast<std::uint32_t>(opts.get_int("pmax", 256));
+  std::string shape = opts.get("shape", "bubbles");
+
+  graph::gen::GeneratedGraph mesh;
+  if (shape == "trace") {
+    mesh = graph::gen::trace(n, 16.0, 11);
+  } else if (shape == "delaunay") {
+    mesh = graph::gen::delaunay(n, 11);
+  } else {
+    mesh = graph::gen::bubbles(n, 10, 11);
+  }
+  std::printf("Mesh: %s — %s vertices, %s edges (with coordinates)\n",
+              mesh.name.c_str(), with_commas(mesh.graph.num_vertices()).c_str(),
+              with_commas(static_cast<long long>(mesh.graph.num_edges())).c_str());
+  std::printf("%6s | %12s %10s | %12s %10s\n", "P", "RCB time", "RCB cut",
+              "SP-PG7-NL", "cut");
+
+  for (std::uint32_t p = 4; p <= pmax; p *= 4) {
+    // Parallel RCB (full Zoltan-style recursive decomposition).
+    comm::BspEngine::Options eopt;
+    eopt.nranks = p;
+    comm::BspEngine engine(eopt);
+    long long rcb_cut = 0;
+    auto rcb_stats = engine.run([&](comm::Comm& c) {
+      c.set_stage("rcb");
+      graph::LocalView view(mesh.graph, c.rank(), c.nranks());
+      auto r = partition::parallel_rcb(c, view, mesh.coords, {});
+      if (c.rank() == 0) rcb_cut = r.cut;
+      c.barrier();
+    });
+
+    core::ScalaPartOptions opt;
+    opt.nranks = p;
+    auto ppg = core::sp_pg7nl_partition(mesh.graph, mesh.coords, opt);
+
+    std::printf("%6u | %10.3fms %10s | %10.3fms %10s\n", p,
+                rcb_stats.stage_max("rcb").total() * 1e3,
+                with_commas(rcb_cut).c_str(),
+                ppg.partition_only_seconds * 1e3,
+                with_commas(ppg.report.cut).c_str());
+  }
+  std::printf("\nSP-PG7-NL pays more computation but needs only ~3 "
+              "reductions, so it scales\npast RCB while cutting "
+              "substantially fewer edges.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "coarsen/contract.hpp"
+
+#include "support/assert.hpp"
+
+namespace sp::coarsen {
+
+using graph::Bipartition;
+using graph::CsrGraph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+Contraction contract(const CsrGraph& g, const Matching& match) {
+  const VertexId n = g.num_vertices();
+  Contraction out;
+  out.fine_to_coarse.assign(n, graph::kInvalidVertex);
+
+  // Number coarse vertices: the lower-id endpoint of each pair is the
+  // representative.
+  VertexId coarse_n = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (v <= match[v]) {
+      out.fine_to_coarse[v] = coarse_n;
+      out.coarse_to_fine.push_back(v);
+      ++coarse_n;
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (v > match[v]) out.fine_to_coarse[v] = out.fine_to_coarse[match[v]];
+  }
+
+  GraphBuilder builder(coarse_n);
+  builder.reserve_edges(static_cast<std::size_t>(g.num_edges()));
+  for (VertexId u = 0; u < n; ++u) {
+    VertexId cu = out.fine_to_coarse[u];
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights_of(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      VertexId cv = out.fine_to_coarse[nbrs[k]];
+      // Add each fine edge once (from the endpoint with smaller global id);
+      // builder merges parallels and drops the self loops of matched pairs.
+      if (u < nbrs[k]) builder.add_edge(cu, cv, ws[k]);
+    }
+  }
+  for (VertexId cv = 0; cv < coarse_n; ++cv) {
+    VertexId rep = out.coarse_to_fine[cv];
+    graph::Weight w = g.vertex_weight(rep);
+    if (match[rep] != rep) w += g.vertex_weight(match[rep]);
+    builder.set_vertex_weight(cv, w);
+  }
+  out.coarse = builder.build();
+  SP_ASSERT(out.coarse.total_vertex_weight() == g.total_vertex_weight());
+  return out;
+}
+
+Bipartition project_partition(const Contraction& c,
+                              const Bipartition& coarse_part) {
+  SP_ASSERT(coarse_part.size() == c.coarse.num_vertices());
+  Bipartition fine(c.fine_to_coarse.size());
+  for (VertexId v = 0; v < c.fine_to_coarse.size(); ++v) {
+    fine[v] = coarse_part[c.fine_to_coarse[v]];
+  }
+  return fine;
+}
+
+}  // namespace sp::coarsen

@@ -1,0 +1,33 @@
+// Graph contraction: collapse a matching into a coarse graph.
+//
+// Matched pairs become one coarse vertex whose weight is the sum of the
+// pair's weights; parallel coarse edges are merged with summed weights, so
+// cut sizes are preserved exactly when a coarse partition is projected to
+// the fine graph.
+#pragma once
+
+#include <vector>
+
+#include "coarsen/matching.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/partition.hpp"
+
+namespace sp::coarsen {
+
+struct Contraction {
+  graph::CsrGraph coarse;
+  /// fine vertex -> coarse vertex.
+  std::vector<graph::VertexId> fine_to_coarse;
+  /// coarse vertex -> one representative fine vertex (its matched partner
+  /// is match[representative]).
+  std::vector<graph::VertexId> coarse_to_fine;
+};
+
+Contraction contract(const graph::CsrGraph& g, const Matching& match);
+
+/// Projects a coarse bipartition to the fine graph (every fine vertex
+/// adopts its coarse vertex's side). Cut is preserved exactly.
+graph::Bipartition project_partition(const Contraction& c,
+                                     const graph::Bipartition& coarse_part);
+
+}  // namespace sp::coarsen

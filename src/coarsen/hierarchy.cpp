@@ -1,0 +1,66 @@
+#include "coarsen/hierarchy.hpp"
+
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace sp::coarsen {
+
+using graph::Bipartition;
+using graph::CsrGraph;
+using graph::VertexId;
+
+Hierarchy Hierarchy::build(const CsrGraph& g, const HierarchyOptions& opt) {
+  SP_ASSERT(opt.rounds_per_level >= 1);
+  Hierarchy h;
+  Level root;
+  root.graph = g;  // copy; the hierarchy owns its levels
+  h.levels_.push_back(std::move(root));
+
+  Rng rng(opt.seed);
+  while (h.levels_.size() < opt.max_levels &&
+         h.levels_.back().graph.num_vertices() > opt.coarsest_size) {
+    const CsrGraph& fine = h.levels_.back().graph;
+    // Compose `rounds_per_level` matchings into one fine->coarse map.
+    std::vector<VertexId> composed(fine.num_vertices());
+    std::iota(composed.begin(), composed.end(), 0u);
+    CsrGraph current = fine;
+    bool progressed = false;
+    for (std::uint32_t round = 0; round < opt.rounds_per_level; ++round) {
+      if (current.num_vertices() <= opt.coarsest_size && round > 0) break;
+      Matching match = heavy_edge_matching(current, rng);
+      Contraction c = contract(current, match);
+      if (c.coarse.num_vertices() >=
+          static_cast<VertexId>(opt.min_shrink *
+                                static_cast<double>(current.num_vertices()))) {
+        break;  // matching stalled
+      }
+      for (auto& m : composed) m = c.fine_to_coarse[m];
+      current = std::move(c.coarse);
+      progressed = true;
+    }
+    if (!progressed) break;
+    Level next;
+    next.graph = std::move(current);
+    next.fine_to_coarse = std::move(composed);
+    h.levels_.push_back(std::move(next));
+  }
+  return h;
+}
+
+Bipartition Hierarchy::project(const Bipartition& part, std::size_t from,
+                               std::size_t to) const {
+  SP_ASSERT(from < levels_.size());
+  SP_ASSERT(to <= from);
+  SP_ASSERT(part.size() == levels_[from].graph.num_vertices());
+  Bipartition current = part;
+  for (std::size_t level = from; level > to; --level) {
+    const auto& map = levels_[level].fine_to_coarse;
+    Bipartition finer(map.size());
+    for (VertexId v = 0; v < map.size(); ++v) finer[v] = current[map[v]];
+    current = std::move(finer);
+  }
+  return current;
+}
+
+}  // namespace sp::coarsen

@@ -1,0 +1,91 @@
+#include "coarsen/matching.hpp"
+
+#include "support/assert.hpp"
+
+namespace sp::coarsen {
+
+using graph::CsrGraph;
+using graph::VertexId;
+using graph::Weight;
+
+Matching heavy_edge_matching(const CsrGraph& g, Rng& rng) {
+  const VertexId n = g.num_vertices();
+  Matching match(n, graph::kInvalidVertex);
+  auto order = random_permutation(n, rng);
+  for (VertexId u : order) {
+    if (match[u] != graph::kInvalidVertex) continue;
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights_of(u);
+    VertexId best = graph::kInvalidVertex;
+    Weight best_w = -1;
+    Weight best_vw = 0;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      VertexId v = nbrs[k];
+      if (match[v] != graph::kInvalidVertex) continue;
+      Weight vw = g.vertex_weight(v);
+      // Heaviest edge; on ties prefer the lighter endpoint so coarse vertex
+      // weights stay balanced.
+      if (ws[k] > best_w || (ws[k] == best_w && vw < best_vw)) {
+        best = v;
+        best_w = ws[k];
+        best_vw = vw;
+      }
+    }
+    if (best == graph::kInvalidVertex) {
+      match[u] = u;
+    } else {
+      match[u] = best;
+      match[best] = u;
+    }
+  }
+  return match;
+}
+
+Matching random_matching(const CsrGraph& g, Rng& rng) {
+  const VertexId n = g.num_vertices();
+  Matching match(n, graph::kInvalidVertex);
+  auto order = random_permutation(n, rng);
+  for (VertexId u : order) {
+    if (match[u] != graph::kInvalidVertex) continue;
+    VertexId partner = graph::kInvalidVertex;
+    auto nbrs = g.neighbors(u);
+    // Random neighbour: scan from a random offset so the choice is not
+    // biased toward low ids.
+    if (!nbrs.empty()) {
+      std::size_t start = rng.below(nbrs.size());
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        VertexId v = nbrs[(start + k) % nbrs.size()];
+        if (match[v] == graph::kInvalidVertex) {
+          partner = v;
+          break;
+        }
+      }
+    }
+    if (partner == graph::kInvalidVertex) {
+      match[u] = u;
+    } else {
+      match[u] = partner;
+      match[partner] = u;
+    }
+  }
+  return match;
+}
+
+void validate_matching(const CsrGraph& g, const Matching& match) {
+  SP_ASSERT(match.size() == g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    SP_ASSERT_MSG(match[v] < g.num_vertices(), "matching out of range");
+    SP_ASSERT_MSG(match[match[v]] == v, "matching is not an involution");
+  }
+}
+
+double matched_fraction(const Matching& match) {
+  if (match.empty()) return 0.0;
+  std::size_t matched = 0;
+  for (std::size_t v = 0; v < match.size(); ++v) {
+    if (match[v] != v) ++matched;
+  }
+  return static_cast<double>(matched) / static_cast<double>(match.size());
+}
+
+}  // namespace sp::coarsen

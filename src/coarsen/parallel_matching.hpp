@@ -1,0 +1,36 @@
+// Distributed heavy-edge matching (ParMetis-style coarsening step).
+//
+// SPMD over a block-distributed graph: each round, every rank proposes a
+// match for each of its still-unmatched owned vertices across the heaviest
+// incident edge; proposals to non-owned endpoints travel to the owning
+// rank, which accepts the best proposal per vertex and notifies winners
+// and losers; finally each rank tells its halo neighbours which boundary
+// vertices got matched so the next round's proposals avoid them. A few
+// rounds leave only a small unmatched residue, exactly as in ParMetis.
+//
+// ScalaPart coarsens "in the same manner as ParMetis" (Sec. 3); the BSP
+// pipeline runs this to obtain the coarsening stage's real communication
+// profile, and tests verify the result is a valid global matching.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/engine.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/distributed_graph.hpp"
+
+namespace sp::coarsen {
+
+struct DistributedMatchingResult {
+  /// Partner (global id) for each owned vertex; self-id when unmatched.
+  std::vector<graph::VertexId> partner;
+  std::uint32_t rounds_used = 0;
+};
+
+DistributedMatchingResult distributed_matching(comm::Comm& comm,
+                                               const graph::LocalView& view,
+                                               std::uint32_t rounds,
+                                               std::uint64_t seed);
+
+}  // namespace sp::coarsen

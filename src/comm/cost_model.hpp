@@ -1,0 +1,46 @@
+// Analytic communication/computation cost model.
+//
+// The paper's experiments ran on a 128-node dual-socket Nehalem cluster
+// with QDR InfiniBand (Sec. 4). This reproduction executes the same
+// distributed algorithms on one machine, so wall-clock cannot measure
+// 1024-rank scaling; instead every traced operation is charged against
+// this model, in the same t_s (latency) / t_w (per-word) terms the paper's
+// own complexity analysis (Sec. 3.1) uses:
+//   point-to-point message of b bytes:  t_s + t_w * b
+//   collectives over P ranks:           log2(P) latency terms (see engine)
+//   computation:                        work_units * seconds_per_unit
+// A "work unit" is one primitive graph/geometry operation (edge traversal,
+// force evaluation, comparison in a median pass). The default rate models
+// a 2.66 GHz Nehalem core running irregular memory-bound code.
+#pragma once
+
+#include <cstdint>
+
+namespace sp::comm {
+
+struct CostModel {
+  /// Message startup latency, seconds. QDR IB MPI latency ~ 1.7 us.
+  double ts = 1.7e-6;
+  /// Per-byte transfer time, seconds. QDR IB ~ 3.2 GB/s effective.
+  double tw = 1.0 / 3.2e9;
+  /// Seconds per work unit of local computation (irregular, memory-bound;
+  /// ~0.35 Gop/s on 2009-era hardware).
+  double seconds_per_unit = 1.0 / 0.35e9;
+
+  static CostModel nehalem_qdr() { return CostModel{}; }
+
+  /// An idealized zero-cost network (for ablation: isolates algorithmic
+  /// load imbalance from communication).
+  static CostModel free_network() {
+    CostModel m;
+    m.ts = 0.0;
+    m.tw = 0.0;
+    return m;
+  }
+
+  double p2p(std::uint64_t bytes) const {
+    return ts + tw * static_cast<double>(bytes);
+  }
+};
+
+}  // namespace sp::comm

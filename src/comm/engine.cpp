@@ -1,0 +1,514 @@
+#include "comm/engine.hpp"
+
+#include <ucontext.h>
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <map>
+#include <tuple>
+
+#include "support/timer.hpp"
+
+namespace sp::comm {
+
+namespace detail {
+
+struct GroupInfo {
+  std::uint64_t id = 0;
+  std::vector<std::uint32_t> members;  // world ranks, group order
+};
+
+namespace {
+double ceil_log2(std::uint32_t p) {
+  return p <= 1 ? 0.0 : std::ceil(std::log2(static_cast<double>(p)));
+}
+}  // namespace
+
+/// One collective (or exchange) rendezvous: keyed by (group id, sequence
+/// number), created by the first arriving member, combined by the last,
+/// destroyed after the last pickup.
+struct CollState {
+  std::uint32_t expected = 0;
+  std::uint32_t arrived = 0;
+  std::uint32_t pickups = 0;
+  double max_clock = 0.0;
+  bool combined = false;
+  Comm::CollKind kind{};
+  std::uint32_t root = 0;
+  std::vector<std::vector<std::byte>> contribs;      // by group rank
+  std::vector<std::byte> result;
+  std::vector<std::size_t> contrib_sizes;
+  // Exchange-specific:
+  bool is_exchange = false;
+  std::vector<std::vector<Comm::Packet>> inboxes;    // by group rank
+};
+
+class EngineImpl {
+ public:
+  explicit EngineImpl(BspEngine::Options options) : opt_(options) {
+    SP_ASSERT(opt_.nranks >= 1);
+  }
+
+  RunStats run(const std::function<void(Comm&)>& program) {
+    WallTimer wall;
+    program_ = &program;
+    clocks_.assign(opt_.nranks, 0.0);
+    traces_.assign(opt_.nranks, RankTrace{});
+    stages_.assign(opt_.nranks, "main");
+    finished_.assign(opt_.nranks, false);
+    exceptions_.assign(opt_.nranks, nullptr);
+    states_.clear();
+    group_registry_.clear();
+    next_group_id_ = 1;
+
+    world_ = std::make_shared<GroupInfo>();
+    world_->id = 0;
+    world_->members.resize(opt_.nranks);
+    for (std::uint32_t r = 0; r < opt_.nranks; ++r) world_->members[r] = r;
+
+    // Set up one fiber per rank (stacks are reused across run() calls).
+    if (fibers_.size() != opt_.nranks) fibers_ = std::vector<FiberData>(opt_.nranks);
+    for (std::uint32_t r = 0; r < opt_.nranks; ++r) {
+      // Default-initialized (not zeroed): at P=1024 zeroing the stacks
+      // would cost more than entire runs.
+      if (!fibers_[r].stack) fibers_[r].stack.reset(new char[opt_.stack_bytes]);
+      SP_ASSERT(getcontext(&fibers_[r].ctx) == 0);
+      fibers_[r].ctx.uc_stack.ss_sp = fibers_[r].stack.get();
+      fibers_[r].ctx.uc_stack.ss_size = opt_.stack_bytes;
+      fibers_[r].ctx.uc_link = &scheduler_ctx_;
+      makecontext(&fibers_[r].ctx, &EngineImpl::trampoline_, 0);
+    }
+
+    // Round-robin scheduler with deadlock detection: if a full cycle makes
+    // no progress (no rank advanced any rendezvous or finished), the SPMD
+    // program has mismatched collectives.
+    std::uint32_t remaining = opt_.nranks;
+    while (remaining > 0) {
+      std::uint64_t activity_before = activity_;
+      for (std::uint32_t r = 0; r < opt_.nranks; ++r) {
+        if (finished_[r]) continue;
+        if (blocked_on_[r] != nullptr && !rendezvous_ready_(r)) continue;
+        current_rank_ = r;
+        current_engine_ = this;
+        SP_ASSERT(swapcontext(&scheduler_ctx_, &fibers_[r].ctx) == 0);
+        if (finished_[r]) {
+          --remaining;
+          ++activity_;
+        }
+      }
+      if (activity_ == activity_before && remaining > 0) {
+        // A rank that threw leaves its peers stuck at a rendezvous; surface
+        // the original exception rather than the induced deadlock.
+        for (auto& ex : exceptions_) {
+          if (ex) std::rethrow_exception(ex);
+        }
+        SP_ASSERT_MSG(false,
+                      "BSP deadlock: mismatched collective calls across ranks");
+      }
+    }
+
+    for (auto& ex : exceptions_) {
+      if (ex) std::rethrow_exception(ex);
+    }
+    SP_ASSERT_MSG(states_.empty(), "collective state leaked (pickup mismatch)");
+
+    RunStats stats;
+    stats.clocks = clocks_;
+    stats.traces = traces_;
+    stats.wall_seconds = wall.seconds();
+    return stats;
+  }
+
+  // ---- Called from fibers ----
+
+  void yield_() {
+    std::uint32_t r = current_rank_;
+    SP_ASSERT(swapcontext(&fibers_[r].ctx, &scheduler_ctx_) == 0);
+    current_engine_ = this;  // restored for safety after resume
+  }
+
+  void add_compute(std::uint32_t world_rank, double units) {
+    double seconds = units * opt_.model.seconds_per_unit;
+    clocks_[world_rank] += seconds;
+    traces_[world_rank][stages_[world_rank]].compute_seconds += seconds;
+  }
+
+  void set_stage(std::uint32_t world_rank, const std::string& stage) {
+    stages_[world_rank] = stage;
+  }
+
+  double clock(std::uint32_t world_rank) const { return clocks_[world_rank]; }
+
+  const CostModel& model() const { return opt_.model; }
+
+  std::shared_ptr<GroupInfo> world() const { return world_; }
+
+  /// Rendezvous lookup/creation for (group, seq).
+  CollState& state_for(const GroupInfo& group, std::uint64_t seq) {
+    auto key = std::make_pair(group.id, seq);
+    auto [it, inserted] = states_.try_emplace(key);
+    if (inserted) {
+      it->second.expected = static_cast<std::uint32_t>(group.members.size());
+      it->second.contribs.resize(group.members.size());
+      it->second.inboxes.resize(group.members.size());
+      ++activity_;
+    }
+    return it->second;
+  }
+
+  void erase_state(const GroupInfo& group, std::uint64_t seq) {
+    states_.erase(std::make_pair(group.id, seq));
+    ++activity_;
+  }
+
+  void bump_activity() { ++activity_; }
+
+  /// Block the current fiber until `state` has all arrivals.
+  void wait_all_arrived(CollState& state) {
+    while (state.arrived < state.expected) {
+      blocked_on_[current_rank_] = &state;
+      yield_();
+    }
+    blocked_on_[current_rank_] = nullptr;
+  }
+
+  /// Deterministic group id for a split, agreed between members without
+  /// extra communication: first member to ask registers it.
+  std::uint64_t group_id_for_split(std::uint64_t parent_id, std::uint64_t seq,
+                                   std::uint32_t color) {
+    auto key = std::make_tuple(parent_id, seq, color);
+    auto it = group_registry_.find(key);
+    if (it != group_registry_.end()) return it->second;
+    std::uint64_t id = next_group_id_++;
+    group_registry_.emplace(key, id);
+    return id;
+  }
+
+  void charge_comm(std::uint32_t world_rank, double seconds,
+                   std::uint64_t messages, std::uint64_t bytes,
+                   bool is_collective) {
+    StageCost& cost = traces_[world_rank][stages_[world_rank]];
+    cost.comm_seconds += seconds;
+    cost.messages += messages;
+    cost.bytes_sent += bytes;
+    if (is_collective) ++cost.collectives;
+    clocks_[world_rank] += seconds;
+  }
+
+  void set_clock(std::uint32_t world_rank, double value) {
+    clocks_[world_rank] = value;
+  }
+
+ private:
+  struct FiberData {
+    ucontext_t ctx;
+    std::unique_ptr<char[]> stack;
+  };
+
+  bool rendezvous_ready_(std::uint32_t rank) const {
+    const CollState* st = blocked_on_[rank];
+    return st->arrived >= st->expected;
+  }
+
+  static void trampoline_() {
+    EngineImpl* engine = current_engine_;
+    std::uint32_t rank = engine->current_rank_;
+    try {
+      Comm comm(engine, engine->world_, rank, rank);
+      (*engine->program_)(comm);
+    } catch (...) {
+      engine->exceptions_[rank] = std::current_exception();
+    }
+    engine->finished_[rank] = true;
+    // uc_link returns to the scheduler.
+  }
+
+  BspEngine::Options opt_;
+  const std::function<void(Comm&)>* program_ = nullptr;
+  std::vector<FiberData> fibers_;
+  ucontext_t scheduler_ctx_{};
+  std::uint32_t current_rank_ = 0;
+  static thread_local EngineImpl* current_engine_;
+
+  std::vector<double> clocks_;
+  std::vector<RankTrace> traces_;
+  std::vector<std::string> stages_;
+  std::vector<bool> finished_;
+  std::vector<std::exception_ptr> exceptions_;
+  std::vector<CollState*> blocked_on_ =
+      std::vector<CollState*>(1, nullptr);  // resized in run()
+
+  std::map<std::pair<std::uint64_t, std::uint64_t>, CollState> states_;
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>,
+           std::uint64_t>
+      group_registry_;
+  std::uint64_t next_group_id_ = 1;
+  std::shared_ptr<GroupInfo> world_;
+  std::uint64_t activity_ = 0;
+
+ public:
+  std::vector<CollState*> blocked_init_;  // unused; keeps layout simple
+  void resize_blocked() { blocked_on_.assign(opt_.nranks, nullptr); }
+  friend class ::sp::comm::BspEngine;
+};
+
+thread_local EngineImpl* EngineImpl::current_engine_ = nullptr;
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Comm implementation
+// ---------------------------------------------------------------------------
+
+Comm::Comm(detail::EngineImpl* engine, std::shared_ptr<detail::GroupInfo> group,
+           std::uint32_t group_rank, std::uint32_t world_rank)
+    : engine_(engine),
+      group_(std::move(group)),
+      group_rank_(group_rank),
+      world_rank_(world_rank) {}
+
+std::uint32_t Comm::nranks() const {
+  return static_cast<std::uint32_t>(group_->members.size());
+}
+
+std::uint32_t Comm::world_size() const {
+  return static_cast<std::uint32_t>(engine_->world()->members.size());
+}
+
+void Comm::set_stage(const std::string& stage) {
+  engine_->set_stage(world_rank_, stage);
+}
+
+void Comm::add_compute(double units) {
+  engine_->add_compute(world_rank_, units);
+}
+
+double Comm::clock() const { return engine_->clock(world_rank_); }
+
+void Comm::barrier() {
+  collective_(CollKind::kBarrier, {}, 0, nullptr);
+}
+
+std::vector<std::byte> Comm::collective_(CollKind kind,
+                                         std::vector<std::byte> payload,
+                                         std::uint32_t root, Combiner combiner,
+                                         std::vector<std::size_t>* counts) {
+  detail::CollState& st = engine_->state_for(*group_, seq_);
+  const std::uint64_t my_seq = seq_++;
+  st.kind = kind;
+  st.root = root;
+  st.contribs[group_rank_] = std::move(payload);
+  st.max_clock = std::max(st.max_clock, engine_->clock(world_rank_));
+  ++st.arrived;
+  engine_->bump_activity();
+  engine_->wait_all_arrived(st);
+
+  // Last-to-observe combines exactly once.
+  if (!st.combined) {
+    st.combined = true;
+    st.contrib_sizes.resize(st.expected);
+    for (std::uint32_t r = 0; r < st.expected; ++r) {
+      st.contrib_sizes[r] = st.contribs[r].size();
+    }
+    switch (kind) {
+      case CollKind::kBarrier:
+        break;
+      case CollKind::kAllReduce: {
+        SP_ASSERT(combiner != nullptr);
+        st.result = st.contribs[0];
+        for (std::uint32_t r = 1; r < st.expected; ++r) {
+          combiner(st.result, st.contribs[r]);
+        }
+        break;
+      }
+      case CollKind::kAllGather:
+      case CollKind::kGather: {
+        std::size_t total = 0;
+        for (const auto& c : st.contribs) total += c.size();
+        st.result.reserve(total);
+        for (const auto& c : st.contribs) {
+          st.result.insert(st.result.end(), c.begin(), c.end());
+        }
+        break;
+      }
+      case CollKind::kBroadcast:
+        st.result = st.contribs[root];
+        break;
+    }
+    st.contribs.clear();
+    st.contribs.shrink_to_fit();
+  }
+
+  // Cost accounting (recursive-doubling style collectives).
+  const CostModel& model = engine_->model();
+  const auto p = static_cast<std::uint32_t>(group_->members.size());
+  const double log_p = detail::ceil_log2(p);
+  const auto result_bytes = static_cast<double>(st.result.size());
+  double seconds = 0.0;
+  std::uint64_t msgs = static_cast<std::uint64_t>(log_p);
+  std::uint64_t bytes = 0;
+  switch (kind) {
+    case CollKind::kBarrier:
+      seconds = model.ts * log_p;
+      break;
+    case CollKind::kAllReduce:
+    case CollKind::kBroadcast:
+      seconds = (model.ts + model.tw * result_bytes) * log_p;
+      bytes = static_cast<std::uint64_t>(result_bytes * log_p);
+      break;
+    case CollKind::kAllGather:
+    case CollKind::kGather:
+      seconds = model.ts * log_p + model.tw * result_bytes;
+      bytes = static_cast<std::uint64_t>(result_bytes);
+      break;
+  }
+  engine_->set_clock(world_rank_, st.max_clock);
+  engine_->charge_comm(world_rank_, seconds, msgs, bytes, /*is_collective=*/true);
+
+  std::vector<std::byte> my_result;
+  if (kind == CollKind::kGather) {
+    if (group_rank_ == root) my_result = st.result;
+  } else if (kind != CollKind::kBarrier) {
+    my_result = st.result;
+  }
+  if (counts) *counts = st.contrib_sizes;
+
+  if (++st.pickups == st.expected) {
+    engine_->erase_state(*group_, my_seq);
+  }
+  return my_result;
+}
+
+std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing) {
+  detail::CollState& st = engine_->state_for(*group_, seq_);
+  const std::uint64_t my_seq = seq_++;
+  st.is_exchange = true;
+
+  std::uint64_t bytes_out = 0;
+  std::uint64_t msgs_out = outgoing.size();
+  for (auto& p : outgoing) {
+    SP_ASSERT_MSG(p.peer < group_->members.size(), "exchange peer out of range");
+    bytes_out += p.data.size();
+    std::uint32_t dest = p.peer;
+    p.peer = group_rank_;  // rewritten to the source for the receiver
+    st.inboxes[dest].push_back(std::move(p));
+  }
+  st.max_clock = std::max(st.max_clock, engine_->clock(world_rank_));
+  ++st.arrived;
+  engine_->bump_activity();
+  engine_->wait_all_arrived(st);
+
+  std::vector<Packet> inbox = std::move(st.inboxes[group_rank_]);
+  // Stable: preserves each source's send order.
+  std::stable_sort(inbox.begin(), inbox.end(),
+                   [](const Packet& a, const Packet& b) { return a.peer < b.peer; });
+
+  std::uint64_t bytes_in = 0;
+  for (const auto& p : inbox) bytes_in += p.data.size();
+  const CostModel& model = engine_->model();
+  double seconds =
+      model.ts * static_cast<double>(std::max<std::uint64_t>(
+                     {msgs_out, inbox.size(), 1})) +
+      model.tw * static_cast<double>(std::max(bytes_out, bytes_in));
+  engine_->set_clock(world_rank_, st.max_clock);
+  engine_->charge_comm(world_rank_, seconds, msgs_out, bytes_out,
+                       /*is_collective=*/false);
+
+  if (++st.pickups == st.expected) {
+    engine_->erase_state(*group_, my_seq);
+  }
+  return inbox;
+}
+
+Comm Comm::split(std::uint32_t color, std::uint32_t key) {
+  // Gather (color, key, world rank) triples from the whole group.
+  struct Entry {
+    std::uint32_t color, key, world_rank;
+  };
+  Entry mine{color, key, world_rank_};
+  auto all = allgatherv(std::span<const Entry>(&mine, 1));
+
+  std::vector<Entry> members;
+  for (const Entry& e : all) {
+    if (e.color == color) members.push_back(e);
+  }
+  std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+    return std::make_pair(a.key, a.world_rank) <
+           std::make_pair(b.key, b.world_rank);
+  });
+
+  auto group = std::make_shared<detail::GroupInfo>();
+  group->id = engine_->group_id_for_split(group_->id, seq_, color);
+  group->members.reserve(members.size());
+  std::uint32_t my_index = 0;
+  for (std::uint32_t i = 0; i < members.size(); ++i) {
+    group->members.push_back(members[i].world_rank);
+    if (members[i].world_rank == world_rank_) my_index = i;
+  }
+  return Comm(engine_, std::move(group), my_index, world_rank_);
+}
+
+// ---------------------------------------------------------------------------
+// BspEngine
+// ---------------------------------------------------------------------------
+
+BspEngine::BspEngine(Options options)
+    : impl_(std::make_unique<detail::EngineImpl>(options)) {
+  impl_->resize_blocked();
+}
+
+BspEngine::~BspEngine() = default;
+
+RunStats BspEngine::run(const std::function<void(Comm&)>& program) {
+  impl_->resize_blocked();
+  return impl_->run(program);
+}
+
+// ---------------------------------------------------------------------------
+// RunStats
+// ---------------------------------------------------------------------------
+
+double RunStats::makespan() const {
+  double best = 0.0;
+  for (double c : clocks) best = std::max(best, c);
+  return best;
+}
+
+StageCost RunStats::stage_max(const std::string& stage) const {
+  StageCost best;
+  double best_total = -1.0;
+  for (const auto& trace : traces) {
+    auto it = trace.find(stage);
+    if (it == trace.end()) continue;
+    if (it->second.total() > best_total) {
+      best_total = it->second.total();
+      best = it->second;
+    }
+  }
+  return best;
+}
+
+StageCost RunStats::stage_sum(const std::string& stage) const {
+  StageCost sum;
+  for (const auto& trace : traces) {
+    auto it = trace.find(stage);
+    if (it != trace.end()) sum += it->second;
+  }
+  return sum;
+}
+
+std::vector<std::string> RunStats::stages() const {
+  std::vector<std::string> names;
+  for (const auto& trace : traces) {
+    for (const auto& [name, cost] : trace) {
+      (void)cost;
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+  }
+  return names;
+}
+
+}  // namespace sp::comm

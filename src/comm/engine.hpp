@@ -1,0 +1,261 @@
+// Deterministic SPMD message-passing runtime.
+//
+// BspEngine runs P "ranks" as cooperatively-scheduled fibers on one OS
+// thread. Ranks communicate only through the Comm API (MPI-flavoured
+// collectives, bulk point-to-point supersteps, communicator splitting), so
+// the algorithms written against it have exactly the communication
+// structure of a real MPI implementation — while execution stays
+// single-threaded, deterministic, and runnable at P = 1024 on a laptop.
+//
+// Every operation is charged to a per-rank *virtual clock* using the
+// CostModel (t_s / t_w / compute rate): this clock, not wall time, is what
+// the scaling experiments report. Synchronization semantics are BSP-like:
+// a collective completes at (max arrival clock among the group) + op cost,
+// which matches the cost accounting in the paper's Section 3.1.
+//
+// Determinism: fibers are resumed round-robin, there is no preemption and
+// no real concurrency, so traces and results are bit-reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "comm/trace.hpp"
+#include "support/assert.hpp"
+
+namespace sp::comm {
+
+namespace detail {
+class EngineImpl;
+struct GroupInfo;
+}  // namespace detail
+
+enum class ReduceOp { kSum, kMin, kMax };
+
+/// A rank's endpoint within one process group. Obtained from
+/// BspEngine::run (world communicator) or Comm::split. Each Comm carries
+/// its own collective sequence counter: all members of a group must issue
+/// the same sequence of collective calls (SPMD), as with MPI.
+class Comm {
+ public:
+  std::uint32_t rank() const { return group_rank_; }
+  std::uint32_t nranks() const;
+  std::uint32_t world_rank() const { return world_rank_; }
+  std::uint32_t world_size() const;
+
+  /// Tags subsequent charges with a pipeline stage name (for Fig. 7/8
+  /// style breakdowns).
+  void set_stage(const std::string& stage);
+
+  /// Charge `units` work units of local computation to the virtual clock.
+  void add_compute(double units);
+
+  /// Current virtual clock, seconds.
+  double clock() const;
+
+  // ---- Collectives (all members must call; trivially-copyable T) ----
+
+  void barrier();
+
+  template <typename T>
+  T allreduce(const T& value, ReduceOp op) {
+    auto result = allreduce_vec(std::span<const T>(&value, 1), op);
+    return result[0];
+  }
+
+  /// Element-wise reduction of equal-length vectors.
+  template <typename T>
+  std::vector<T> allreduce_vec(std::span<const T> values, ReduceOp op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto combined = collective_(CollKind::kAllReduce, as_bytes_(values),
+                                /*root=*/0, make_combiner_<T>(op));
+    return from_bytes_<T>(combined);
+  }
+
+  /// Everyone contributes one value; everyone receives all P values in
+  /// group-rank order.
+  template <typename T>
+  std::vector<T> allgather(const T& value) {
+    return allgatherv(std::span<const T>(&value, 1));
+  }
+
+  /// Variable-size contributions, concatenated in group-rank order.
+  /// `counts` (optional out) receives each rank's element count.
+  template <typename T>
+  std::vector<T> allgatherv(std::span<const T> values,
+                            std::vector<std::size_t>* counts = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto combined = collective_(CollKind::kAllGather, as_bytes_(values),
+                                /*root=*/0, nullptr, counts);
+    if (counts) {
+      for (auto& c : *counts) c /= sizeof(T);
+    }
+    return from_bytes_<T>(combined);
+  }
+
+  /// Root receives the concatenation; others receive empty.
+  template <typename T>
+  std::vector<T> gatherv(std::span<const T> values, std::uint32_t root,
+                         std::vector<std::size_t>* counts = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto combined = collective_(CollKind::kGather, as_bytes_(values), root,
+                                nullptr, counts);
+    if (counts) {
+      for (auto& c : *counts) c /= sizeof(T);
+    }
+    if (rank() != root) return {};
+    return from_bytes_<T>(combined);
+  }
+
+  /// Root's data reaches everyone.
+  template <typename T>
+  std::vector<T> broadcast_vec(std::span<const T> values, std::uint32_t root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::span<const T> mine =
+        rank() == root ? values : std::span<const T>{};
+    auto combined =
+        collective_(CollKind::kBroadcast, as_bytes_(mine), root, nullptr);
+    return from_bytes_<T>(combined);
+  }
+
+  template <typename T>
+  T broadcast(const T& value, std::uint32_t root) {
+    auto v = broadcast_vec(std::span<const T>(&value, 1), root);
+    return v[0];
+  }
+
+  // ---- Bulk point-to-point superstep ----
+
+  struct Packet {
+    std::uint32_t peer = 0;  // group rank (destination on send, source on recv)
+    std::vector<std::byte> data;
+  };
+
+  /// Sends each packet to its peer; returns the packets addressed to this
+  /// rank (sorted by source, then send order). All group members must call
+  /// (possibly with empty outgoing). This is the halo-exchange primitive.
+  std::vector<Packet> exchange(std::vector<Packet> outgoing);
+
+  /// Typed convenience wrapper over exchange.
+  template <typename T>
+  std::vector<std::pair<std::uint32_t, std::vector<T>>> exchange_typed(
+      const std::vector<std::pair<std::uint32_t, std::vector<T>>>& outgoing) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<Packet> raw;
+    raw.reserve(outgoing.size());
+    for (const auto& [peer, values] : outgoing) {
+      Packet p;
+      p.peer = peer;
+      p.data = as_bytes_(std::span<const T>(values));
+      raw.push_back(std::move(p));
+    }
+    auto in = exchange(std::move(raw));
+    std::vector<std::pair<std::uint32_t, std::vector<T>>> out;
+    out.reserve(in.size());
+    for (auto& p : in) out.emplace_back(p.peer, from_bytes_<T>(p.data));
+    return out;
+  }
+
+  // ---- Communicator management ----
+
+  /// Collective: partitions the group by `color`; members of each color
+  /// form a new group ordered by (key, world rank). Returns this rank's
+  /// new communicator.
+  Comm split(std::uint32_t color, std::uint32_t key);
+
+  /// Implementation detail, public only so the engine's rendezvous state
+  /// can name it; not part of the user API.
+  enum class CollKind { kBarrier, kAllReduce, kAllGather, kGather, kBroadcast };
+
+ private:
+  friend class detail::EngineImpl;
+  using Combiner = std::function<void(std::vector<std::byte>&,
+                                      const std::vector<std::byte>&)>;
+
+  Comm(detail::EngineImpl* engine, std::shared_ptr<detail::GroupInfo> group,
+       std::uint32_t group_rank, std::uint32_t world_rank);
+
+  /// Type-erased collective core (defined in engine.cpp).
+  std::vector<std::byte> collective_(CollKind kind,
+                                     std::vector<std::byte> payload,
+                                     std::uint32_t root, Combiner combiner,
+                                     std::vector<std::size_t>* counts = nullptr);
+
+  template <typename T>
+  static std::vector<std::byte> as_bytes_(std::span<const T> values) {
+    std::vector<std::byte> bytes(values.size_bytes());
+    if (!bytes.empty()) std::memcpy(bytes.data(), values.data(), bytes.size());
+    return bytes;
+  }
+
+  template <typename T>
+  static std::vector<T> from_bytes_(const std::vector<std::byte>& bytes) {
+    SP_ASSERT(bytes.size() % sizeof(T) == 0);
+    std::vector<T> values(bytes.size() / sizeof(T));
+    if (!bytes.empty()) std::memcpy(values.data(), bytes.data(), bytes.size());
+    return values;
+  }
+
+  template <typename T>
+  static Combiner make_combiner_(ReduceOp op) {
+    return [op](std::vector<std::byte>& acc, const std::vector<std::byte>& in) {
+      SP_ASSERT_MSG(acc.size() == in.size(),
+                    "allreduce contributions must have equal size");
+      auto* a = reinterpret_cast<T*>(acc.data());
+      const auto* b = reinterpret_cast<const T*>(in.data());
+      std::size_t n = acc.size() / sizeof(T);
+      for (std::size_t i = 0; i < n; ++i) {
+        switch (op) {
+          case ReduceOp::kSum:
+            a[i] = a[i] + b[i];
+            break;
+          case ReduceOp::kMin:
+            a[i] = b[i] < a[i] ? b[i] : a[i];
+            break;
+          case ReduceOp::kMax:
+            a[i] = a[i] < b[i] ? b[i] : a[i];
+            break;
+        }
+      }
+    };
+  }
+
+  detail::EngineImpl* engine_;
+  std::shared_ptr<detail::GroupInfo> group_;
+  std::uint32_t group_rank_;
+  std::uint32_t world_rank_;
+  std::uint64_t seq_ = 0;
+};
+
+class BspEngine {
+ public:
+  struct Options {
+    std::uint32_t nranks = 4;
+    CostModel model = CostModel::nehalem_qdr();
+    /// Fiber stack size. Algorithms here recurse shallowly; 1 MiB is ample
+    /// and keeps P=1024 within 1 GiB of (lazily mapped) stack.
+    std::size_t stack_bytes = 256u << 10;
+  };
+
+  explicit BspEngine(Options options);
+  ~BspEngine();
+  BspEngine(const BspEngine&) = delete;
+  BspEngine& operator=(const BspEngine&) = delete;
+
+  /// Runs `program(comm)` on every rank to completion; returns per-rank
+  /// virtual clocks and traces. May be called repeatedly (fresh clocks per
+  /// run). Exceptions thrown by any rank propagate out (first rank wins).
+  RunStats run(const std::function<void(Comm&)>& program);
+
+ private:
+  std::unique_ptr<detail::EngineImpl> impl_;
+};
+
+}  // namespace sp::comm

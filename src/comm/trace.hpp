@@ -1,0 +1,54 @@
+// Per-rank accounting of modeled time, split by pipeline stage.
+//
+// Figures 7-8 of the paper break ScalaPart's time into coarsening /
+// embedding / partitioning and, within embedding, communication vs
+// computation. Ranks tag their current stage and every charge lands in the
+// matching StageCost bucket.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sp::comm {
+
+struct StageCost {
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+  std::uint64_t messages = 0;       // point-to-point messages sent
+  std::uint64_t bytes_sent = 0;     // point-to-point payload
+  std::uint64_t collectives = 0;    // collective operations joined
+
+  double total() const { return compute_seconds + comm_seconds; }
+
+  StageCost& operator+=(const StageCost& o) {
+    compute_seconds += o.compute_seconds;
+    comm_seconds += o.comm_seconds;
+    messages += o.messages;
+    bytes_sent += o.bytes_sent;
+    collectives += o.collectives;
+    return *this;
+  }
+};
+
+/// One rank's trace: stage -> accumulated cost.
+using RankTrace = std::map<std::string, StageCost>;
+
+/// Result of a BspEngine::run.
+struct RunStats {
+  /// Final virtual clock per rank; modeled parallel makespan is max().
+  std::vector<double> clocks;
+  std::vector<RankTrace> traces;
+  double wall_seconds = 0.0;  // actual host time (diagnostic only)
+
+  double makespan() const;
+  /// Max-over-ranks cost of one stage (the modeled time that stage adds to
+  /// the critical path, assuming stage boundaries synchronize).
+  StageCost stage_max(const std::string& stage) const;
+  /// Sum over ranks (total volume measures).
+  StageCost stage_sum(const std::string& stage) const;
+  std::vector<std::string> stages() const;
+};
+
+}  // namespace sp::comm

@@ -1,0 +1,45 @@
+// Modeled parallel execution times for the multilevel baselines.
+//
+// The paper compares ScalaPart's time against ParMetis and Pt-Scotch on
+// P = 1..1024 MPI ranks. Our reproduction runs the baselines' *algorithms*
+// sequentially for cut quality (src/partition/multilevel_kl); their
+// *parallel time* is produced here by walking a real coarsening hierarchy
+// of the input graph and charging, per level, the computation and
+// communication a distributed multilevel partitioner performs — using the
+// same CostModel constants as the BSP runtime, and per-rank halo sizes
+// measured from real block distributions of each level graph. The presets
+// encode the baselines' published structure:
+//  - ParMetis-like: 3 matching rounds per level, 2 cheap boundary-greedy
+//    refinement sweeps per uncoarsening level (few synchronizations).
+//  - Pt-Scotch-like: band FM with several passes per level, each pass a
+//    sequence of synchronized move rounds — the extra latency * log P per
+//    level is exactly the uncoarsening/refinement cost the paper blames
+//    for Pt-Scotch's poor scaling (Sec. 1, Sec. 3).
+#pragma once
+
+#include <cstdint>
+
+#include "comm/cost_model.hpp"
+#include "coarsen/hierarchy.hpp"
+#include "graph/csr_graph.hpp"
+#include "partition/multilevel_kl.hpp"
+
+namespace sp::core {
+
+struct BaselineTimeBreakdown {
+  double coarsen_seconds = 0.0;
+  double initial_seconds = 0.0;
+  double refine_seconds = 0.0;
+  double total() const {
+    return coarsen_seconds + initial_seconds + refine_seconds;
+  }
+};
+
+/// Modeled time for one bisection at P ranks. The hierarchy should be
+/// built with rounds_per_level = 1 (classic halving) on the target graph;
+/// it is reused across P values.
+BaselineTimeBreakdown modeled_multilevel_time(
+    const coarsen::Hierarchy& hierarchy, std::uint32_t P,
+    partition::MlPreset preset, const comm::CostModel& model);
+
+}  // namespace sp::core

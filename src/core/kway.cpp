@@ -1,0 +1,132 @@
+#include "core/kway.hpp"
+
+#include <algorithm>
+
+#include "core/scalapart.hpp"
+#include "refine/fm.hpp"
+#include "refine/strip.hpp"
+#include "support/assert.hpp"
+
+namespace sp::core {
+
+using geom::Vec2;
+using graph::CsrGraph;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+
+/// Bisects the subgraph induced by `vertices` (global ids) at the given
+/// weight fraction, geometrically, with optional strip-FM polish; assigns
+/// `left_part`/`right_part` into `out`.
+void bisect_region(const CsrGraph& g, std::span<const Vec2> coords,
+                   std::vector<VertexId> vertices, std::uint32_t parts,
+                   std::uint32_t first_part, const KwayOptions& opt,
+                   std::uint64_t salt, std::vector<std::uint32_t>* out) {
+  if (parts == 1 || vertices.size() <= 1) {
+    for (VertexId v : vertices) (*out)[v] = first_part;
+    return;
+  }
+  const std::uint32_t left_parts = parts / 2;
+  const double fraction =
+      static_cast<double>(left_parts) / static_cast<double>(parts);
+
+  std::vector<VertexId> old_to_new;
+  CsrGraph sub = graph::induced_subgraph(g, vertices, &old_to_new);
+  std::vector<Vec2> sub_coords(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    sub_coords[i] = coords[vertices[i]];
+  }
+
+  partition::GeometricMeshOptions gmt = opt.gmt;
+  gmt.split_fraction = fraction;
+  gmt.seed = opt.seed ^ (salt * 0x9E3779B97F4A7C15ull);
+  auto cut = partition::geometric_mesh_partition(sub, sub_coords, gmt);
+
+  if (opt.strip_refine && sub.num_vertices() > 8) {
+    auto strip = refine::geometric_strip(sub, cut.part, cut.separator_distance,
+                                         opt.strip_factor);
+    refine::FmOptions fm;
+    // Asymmetric target: cap each side at (fraction +- epsilon) of total.
+    Weight total = sub.total_vertex_weight();
+    fm.side0_cap = static_cast<Weight>((fraction + opt.epsilon) *
+                                       static_cast<double>(total));
+    fm.side1_cap = static_cast<Weight>((1.0 - fraction + opt.epsilon) *
+                                       static_cast<double>(total));
+    refine::fm_refine(sub, cut.part, fm, strip);
+  }
+
+  std::vector<VertexId> left, right;
+  left.reserve(vertices.size() / 2 + 1);
+  right.reserve(vertices.size() / 2 + 1);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    (cut.part[static_cast<VertexId>(i)] == 0 ? left : right)
+        .push_back(vertices[i]);
+  }
+  bisect_region(g, coords, std::move(left), left_parts, first_part, opt,
+                salt * 2 + 1, out);
+  bisect_region(g, coords, std::move(right), parts - left_parts,
+                first_part + left_parts, opt, salt * 2 + 2, out);
+}
+
+}  // namespace
+
+Weight kway_cut(const CsrGraph& g, std::span<const std::uint32_t> part) {
+  SP_ASSERT(part.size() == g.num_vertices());
+  Weight cut2 = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto nbrs = g.neighbors(v);
+    auto ws = g.edge_weights_of(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (part[v] != part[nbrs[k]]) cut2 += ws[k];
+    }
+  }
+  return cut2 / 2;
+}
+
+double kway_imbalance(const CsrGraph& g, std::span<const std::uint32_t> part,
+                      std::uint32_t parts) {
+  SP_ASSERT(parts >= 1);
+  std::vector<Weight> weights(parts, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    SP_ASSERT(part[v] < parts);
+    weights[part[v]] += g.vertex_weight(v);
+  }
+  double ideal = static_cast<double>(g.total_vertex_weight()) /
+                 static_cast<double>(parts);
+  if (ideal <= 0.0) return 0.0;
+  Weight max_w = *std::max_element(weights.begin(), weights.end());
+  return static_cast<double>(max_w) / ideal - 1.0;
+}
+
+KwayResult kway_partition_with_coords(const CsrGraph& g,
+                                      std::span<const Vec2> coords,
+                                      const KwayOptions& opt) {
+  SP_ASSERT(coords.size() == g.num_vertices());
+  SP_ASSERT(opt.parts >= 1);
+  KwayResult result;
+  result.part.assign(g.num_vertices(), 0);
+  result.embedding.assign(coords.begin(), coords.end());
+  if (g.num_vertices() == 0) return result;
+
+  std::vector<VertexId> all(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  bisect_region(g, coords, std::move(all), opt.parts, 0, opt, 1, &result.part);
+
+  result.total_cut = kway_cut(g, result.part);
+  result.imbalance = kway_imbalance(g, result.part, opt.parts);
+  return result;
+}
+
+KwayResult kway_partition(const CsrGraph& g, const KwayOptions& opt) {
+  // Embed once via the ScalaPart pipeline (the first bisection comes for
+  // free with it, but re-cutting from the embedding keeps the recursion
+  // uniform and the code simple).
+  ScalaPartOptions sp_opt;
+  sp_opt.nranks = opt.nranks;
+  sp_opt.seed = opt.seed;
+  auto sp = scalapart_partition(g, sp_opt);
+  return kway_partition_with_coords(g, sp.embedding, opt);
+}
+
+}  // namespace sp::core

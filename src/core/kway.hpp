@@ -1,0 +1,65 @@
+// Recursive k-way partitioning on top of any bisection method.
+//
+// The paper evaluates single bisections; practical deployments (its own
+// motivating use case: distributing a simulation over P processors) need
+// k parts. This driver applies a bisector recursively with proportional
+// weight targets, so k need not be a power of two, and reuses ScalaPart's
+// embedding across the recursion: the graph is embedded once and every
+// sub-bisection cuts the induced sub-embedding geometrically, which is
+// exactly how the paper suggests the method amortises its embedding cost
+// over multiple cuts ("the considerable costs of computing an embedding
+// are not amortized over multiple cuts" in their single-cut experiments).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geometry/vec.hpp"
+#include "graph/csr_graph.hpp"
+#include "partition/geometric_mesh.hpp"
+
+namespace sp::core {
+
+struct KwayOptions {
+  std::uint32_t parts = 4;
+  /// Per-bisection balance tolerance.
+  double epsilon = 0.05;
+  /// Simulated ranks for the embedding run (power of two).
+  std::uint32_t nranks = 16;
+  std::uint64_t seed = 42;
+  /// Geometric variant used for every sub-bisection.
+  partition::GeometricMeshOptions gmt = partition::GeometricMeshOptions::g7nl();
+  /// Apply strip FM after each geometric sub-bisection.
+  bool strip_refine = true;
+  double strip_factor = 6.0;
+};
+
+struct KwayResult {
+  /// part id in [0, parts) per vertex.
+  std::vector<std::uint32_t> part;
+  /// Total weight of edges between different parts.
+  graph::Weight total_cut = 0;
+  /// max part weight / ideal - 1.
+  double imbalance = 0.0;
+  /// The embedding computed once and reused for every sub-bisection.
+  std::vector<geom::Vec2> embedding;
+};
+
+/// k-way partition via ScalaPart: one embedding run, then recursive
+/// geometric bisection of the embedded subgraphs.
+KwayResult kway_partition(const graph::CsrGraph& g, const KwayOptions& opt);
+
+/// k-way partition when coordinates already exist (no embedding run).
+KwayResult kway_partition_with_coords(const graph::CsrGraph& g,
+                                      std::span<const geom::Vec2> coords,
+                                      const KwayOptions& opt);
+
+/// Quality measures for a k-way assignment.
+graph::Weight kway_cut(const graph::CsrGraph& g,
+                       std::span<const std::uint32_t> part);
+double kway_imbalance(const graph::CsrGraph& g,
+                      std::span<const std::uint32_t> part,
+                      std::uint32_t parts);
+
+}  // namespace sp::core

@@ -1,0 +1,239 @@
+#include "core/scalapart.hpp"
+#include <unordered_map>
+
+#include <algorithm>
+
+#include "coarsen/hierarchy.hpp"
+#include "coarsen/parallel_matching.hpp"
+#include "comm/engine.hpp"
+#include "graph/distributed_graph.hpp"
+#include "support/assert.hpp"
+
+namespace sp::core {
+
+using graph::Bipartition;
+using graph::CsrGraph;
+using graph::VertexId;
+
+namespace {
+
+std::uint32_t p_at_level(std::uint32_t P, std::size_t level) {
+  std::uint32_t shift = 2 * static_cast<std::uint32_t>(level);
+  return shift >= 32 ? 1u : std::max(P >> shift, 1u);
+}
+
+StageBreakdown breakdown_from(const comm::RunStats& stats) {
+  StageBreakdown b;
+  auto coarsen = stats.stage_max("coarsen");
+  auto embed = stats.stage_max("embed");
+  auto part = stats.stage_max("partition");
+  b.coarsen_seconds = coarsen.total();
+  b.embed_seconds = embed.total();
+  b.partition_seconds = part.total();
+  b.embed_comm_seconds = embed.comm_seconds;
+  b.embed_compute_seconds = embed.compute_seconds;
+  return b;
+}
+
+}  // namespace
+
+ScalaPartResult scalapart_partition(const CsrGraph& g,
+                                    const ScalaPartOptions& opt) {
+  SP_ASSERT_MSG((opt.nranks & (opt.nranks - 1)) == 0,
+                "nranks must be a power of two");
+  const VertexId n = g.num_vertices();
+  ScalaPartResult result;
+  result.part = Bipartition(n);
+  if (n < 2) {
+    result.report = evaluate(g, result.part);
+    return result;
+  }
+
+  // Reference hierarchy: the same heavy-edge-matching coarsening the BSP
+  // ranks execute, built once and shared read-only (see DESIGN.md on the
+  // shared-structure convention).
+  coarsen::HierarchyOptions hopt;
+  hopt.coarsest_size =
+      opt.coarsest_size != 0
+          ? opt.coarsest_size
+          : std::clamp<graph::VertexId>(n / 256, 64, 4096);
+  hopt.rounds_per_level = opt.hierarchy_rounds;
+  hopt.seed = opt.seed;
+  coarsen::Hierarchy hierarchy = coarsen::Hierarchy::build(g, hopt);
+  embed::EmbedWorkspace workspace(hierarchy);
+
+  embed::LatticeEmbedOptions embed_opt = opt.embed;
+  embed_opt.seed = opt.seed ^ 0xE3BEDull;
+  partition::ParallelGmtOptions gmt_opt = opt.gmt;
+  gmt_opt.seed = opt.seed ^ (0x6E0ull * (opt.nranks + 1));
+
+  // Shared result slots (distinct-index writes + barrier discipline).
+  std::vector<std::uint8_t> side(n, 0);
+  graph::Weight cut = 0;
+  std::size_t strip_size = 0;
+  std::vector<geom::Vec2> coords;
+
+  comm::BspEngine::Options eng_opt;
+  eng_opt.nranks = opt.nranks;
+  eng_opt.model = opt.cost_model;
+  comm::BspEngine engine(eng_opt);
+
+  auto stats = engine.run([&](comm::Comm& world) {
+    // ---- Coarsening: distributed heavy-edge matching per level. ----
+    world.set_stage("coarsen");
+    for (std::size_t level = 0; level + 1 < hierarchy.num_levels(); ++level) {
+      const std::uint32_t pl = p_at_level(opt.nranks, level);
+      const bool active = world.rank() < pl;
+      comm::Comm sub = world.split(active ? 0u : 1u, world.rank());
+      if (!active) continue;
+      const CsrGraph& level_graph = hierarchy.graph_at(level);
+      graph::LocalView view(level_graph, sub.rank(), pl);
+      coarsen::distributed_matching(sub, view, opt.matching_rounds,
+                                    opt.seed + level);
+      // The retained-level step contracts twice (intermediate halved graph
+      // plus its matching); charge the intermediate round's compute, whose
+      // communication profile mirrors the first at half the volume.
+      double arcs_local = 0;
+      for (VertexId v = 0; v < view.num_local(); ++v) {
+        arcs_local += static_cast<double>(view.neighbors(v).size());
+      }
+      sub.add_compute(arcs_local * 4.0 /*contract*/ +
+                      arcs_local * 1.5 /*intermediate matching+contract*/);
+    }
+
+    // ---- Multilevel fixed-lattice embedding. ----
+    world.set_stage("embed");
+    embed::RankEmbedding emb = embed::lattice_embed(world, workspace, embed_opt);
+
+    // ---- Parallel geometric partitioning + strip refinement. ----
+    world.set_stage("partition");
+    auto gmt = partition::parallel_gmt(world, g, emb, gmt_opt);
+    for (std::size_t i = 0; i < emb.owned.size(); ++i) {
+      side[emb.owned[i]] = gmt.side[i];
+    }
+
+    // ---- Result collection (not part of the timed pipeline). ----
+    world.set_stage("output");
+    auto gathered = embed::gather_embedding(world, emb, n);
+    if (world.rank() == 0) {
+      coords = std::move(gathered);
+      cut = gmt.cut;
+      strip_size = gmt.strip_size;
+    }
+    world.barrier();
+  });
+
+  for (VertexId v = 0; v < n; ++v) result.part[v] = side[v];
+  result.report = evaluate(g, result.part);
+  SP_ASSERT_MSG(result.report.cut == cut,
+                "distributed cut disagrees with sequential evaluation");
+  result.stages = breakdown_from(stats);
+  result.modeled_seconds = result.stages.total();
+  result.partition_only_seconds = result.stages.partition_seconds;
+  result.stats = std::move(stats);
+  result.embedding = std::move(coords);
+  result.strip_size = strip_size;
+  return result;
+}
+
+ScalaPartResult sp_pg7nl_partition(const CsrGraph& g,
+                                   std::span<const geom::Vec2> coords,
+                                   const ScalaPartOptions& opt) {
+  SP_ASSERT(coords.size() == g.num_vertices());
+  SP_ASSERT_MSG((opt.nranks & (opt.nranks - 1)) == 0,
+                "nranks must be a power of two");
+  const VertexId n = g.num_vertices();
+  ScalaPartResult result;
+  result.part = Bipartition(n);
+  if (n < 2) {
+    result.report = evaluate(g, result.part);
+    return result;
+  }
+
+  partition::ParallelGmtOptions gmt_opt = opt.gmt;
+  gmt_opt.seed = opt.seed ^ (0x6E0ull * (opt.nranks + 1));
+
+  std::vector<std::uint8_t> side(n, 0);
+  graph::Weight cut = 0;
+
+  comm::BspEngine::Options eng_opt;
+  eng_opt.nranks = opt.nranks;
+  eng_opt.model = opt.cost_model;
+  comm::BspEngine engine(eng_opt);
+
+  auto stats = engine.run([&](comm::Comm& world) {
+    world.set_stage("partition");
+    // Block distribution; ghost coordinates are paid for with one halo
+    // exchange, exactly as when the coordinates arrive with the graph.
+    graph::LocalView view(g, world.rank(), world.nranks());
+    embed::RankEmbedding emb;
+    emb.owned.resize(view.num_local());
+    emb.pos.resize(view.num_local());
+    for (VertexId i = 0; i < view.num_local(); ++i) {
+      emb.owned[i] = view.to_global(i);
+      emb.pos[i] = coords[view.to_global(i)];
+    }
+    struct CoordMsg {
+      VertexId id;
+      double x, y;
+    };
+    // Send my boundary coords to each neighbouring rank that ghosts them.
+    const auto& nbr_ranks = view.neighbor_ranks();
+    std::vector<std::pair<std::uint32_t, std::vector<CoordMsg>>> out;
+    for (std::uint32_t r : nbr_ranks) {
+      std::vector<CoordMsg> payload;
+      for (VertexId local : view.boundary_locals()) {
+        VertexId global = view.to_global(local);
+        bool adj = false;
+        for (VertexId u : view.neighbors(local)) {
+          if (!view.owns(u) &&
+              graph::block_owner(u, n, world.nranks()) == r) {
+            adj = true;
+            break;
+          }
+        }
+        if (adj) payload.push_back({global, coords[global][0], coords[global][1]});
+      }
+      if (!payload.empty()) out.emplace_back(r, std::move(payload));
+    }
+    auto in = world.exchange_typed(out);
+    emb.ghost_ids = view.ghosts();
+    emb.ghost_pos.assign(emb.ghost_ids.size(), geom::Vec2{});
+    emb.ghost_owner.resize(emb.ghost_ids.size());
+    for (std::size_t i = 0; i < emb.ghost_ids.size(); ++i) {
+      emb.ghost_owner[i] = graph::block_owner(emb.ghost_ids[i], n,
+                                              world.nranks());
+    }
+    std::unordered_map<VertexId, std::uint32_t> ghost_of;
+    for (std::uint32_t i = 0; i < emb.ghost_ids.size(); ++i) {
+      ghost_of[emb.ghost_ids[i]] = i;
+    }
+    for (const auto& [src, payload] : in) {
+      (void)src;
+      for (const CoordMsg& msg : payload) {
+        auto it = ghost_of.find(msg.id);
+        if (it != ghost_of.end()) {
+          emb.ghost_pos[it->second] = geom::vec2(msg.x, msg.y);
+        }
+      }
+    }
+
+    auto gmt = partition::parallel_gmt(world, g, emb, gmt_opt);
+    for (std::size_t i = 0; i < emb.owned.size(); ++i) {
+      side[emb.owned[i]] = gmt.side[i];
+    }
+    if (world.rank() == 0) cut = gmt.cut;
+    world.barrier();
+  });
+
+  for (VertexId v = 0; v < n; ++v) result.part[v] = side[v];
+  result.report = evaluate(g, result.part);
+  SP_ASSERT(result.report.cut == cut);
+  result.stages = breakdown_from(stats);
+  result.modeled_seconds = result.stages.partition_seconds;
+  result.partition_only_seconds = result.stages.partition_seconds;
+  result.stats = std::move(stats);
+  return result;
+}
+
+}  // namespace sp::core

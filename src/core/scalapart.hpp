@@ -1,0 +1,103 @@
+// ScalaPart: the complete pipeline of the paper.
+//
+//   coarsen (distributed heavy-edge matching, keep every other level)
+//   -> multilevel fixed-lattice parallel embedding
+//   -> parallel geometric mesh partitioning (SP-PG7-NL)
+//   -> Fiduccia-Mattheyses refinement on a geometric strip.
+//
+// The pipeline executes as an SPMD program on the deterministic BSP
+// runtime (src/comm): cut sizes are computed for real by P cooperating
+// ranks; execution *time* is the runtime's modeled virtual clock (see
+// DESIGN.md on why wall-clock cannot measure 1024-rank scaling on one
+// node). P = 1 degenerates to a purely sequential run of the same
+// algorithm, which is how the library serves single-process users.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "comm/trace.hpp"
+#include "embed/lattice_parallel.hpp"
+#include "geometry/vec.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/partition.hpp"
+#include "partition/parallel_gmt.hpp"
+
+namespace sp::core {
+
+struct ScalaPartOptions {
+  /// Number of simulated ranks; must be a power of two.
+  std::uint32_t nranks = 16;
+  comm::CostModel cost_model = comm::CostModel::nehalem_qdr();
+
+  /// Coarsening: target coarsest size; 2 matching rounds per retained
+  /// level gives the paper's ~1/4 shrink. 0 = automatic: N/256 clamped to
+  /// [64, 4096], which keeps the coarsest graph a fixed *fraction* of the
+  /// input (the paper picks k so V^k is "suitably small"; a fixed absolute
+  /// size would make the serial coarse-level embedding an outsized Amdahl
+  /// term on scaled-down graphs).
+  graph::VertexId coarsest_size = 0;
+  std::uint32_t matching_rounds = 3;
+  /// Matching+contraction rounds per retained hierarchy level: 2 is the
+  /// paper's keep-every-other-graph rule (~1/4 shrink); 1 keeps every
+  /// level (~1/2 shrink, the classic multilevel layout — ablation).
+  std::uint32_t hierarchy_rounds = 2;
+
+  embed::LatticeEmbedOptions embed;
+  partition::ParallelGmtOptions gmt;
+
+  std::uint64_t seed = 42;
+
+  /// Convenience: derive all per-stage seeds from `seed` and `nranks` so
+  /// different P values explore different separators (as in the paper,
+  /// where cut size varies with P).
+  ScalaPartOptions with_seed(std::uint64_t s) const {
+    ScalaPartOptions o = *this;
+    o.seed = s;
+    return o;
+  }
+};
+
+struct StageBreakdown {
+  double coarsen_seconds = 0.0;
+  double embed_seconds = 0.0;
+  double partition_seconds = 0.0;
+  double embed_comm_seconds = 0.0;    // within embed_seconds
+  double embed_compute_seconds = 0.0; // within embed_seconds
+  double total() const {
+    return coarsen_seconds + embed_seconds + partition_seconds;
+  }
+};
+
+struct ScalaPartResult {
+  graph::Bipartition part;
+  graph::PartitionReport report;
+  /// Modeled parallel execution time (max rank clock), seconds.
+  double modeled_seconds = 0.0;
+  StageBreakdown stages;
+  /// Modeled time of the partition stage alone (SP-PG7-NL, the quantity
+  /// Figure 4 compares against RCB).
+  double partition_only_seconds = 0.0;
+  /// Full per-rank trace for deeper analysis (Fig. 8).
+  comm::RunStats stats;
+  /// Final embedding (gathered), useful for inspection and examples.
+  std::vector<geom::Vec2> embedding;
+  std::size_t strip_size = 0;
+};
+
+/// Runs the full ScalaPart pipeline on `g`. Deterministic given options.
+ScalaPartResult scalapart_partition(const graph::CsrGraph& g,
+                                    const ScalaPartOptions& opt);
+
+/// Partition-only entry point (SP-PG7-NL): for graphs that already have
+/// coordinates (the use case of Figure 4), skipping coarsening/embedding.
+/// The coordinates are block-distributed and cut with the parallel
+/// geometric scheme + strip refinement.
+ScalaPartResult sp_pg7nl_partition(const graph::CsrGraph& g,
+                                   std::span<const geom::Vec2> coords,
+                                   const ScalaPartOptions& opt);
+
+}  // namespace sp::core

@@ -1,0 +1,109 @@
+#include "core/testsuite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/assert.hpp"
+
+namespace sp::core {
+
+using graph::gen::GeneratedGraph;
+
+const std::vector<SuiteEntry>& paper_suite() {
+  // Numbers transcribed from the paper's Tables 1-3.
+  static const std::vector<SuiteEntry> suite = {
+      {"ecology1", 1.0, 4.99,
+       {1094, 1500, 1229, 1446, 1115, 1436, 1394, 1473},
+       1.00, 1.01, 1.06, 0.92, 0.80},
+      {"ecology2", 0.99, 4.99,
+       {1144, 1377, 1236, 1515, 1111, 1555, 1388, 1380},
+       0.99, 1.00, 0.99, 0.91, 0.80},
+      {"delaunay_n20", 1.05, 6.29,
+       {1920, 2091, 2085, 2494, 1339, 2708, 2603, 3018},
+       0.96, 1.03, 1.16, 0.82, 0.51},
+      {"G3_circuit", 1.58, 7.66,
+       {1205, 1592, 1433, 2068, 1199, 1776, 2018, 2069},
+       1.00, 1.01, 1.03, 0.70, 0.59},
+      {"kkt_power", 2.06, 12.77,
+       {19877, 76267, 20930, 106390, 15998, 40521, 31503, 47563},
+       1.46, 1.45, 1.51, 0.92, 0.51},
+      {"hugetrace-00000", 4.59, 13.76,
+       {770, 937, 786, 1117, 780, 1063, 1018, 1112},
+       1.03, 1.03, 1.09, 0.85, 0.77},
+      {"delaunay_n23", 8.39, 50.33,
+       {5521, 7674, 5959, 8248, 5466, 6841, 7578, 9639},
+       1.08, 1.29, 1.27, 0.78, 0.72},
+      {"delaunay_n24", 16.77, 100.66,
+       {7884, 9544, 8775, 12086, 7835, 12695, 10643, 13176},
+       0.98, 1.07, 1.24, 0.86, 0.74},
+      {"hugebubbles-00020", 21.20, 63.58,
+       {1474, 1847, 1656, 2170, 1563, 2278, 2059, 2363},
+       1.10, 1.10, 1.15, 0.86, 0.76},
+  };
+  return suite;
+}
+
+GeneratedGraph make_suite_graph(const std::string& name, double scale,
+                                std::uint64_t seed) {
+  SP_ASSERT(scale > 0.0);
+  auto scaled = [scale](double paper_millions) {
+    auto n = static_cast<std::uint32_t>(paper_millions * 1e6 * scale);
+    return std::max(n, 256u);
+  };
+  if (name == "ecology1") {
+    auto side = static_cast<std::uint32_t>(std::sqrt(scaled(1.0)));
+    auto g = graph::gen::grid2d(side, side);
+    g.name = name;
+    return g;
+  }
+  if (name == "ecology2") {
+    // Same landscape class, slightly different aspect.
+    auto n = scaled(0.99);
+    auto rows = static_cast<std::uint32_t>(std::sqrt(n / 1.1));
+    auto cols = static_cast<std::uint32_t>(1.1 * rows);
+    auto g = graph::gen::grid2d(rows, cols);
+    g.name = name;
+    return g;
+  }
+  if (name == "delaunay_n20") {
+    auto g = graph::gen::delaunay(scaled(1.05), seed ^ 0xD20ull);
+    g.name = name;
+    return g;
+  }
+  if (name == "G3_circuit") {
+    auto side = static_cast<std::uint32_t>(std::sqrt(scaled(1.58)));
+    auto g = graph::gen::circuit(side, side, 0.45, seed ^ 0x63ull);
+    g.name = name;
+    return g;
+  }
+  if (name == "kkt_power") {
+    auto n = scaled(2.06);
+    auto g = graph::gen::kkt_power(n, std::max(4u, n / 500), 60,
+                                   seed ^ 0x1207ull);
+    g.name = name;
+    return g;
+  }
+  if (name == "hugetrace-00000") {
+    auto g = graph::gen::trace(scaled(4.59), 16.0, seed ^ 0x7ACEull);
+    g.name = name;
+    return g;
+  }
+  if (name == "delaunay_n23") {
+    auto g = graph::gen::delaunay(scaled(8.39), seed ^ 0xD23ull);
+    g.name = name;
+    return g;
+  }
+  if (name == "delaunay_n24") {
+    auto g = graph::gen::delaunay(scaled(16.77), seed ^ 0xD24ull);
+    g.name = name;
+    return g;
+  }
+  if (name == "hugebubbles-00020") {
+    auto g = graph::gen::bubbles(scaled(21.20), 12, seed ^ 0xB0Bull);
+    g.name = name;
+    return g;
+  }
+  throw std::runtime_error("unknown suite graph: " + name);
+}
+
+}  // namespace sp::core

@@ -1,0 +1,48 @@
+// The paper's nine-graph evaluation suite (Table 1), rebuilt synthetically.
+//
+// Each entry is a deterministic generator producing the same structure
+// class as the UFL/SuiteSparse original at `scale` times the paper's
+// vertex count (scale = 1.0 would reproduce the full 1M-21M vertex sizes;
+// benches default to 0.01 so a full sweep runs on one core in minutes).
+// `paper_*` fields carry the original sizes and the paper's reported
+// cut-size ranges so bench output can print paper-vs-measured side by
+// side. M counts directed arcs (2x undirected edges), matching the
+// paper's Table 1 convention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace sp::core {
+
+struct PaperCutRow {
+  // Table 3 of the paper (best - worst cut sizes, absolute).
+  long long ptscotch_best = 0, ptscotch_worst = 0;
+  long long parmetis_best = 0, parmetis_worst = 0;
+  long long scalapart_best = 0, scalapart_worst = 0;
+  long long g30 = 0;
+  long long rcb = 0;
+};
+
+struct SuiteEntry {
+  std::string name;          // paper's graph name
+  double paper_n_millions;   // Table 1 N
+  double paper_m_millions;   // Table 1 M (arcs)
+  PaperCutRow paper_cuts;
+  // Table 2 of the paper (cut sizes relative to G30 = 1).
+  double paper_rel_g7 = 0, paper_rel_g7nl = 0, paper_rel_rcb = 0;
+  double paper_rel_avg_sp = 0, paper_rel_best_sp = 0;
+};
+
+/// Static registry of the nine graphs with the paper's reported numbers.
+const std::vector<SuiteEntry>& paper_suite();
+
+/// Builds the synthetic analogue of suite graph `name` at `scale` of the
+/// paper's size. Deterministic given (name, scale, seed).
+graph::gen::GeneratedGraph make_suite_graph(const std::string& name,
+                                            double scale, std::uint64_t seed);
+
+}  // namespace sp::core

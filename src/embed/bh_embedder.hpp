@@ -1,0 +1,40 @@
+// Sequential multilevel force-directed embedder (Hu 2006 style).
+//
+// This is the reproduction's stand-in for the Mathematica graph-drawing
+// coordinates the paper feeds to RCB/G30: coarsen with heavy-edge matching,
+// embed the coarsest graph from random positions, then repeatedly prolong
+// (inherit parent coordinate + jitter) and smooth with force iterations,
+// approximating all-pairs repulsion with a Barnes-Hut quadtree. Also used
+// by the ablation bench as the "full Barnes-Hut" alternative to the
+// paper's fixed-lattice approximation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace sp::embed {
+
+struct BhEmbedderOptions {
+  std::uint32_t coarsest_size = 64;
+  std::uint32_t coarsest_iterations = 300;
+  std::uint32_t smooth_iterations = 50;
+  double theta = 0.9;      // Barnes-Hut opening criterion
+  double repulsion_c = 0.2;
+  std::uint64_t seed = 7;
+};
+
+/// Embeds g into the plane; coordinates are centred at the origin with RMS
+/// radius ~1 (callers normalise further if needed). Deterministic.
+std::vector<geom::Vec2> bh_embed(const graph::CsrGraph& g,
+                                 const BhEmbedderOptions& opt);
+
+/// Single-level refinement: `iterations` Barnes-Hut force steps applied to
+/// existing coordinates (the building block bh_embed runs per level).
+void bh_smooth(const graph::CsrGraph& g, std::vector<geom::Vec2>& coords,
+               std::uint32_t iterations, double theta, double repulsion_c,
+               double initial_step);
+
+}  // namespace sp::embed

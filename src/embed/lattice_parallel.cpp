@@ -1,0 +1,637 @@
+#include "embed/lattice_parallel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+
+#include "geometry/balanced_grid.hpp"
+#include "geometry/quadtree.hpp"
+
+#include "embed/force_model.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace sp::embed {
+
+using geom::Box;
+using geom::Lattice;
+using geom::Vec2;
+using graph::CsrGraph;
+using graph::VertexId;
+
+std::pair<std::uint32_t, std::uint32_t> grid_shape(std::uint32_t p) {
+  SP_ASSERT_MSG(p > 0 && (p & (p - 1)) == 0, "P must be a power of two");
+  std::uint32_t log2p = 0;
+  while ((1u << log2p) < p) ++log2p;
+  std::uint32_t rows = 1u << (log2p / 2);
+  return {rows, p / rows};
+}
+
+// ---------------------------------------------------------------------------
+// EmbedWorkspace
+// ---------------------------------------------------------------------------
+
+EmbedWorkspace::EmbedWorkspace(const coarsen::Hierarchy& hierarchy)
+    : hierarchy_(&hierarchy) {
+  const std::size_t levels = hierarchy.num_levels();
+  child_offsets_.resize(levels);
+  child_ids_.resize(levels);
+  owner_.resize(levels);
+  for (std::size_t level = 0; level < levels; ++level) {
+    owner_[level].assign(hierarchy.graph_at(level).num_vertices(), 0);
+  }
+  // Children of level-l vertices are level-(l-1) vertices: invert the
+  // fine_to_coarse map with a counting sort.
+  for (std::size_t level = 1; level < levels; ++level) {
+    const auto& map = hierarchy.level(level).fine_to_coarse;
+    const VertexId coarse_n = hierarchy.graph_at(level).num_vertices();
+    auto& offsets = child_offsets_[level];
+    auto& ids = child_ids_[level];
+    offsets.assign(coarse_n + 1, 0);
+    for (VertexId fine : map) {
+      (void)fine;
+    }
+    for (VertexId f = 0; f < map.size(); ++f) ++offsets[map[f] + 1];
+    for (VertexId c = 0; c < coarse_n; ++c) offsets[c + 1] += offsets[c];
+    ids.resize(map.size());
+    std::vector<VertexId> cursor(offsets.begin(), offsets.end() - 1);
+    for (VertexId f = 0; f < map.size(); ++f) ids[cursor[map[f]]++] = f;
+  }
+}
+
+std::size_t EmbedWorkspace::num_levels() const {
+  return hierarchy_->num_levels();
+}
+
+std::span<const VertexId> EmbedWorkspace::children(std::size_t level,
+                                                   VertexId v) const {
+  SP_ASSERT(level >= 1 && level < child_offsets_.size());
+  const auto& offsets = child_offsets_[level];
+  return {child_ids_[level].data() + offsets[v],
+          static_cast<std::size_t>(offsets[v + 1] - offsets[v])};
+}
+
+// ---------------------------------------------------------------------------
+// Per-level SPMD state and smoothing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct CoordMsg {
+  VertexId id;
+  double x, y;
+};
+
+/// Deterministic per-vertex uniform in [0,1): identical on every rank, so
+/// the coarsest-level initialisation needs no communication.
+double unit_hash(std::uint64_t seed, VertexId v, std::uint64_t salt) {
+  return static_cast<double>(hash64(seed ^ (static_cast<std::uint64_t>(v) << 2) ^
+                                    (salt * 0x9E3779B97F4A7C15ull)) >>
+                             11) *
+         0x1.0p-53;
+}
+
+struct LevelLocal {
+  std::size_t level = 0;
+  std::uint32_t pl = 1;            // participating ranks at this level
+  std::uint32_t rows = 1, cols = 1;
+  Box box;
+  /// Load-balanced cell decomposition (RCB-style quantile grid, see
+  /// geometry/balanced_grid.hpp); shared because all ranks build the same
+  /// one from the same gathered sample.
+  std::shared_ptr<geom::BalancedGrid> grid;
+  std::vector<VertexId> owned;     // sorted global ids
+  std::vector<Vec2> pos;           // aligned with owned
+  std::unordered_map<VertexId, std::uint32_t> local_idx;
+
+  std::vector<VertexId> ghost_ids;
+  std::vector<Vec2> ghost_pos;
+  std::vector<std::uint32_t> ghost_owner;
+  std::unordered_map<VertexId, std::uint32_t> ghost_idx;
+
+  /// Near-neighbour send plan: (dest rank, local indices of owned
+  /// boundary vertices that rank ghosts). Refreshed every iteration.
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> near_sends;
+  /// Same structure for ranks beyond the 8-neighbourhood; refreshed only
+  /// once per stale block. (The paper uses an allgather here; targeted
+  /// messages carry the same information with volume proportional to the
+  /// far-spanning edges instead of P times that, which matters at reduced
+  /// graph scale where cells are tiny and many edges span far cells.)
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> far_sends;
+};
+
+std::uint32_t grid_row(std::uint32_t rank, std::uint32_t cols) {
+  return rank / cols;
+}
+std::uint32_t grid_col(std::uint32_t rank, std::uint32_t cols) {
+  return rank % cols;
+}
+
+bool grid_near(std::uint32_t a, std::uint32_t b, std::uint32_t cols) {
+  auto dr = static_cast<std::int64_t>(grid_row(a, cols)) -
+            static_cast<std::int64_t>(grid_row(b, cols));
+  auto dc = static_cast<std::int64_t>(grid_col(a, cols)) -
+            static_cast<std::int64_t>(grid_col(b, cols));
+  return std::abs(dr) <= 1 && std::abs(dc) <= 1;
+}
+
+/// After `owned`/`pos` and the level owner directory are final, derive
+/// ghost lists and the send plans from the shared graph topology.
+void build_halo(LevelLocal& local, const CsrGraph& g,
+                const std::vector<std::uint32_t>& owner, std::uint32_t my_rank,
+                comm::Comm& sub) {
+  local.local_idx.clear();
+  local.local_idx.reserve(local.owned.size());
+  for (std::uint32_t i = 0; i < local.owned.size(); ++i) {
+    local.local_idx[local.owned[i]] = i;
+  }
+  local.ghost_ids.clear();
+  local.ghost_owner.clear();
+  local.ghost_idx.clear();
+  local.near_sends.clear();
+  local.far_sends.clear();
+
+  std::vector<std::vector<std::uint32_t>> sends(local.pl);
+  std::vector<bool> far_mark(local.owned.size(), false);
+  double work = 0;
+
+  for (std::uint32_t i = 0; i < local.owned.size(); ++i) {
+    VertexId v = local.owned[i];
+    auto nbrs = g.neighbors(v);
+    work += static_cast<double>(nbrs.size());
+    std::uint32_t last_dest = my_rank;  // cheap consecutive-dup filter
+    for (VertexId u : nbrs) {
+      std::uint32_t o = owner[u];
+      if (o == my_rank) continue;
+      if (local.ghost_idx.find(u) == local.ghost_idx.end()) {
+        local.ghost_idx[u] = static_cast<std::uint32_t>(local.ghost_ids.size());
+        local.ghost_ids.push_back(u);
+        local.ghost_owner.push_back(o);
+      }
+      if (o != last_dest) {
+        // Record that rank o needs v; dedup fully below.
+        sends[o].push_back(i);
+        last_dest = o;
+      }
+      if (!grid_near(my_rank, o, local.cols)) far_mark[i] = true;
+    }
+  }
+  for (std::uint32_t dest = 0; dest < local.pl; ++dest) {
+    if (dest == my_rank || sends[dest].empty()) continue;
+    auto& list = sends[dest];
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    if (grid_near(my_rank, dest, local.cols)) {
+      local.near_sends.emplace_back(dest, std::move(list));
+    } else {
+      local.far_sends.emplace_back(dest, std::move(list));
+    }
+  }
+  (void)far_mark;
+  local.ghost_pos.assign(local.ghost_ids.size(), Vec2{});
+  sub.add_compute(work + static_cast<double>(local.owned.size()));
+}
+
+/// Brings every ghost position exactly up to date (near exchange + far
+/// allgather with the current positions). Called once after the finest
+/// level's smoothing so the geometric partitioning stage evaluates cuts on
+/// a consistent embedding.
+void refresh_all_ghosts(comm::Comm& sub, LevelLocal& local) {
+  std::vector<std::pair<std::uint32_t, std::vector<CoordMsg>>> out;
+  for (const auto& [dest, locals] : local.near_sends) {
+    std::vector<CoordMsg> payload;
+    payload.reserve(locals.size());
+    for (std::uint32_t i : locals) {
+      payload.push_back({local.owned[i], local.pos[i][0], local.pos[i][1]});
+    }
+    out.emplace_back(dest, std::move(payload));
+  }
+  for (const auto& [dest, locals] : local.far_sends) {
+    std::vector<CoordMsg> payload;
+    payload.reserve(locals.size());
+    for (std::uint32_t i : locals) {
+      payload.push_back({local.owned[i], local.pos[i][0], local.pos[i][1]});
+    }
+    out.emplace_back(dest, std::move(payload));
+  }
+  auto in = sub.exchange_typed(out);
+  for (const auto& [src, payload] : in) {
+    (void)src;
+    for (const CoordMsg& msg : payload) {
+      auto it = local.ghost_idx.find(msg.id);
+      if (it != local.ghost_idx.end()) {
+        local.ghost_pos[it->second] = geom::vec2(msg.x, msg.y);
+      }
+    }
+  }
+}
+
+/// One level's fixed-lattice smoothing.
+void smooth_level(comm::Comm& sub, LevelLocal& local, const CsrGraph& g,
+                  const LatticeEmbedOptions& opt, std::uint32_t iterations,
+                  double initial_step_factor, double final_step_fraction) {
+  const std::uint32_t me = sub.rank();
+  const VertexId n = g.num_vertices();
+  if (n == 0 || iterations == 0) return;
+
+  SP_ASSERT(local.grid != nullptr);
+  const geom::BalancedGrid& lattice = *local.grid;
+  const std::uint32_t my_row = grid_row(me, local.cols);
+  const std::uint32_t my_col = grid_col(me, local.cols);
+
+  ForceModel model;
+  model.K = ForceModel::natural_length(
+      std::max(local.box.width() * local.box.height(), 1e-12), n);
+  model.C = opt.repulsion_c;
+  // Hu-style adaptive step control: the step grows while the global
+  // force energy keeps falling and shrinks when it rises. The energy
+  // reduction piggybacks on the per-block refresh (one extra 8-byte
+  // allreduce per block), so it adds no per-iteration global traffic.
+  double step = initial_step_factor * model.K;
+  const double min_step = 1e-3 * model.K;
+  const double max_step = 2.0 * model.K;
+  const double in_block_decay =
+      std::pow(std::max(final_step_fraction, 0.02),
+               1.0 / std::max(1u, iterations));
+  double prev_energy = std::numeric_limits<double>::infinity();
+  int progress = 0;
+  double block_energy = 0.0;
+
+  std::vector<double> mass(local.owned.size());
+  double my_mass = 0.0;
+  for (std::uint32_t i = 0; i < local.owned.size(); ++i) {
+    mass[i] = static_cast<double>(g.vertex_weight(local.owned[i]));
+    my_mass += mass[i];
+  }
+
+  // Stale global state: per-cell (centre of mass, mass).
+  std::vector<Vec2> beta_pos(local.pl, Vec2{});
+  std::vector<double> beta_mass(local.pl, 0.0);
+
+  std::vector<Vec2> force(local.owned.size());
+
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    const bool refresh = (it % std::max(1u, opt.stale_block)) == 0;
+    if (refresh) {
+      // Adaptive step update from the previous block's global energy.
+      if (it > 0) {
+        double energy = sub.allreduce(block_energy, comm::ReduceOp::kSum);
+        if (energy < prev_energy) {
+          if (++progress >= 2) {
+            step = std::min(step * 1.1, max_step);
+            progress = 0;
+          }
+        } else {
+          step = std::max(step * 0.6, min_step);
+          progress = 0;
+        }
+        prev_energy = energy;
+        block_energy = 0.0;
+      }
+      // beta aggregates: allgather (m, m*x, m*y) per cell.
+      double agg[3] = {my_mass, 0.0, 0.0};
+      for (std::uint32_t i = 0; i < local.owned.size(); ++i) {
+        agg[1] += mass[i] * local.pos[i][0];
+        agg[2] += mass[i] * local.pos[i][1];
+      }
+      auto all = sub.allgatherv(std::span<const double>(agg, 3));
+      for (std::uint32_t r = 0; r < local.pl; ++r) {
+        beta_mass[r] = all[3 * r];
+        beta_pos[r] = beta_mass[r] > 0.0
+                          ? geom::vec2(all[3 * r + 1] / beta_mass[r],
+                                       all[3 * r + 2] / beta_mass[r])
+                          : Vec2{};
+      }
+      // Far-spanning edge endpoints: one targeted exchange per block.
+      std::vector<std::pair<std::uint32_t, std::vector<CoordMsg>>> far_out;
+      far_out.reserve(local.far_sends.size());
+      for (const auto& [dest, locals] : local.far_sends) {
+        std::vector<CoordMsg> payload;
+        payload.reserve(locals.size());
+        for (std::uint32_t i : locals) {
+          payload.push_back({local.owned[i], local.pos[i][0], local.pos[i][1]});
+        }
+        far_out.emplace_back(dest, std::move(payload));
+      }
+      auto far_in = sub.exchange_typed(far_out);
+      double far_work = 0;
+      for (const auto& [src, payload] : far_in) {
+        (void)src;
+        far_work += static_cast<double>(payload.size());
+        for (const CoordMsg& msg : payload) {
+          auto it_g = local.ghost_idx.find(msg.id);
+          if (it_g != local.ghost_idx.end()) {
+            local.ghost_pos[it_g->second] = geom::vec2(msg.x, msg.y);
+          }
+        }
+      }
+      sub.add_compute(far_work + static_cast<double>(local.pl));
+    }
+
+    // Nearest-neighbour boundary exchange (every iteration).
+    {
+      std::vector<std::pair<std::uint32_t, std::vector<CoordMsg>>> out;
+      out.reserve(local.near_sends.size());
+      for (const auto& [dest, locals] : local.near_sends) {
+        std::vector<CoordMsg> payload;
+        payload.reserve(locals.size());
+        for (std::uint32_t i : locals) {
+          payload.push_back({local.owned[i], local.pos[i][0], local.pos[i][1]});
+        }
+        out.emplace_back(dest, std::move(payload));
+      }
+      auto in = sub.exchange_typed(out);
+      for (const auto& [src, payload] : in) {
+        (void)src;
+        for (const CoordMsg& msg : payload) {
+          auto it_g = local.ghost_idx.find(msg.id);
+          if (it_g != local.ghost_idx.end()) {
+            local.ghost_pos[it_g->second] = geom::vec2(msg.x, msg.y);
+          }
+        }
+      }
+    }
+
+    // Inherited repulsion: force per unit mass on my cell's beta from all
+    // other cells (paper eq. 1, vector form).
+    Vec2 beta_force{};
+    if (my_mass > 0.0) {
+      for (std::uint32_t r = 0; r < local.pl; ++r) {
+        if (r == me || beta_mass[r] <= 0.0) continue;
+        beta_force += model.repulsive(beta_pos[me], beta_pos[r], beta_mass[r]);
+      }
+    }
+    sub.add_compute(10.0 * static_cast<double>(local.pl));
+
+    const bool use_tree = opt.local_quadtree && local.owned.size() > 1;
+    std::optional<geom::QuadTree> tree;
+    if (use_tree) {
+      tree.emplace(std::span<const Vec2>(local.pos),
+                   std::span<const double>(mass));
+      sub.add_compute(4.0 * static_cast<double>(local.owned.size()));
+    }
+    const double log_owned =
+        std::log2(static_cast<double>(local.owned.size()) + 2.0);
+
+    double arc_work = 0.0;
+    for (std::uint32_t i = 0; i < local.owned.size(); ++i) {
+      Vec2 f = beta_force * mass[i];
+      if (use_tree) {
+        // Intra-cell repulsion through a local Barnes-Hut pass: no
+        // communication, O(log owned) per vertex.
+        f += tree->accumulate(
+                 local.pos[i], static_cast<std::int64_t>(i),
+                 opt.quadtree_theta,
+                 [&](const Vec2& delta, double m) {
+                   double d = std::max(delta.norm(), 1e-4 * model.K);
+                   return delta *
+                          (model.C * model.K * model.K * m / (d * d));
+                 }) *
+             mass[i];
+      } else if (beta_mass[me] > mass[i]) {
+        // Own-cell correction (paper eq. 2): repelled from own beta, with
+        // the vertex's own mass excluded from the aggregate.
+        f += model.repulsive(local.pos[i], beta_pos[me],
+                             beta_mass[me] - mass[i]) *
+             mass[i];
+      }
+      VertexId v = local.owned[i];
+      auto nbrs = g.neighbors(v);
+      auto ws = g.edge_weights_of(v);
+      arc_work += static_cast<double>(nbrs.size());
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        VertexId u = nbrs[k];
+        Vec2 upos;
+        auto it_own = local.local_idx.find(u);
+        if (it_own != local.local_idx.end()) {
+          upos = local.pos[it_own->second];
+        } else {
+          auto it_g = local.ghost_idx.find(u);
+          SP_ASSERT(it_g != local.ghost_idx.end());
+          // Ghost coordinates are presented clamped into the L1-nearest
+          // neighbouring sub-domain (paper's ghost rule).
+          upos = lattice.clamp_to_neighbor(my_row, my_col,
+                                           local.ghost_pos[it_g->second]);
+        }
+        f += model.attractive(local.pos[i], upos) * static_cast<double>(ws[k]);
+      }
+      force[i] = f;
+    }
+    // Apply moves after computing all forces (Jacobi update: owned
+    // vertices see each other's previous positions, like ghosts do).
+    for (std::uint32_t i = 0; i < local.owned.size(); ++i) {
+      Vec2 move = clipped_move(force[i], step);
+      block_energy += move.norm();
+      local.pos[i] += move;
+    }
+    step = std::max(step * in_block_decay, min_step);
+    double local_rep_work =
+        use_tree ? 12.0 * static_cast<double>(local.owned.size()) * log_owned
+                 : 10.0 * static_cast<double>(local.owned.size());
+    sub.add_compute(8.0 * arc_work + local_rep_work +
+                    4.0 * static_cast<double>(local.owned.size()));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Multilevel driver
+// ---------------------------------------------------------------------------
+
+RankEmbedding lattice_embed(comm::Comm& world, EmbedWorkspace& workspace,
+                            const LatticeEmbedOptions& opt) {
+  const std::uint32_t P = world.nranks();
+  SP_ASSERT_MSG((P & (P - 1)) == 0, "lattice_embed requires power-of-two P");
+  const std::size_t levels = workspace.num_levels();
+  const std::size_t coarsest = levels - 1;
+  const coarsen::Hierarchy& hierarchy = workspace.hierarchy();
+
+  auto p_at = [&](std::size_t level) {
+    std::uint32_t shift = 2 * static_cast<std::uint32_t>(level);
+    return shift >= 32 ? 1u : std::max(P >> shift, 1u);
+  };
+
+  LevelLocal local;
+
+  for (std::size_t lvl = coarsest;; --lvl) {
+    const std::uint32_t pl = p_at(lvl);
+    const bool active = world.rank() < pl;
+    comm::Comm sub = world.split(active ? 0u : 1u, world.rank());
+    const CsrGraph& g = hierarchy.graph_at(lvl);
+
+    if (active) {
+      auto [rows, cols] = grid_shape(pl);
+      if (lvl == coarsest) {
+        // Deterministic random initial embedding in the unit box; every
+        // rank derives the same positions, so ownership needs no
+        // communication.
+        LevelLocal init;
+        init.level = lvl;
+        init.pl = pl;
+        init.rows = rows;
+        init.cols = cols;
+        init.box.lo = geom::vec2(0, 0);
+        init.box.hi = geom::vec2(1, 1);
+        // The coarsest graph is small: every rank derives all positions,
+        // builds the same balanced grid, and reads off its own cell.
+        std::vector<Vec2> all_pos(g.num_vertices());
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          all_pos[v] = geom::vec2(unit_hash(opt.seed, v, 1),
+                                  unit_hash(opt.seed, v, 2));
+        }
+        init.grid = std::make_shared<geom::BalancedGrid>(
+            init.box.inflated(1e-6), rows, cols,
+            std::span<const Vec2>(all_pos));
+        auto& owner = workspace.owner(lvl);
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          owner[v] = init.grid->cell_index(all_pos[v]);
+          if (owner[v] == sub.rank()) {
+            init.owned.push_back(v);
+            init.pos.push_back(all_pos[v]);
+          }
+        }
+        sub.add_compute(static_cast<double>(g.num_vertices()));
+        local = std::move(init);
+        build_halo(local, g, owner, sub.rank(), sub);
+        smooth_level(sub, local, g, opt, opt.coarsest_iterations,
+                     /*initial_step_factor=*/2.0, /*final_step_fraction=*/1e-3);
+      } else {
+        // Project from level lvl+1: children placed around their parent
+        // (coordinates doubled, deterministic jitter), then redistributed
+        // by lattice cell. The lattice box is recomputed from the actual
+        // projected positions with one min/max reduction — the layout
+        // drifts and contracts during smoothing, and decomposing a stale
+        // box would pack most of the graph into a few cells.
+        LevelLocal next;
+        next.level = lvl;
+        next.pl = pl;
+        next.rows = rows;
+        next.cols = cols;
+        const bool had_coarse = local.level == lvl + 1 && !local.owned.empty();
+        std::vector<CoordMsg> children;
+        // Slots store {min x, min y, min -x, min -y}: one kMin reduction
+        // yields both box corners.
+        double ext[4] = {1e300, 1e300, 1e300, 1e300};
+        if (had_coarse) {
+          double work = 0;
+          for (std::uint32_t i = 0; i < local.owned.size(); ++i) {
+            Vec2 parent = local.pos[i] * 2.0;
+            for (VertexId child : workspace.children(lvl + 1, local.owned[i])) {
+              children.push_back({child, parent[0], parent[1]});
+              work += 1.0;
+            }
+            ext[0] = std::min(ext[0], parent[0]);
+            ext[1] = std::min(ext[1], parent[1]);
+            ext[2] = std::min(ext[2], -parent[0]);
+            ext[3] = std::min(ext[3], -parent[1]);
+          }
+          sub.add_compute(work);
+        }
+        auto ext_min = sub.allreduce_vec(std::span<const double>(ext, 4),
+                                         comm::ReduceOp::kMin);
+        Box fine_box;
+        fine_box.lo = geom::vec2(ext_min[0], ext_min[1]);
+        fine_box.hi = geom::vec2(-ext_min[2], -ext_min[3]);
+        next.box = fine_box.inflated(0.05);
+        const double jitter =
+            0.15 * ForceModel::natural_length(
+                       std::max(next.box.width() * next.box.height(), 1e-12),
+                       g.num_vertices());
+        // Jitter the children into their final projected positions, then
+        // gather a proportional position sample so every rank builds the
+        // same load-balanced grid (the paper's RCB mapping step).
+        for (CoordMsg& msg : children) {
+          msg.x += (unit_hash(opt.seed, msg.id, 3) - 0.5) * jitter;
+          msg.y += (unit_hash(opt.seed, msg.id, 4) - 0.5) * jitter;
+        }
+        const double n_level = static_cast<double>(g.num_vertices());
+        const double sample_target =
+            std::min(n_level, 24.0 * pl + 512.0);
+        std::vector<Vec2> my_sample;
+        if (!children.empty()) {
+          auto quota = static_cast<std::size_t>(
+              std::ceil(sample_target * static_cast<double>(children.size()) /
+                        n_level)) +
+              1;
+          std::size_t stride = std::max<std::size_t>(children.size() / quota, 1);
+          for (std::size_t i = 0; i < children.size(); i += stride) {
+            my_sample.push_back(geom::vec2(children[i].x, children[i].y));
+          }
+        }
+        auto sample = sub.allgatherv(std::span<const Vec2>(my_sample));
+        next.grid = std::make_shared<geom::BalancedGrid>(
+            next.box, rows, cols, std::span<const Vec2>(sample));
+        sub.add_compute(static_cast<double>(sample.size()) * 8.0);
+
+        std::vector<std::pair<std::uint32_t, std::vector<CoordMsg>>> out;
+        std::vector<std::vector<CoordMsg>> by_dest(pl);
+        for (const CoordMsg& msg : children) {
+          by_dest[next.grid->cell_index(geom::vec2(msg.x, msg.y))].push_back(
+              msg);
+        }
+        for (std::uint32_t dest = 0; dest < pl; ++dest) {
+          if (!by_dest[dest].empty()) {
+            out.emplace_back(dest, std::move(by_dest[dest]));
+          }
+        }
+        auto in = sub.exchange_typed(out);
+        std::vector<CoordMsg> received;
+        for (auto& [src, payload] : in) {
+          (void)src;
+          received.insert(received.end(), payload.begin(), payload.end());
+        }
+        std::sort(received.begin(), received.end(),
+                  [](const CoordMsg& a, const CoordMsg& b) { return a.id < b.id; });
+        next.owned.reserve(received.size());
+        next.pos.reserve(received.size());
+        auto& owner = workspace.owner(lvl);
+        for (const CoordMsg& msg : received) {
+          next.owned.push_back(msg.id);
+          next.pos.push_back(geom::vec2(msg.x, msg.y));
+          owner[msg.id] = sub.rank();
+        }
+        sub.barrier();  // owner directory complete
+        local = std::move(next);
+        build_halo(local, g, owner, sub.rank(), sub);
+        smooth_level(sub, local, g, opt, opt.smooth_iterations,
+                     /*initial_step_factor=*/0.5, /*final_step_fraction=*/0.05);
+      }
+      if (lvl == 0) refresh_all_ghosts(sub, local);
+    }
+    if (lvl == 0) break;
+  }
+
+  RankEmbedding result;
+  if (world.rank() < p_at(0)) {
+    result.owned = std::move(local.owned);
+    result.pos = std::move(local.pos);
+    result.ghost_ids = std::move(local.ghost_ids);
+    result.ghost_pos = std::move(local.ghost_pos);
+    result.ghost_owner = std::move(local.ghost_owner);
+    auto [rows, cols] = grid_shape(p_at(0));
+    result.grid_rows = rows;
+    result.grid_cols = cols;
+    result.box = local.box;
+  }
+  return result;
+}
+
+std::vector<Vec2> gather_embedding(comm::Comm& world, const RankEmbedding& mine,
+                                   VertexId n) {
+  std::vector<CoordMsg> out;
+  out.reserve(mine.owned.size());
+  for (std::size_t i = 0; i < mine.owned.size(); ++i) {
+    out.push_back({mine.owned[i], mine.pos[i][0], mine.pos[i][1]});
+  }
+  auto all = world.allgatherv(std::span<const CoordMsg>(out));
+  std::vector<Vec2> coords(n, Vec2{});
+  for (const CoordMsg& msg : all) {
+    SP_ASSERT(msg.id < n);
+    coords[msg.id] = geom::vec2(msg.x, msg.y);
+  }
+  return coords;
+}
+
+}  // namespace sp::embed

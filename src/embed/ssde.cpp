@@ -1,0 +1,155 @@
+#include "embed/ssde.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/partition.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace sp::embed {
+
+using geom::Vec2;
+using graph::CsrGraph;
+using graph::VertexId;
+
+std::vector<VertexId> select_landmarks(const CsrGraph& g, std::uint32_t k,
+                                       std::uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> landmarks;
+  if (n == 0 || k == 0) return landmarks;
+  k = std::min<std::uint32_t>(k, n);
+
+  Rng rng(seed);
+  landmarks.push_back(static_cast<VertexId>(rng.below(n)));
+  // min distance to any chosen landmark so far
+  auto dist = graph::bfs_distance(g, landmarks);
+  while (landmarks.size() < k) {
+    // Farthest reachable vertex (ties by id). Unreachable (== n) vertices
+    // are preferred so disconnected pieces get their own landmark.
+    VertexId best = 0;
+    VertexId best_d = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (dist[v] > best_d) {
+        best_d = dist[v];
+        best = v;
+      }
+    }
+    if (best_d == 0) break;  // everything is a landmark already
+    landmarks.push_back(best);
+    std::vector<VertexId> seed_set = {best};
+    auto d2 = graph::bfs_distance(g, seed_set);
+    for (VertexId v = 0; v < n; ++v) dist[v] = std::min(dist[v], d2[v]);
+  }
+  return landmarks;
+}
+
+std::vector<Vec2> ssde_embed(const CsrGraph& g, const SsdeOptions& opt) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return {};
+  if (n == 1) return {Vec2{}};
+
+  auto landmarks = select_landmarks(g, opt.landmarks, opt.seed);
+  const std::size_t k = landmarks.size();
+  SP_ASSERT(k >= 2);
+
+  // Hop distances from every landmark: D[l][v]. Unreachable -> capped at
+  // n (keeps arithmetic finite; disconnected pieces land far away).
+  std::vector<std::vector<double>> D(k, std::vector<double>(n));
+  for (std::size_t l = 0; l < k; ++l) {
+    std::vector<VertexId> seed_set = {landmarks[l]};
+    auto d = graph::bfs_distance(g, seed_set);
+    for (VertexId v = 0; v < n; ++v) {
+      D[l][v] = static_cast<double>(std::min<VertexId>(d[v], n));
+    }
+  }
+
+  // Landmark-landmark squared distances, double-centered:
+  //   B = -1/2 J A J,  A[i][j] = D[i][landmark j]^2.
+  std::vector<std::vector<double>> B(k, std::vector<double>(k));
+  std::vector<double> row_mean(k, 0.0);
+  double grand_mean = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double d = D[i][landmarks[j]];
+      B[i][j] = d * d;
+      row_mean[i] += B[i][j];
+    }
+    row_mean[i] /= static_cast<double>(k);
+    grand_mean += row_mean[i];
+  }
+  grand_mean /= static_cast<double>(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      B[i][j] = -0.5 * (B[i][j] - row_mean[i] - row_mean[j] + grand_mean);
+    }
+  }
+
+  // Top-2 eigenpairs of the symmetric k x k matrix by power iteration
+  // with deflation.
+  Rng rng(opt.seed ^ 0x55DEull);
+  std::vector<std::vector<double>> eigvec(2, std::vector<double>(k));
+  std::vector<double> eigval(2, 0.0);
+  std::vector<double> work(k), next(k);
+  for (int comp = 0; comp < 2; ++comp) {
+    for (auto& x : work) x = rng.uniform(-1, 1);
+    double lambda = 0.0;
+    for (std::uint32_t it = 0; it < opt.power_iterations; ++it) {
+      // Deflate previously found component.
+      if (comp == 1) {
+        double proj = 0.0;
+        for (std::size_t i = 0; i < k; ++i) proj += work[i] * eigvec[0][i];
+        for (std::size_t i = 0; i < k; ++i) work[i] -= proj * eigvec[0][i];
+      }
+      for (std::size_t i = 0; i < k; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < k; ++j) acc += B[i][j] * work[j];
+        next[i] = acc;
+      }
+      double norm = 0.0;
+      for (double x : next) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-300) break;
+      lambda = norm;
+      for (std::size_t i = 0; i < k; ++i) work[i] = next[i] / norm;
+    }
+    eigvec[static_cast<std::size_t>(comp)] = work;
+    eigval[static_cast<std::size_t>(comp)] = std::max(lambda, 1e-12);
+  }
+
+  // Out-of-sample placement: x_v = 1/2 Lambda^{-1/2} V^T (mean_sq - d_v^2),
+  // where mean_sq is the landmark matrix's column mean vector.
+  std::vector<double> mean_sq(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < k; ++i) {
+      double d = D[i][landmarks[j]];
+      mean_sq[i] += d * d;
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) mean_sq[i] /= static_cast<double>(k);
+
+  std::vector<Vec2> coords(n);
+  for (VertexId v = 0; v < n; ++v) {
+    double acc[2] = {0.0, 0.0};
+    for (std::size_t i = 0; i < k; ++i) {
+      double delta = mean_sq[i] - D[i][v] * D[i][v];
+      acc[0] += eigvec[0][i] * delta;
+      acc[1] += eigvec[1][i] * delta;
+    }
+    coords[v] = geom::vec2(0.5 * acc[0] / std::sqrt(eigval[0]),
+                           0.5 * acc[1] / std::sqrt(eigval[1]));
+  }
+
+  // Normalise like the other embedders: centroid 0, RMS radius 1.
+  Vec2 centroid{};
+  for (const Vec2& p : coords) centroid += p;
+  centroid /= static_cast<double>(n);
+  double rms = 0.0;
+  for (const Vec2& p : coords) rms += geom::distance2(p, centroid);
+  rms = std::sqrt(rms / static_cast<double>(n));
+  double inv = rms > 1e-300 ? 1.0 / rms : 1.0;
+  for (Vec2& p : coords) p = (p - centroid) * inv;
+  return coords;
+}
+
+}  // namespace sp::embed

@@ -1,0 +1,43 @@
+// Sampled spectral distance embedding (SSDE-style landmark MDS).
+//
+// The paper's conclusion proposes combining the lattice embedding with
+// "sampled spectral distance embedding [3]" (Civril et al.) to cut
+// embedding time. This module implements that future-work direction:
+// pick k landmark vertices (max-min BFS farthest-point sampling), compute
+// hop distances from each landmark (k BFS sweeps, O(kM)), classically
+// scale the landmark-landmark distance matrix (double-centering + top-2
+// eigenpairs by power iteration), and place every other vertex by the
+// standard landmark-MDS out-of-sample formula. Total cost O(kM + k^2 n),
+// far below force-directed iteration counts — at the price of cruder
+// local detail, which is why it pairs naturally with a few lattice
+// smoothing iterations (see the ssde ablation bench).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace sp::embed {
+
+struct SsdeOptions {
+  std::uint32_t landmarks = 32;
+  std::uint32_t power_iterations = 60;
+  std::uint64_t seed = 17;
+};
+
+/// Embeds g into the plane from BFS hop distances. Deterministic. The
+/// graph should be connected (disconnected components all map through
+/// their "infinite" distances to the same far location; callers that care
+/// should embed components separately).
+std::vector<geom::Vec2> ssde_embed(const graph::CsrGraph& g,
+                                   const SsdeOptions& opt);
+
+/// Max-min (farthest point) landmark selection via repeated BFS; exposed
+/// for tests. Returns min(k, n) distinct vertex ids.
+std::vector<graph::VertexId> select_landmarks(const graph::CsrGraph& g,
+                                              std::uint32_t k,
+                                              std::uint64_t seed);
+
+}  // namespace sp::embed

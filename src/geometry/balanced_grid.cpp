@@ -1,0 +1,83 @@
+#include "geometry/balanced_grid.hpp"
+
+namespace sp::geom {
+
+BalancedGrid::BalancedGrid(const Box& bounds, std::uint32_t rows,
+                           std::uint32_t cols, std::span<const Vec2> sample)
+    : bounds_(bounds), rows_(rows), cols_(cols) {
+  SP_ASSERT(rows > 0 && cols > 0);
+  SP_ASSERT(bounds.valid());
+  row_bounds_.assign(rows_ + 1, 0.0);
+  row_bounds_.front() = bounds_.lo[1];
+  row_bounds_.back() = bounds_.hi[1];
+  col_bounds_.assign(rows_, std::vector<double>(cols_ + 1, 0.0));
+  for (auto& cb : col_bounds_) {
+    cb.front() = bounds_.lo[0];
+    cb.back() = bounds_.hi[0];
+  }
+
+  if (sample.empty()) {
+    // Uniform fallback.
+    for (std::uint32_t r = 1; r < rows_; ++r) {
+      row_bounds_[r] =
+          bounds_.lo[1] + bounds_.height() * r / static_cast<double>(rows_);
+    }
+    for (auto& cb : col_bounds_) {
+      for (std::uint32_t c = 1; c < cols_; ++c) {
+        cb[c] = bounds_.lo[0] + bounds_.width() * c / static_cast<double>(cols_);
+      }
+    }
+    return;
+  }
+
+  // Row boundaries: y-quantiles of the sample.
+  std::vector<double> ys(sample.size());
+  for (std::size_t i = 0; i < sample.size(); ++i) ys[i] = sample[i][1];
+  std::sort(ys.begin(), ys.end());
+  for (std::uint32_t r = 1; r < rows_; ++r) {
+    std::size_t idx = (sample.size() * r) / rows_;
+    idx = std::min(idx, ys.size() - 1);
+    row_bounds_[r] = ys[idx];
+  }
+  // Guard against duplicate boundaries (atomic y values): enforce strict
+  // monotonicity with tiny offsets so locate() stays well defined.
+  for (std::uint32_t r = 1; r <= rows_; ++r) {
+    if (row_bounds_[r] <= row_bounds_[r - 1]) {
+      row_bounds_[r] = row_bounds_[r - 1] +
+                       1e-12 * std::max(1.0, std::abs(row_bounds_[r - 1]));
+    }
+  }
+
+  // Column boundaries per row band: x-quantiles of the band's sample.
+  std::vector<double> xs;
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    xs.clear();
+    for (const Vec2& p : sample) {
+      if (p[1] >= row_bounds_[r] &&
+          (r + 1 == rows_ || p[1] < row_bounds_[r + 1])) {
+        xs.push_back(p[0]);
+      }
+    }
+    auto& cb = col_bounds_[r];
+    if (xs.empty()) {
+      for (std::uint32_t c = 1; c < cols_; ++c) {
+        cb[c] =
+            bounds_.lo[0] + bounds_.width() * c / static_cast<double>(cols_);
+      }
+      continue;
+    }
+    std::sort(xs.begin(), xs.end());
+    for (std::uint32_t c = 1; c < cols_; ++c) {
+      std::size_t idx = (xs.size() * c) / cols_;
+      idx = std::min(idx, xs.size() - 1);
+      cb[c] = xs[idx];
+    }
+    for (std::uint32_t c = 1; c <= cols_; ++c) {
+      if (cb[c] <= cb[c - 1]) {
+        cb[c] = cb[c - 1] + 1e-12 * std::max(1.0, std::abs(cb[c - 1]));
+      }
+    }
+  }
+}
+
+}  // namespace sp::geom

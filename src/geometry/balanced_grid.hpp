@@ -1,0 +1,89 @@
+// Rectilinear, load-balanced grid decomposition.
+//
+// The paper maps the embedded graph onto the processor grid with Zoltan's
+// RCB ("we apply a recursive coordinate bisection scheme such as the one
+// in Zoltan to map vertices ... to some p x q processor grid"), so the
+// sub-domains B_{i,j} hold near-equal numbers of vertices even when the
+// layout is dense in places. BalancedGrid reproduces that: row boundaries
+// are y-quantiles of a point sample, and each row band gets its own
+// x-quantile column boundaries. Cells remain axis-aligned rectangles, so
+// the lattice machinery (beta vertices, L1-nearest ghost clamping) is
+// unchanged — only the cell boundaries move.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "geometry/vec.hpp"
+#include "support/assert.hpp"
+
+namespace sp::geom {
+
+class BalancedGrid {
+ public:
+  /// Builds from a sample of points (quantile boundaries). The sample
+  /// should be drawn proportionally to ownership; an empty sample yields a
+  /// uniform grid over `bounds`.
+  BalancedGrid(const Box& bounds, std::uint32_t rows, std::uint32_t cols,
+               std::span<const Vec2> sample);
+
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  const Box& bounds() const { return bounds_; }
+
+  std::pair<std::uint32_t, std::uint32_t> cell_of(const Vec2& p) const {
+    std::uint32_t row = locate(row_bounds_, p[1]);
+    std::uint32_t col = locate(col_bounds_[row], p[0]);
+    return {row, col};
+  }
+
+  std::uint32_t cell_index(const Vec2& p) const {
+    auto [row, col] = cell_of(p);
+    return row * cols_ + col;
+  }
+
+  Box cell_box(std::uint32_t row, std::uint32_t col) const {
+    SP_ASSERT(row < rows_ && col < cols_);
+    Box box;
+    box.lo = vec2(col_bounds_[row][col], row_bounds_[row]);
+    box.hi = vec2(col_bounds_[row][col + 1], row_bounds_[row + 1]);
+    return box;
+  }
+
+  /// The paper's ghost rule, on the balanced cells: present the ghost as
+  /// if it lay in the L1-nearest of the owner's neighbouring cells.
+  Vec2 clamp_to_neighbor(std::uint32_t owner_row, std::uint32_t owner_col,
+                         const Vec2& ghost) const {
+    auto [gr, gc] = cell_of(ghost);
+    auto nr = std::clamp<std::int64_t>(gr, std::int64_t(owner_row) - 1,
+                                       std::int64_t(owner_row) + 1);
+    auto nc = std::clamp<std::int64_t>(gc, std::int64_t(owner_col) - 1,
+                                       std::int64_t(owner_col) + 1);
+    nr = std::clamp<std::int64_t>(nr, 0, rows_ - 1);
+    nc = std::clamp<std::int64_t>(nc, 0, cols_ - 1);
+    Box nb = cell_box(static_cast<std::uint32_t>(nr),
+                      static_cast<std::uint32_t>(nc));
+    double inset_x = 1e-9 * std::max(nb.width(), 1e-300);
+    double inset_y = 1e-9 * std::max(nb.height(), 1e-300);
+    return vec2(std::clamp(ghost[0], nb.lo[0] + inset_x, nb.hi[0] - inset_x),
+                std::clamp(ghost[1], nb.lo[1] + inset_y, nb.hi[1] - inset_y));
+  }
+
+ private:
+  static std::uint32_t locate(const std::vector<double>& bounds, double v) {
+    // bounds has size k+1; cell i covers [bounds[i], bounds[i+1]).
+    auto it = std::upper_bound(bounds.begin() + 1, bounds.end() - 1, v);
+    return static_cast<std::uint32_t>(it - bounds.begin() - 1);
+  }
+
+  Box bounds_;
+  std::uint32_t rows_;
+  std::uint32_t cols_;
+  std::vector<double> row_bounds_;               // size rows_+1
+  std::vector<std::vector<double>> col_bounds_;  // per row, size cols_+1
+};
+
+}  // namespace sp::geom

@@ -1,0 +1,139 @@
+// Axis-aligned 2-D bounding boxes and the fixed lattice decomposition.
+//
+// The fixed-lattice embedding views the bounding box B of the embedding as
+// a sqrt(P) x sqrt(P) lattice of sub-domains B_{i,j}; Lattice maps
+// coordinates to cells and provides the L1-nearest-neighbour clamping rule
+// the paper uses for ghost vertices.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "geometry/vec.hpp"
+#include "support/assert.hpp"
+
+namespace sp::geom {
+
+struct Box {
+  Vec2 lo{{std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity()}};
+  Vec2 hi{{-std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()}};
+
+  static Box of(std::span<const Vec2> points) {
+    Box box;
+    for (const Vec2& p : points) box.expand(p);
+    return box;
+  }
+
+  void expand(const Vec2& p) {
+    lo[0] = std::min(lo[0], p[0]);
+    lo[1] = std::min(lo[1], p[1]);
+    hi[0] = std::max(hi[0], p[0]);
+    hi[1] = std::max(hi[1], p[1]);
+  }
+
+  bool contains(const Vec2& p) const {
+    return p[0] >= lo[0] && p[0] <= hi[0] && p[1] >= lo[1] && p[1] <= hi[1];
+  }
+
+  double width() const { return hi[0] - lo[0]; }
+  double height() const { return hi[1] - lo[1]; }
+  Vec2 center() const { return (lo + hi) * 0.5; }
+  bool valid() const { return lo[0] <= hi[0] && lo[1] <= hi[1]; }
+
+  /// Grow symmetrically by a fraction of each extent (avoids points exactly
+  /// on the boundary mapping to out-of-range cells).
+  Box inflated(double fraction) const {
+    Box box = *this;
+    double dx = std::max(width(), 1e-12) * fraction;
+    double dy = std::max(height(), 1e-12) * fraction;
+    box.lo[0] -= dx;
+    box.lo[1] -= dy;
+    box.hi[0] += dx;
+    box.hi[1] += dy;
+    return box;
+  }
+
+  /// Scale about the origin by s in each dimension (multilevel projection
+  /// doubles the box between levels).
+  Box scaled(double s) const {
+    Box box;
+    box.lo = lo * s;
+    box.hi = hi * s;
+    return box;
+  }
+};
+
+/// Regular rows x cols decomposition of a box.
+class Lattice {
+ public:
+  Lattice(const Box& box, std::uint32_t rows, std::uint32_t cols)
+      : box_(box), rows_(rows), cols_(cols) {
+    SP_ASSERT(rows > 0 && cols > 0);
+    SP_ASSERT(box.valid());
+  }
+
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  std::uint32_t num_cells() const { return rows_ * cols_; }
+  const Box& box() const { return box_; }
+
+  /// Row/col of the cell containing p (clamped to the lattice).
+  std::pair<std::uint32_t, std::uint32_t> cell_of(const Vec2& p) const {
+    double fx = (p[0] - box_.lo[0]) / std::max(box_.width(), 1e-300);
+    double fy = (p[1] - box_.lo[1]) / std::max(box_.height(), 1e-300);
+    auto col = static_cast<std::int64_t>(fx * cols_);
+    auto row = static_cast<std::int64_t>(fy * rows_);
+    col = std::clamp<std::int64_t>(col, 0, cols_ - 1);
+    row = std::clamp<std::int64_t>(row, 0, rows_ - 1);
+    return {static_cast<std::uint32_t>(row), static_cast<std::uint32_t>(col)};
+  }
+
+  std::uint32_t cell_index(const Vec2& p) const {
+    auto [row, col] = cell_of(p);
+    return row * cols_ + col;
+  }
+
+  Box cell_box(std::uint32_t row, std::uint32_t col) const {
+    SP_ASSERT(row < rows_ && col < cols_);
+    double cw = box_.width() / cols_;
+    double ch = box_.height() / rows_;
+    Box cell;
+    cell.lo = vec2(box_.lo[0] + cw * col, box_.lo[1] + ch * row);
+    cell.hi = vec2(box_.lo[0] + cw * (col + 1), box_.lo[1] + ch * (row + 1));
+    return cell;
+  }
+
+  /// The paper's ghost-coordinate rule: a ghost vertex whose true cell is
+  /// (gr,gc) is presented to owner cell (r,c) as if it lay in the L1-nearest
+  /// of the owner's neighbouring cells; its coordinate is clamped into that
+  /// neighbouring cell's box.
+  Vec2 clamp_to_neighbor(std::uint32_t owner_row, std::uint32_t owner_col,
+                         const Vec2& ghost) const {
+    auto [gr, gc] = cell_of(ghost);
+    auto nr = std::clamp<std::int64_t>(gr, std::int64_t(owner_row) - 1,
+                                       std::int64_t(owner_row) + 1);
+    auto nc = std::clamp<std::int64_t>(gc, std::int64_t(owner_col) - 1,
+                                       std::int64_t(owner_col) + 1);
+    nr = std::clamp<std::int64_t>(nr, 0, rows_ - 1);
+    nc = std::clamp<std::int64_t>(nc, 0, cols_ - 1);
+    Box nb = cell_box(static_cast<std::uint32_t>(nr),
+                      static_cast<std::uint32_t>(nc));
+    // Inset slightly from the cell faces so the clamped point maps back to
+    // the intended cell rather than the adjacent one sharing the face.
+    double inset_x = 1e-9 * std::max(nb.width(), 1e-300);
+    double inset_y = 1e-9 * std::max(nb.height(), 1e-300);
+    return vec2(std::clamp(ghost[0], nb.lo[0] + inset_x, nb.hi[0] - inset_x),
+                std::clamp(ghost[1], nb.lo[1] + inset_y, nb.hi[1] - inset_y));
+  }
+
+ private:
+  Box box_;
+  std::uint32_t rows_;
+  std::uint32_t cols_;
+};
+
+}  // namespace sp::geom

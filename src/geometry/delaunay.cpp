@@ -1,0 +1,282 @@
+#include "geometry/delaunay.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace sp::geom {
+
+double orient2d(const Vec2& a, const Vec2& b, const Vec2& c) {
+  return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
+}
+
+double in_circle(const Vec2& a, const Vec2& b, const Vec2& c, const Vec2& d) {
+  // Standard 3x3 determinant of lifted points relative to d.
+  double adx = a[0] - d[0], ady = a[1] - d[1];
+  double bdx = b[0] - d[0], bdy = b[1] - d[1];
+  double cdx = c[0] - d[0], cdy = c[1] - d[1];
+  double ad = adx * adx + ady * ady;
+  double bd = bdx * bdx + bdy * bdy;
+  double cd = cdx * cdx + cdy * cdy;
+  return adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx) +
+         ad * (bdx * cdy - bdy * cdx);
+}
+
+namespace {
+
+constexpr std::int32_t kNone = -1;
+
+struct Tri {
+  // CCW vertex indices; nbr[i] is the triangle across the edge opposite
+  // v[i], i.e. sharing edge (v[(i+1)%3], v[(i+2)%3]).
+  std::array<std::uint32_t, 3> v;
+  std::array<std::int32_t, 3> nbr{kNone, kNone, kNone};
+  bool alive = true;
+};
+
+class Triangulator {
+ public:
+  explicit Triangulator(std::span<const Vec2> input) {
+    const std::size_t n = input.size();
+    points_.assign(input.begin(), input.end());
+    if (n < 2) return;
+
+    // Super-triangle comfortably containing all points.
+    Vec2 lo = input[0], hi = input[0];
+    for (const Vec2& p : input) {
+      lo[0] = std::min(lo[0], p[0]);
+      lo[1] = std::min(lo[1], p[1]);
+      hi[0] = std::max(hi[0], p[0]);
+      hi[1] = std::max(hi[1], p[1]);
+    }
+    Vec2 mid = (lo + hi) * 0.5;
+    double span = std::max({hi[0] - lo[0], hi[1] - lo[1], 1.0}) * 64.0;
+    super_base_ = static_cast<std::uint32_t>(points_.size());
+    points_.push_back(vec2(mid[0] - span, mid[1] - span * 0.7));
+    points_.push_back(vec2(mid[0] + span, mid[1] - span * 0.7));
+    points_.push_back(vec2(mid[0], mid[1] + span));
+
+    Tri root;
+    root.v = {super_base_, super_base_ + 1, super_base_ + 2};
+    if (orient2d(points_[root.v[0]], points_[root.v[1]], points_[root.v[2]]) <
+        0) {
+      std::swap(root.v[1], root.v[2]);
+    }
+    tris_.push_back(root);
+    last_alive_ = 0;
+
+    // Insert in a spatially coherent order so the walk stays short.
+    std::vector<std::uint32_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+    // Grid-bucket Morton-ish order: sort by coarse cell then x.
+    double cell = std::max(hi[0] - lo[0], hi[1] - lo[1]) /
+                  std::max(1.0, std::sqrt(static_cast<double>(n)));
+    if (cell <= 0) cell = 1.0;
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      auto key = [&](std::uint32_t i) {
+        long long gy = static_cast<long long>((points_[i][1] - lo[1]) / cell);
+        long long gx = static_cast<long long>((points_[i][0] - lo[0]) / cell);
+        // Boustrophedon row order keeps consecutive inserts adjacent.
+        if (gy & 1) gx = -gx;
+        return std::make_pair(gy, gx);
+      };
+      auto ka = key(a), kb = key(b);
+      if (ka != kb) return ka < kb;
+      return a < b;
+    });
+
+    for (std::uint32_t idx : order) insert(idx);
+  }
+
+  std::vector<std::array<std::uint32_t, 3>> real_triangles() const {
+    std::vector<std::array<std::uint32_t, 3>> out;
+    for (const Tri& t : tris_) {
+      if (!t.alive) continue;
+      if (t.v[0] >= super_base_ || t.v[1] >= super_base_ ||
+          t.v[2] >= super_base_) {
+        continue;
+      }
+      out.push_back(t.v);
+    }
+    return out;
+  }
+
+ private:
+  std::int32_t locate(const Vec2& p) const {
+    std::int32_t cur = last_alive_;
+    SP_ASSERT(cur != kNone);
+    // Straight walk with a generous step bound; falls back to a scan if the
+    // walk cycles (possible only under severe degeneracy).
+    std::size_t limit = tris_.size() * 4 + 64;
+    for (std::size_t step = 0; step < limit; ++step) {
+      const Tri& t = tris_[static_cast<std::size_t>(cur)];
+      std::int32_t next = kNone;
+      for (int i = 0; i < 3; ++i) {
+        const Vec2& a = points_[t.v[(i + 1) % 3]];
+        const Vec2& b = points_[t.v[(i + 2) % 3]];
+        if (orient2d(a, b, p) < 0) {
+          next = t.nbr[i];
+          break;
+        }
+      }
+      if (next == kNone) return cur;
+      cur = next;
+    }
+    for (std::size_t i = 0; i < tris_.size(); ++i) {
+      const Tri& t = tris_[i];
+      if (!t.alive) continue;
+      bool inside = true;
+      for (int k = 0; k < 3; ++k) {
+        if (orient2d(points_[t.v[(k + 1) % 3]], points_[t.v[(k + 2) % 3]], p) <
+            0) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) return static_cast<std::int32_t>(i);
+    }
+    SP_ASSERT_MSG(false, "delaunay locate failed");
+    return kNone;
+  }
+
+  void insert(std::uint32_t pi) {
+    const Vec2& p = points_[pi];
+    std::int32_t seed = locate(p);
+
+    // Grow the cavity: all connected triangles whose circumcircle contains p.
+    std::vector<std::int32_t> bad;
+    std::vector<std::int32_t> stack = {seed};
+    tris_[static_cast<std::size_t>(seed)].alive = false;  // mark visited/bad
+    while (!stack.empty()) {
+      std::int32_t ti = stack.back();
+      stack.pop_back();
+      bad.push_back(ti);
+      const Tri t = tris_[static_cast<std::size_t>(ti)];
+      for (int i = 0; i < 3; ++i) {
+        std::int32_t ni = t.nbr[i];
+        if (ni == kNone || !tris_[static_cast<std::size_t>(ni)].alive) continue;
+        const Tri& nb = tris_[static_cast<std::size_t>(ni)];
+        if (in_circle(points_[nb.v[0]], points_[nb.v[1]], points_[nb.v[2]], p) >
+            0) {
+          tris_[static_cast<std::size_t>(ni)].alive = false;
+          stack.push_back(ni);
+        }
+      }
+    }
+
+    // Boundary edges of the cavity: for each bad triangle, each edge whose
+    // neighbour is outside the cavity (alive or kNone). Create the fan.
+    struct FanEdge {
+      std::uint32_t a, b;        // cavity boundary edge, CCW as seen from p
+      std::int32_t outside;      // triangle beyond the edge
+      std::int32_t outside_slot; // slot in `outside` pointing back
+    };
+    std::vector<FanEdge> fan;
+    for (std::int32_t ti : bad) {
+      const Tri& t = tris_[static_cast<std::size_t>(ti)];
+      for (int i = 0; i < 3; ++i) {
+        std::int32_t ni = t.nbr[i];
+        bool outside = (ni == kNone) || tris_[static_cast<std::size_t>(ni)].alive;
+        if (!outside) continue;
+        FanEdge e;
+        e.a = t.v[(i + 1) % 3];
+        e.b = t.v[(i + 2) % 3];
+        e.outside = ni;
+        e.outside_slot = kNone;
+        if (ni != kNone) {
+          const Tri& o = tris_[static_cast<std::size_t>(ni)];
+          for (int k = 0; k < 3; ++k) {
+            if (o.nbr[k] == ti) {
+              e.outside_slot = k;
+              break;
+            }
+          }
+          SP_ASSERT(e.outside_slot != kNone);
+        }
+        fan.push_back(e);
+      }
+    }
+    SP_ASSERT(!fan.empty());
+
+    // New triangle (p, a, b) per fan edge; neighbour opposite p is the
+    // outside triangle; the two edges incident to p link adjacent fan
+    // triangles, matched through a per-endpoint map.
+    std::unordered_map<std::uint32_t, std::pair<std::int32_t, int>> open_edge;
+    open_edge.reserve(fan.size() * 2);
+    std::int32_t first_new = kNone;
+    for (const FanEdge& e : fan) {
+      Tri nt;
+      nt.v = {pi, e.a, e.b};
+      nt.nbr = {e.outside, kNone, kNone};  // slot 0 opposite p = edge (a,b)
+      std::int32_t nti = static_cast<std::int32_t>(tris_.size());
+      tris_.push_back(nt);
+      if (first_new == kNone) first_new = nti;
+      if (e.outside != kNone) {
+        tris_[static_cast<std::size_t>(e.outside)].nbr[static_cast<std::size_t>(
+            e.outside_slot)] = nti;
+      }
+      // Edge (p, a) is opposite vertex b -> slot 2; edge (p, b) opposite a
+      // -> slot 1. Another fan triangle shares each of these through the
+      // endpoint (a or b).
+      auto link = [&](std::uint32_t endpoint, int slot) {
+        auto it = open_edge.find(endpoint);
+        if (it == open_edge.end()) {
+          open_edge.emplace(endpoint, std::make_pair(nti, slot));
+        } else {
+          auto [other_tri, other_slot] = it->second;
+          tris_[static_cast<std::size_t>(nti)].nbr[static_cast<std::size_t>(
+              slot)] = other_tri;
+          tris_[static_cast<std::size_t>(other_tri)]
+              .nbr[static_cast<std::size_t>(other_slot)] = nti;
+          open_edge.erase(it);
+        }
+      };
+      link(e.a, 2);
+      link(e.b, 1);
+    }
+    SP_ASSERT_MSG(open_edge.empty(), "cavity boundary not closed");
+    last_alive_ = first_new;
+  }
+
+  std::vector<Vec2> points_;
+  std::vector<Tri> tris_;
+  std::uint32_t super_base_ = 0;
+  std::int32_t last_alive_ = kNone;
+};
+
+}  // namespace
+
+Triangulation delaunay_triangulate(std::span<const Vec2> points) {
+  Triangulation result;
+  if (points.size() < 3) return result;
+  Triangulator tri(points);
+  result.triangles = tri.real_triangles();
+  return result;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> delaunay_edges(
+    std::span<const Vec2> points) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  if (points.size() == 2) {
+    edges.emplace_back(0u, 1u);
+    return edges;
+  }
+  Triangulation tri = delaunay_triangulate(points);
+  edges.reserve(tri.triangles.size() * 3 / 2);
+  for (const auto& t : tri.triangles) {
+    for (int i = 0; i < 3; ++i) {
+      std::uint32_t a = t[static_cast<std::size_t>(i)];
+      std::uint32_t b = t[static_cast<std::size_t>((i + 1) % 3)];
+      if (a > b) std::swap(a, b);
+      edges.emplace_back(a, b);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace sp::geom

@@ -1,0 +1,44 @@
+// Incremental Bowyer-Watson Delaunay triangulation in 2-D.
+//
+// The paper's delaunay_n*, hugetrace and hugebubbles test graphs are
+// Delaunay-type planar meshes; we rebuild that graph class from scratch by
+// triangulating synthetic point sets. Point location uses a remembering
+// walk from the previously inserted point, which is near O(1) per insert
+// when inserts are spatially sorted (the generators sort along a grid
+// order), giving ~O(n) total for n points.
+//
+// Predicates are double precision with a small epsilon; callers should
+// jitter regular point patterns (the generators do) to avoid degeneracies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geometry/vec.hpp"
+
+namespace sp::geom {
+
+/// Triangulates `points` and returns the unique undirected Delaunay edges
+/// as (i, j) index pairs with i < j.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> delaunay_edges(
+    std::span<const Vec2> points);
+
+/// Full triangulation result when the caller needs the triangles too
+/// (e.g. mesh-like generators that drop triangles inside holes).
+struct Triangulation {
+  /// Each triangle as three CCW point indices.
+  std::vector<std::array<std::uint32_t, 3>> triangles;
+};
+
+Triangulation delaunay_triangulate(std::span<const Vec2> points);
+
+/// Orientation predicate: >0 if (a,b,c) is counter-clockwise.
+double orient2d(const Vec2& a, const Vec2& b, const Vec2& c);
+
+/// In-circumcircle predicate: >0 if d lies strictly inside the circumcircle
+/// of CCW triangle (a,b,c).
+double in_circle(const Vec2& a, const Vec2& b, const Vec2& c, const Vec2& d);
+
+}  // namespace sp::geom

@@ -1,0 +1,134 @@
+#include "geometry/quadtree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace sp::geom {
+
+QuadTree::QuadTree(std::span<const Vec2> points, std::span<const double> masses,
+                   std::uint32_t leaf_capacity)
+    : points_(points.begin(), points.end()) {
+  if (masses.empty()) {
+    masses_.assign(points.size(), 1.0);
+  } else {
+    SP_ASSERT(masses.size() == points.size());
+    masses_.assign(masses.begin(), masses.end());
+  }
+  point_index_.resize(points_.size());
+  std::iota(point_index_.begin(), point_index_.end(), 0u);
+  bounds_ = Box::of(points_).inflated(1e-9);
+  if (points_.empty()) return;
+
+  nodes_.emplace_back();
+  nodes_[0].box = bounds_;
+  build(0, 0, static_cast<std::uint32_t>(points_.size()),
+        std::max(1u, leaf_capacity), 0);
+}
+
+void QuadTree::build(std::uint32_t node, std::uint32_t begin, std::uint32_t end,
+                     std::uint32_t leaf_capacity, std::uint32_t depth) {
+  Node& n = nodes_[node];
+  n.point_begin = begin;
+  n.point_end = end;
+
+  double mass = 0.0;
+  Vec2 com{};
+  for (std::uint32_t i = begin; i < end; ++i) {
+    double m = masses_[point_index_[i]];
+    mass += m;
+    com += points_[point_index_[i]] * m;
+  }
+  n.mass = mass;
+  n.center_of_mass = mass > 0.0 ? com / mass : n.box.center();
+
+  // Depth cap guards against coincident points that can never be separated.
+  constexpr std::uint32_t kMaxDepth = 48;
+  if (end - begin <= leaf_capacity || depth >= kMaxDepth) return;
+
+  const Vec2 mid = n.box.center();
+  // Partition the index range into the 4 quadrants (order: SW, SE, NW, NE)
+  // with two nested stable splits: first by y, then by x.
+  auto base = point_index_.begin();
+  auto y_split = std::partition(base + begin, base + end, [&](std::uint32_t p) {
+    return points_[p][1] < mid[1];
+  });
+  auto x_split_lo =
+      std::partition(base + begin, y_split,
+                     [&](std::uint32_t p) { return points_[p][0] < mid[0]; });
+  auto x_split_hi =
+      std::partition(y_split, base + end,
+                     [&](std::uint32_t p) { return points_[p][0] < mid[0]; });
+
+  std::array<std::uint32_t, 5> cuts = {
+      begin, static_cast<std::uint32_t>(x_split_lo - base),
+      static_cast<std::uint32_t>(y_split - base),
+      static_cast<std::uint32_t>(x_split_hi - base), end};
+
+  std::int32_t first_child = static_cast<std::int32_t>(nodes_.size());
+  nodes_[node].first_child = first_child;
+  for (int q = 0; q < 4; ++q) nodes_.emplace_back();
+
+  // Child boxes: q = {0:SW, 1:SE, 2:NW, 3:NE}
+  const Box parent_box = nodes_[node].box;
+  for (int q = 0; q < 4; ++q) {
+    Box child;
+    child.lo = vec2(q % 2 == 0 ? parent_box.lo[0] : mid[0],
+                    q < 2 ? parent_box.lo[1] : mid[1]);
+    child.hi = vec2(q % 2 == 0 ? mid[0] : parent_box.hi[0],
+                    q < 2 ? mid[1] : parent_box.hi[1]);
+    nodes_[static_cast<std::size_t>(first_child) + q].box = child;
+  }
+  for (int q = 0; q < 4; ++q) {
+    if (cuts[q] < cuts[q + 1]) {
+      build(static_cast<std::uint32_t>(first_child + q), cuts[q], cuts[q + 1],
+            leaf_capacity, depth + 1);
+    } else {
+      Node& empty = nodes_[static_cast<std::size_t>(first_child) + q];
+      empty.point_begin = empty.point_end = cuts[q];
+    }
+  }
+}
+
+Vec2 QuadTree::accumulate(
+    const Vec2& query, std::int64_t skip, double theta,
+    const std::function<Vec2(const Vec2& delta, double mass)>& kernel) const {
+  Vec2 total{};
+  if (nodes_.empty()) return total;
+  std::vector<std::uint32_t> stack = {0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.mass <= 0.0) continue;
+
+    double extent = std::max(node.box.width(), node.box.height());
+    double dist = distance(query, node.center_of_mass);
+    bool is_leaf = node.first_child < 0;
+    if (!is_leaf && extent >= theta * dist) {
+      for (int q = 0; q < 4; ++q) {
+        stack.push_back(static_cast<std::uint32_t>(node.first_child + q));
+      }
+      continue;
+    }
+    if (is_leaf) {
+      for (std::uint32_t i = node.point_begin; i < node.point_end; ++i) {
+        std::uint32_t p = point_index_[i];
+        if (static_cast<std::int64_t>(p) == skip) continue;
+        total += kernel(query - points_[p], masses_[p]);
+      }
+    } else {
+      // Far enough: treat the whole subtree as one aggregate. The skipped
+      // point's contribution is negligible at this distance by the theta
+      // criterion, matching standard Barnes-Hut practice.
+      total += kernel(query - node.center_of_mass, node.mass);
+    }
+  }
+  return total;
+}
+
+double QuadTree::total_mass() const {
+  return nodes_.empty() ? 0.0 : nodes_[0].mass;
+}
+
+}  // namespace sp::geom

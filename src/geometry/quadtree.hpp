@@ -1,0 +1,64 @@
+// Barnes-Hut quadtree over weighted 2-D points.
+//
+// Used by the sequential force-directed embedder (the "Hu-style" baseline
+// that stands in for the paper's Mathematica coordinates) to approximate
+// all-pairs repulsive forces in O(n log n). Nodes store aggregate mass and
+// centre of mass; traversal opens a node when cell_size / distance exceeds
+// theta.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geometry/box.hpp"
+#include "geometry/vec.hpp"
+
+namespace sp::geom {
+
+class QuadTree {
+ public:
+  /// Builds over `points` with per-point `masses` (empty => unit masses).
+  /// leaf_capacity points may share a leaf before it splits.
+  QuadTree(std::span<const Vec2> points, std::span<const double> masses,
+           std::uint32_t leaf_capacity = 8);
+
+  /// Sum of kernel(center_of_mass, mass) over an approximation of all
+  /// points, opening nodes with extent/distance >= theta. `skip` is the
+  /// index of a point to exclude (the force target itself), or -1.
+  ///
+  /// kernel(delta, mass) must return the force contribution for an
+  /// aggregate of `mass` located at displacement `delta` from the query.
+  Vec2 accumulate(const Vec2& query, std::int64_t skip, double theta,
+                  const std::function<Vec2(const Vec2& delta, double mass)>&
+                      kernel) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_points() const { return points_.size(); }
+  const Box& bounds() const { return bounds_; }
+
+  /// Total mass under the root (tests: must equal the input mass sum).
+  double total_mass() const;
+
+ private:
+  struct Node {
+    Box box;
+    Vec2 center_of_mass{};
+    double mass = 0.0;
+    std::int32_t first_child = -1;   // index of 4 consecutive children, or -1
+    std::uint32_t point_begin = 0;   // leaf: range into point_index_
+    std::uint32_t point_end = 0;
+  };
+
+  void build(std::uint32_t node, std::uint32_t begin, std::uint32_t end,
+             std::uint32_t leaf_capacity, std::uint32_t depth);
+
+  std::vector<Vec2> points_;
+  std::vector<double> masses_;
+  std::vector<std::uint32_t> point_index_;  // permuted into node ranges
+  std::vector<Node> nodes_;
+  Box bounds_;
+};
+
+}  // namespace sp::geom

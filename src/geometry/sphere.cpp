@@ -1,0 +1,213 @@
+#include "geometry/sphere.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace sp::geom {
+
+Vec3 stereo_up(const Vec2& x) {
+  double n2 = x.norm2();
+  double denom = n2 + 1.0;
+  return vec3(2.0 * x[0] / denom, 2.0 * x[1] / denom, (n2 - 1.0) / denom);
+}
+
+Vec2 stereo_down(const Vec3& p) {
+  double denom = 1.0 - p[2];
+  SP_ASSERT_MSG(std::abs(denom) > 1e-300, "stereo_down at the pole");
+  return vec2(p[0] / denom, p[1] / denom);
+}
+
+Vec3 Rot3::apply(const Vec3& v) const {
+  return vec3(m[0] * v[0] + m[1] * v[1] + m[2] * v[2],
+              m[3] * v[0] + m[4] * v[1] + m[5] * v[2],
+              m[6] * v[0] + m[7] * v[1] + m[8] * v[2]);
+}
+
+Rot3 Rot3::transposed() const {
+  Rot3 t;
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) t.m[static_cast<std::size_t>(3 * r + c)] =
+        m[static_cast<std::size_t>(3 * c + r)];
+  return t;
+}
+
+Rot3 rotation_between(const Vec3& from, const Vec3& to) {
+  Vec3 f = from.normalized();
+  Vec3 t = to.normalized();
+  Vec3 axis = cross(f, t);
+  double s = axis.norm();
+  double c = f.dot(t);
+  Rot3 rot;
+  if (s < 1e-14) {
+    if (c > 0) return rot;  // identity
+    // Opposite vectors: rotate pi about any axis orthogonal to f.
+    Vec3 ortho = std::abs(f[0]) < 0.9 ? vec3(1, 0, 0) : vec3(0, 1, 0);
+    axis = cross(f, ortho).normalized();
+    s = 0.0;
+    c = -1.0;
+    // Fall through to Rodrigues with sin=0, cos=-1: R = 2*aa^T - I.
+    for (int r = 0; r < 3; ++r)
+      for (int col = 0; col < 3; ++col)
+        rot.m[static_cast<std::size_t>(3 * r + col)] =
+            2.0 * axis[static_cast<std::size_t>(r)] *
+                axis[static_cast<std::size_t>(col)] -
+            (r == col ? 1.0 : 0.0);
+    return rot;
+  }
+  Vec3 a = axis / s;
+  // Rodrigues' rotation formula: R = I + sin*K + (1-cos)*K^2.
+  double x = a[0], y = a[1], z = a[2];
+  double omc = 1.0 - c;
+  rot.m = {c + x * x * omc,     x * y * omc - z * s, x * z * omc + y * s,
+           y * x * omc + z * s, c + y * y * omc,     y * z * omc - x * s,
+           z * x * omc - y * s, z * y * omc + x * s, c + z * z * omc};
+  return rot;
+}
+
+ConformalMap::ConformalMap(const Vec3& centerpoint) {
+  double r = centerpoint.norm();
+  r = std::min(r, 1.0 - 1e-9);
+  if (r < 1e-12) {
+    // Already centred; identity map.
+    alpha_ = 1.0;
+    return;
+  }
+  rotation_ = rotation_between(centerpoint / centerpoint.norm(), vec3(0, 0, 1));
+  alpha_ = std::sqrt((1.0 - r) / (1.0 + r));
+}
+
+Vec3 ConformalMap::apply(const Vec3& p) const {
+  Vec3 q = rotation_.apply(p);
+  if (alpha_ == 1.0) return q;
+  // Dilate by alpha through the stereographic chart. Guard the pole: points
+  // at the projection pole are fixed by the dilation in the limit.
+  if (q[2] > 1.0 - 1e-12) return q;
+  Vec2 plane = stereo_down(q) * alpha_;
+  return stereo_up(plane);
+}
+
+bool radon_point(std::span<const Vec3> five_points, Vec3* out) {
+  SP_ASSERT(five_points.size() == 5);
+  // Find a nontrivial affine dependency: sum l_i p_i = 0, sum l_i = 0.
+  // 4 equations (3 coords + affine) in 5 unknowns; Gaussian elimination
+  // with partial pivoting, free variable set to 1.
+  constexpr int kRows = 4, kCols = 5;
+  double a[kRows][kCols];
+  for (int j = 0; j < kCols; ++j) {
+    for (int i = 0; i < 3; ++i) a[i][j] = five_points[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+    a[3][j] = 1.0;
+  }
+  int pivot_col[kRows];
+  bool col_used[kCols] = {false, false, false, false, false};
+  int rank = 0;
+  for (int row = 0; row < kRows; ++row) {
+    // Choose pivot: largest magnitude among unused columns in this row and
+    // below (column pivoting over remaining columns).
+    int best_col = -1;
+    double best = 1e-12;
+    for (int col = 0; col < kCols; ++col) {
+      if (col_used[col]) continue;
+      if (std::abs(a[row][col]) > best) {
+        best = std::abs(a[row][col]);
+        best_col = col;
+      }
+    }
+    if (best_col < 0) continue;  // row is (near) zero
+    col_used[best_col] = true;
+    pivot_col[rank] = best_col;
+    double inv = 1.0 / a[row][best_col];
+    for (int col = 0; col < kCols; ++col) a[row][col] *= inv;
+    for (int r = 0; r < kRows; ++r) {
+      if (r == row) continue;
+      double factor = a[r][best_col];
+      if (factor == 0.0) continue;
+      for (int col = 0; col < kCols; ++col) a[r][col] -= factor * a[row][col];
+    }
+    ++rank;
+  }
+  // Free column: any unused one.
+  int free_col = -1;
+  for (int col = 0; col < kCols; ++col) {
+    if (!col_used[col]) {
+      free_col = col;
+      break;
+    }
+  }
+  if (free_col < 0) return false;
+
+  double lambda[kCols] = {0, 0, 0, 0, 0};
+  lambda[free_col] = 1.0;
+  for (int r = 0; r < rank; ++r) lambda[pivot_col[r]] = -a[r][free_col];
+
+  // Radon point = weighted average of the positive class.
+  Vec3 num{};
+  double denom = 0.0;
+  for (int j = 0; j < kCols; ++j) {
+    if (lambda[j] > 0.0) {
+      num += five_points[static_cast<std::size_t>(j)] * lambda[j];
+      denom += lambda[j];
+    }
+  }
+  if (denom < 1e-12) return false;
+  *out = num / denom;
+  return true;
+}
+
+Vec3 approximate_centerpoint(std::span<const Vec3> points, Rng& rng,
+                             std::size_t sample_size) {
+  SP_ASSERT(!points.empty());
+  std::vector<Vec3> pool;
+  std::size_t take = std::min(sample_size, points.size());
+  pool.reserve(take);
+  if (points.size() <= sample_size) {
+    pool.assign(points.begin(), points.end());
+  } else {
+    for (std::size_t i = 0; i < take; ++i) {
+      pool.push_back(points[rng.below(points.size())]);
+    }
+  }
+  // Repeatedly replace 5 random pool points by their Radon point. Each
+  // replacement shrinks the pool by 4; stop at < 5 and average the rest.
+  while (pool.size() >= 5) {
+    // Draw 5 distinct indices (pool is small; retry duplicates).
+    std::size_t idx[5];
+    for (int k = 0; k < 5;) {
+      std::size_t cand = rng.below(pool.size());
+      bool dup = false;
+      for (int j = 0; j < k; ++j) dup |= (idx[j] == cand);
+      if (!dup) idx[k++] = cand;
+    }
+    Vec3 sample[5];
+    for (int k = 0; k < 5; ++k) sample[k] = pool[idx[k]];
+    Vec3 rp;
+    if (!radon_point(std::span<const Vec3>(sample, 5), &rp)) {
+      // Degenerate sample: drop one point instead to guarantee progress.
+      pool[idx[0]] = pool.back();
+      pool.pop_back();
+      continue;
+    }
+    // Remove the 5 (descending index order keeps swaps valid), add the
+    // Radon point.
+    std::sort(idx, idx + 5, std::greater<std::size_t>());
+    for (int k = 0; k < 5; ++k) {
+      pool[idx[k]] = pool.back();
+      pool.pop_back();
+    }
+    pool.push_back(rp);
+  }
+  Vec3 sum{};
+  for (const Vec3& p : pool) sum += p;
+  return sum / static_cast<double>(pool.size());
+}
+
+Vec3 random_unit_vector(Rng& rng) {
+  for (;;) {
+    Vec3 v = vec3(rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1));
+    double n2 = v.norm2();
+    if (n2 > 1e-8 && n2 <= 1.0) return v / std::sqrt(n2);
+  }
+}
+
+}  // namespace sp::geom

@@ -1,0 +1,72 @@
+// Sphere geometry for the Gilbert-Miller-Teng geometric mesh partitioner.
+//
+// The GMT scheme lifts the 2-D embedding onto the unit sphere S^2 in R^3 by
+// stereographic projection, conformally re-centres the point set so its
+// centerpoint moves to the sphere's centre, and cuts with random great
+// circles. A great circle of the mapped sphere corresponds to a circle (or
+// line) separator in the original plane, which is what gives the provably
+// small separators on well-shaped meshes.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "geometry/vec.hpp"
+#include "support/random.hpp"
+
+namespace sp::geom {
+
+/// Stereographic lift of the plane onto the unit sphere (inverse projection
+/// from the north pole (0,0,1)): x -> (2x, |x|^2 - 1) / (|x|^2 + 1).
+Vec3 stereo_up(const Vec2& x);
+
+/// Stereographic projection from the north pole back to the plane.
+/// Undefined at the pole itself; callers never map the pole.
+Vec2 stereo_down(const Vec3& p);
+
+/// 3x3 rotation matrix as row-major array; rotate(v) = R v.
+struct Rot3 {
+  std::array<double, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+  Vec3 apply(const Vec3& v) const;
+  Rot3 transposed() const;
+};
+
+/// Rotation taking unit vector `from` to unit vector `to` (Rodrigues).
+Rot3 rotation_between(const Vec3& from, const Vec3& to);
+
+/// Conformal map used by GMT: rotate the centerpoint onto the +z axis, then
+/// dilate through stereographic projection by alpha = sqrt((1-r)/(1+r))
+/// where r = |centerpoint|. After this map the centerpoint of the point set
+/// lies near the sphere centre, so every great circle through the origin
+/// splits the set with bounded imbalance.
+class ConformalMap {
+ public:
+  /// centerpoint must lie strictly inside the unit ball.
+  explicit ConformalMap(const Vec3& centerpoint);
+
+  Vec3 apply(const Vec3& p) const;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  Rot3 rotation_;
+  double alpha_ = 1.0;
+};
+
+/// Radon point of d+2 = 5 points in R^3: a point common to the convex hulls
+/// of both classes of the Radon partition. Returns false when the points
+/// are too degenerate to split (callers then resample).
+bool radon_point(std::span<const Vec3> five_points, Vec3* out);
+
+/// Approximate centerpoint by sampling `sample_size` points and repeatedly
+/// replacing random groups of 5 by their Radon point until one remains
+/// (Clarkson et al. style iterated-Radon heuristic; this is what the
+/// geopart Matlab code uses). Deterministic given the Rng.
+Vec3 approximate_centerpoint(std::span<const Vec3> points, Rng& rng,
+                             std::size_t sample_size = 800);
+
+/// Uniform random unit vector in R^3 (great-circle normal).
+Vec3 random_unit_vector(Rng& rng);
+
+}  // namespace sp::geom

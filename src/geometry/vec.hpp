@@ -1,0 +1,83 @@
+// Small fixed-dimension vector types.
+//
+// Embeddings live in R^2 (the paper's lattice is a 2-D grid); the geometric
+// mesh partitioner lifts points one dimension up, so R^3 is needed too. A
+// single template keeps the great-circle machinery dimension-generic.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace sp::geom {
+
+template <std::size_t D>
+struct Vec {
+  std::array<double, D> c{};
+
+  double& operator[](std::size_t i) { return c[i]; }
+  double operator[](std::size_t i) const { return c[i]; }
+
+  Vec& operator+=(const Vec& o) {
+    for (std::size_t i = 0; i < D; ++i) c[i] += o.c[i];
+    return *this;
+  }
+  Vec& operator-=(const Vec& o) {
+    for (std::size_t i = 0; i < D; ++i) c[i] -= o.c[i];
+    return *this;
+  }
+  Vec& operator*=(double s) {
+    for (std::size_t i = 0; i < D; ++i) c[i] *= s;
+    return *this;
+  }
+  Vec& operator/=(double s) { return *this *= (1.0 / s); }
+
+  friend Vec operator+(Vec a, const Vec& b) { return a += b; }
+  friend Vec operator-(Vec a, const Vec& b) { return a -= b; }
+  friend Vec operator*(Vec a, double s) { return a *= s; }
+  friend Vec operator*(double s, Vec a) { return a *= s; }
+  friend Vec operator/(Vec a, double s) { return a /= s; }
+  friend Vec operator-(Vec a) { return a *= -1.0; }
+  friend bool operator==(const Vec& a, const Vec& b) { return a.c == b.c; }
+
+  double dot(const Vec& o) const {
+    double s = 0.0;
+    for (std::size_t i = 0; i < D; ++i) s += c[i] * o.c[i];
+    return s;
+  }
+  double norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm2()); }
+
+  Vec normalized() const {
+    double n = norm();
+    return n > 0.0 ? *this / n : *this;
+  }
+};
+
+using Vec2 = Vec<2>;
+using Vec3 = Vec<3>;
+using Vec4 = Vec<4>;
+
+inline Vec2 vec2(double x, double y) { return Vec2{{x, y}}; }
+inline Vec3 vec3(double x, double y, double z) { return Vec3{{x, y, z}}; }
+
+inline double cross(const Vec2& a, const Vec2& b) {
+  return a[0] * b[1] - a[1] * b[0];
+}
+
+inline Vec3 cross(const Vec3& a, const Vec3& b) {
+  return vec3(a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+              a[0] * b[1] - a[1] * b[0]);
+}
+
+template <std::size_t D>
+double distance(const Vec<D>& a, const Vec<D>& b) {
+  return (a - b).norm();
+}
+
+template <std::size_t D>
+double distance2(const Vec<D>& a, const Vec<D>& b) {
+  return (a - b).norm2();
+}
+
+}  // namespace sp::geom

@@ -1,0 +1,308 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "geometry/delaunay.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace sp::graph::gen {
+
+using geom::Vec2;
+using geom::vec2;
+
+namespace {
+
+/// Builds a graph from Delaunay edges over `points`, keeping only edges
+/// whose both endpoints satisfy nothing extra (plain) — helper shared by
+/// the mesh-type generators.
+GeneratedGraph from_delaunay(std::vector<Vec2> points, std::string name) {
+  auto edges = geom::delaunay_edges(points);
+  GraphBuilder builder(static_cast<VertexId>(points.size()));
+  builder.reserve_edges(edges.size());
+  for (const auto& [a, b] : edges) builder.add_edge(a, b);
+  GeneratedGraph out;
+  out.graph = builder.build();
+  out.coords = std::move(points);
+  out.name = std::move(name);
+  return out;
+}
+
+}  // namespace
+
+GeneratedGraph grid2d(std::uint32_t rows, std::uint32_t cols) {
+  SP_ASSERT(rows > 0 && cols > 0);
+  const std::uint64_t n64 = static_cast<std::uint64_t>(rows) * cols;
+  SP_ASSERT(n64 < kInvalidVertex);
+  const auto n = static_cast<VertexId>(n64);
+  GraphBuilder builder(n);
+  builder.reserve_edges(2 * n64);
+  std::vector<Vec2> coords(n);
+  auto id = [cols](std::uint32_t r, std::uint32_t c) {
+    return static_cast<VertexId>(static_cast<std::uint64_t>(r) * cols + c);
+  };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      coords[id(r, c)] = vec2(c, r);
+      if (c + 1 < cols) builder.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  GeneratedGraph out;
+  out.graph = builder.build();
+  out.coords = std::move(coords);
+  out.name = "grid2d_" + std::to_string(rows) + "x" + std::to_string(cols);
+  return out;
+}
+
+GeneratedGraph grid3d(std::uint32_t nx, std::uint32_t ny, std::uint32_t nz) {
+  const std::uint64_t n64 = static_cast<std::uint64_t>(nx) * ny * nz;
+  SP_ASSERT(n64 < kInvalidVertex);
+  const auto n = static_cast<VertexId>(n64);
+  GraphBuilder builder(n);
+  auto id = [nx, ny](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return static_cast<VertexId>(
+        (static_cast<std::uint64_t>(z) * ny + y) * nx + x);
+  };
+  for (std::uint32_t z = 0; z < nz; ++z)
+    for (std::uint32_t y = 0; y < ny; ++y)
+      for (std::uint32_t x = 0; x < nx; ++x) {
+        if (x + 1 < nx) builder.add_edge(id(x, y, z), id(x + 1, y, z));
+        if (y + 1 < ny) builder.add_edge(id(x, y, z), id(x, y + 1, z));
+        if (z + 1 < nz) builder.add_edge(id(x, y, z), id(x, y, z + 1));
+      }
+  GeneratedGraph out;
+  out.graph = builder.build();
+  out.name = "grid3d";
+  return out;
+}
+
+GeneratedGraph delaunay(std::uint32_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> points(n);
+  for (auto& p : points) p = vec2(rng.uniform(), rng.uniform());
+  return from_delaunay(std::move(points), "delaunay_" + std::to_string(n));
+}
+
+GeneratedGraph circuit(std::uint32_t rows, std::uint32_t cols,
+                       double extra_fraction, std::uint64_t seed) {
+  GeneratedGraph base = grid2d(rows, cols);
+  Rng rng(seed);
+  const VertexId n = base.graph.num_vertices();
+  GraphBuilder builder(n);
+  // Re-add grid edges...
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : base.graph.neighbors(u)) {
+      if (u < v) builder.add_edge(u, v);
+    }
+  }
+  // ...plus long-range wires; mostly local-ish (power-law length bias) the
+  // way circuit nets are: short nets dominate, a few span the die.
+  auto extra = static_cast<std::uint64_t>(extra_fraction * n);
+  for (std::uint64_t k = 0; k < extra; ++k) {
+    auto u = static_cast<VertexId>(rng.below(n));
+    // Wire length ~ r^-2 distribution across the grid.
+    double len = std::min(1.0, 4.0 / (rows * rng.uniform() + 4.0));
+    auto dr = static_cast<std::int64_t>((rng.uniform() - 0.5) * len * rows);
+    auto dc = static_cast<std::int64_t>((rng.uniform() - 0.5) * len * cols);
+    std::int64_t r = static_cast<std::int64_t>(u / cols) + dr;
+    std::int64_t c = static_cast<std::int64_t>(u % cols) + dc;
+    r = std::clamp<std::int64_t>(r, 0, rows - 1);
+    c = std::clamp<std::int64_t>(c, 0, cols - 1);
+    auto v = static_cast<VertexId>(r * cols + c);
+    if (u != v) builder.add_edge(u, v);
+  }
+  GeneratedGraph out;
+  out.graph = builder.build();
+  out.coords = std::move(base.coords);
+  out.name = "circuit_" + std::to_string(rows) + "x" + std::to_string(cols);
+  return out;
+}
+
+GeneratedGraph kkt_power(std::uint32_t n, std::uint32_t hubs,
+                         std::uint32_t hub_degree, std::uint64_t seed) {
+  SP_ASSERT(hubs < n);
+  Rng rng(seed);
+  // Mesh part: Delaunay over n - hubs points.
+  std::uint32_t mesh_n = n - hubs;
+  std::vector<Vec2> points(mesh_n);
+  for (auto& p : points) p = vec2(rng.uniform(), rng.uniform());
+  auto edges = geom::delaunay_edges(points);
+
+  GraphBuilder builder(n);
+  for (const auto& [a, b] : edges) builder.add_edge(a, b);
+  // Hubs attach to many mesh vertices scattered over the whole domain —
+  // this is what destroys small geometric separators in kkt_power-type
+  // KKT/power-network systems.
+  for (std::uint32_t h = 0; h < hubs; ++h) {
+    VertexId hub = mesh_n + h;
+    for (std::uint32_t k = 0; k < hub_degree; ++k) {
+      builder.add_edge(hub, static_cast<VertexId>(rng.below(mesh_n)));
+    }
+    // Hubs also form a sparse backbone among themselves.
+    if (h > 0) builder.add_edge(hub, mesh_n + static_cast<VertexId>(rng.below(h)));
+  }
+  GeneratedGraph out;
+  out.graph = builder.build();
+  out.coords.resize(n);
+  for (std::uint32_t i = 0; i < mesh_n; ++i) out.coords[i] = points[i];
+  // Hubs get the centroid-ish random positions (they have no natural
+  // location; kkt rows for constraints behave the same way).
+  for (std::uint32_t h = 0; h < hubs; ++h) {
+    out.coords[mesh_n + h] = vec2(rng.uniform(), rng.uniform());
+  }
+  out.name = "kkt_power_" + std::to_string(n);
+  return out;
+}
+
+GeneratedGraph trace(std::uint32_t n, double aspect, std::uint64_t seed) {
+  SP_ASSERT(aspect >= 1.0);
+  Rng rng(seed);
+  // Points along a serpentine strip: parameter t in [0, aspect), the strip
+  // follows a sine-wave spine of unit width.
+  std::vector<Vec2> points(n);
+  for (auto& p : points) {
+    double t = rng.uniform() * aspect;
+    double w = rng.uniform();  // across the strip
+    double spine_y = 0.35 * aspect *
+                     std::sin(2.0 * std::numbers::pi * t / aspect * 3.0);
+    p = vec2(t, spine_y + w);
+  }
+  return from_delaunay(std::move(points), "trace_" + std::to_string(n));
+}
+
+GeneratedGraph bubbles(std::uint32_t n, std::uint32_t holes,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  // Hole centres/radii inside the unit square.
+  std::vector<Vec2> centers(holes);
+  std::vector<double> radii(holes);
+  for (std::uint32_t h = 0; h < holes; ++h) {
+    centers[h] = vec2(rng.uniform(0.15, 0.85), rng.uniform(0.15, 0.85));
+    radii[h] = rng.uniform(0.05, 0.16);
+  }
+  auto in_hole = [&](const Vec2& p) {
+    for (std::uint32_t h = 0; h < holes; ++h) {
+      if (geom::distance2(p, centers[h]) < radii[h] * radii[h]) return true;
+    }
+    return false;
+  };
+  // Rejection-sample points outside the holes.
+  std::vector<Vec2> points;
+  points.reserve(n);
+  while (points.size() < n) {
+    Vec2 p = vec2(rng.uniform(), rng.uniform());
+    if (!in_hole(p)) points.push_back(p);
+  }
+  // Triangulate, then drop triangles whose centroid falls inside a hole so
+  // the holes become real topological holes in the mesh.
+  auto tri = geom::delaunay_triangulate(points);
+  GraphBuilder builder(n);
+  for (const auto& t : tri.triangles) {
+    Vec2 centroid = (points[t[0]] + points[t[1]] + points[t[2]]) / 3.0;
+    if (in_hole(centroid)) continue;
+    builder.add_edge(t[0], t[1]);
+    builder.add_edge(t[1], t[2]);
+    builder.add_edge(t[2], t[0]);
+  }
+  GeneratedGraph out;
+  out.graph = builder.build();
+  out.coords = std::move(points);
+  out.name = "bubbles_" + std::to_string(n);
+  return out;
+}
+
+GeneratedGraph random_geometric(std::uint32_t n, double radius,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> points(n);
+  for (auto& p : points) p = vec2(rng.uniform(), rng.uniform());
+  // Grid-bucket the points so neighbour search is O(1) per point.
+  double cell = std::max(radius, 1e-6);
+  auto cells = static_cast<std::uint32_t>(std::ceil(1.0 / cell));
+  std::vector<std::vector<VertexId>> buckets(
+      static_cast<std::size_t>(cells) * cells);
+  auto bucket_of = [&](const Vec2& p) {
+    auto cx = std::min<std::uint32_t>(static_cast<std::uint32_t>(p[0] / cell),
+                                      cells - 1);
+    auto cy = std::min<std::uint32_t>(static_cast<std::uint32_t>(p[1] / cell),
+                                      cells - 1);
+    return cy * cells + cx;
+  };
+  for (VertexId i = 0; i < n; ++i) buckets[bucket_of(points[i])].push_back(i);
+
+  GraphBuilder builder(n);
+  double r2 = radius * radius;
+  for (VertexId i = 0; i < n; ++i) {
+    auto cx = std::min<std::uint32_t>(
+        static_cast<std::uint32_t>(points[i][0] / cell), cells - 1);
+    auto cy = std::min<std::uint32_t>(
+        static_cast<std::uint32_t>(points[i][1] / cell), cells - 1);
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        std::int64_t bx = cx + dx, by = cy + dy;
+        if (bx < 0 || by < 0 || bx >= cells || by >= cells) continue;
+        for (VertexId j : buckets[static_cast<std::size_t>(by) * cells +
+                                  static_cast<std::size_t>(bx)]) {
+          if (j <= i) continue;
+          if (geom::distance2(points[i], points[j]) <= r2) {
+            builder.add_edge(i, j);
+          }
+        }
+      }
+    }
+  }
+  GeneratedGraph out;
+  out.graph = builder.build();
+  out.coords = std::move(points);
+  out.name = "rgg_" + std::to_string(n);
+  return out;
+}
+
+GeneratedGraph erdos_renyi(std::uint32_t n, std::uint64_t m,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  builder.reserve_edges(m);
+  std::uint64_t added = 0;
+  while (added < m) {
+    auto u = static_cast<VertexId>(rng.below(n));
+    auto v = static_cast<VertexId>(rng.below(n));
+    if (u == v) continue;
+    builder.add_edge(u, v);
+    ++added;
+  }
+  GeneratedGraph out;
+  out.graph = builder.build();
+  out.name = "er_" + std::to_string(n);
+  return out;
+}
+
+GeneratedGraph cycle(std::uint32_t n) {
+  SP_ASSERT(n >= 3);
+  GraphBuilder builder(n);
+  for (VertexId i = 0; i < n; ++i) builder.add_edge(i, (i + 1) % n);
+  GeneratedGraph out;
+  out.graph = builder.build();
+  out.coords.resize(n);
+  for (VertexId i = 0; i < n; ++i) {
+    double angle = 2.0 * std::numbers::pi * i / n;
+    out.coords[i] = vec2(std::cos(angle), std::sin(angle));
+  }
+  out.name = "cycle_" + std::to_string(n);
+  return out;
+}
+
+GeneratedGraph complete(std::uint32_t n) {
+  GraphBuilder builder(n);
+  for (VertexId i = 0; i < n; ++i)
+    for (VertexId j = i + 1; j < n; ++j) builder.add_edge(i, j);
+  GeneratedGraph out;
+  out.graph = builder.build();
+  out.name = "complete_" + std::to_string(n);
+  return out;
+}
+
+}  // namespace sp::graph::gen

@@ -1,0 +1,77 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on nine UFL sparse-matrix graphs (Table 1). Those
+// inputs are not redistributable here, so each generator below rebuilds the
+// same *structure class* deterministically from a seed: 2-D grids
+// (ecology*), Delaunay triangulations (delaunay_n*), grid-plus-long-range
+// circuit graphs (G3_circuit), mesh + power-law hub graphs (kkt_power),
+// long thin triangulated traces (hugetrace) and triangulations with
+// circular holes (hugebubbles). Generators that produce meshes also return
+// the true vertex coordinates, which play the role of the paper's
+// Mathematica embeddings for the coordinate-based baselines (RCB, G30).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geometry/vec.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace sp::graph::gen {
+
+struct GeneratedGraph {
+  CsrGraph graph;
+  /// Natural coordinates when the generator is geometric; empty otherwise.
+  std::vector<geom::Vec2> coords;
+  std::string name;
+};
+
+/// rows x cols 5-point grid (the "ecology" landscape class).
+GeneratedGraph grid2d(std::uint32_t rows, std::uint32_t cols);
+
+/// 3-D 7-point grid flattened (no coordinates returned; exercises the
+/// "graph without usable 2-D geometry" path).
+GeneratedGraph grid3d(std::uint32_t nx, std::uint32_t ny, std::uint32_t nz);
+
+/// Delaunay triangulation of n uniform points in the unit square.
+GeneratedGraph delaunay(std::uint32_t n, std::uint64_t seed);
+
+/// Grid with additional random long-range "wire" edges: the G3_circuit
+/// analogue. extra_fraction is the ratio of long edges to grid vertices.
+GeneratedGraph circuit(std::uint32_t rows, std::uint32_t cols,
+                       double extra_fraction, std::uint64_t seed);
+
+/// Mesh + power-law supply network: Delaunay base plus `hubs` vertices of
+/// degree ~ hub_degree attached preferentially. Analogue of kkt_power's
+/// hard-to-cut structure.
+GeneratedGraph kkt_power(std::uint32_t n, std::uint32_t hubs,
+                         std::uint32_t hub_degree, std::uint64_t seed);
+
+/// Delaunay points inside a long serpentine strip of given aspect ratio:
+/// the hugetrace analogue (very small separators relative to N).
+GeneratedGraph trace(std::uint32_t n, double aspect, std::uint64_t seed);
+
+/// Delaunay points in a disc with `holes` circular holes ("bubbles");
+/// triangles inside holes are removed. Analogue of hugebubbles.
+GeneratedGraph bubbles(std::uint32_t n, std::uint32_t holes,
+                       std::uint64_t seed);
+
+/// Random geometric graph: n points in the unit square, edges within
+/// radius r (clipped to k-nearest style cap to bound degree).
+GeneratedGraph random_geometric(std::uint32_t n, double radius,
+                                std::uint64_t seed);
+
+/// Erdos-Renyi G(n, m) — not mesh-like at all; used by tests to check the
+/// pipeline degrades gracefully on geometry-free graphs.
+GeneratedGraph erdos_renyi(std::uint32_t n, std::uint64_t m,
+                           std::uint64_t seed);
+
+/// Ring of n vertices (pathological small separator; tests).
+GeneratedGraph cycle(std::uint32_t n);
+
+/// Complete graph (tests: no good separator exists).
+GeneratedGraph complete(std::uint32_t n);
+
+}  // namespace sp::graph::gen

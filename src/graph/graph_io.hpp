@@ -1,0 +1,37 @@
+// Graph file I/O.
+//
+// Two interchange formats so users can run the partitioner on their own
+// inputs (e.g. actual UFL/SuiteSparse matrices, which the paper used):
+//  - METIS/Chaco .graph format (the format ParMetis and Pt-Scotch consume)
+//  - MatrixMarket coordinate format (the format SuiteSparse distributes);
+//    the pattern is symmetrised and diagonal entries dropped.
+// Coordinates can be saved/loaded as whitespace-separated "x y" lines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geometry/vec.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace sp::graph::io {
+
+/// Reads a METIS .graph file (optionally with edge/vertex weights per the
+/// fmt field). Throws std::runtime_error on malformed input.
+CsrGraph read_metis(std::istream& in);
+CsrGraph read_metis_file(const std::string& path);
+
+void write_metis(const CsrGraph& g, std::ostream& out);
+void write_metis_file(const CsrGraph& g, const std::string& path);
+
+/// Reads a MatrixMarket coordinate file as an undirected graph: entry (i,j)
+/// becomes edge {i,j}; values are ignored; pattern is symmetrised;
+/// diagonal dropped. Throws std::runtime_error on malformed input.
+CsrGraph read_matrix_market(std::istream& in);
+CsrGraph read_matrix_market_file(const std::string& path);
+
+void write_coords(const std::vector<geom::Vec2>& coords, std::ostream& out);
+std::vector<geom::Vec2> read_coords(std::istream& in);
+
+}  // namespace sp::graph::io

@@ -1,0 +1,124 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/assert.hpp"
+
+namespace sp::graph {
+
+Weight cut_size(const CsrGraph& g, const Bipartition& part) {
+  SP_ASSERT(part.size() == g.num_vertices());
+  Weight cut2 = 0;  // each cut edge counted from both endpoints
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights_of(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (part[u] != part[nbrs[k]]) cut2 += ws[k];
+    }
+  }
+  return cut2 / 2;
+}
+
+std::pair<Weight, Weight> side_weights(const CsrGraph& g,
+                                       const Bipartition& part) {
+  Weight w0 = 0, w1 = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    (part[v] == 0 ? w0 : w1) += g.vertex_weight(v);
+  }
+  return {w0, w1};
+}
+
+double imbalance(const CsrGraph& g, const Bipartition& part) {
+  auto [w0, w1] = side_weights(g, part);
+  double ideal = static_cast<double>(w0 + w1) / 2.0;
+  if (ideal == 0.0) return 0.0;
+  return static_cast<double>(std::max(w0, w1)) / ideal - 1.0;
+}
+
+std::vector<VertexId> boundary_vertices(const CsrGraph& g,
+                                        const Bipartition& part) {
+  std::vector<VertexId> out;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (part[u] != part[v]) {
+        out.push_back(u);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Weight external_degree(const CsrGraph& g, const Bipartition& part, VertexId v) {
+  Weight ext = 0;
+  auto nbrs = g.neighbors(v);
+  auto ws = g.edge_weights_of(v);
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    if (part[v] != part[nbrs[k]]) ext += ws[k];
+  }
+  return ext;
+}
+
+std::vector<VertexId> connected_components(const CsrGraph& g,
+                                           VertexId* num_components) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> comp(n, kInvalidVertex);
+  VertexId next = 0;
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (comp[s] != kInvalidVertex) continue;
+    comp[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      VertexId u = stack.back();
+      stack.pop_back();
+      for (VertexId v : g.neighbors(u)) {
+        if (comp[v] == kInvalidVertex) {
+          comp[v] = next;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  if (num_components) *num_components = next;
+  return comp;
+}
+
+std::vector<VertexId> bfs_distance(const CsrGraph& g,
+                                   std::span<const VertexId> seeds) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> dist(n, n);  // n == "infinity"
+  std::deque<VertexId> queue;
+  for (VertexId s : seeds) {
+    SP_ASSERT(s < n);
+    if (dist[s] != 0) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : g.neighbors(u)) {
+      if (dist[v] > dist[u] + 1) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+PartitionReport evaluate(const CsrGraph& g, const Bipartition& part) {
+  PartitionReport report;
+  report.cut = cut_size(g, part);
+  auto [w0, w1] = side_weights(g, part);
+  report.side0 = w0;
+  report.side1 = w1;
+  report.imbalance = imbalance(g, part);
+  return report;
+}
+
+}  // namespace sp::graph

@@ -1,0 +1,65 @@
+// Bipartition representation and quality measures.
+//
+// The paper evaluates a single edge separator (2-way cut): cut-size |S| is
+// the number of edges with endpoints in different parts, and the balance
+// constraint is |V1| ~= |V2| ~= |V|/2. For weighted (coarse) graphs both
+// measures use weights, which keeps multilevel projection exact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace sp::graph {
+
+/// side[v] in {0,1}. Kept as a plain vector so refinement can flip in O(1).
+struct Bipartition {
+  std::vector<std::uint8_t> side;
+
+  explicit Bipartition(std::size_t n = 0) : side(n, 0) {}
+  std::uint8_t operator[](VertexId v) const { return side[v]; }
+  std::uint8_t& operator[](VertexId v) { return side[v]; }
+  std::size_t size() const { return side.size(); }
+};
+
+/// Total weight of edges crossing the partition.
+Weight cut_size(const CsrGraph& g, const Bipartition& part);
+
+/// Vertex weight of each side: {weight(side 0), weight(side 1)}.
+std::pair<Weight, Weight> side_weights(const CsrGraph& g,
+                                       const Bipartition& part);
+
+/// max(side)/ideal - 1; 0 means perfectly balanced. ideal = total/2.
+double imbalance(const CsrGraph& g, const Bipartition& part);
+
+/// Vertices incident to at least one cut edge (on either side).
+std::vector<VertexId> boundary_vertices(const CsrGraph& g,
+                                        const Bipartition& part);
+
+/// Count of cut edges incident to v under `part`.
+Weight external_degree(const CsrGraph& g, const Bipartition& part, VertexId v);
+
+/// Connected components; returns component id per vertex and sets
+/// *num_components.
+std::vector<VertexId> connected_components(const CsrGraph& g,
+                                           VertexId* num_components);
+
+/// BFS distance from the seed set (unreachable = kInvalidVertex sentinel is
+/// not used; distance is set to n, i.e. "infinite"). Used by the hop-based
+/// band extraction that mirrors Pt-Scotch.
+std::vector<VertexId> bfs_distance(const CsrGraph& g,
+                                   std::span<const VertexId> seeds);
+
+/// Quality/validity summary for reporting and tests.
+struct PartitionReport {
+  Weight cut = 0;
+  Weight side0 = 0;
+  Weight side1 = 0;
+  double imbalance = 0.0;
+};
+
+PartitionReport evaluate(const CsrGraph& g, const Bipartition& part);
+
+}  // namespace sp::graph

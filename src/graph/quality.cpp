@@ -1,0 +1,86 @@
+#include "graph/quality.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace sp::graph {
+
+KwayQuality analyze_partition(const CsrGraph& g,
+                              std::span<const std::uint32_t> part,
+                              std::uint32_t parts) {
+  SP_ASSERT(part.size() == g.num_vertices());
+  SP_ASSERT(parts >= 1);
+  KwayQuality q;
+  q.parts.resize(parts);
+
+  Weight cut2 = 0;
+  std::vector<std::uint32_t> seen_parts;  // scratch for distinct remotes
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    SP_ASSERT(part[v] < parts);
+    PartStats& mine = q.parts[part[v]];
+    mine.weight += g.vertex_weight(v);
+    ++mine.vertices;
+
+    auto nbrs = g.neighbors(v);
+    auto ws = g.edge_weights_of(v);
+    bool is_boundary = false;
+    seen_parts.clear();
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      std::uint32_t other = part[nbrs[k]];
+      if (other == part[v]) continue;
+      is_boundary = true;
+      cut2 += ws[k];
+      mine.external_edges += ws[k];
+      if (std::find(seen_parts.begin(), seen_parts.end(), other) ==
+          seen_parts.end()) {
+        seen_parts.push_back(other);
+      }
+    }
+    if (is_boundary) ++mine.boundary;
+    q.comm_volume += seen_parts.size();
+  }
+  q.edge_cut = cut2 / 2;
+
+  // Imbalance.
+  double ideal = static_cast<double>(g.total_vertex_weight()) /
+                 static_cast<double>(parts);
+  Weight max_w = 0;
+  for (const PartStats& p : q.parts) max_w = std::max(max_w, p.weight);
+  q.imbalance = ideal > 0.0 ? static_cast<double>(max_w) / ideal - 1.0 : 0.0;
+
+  // Per-part connectivity: one restricted BFS sweep over the whole graph.
+  std::vector<VertexId> comp(g.num_vertices(), kInvalidVertex);
+  std::vector<VertexId> stack;
+  std::vector<VertexId> comps_per_part(parts, 0);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    if (comp[s] != kInvalidVertex) continue;
+    ++comps_per_part[part[s]];
+    comp[s] = s;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      VertexId u = stack.back();
+      stack.pop_back();
+      for (VertexId w : g.neighbors(u)) {
+        if (comp[w] == kInvalidVertex && part[w] == part[u]) {
+          comp[w] = s;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    q.parts[p].components = comps_per_part[p];
+    if (q.parts[p].vertices > 0 && comps_per_part[p] > 1) {
+      q.all_parts_connected = false;
+    }
+  }
+  return q;
+}
+
+KwayQuality analyze_partition(const CsrGraph& g, const Bipartition& part) {
+  std::vector<std::uint32_t> as_kway(part.side.begin(), part.side.end());
+  return analyze_partition(g, as_kway, 2);
+}
+
+}  // namespace sp::graph

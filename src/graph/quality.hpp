@@ -1,0 +1,48 @@
+// Partition quality diagnostics beyond the raw edge cut.
+//
+// For the paper's own motivating application — distributing simulation
+// work over P processors — the edge cut proxies halo traffic, but
+// practitioners also care about total communication volume (distinct
+// remote adjacencies), per-part boundary sizes, and whether parts are
+// connected (fragmented parts behave badly in solvers). This module
+// computes those for 2-way and k-way assignments and is used by the
+// examples and integration tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/partition.hpp"
+
+namespace sp::graph {
+
+struct PartStats {
+  Weight weight = 0;            // vertex weight of the part
+  VertexId vertices = 0;
+  VertexId boundary = 0;        // vertices with a neighbour outside
+  Weight external_edges = 0;    // weighted cut edges incident to the part
+  VertexId components = 0;      // connected components within the part
+};
+
+struct KwayQuality {
+  Weight edge_cut = 0;
+  /// Total communication volume: for each vertex, the number of *distinct
+  /// remote parts* among its neighbours, summed (the metric ParMetis
+  /// calls "totalv"; a better proxy for halo bytes than the cut).
+  std::uint64_t comm_volume = 0;
+  double imbalance = 0.0;
+  std::vector<PartStats> parts;
+  /// True iff every part induces a connected subgraph.
+  bool all_parts_connected = true;
+};
+
+KwayQuality analyze_partition(const CsrGraph& g,
+                              std::span<const std::uint32_t> part,
+                              std::uint32_t parts);
+
+/// Convenience overload for bipartitions.
+KwayQuality analyze_partition(const CsrGraph& g, const Bipartition& part);
+
+}  // namespace sp::graph

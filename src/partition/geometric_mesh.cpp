@@ -1,0 +1,164 @@
+#include "partition/geometric_mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "geometry/sphere.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+#include "support/timer.hpp"
+
+namespace sp::partition {
+
+using geom::Vec2;
+using geom::Vec3;
+using graph::Bipartition;
+using graph::CsrGraph;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+
+/// Weighted quantile threshold of scalar values s: the t such that
+/// vertices with s <= t carry ~fraction of the total weight (0.5 = the
+/// median/bisection). Ties are pre-broken by a tiny deterministic
+/// per-vertex perturbation applied by the caller.
+double weighted_quantile(std::span<const double> s, std::span<const Weight> w,
+                         double fraction) {
+  std::vector<std::uint32_t> idx(s.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::sort(idx.begin(), idx.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return s[a] < s[b]; });
+  Weight total = 0;
+  for (std::uint32_t i : idx) total += w.empty() ? 1 : w[i];
+  double target = fraction * static_cast<double>(total);
+  double acc = 0;
+  for (std::uint32_t i : idx) {
+    acc += static_cast<double>(w.empty() ? 1 : w[i]);
+    if (acc >= target) return s[i];
+  }
+  return s.empty() ? 0.0 : s[idx.back()];
+}
+
+/// Cut size of the partition induced by sign(s - threshold).
+Weight cut_of_split(const CsrGraph& g, std::span<const double> s,
+                    double threshold) {
+  Weight cut2 = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    bool side_u = s[u] > threshold;
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights_of(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (side_u != (s[nbrs[k]] > threshold)) cut2 += ws[k];
+    }
+  }
+  return cut2 / 2;
+}
+
+/// Deterministic tiny tie-breaking noise (grids put many vertices on the
+/// same line; without this the median split can be wildly unbalanced).
+double jitter(VertexId v) {
+  return (static_cast<double>(hash64(v) >> 11) * 0x1.0p-53 - 0.5) * 1e-9;
+}
+
+}  // namespace
+
+GeometricMeshResult geometric_mesh_partition(const CsrGraph& g,
+                                             std::span<const Vec2> coords,
+                                             const GeometricMeshOptions& opt) {
+  const VertexId n = g.num_vertices();
+  SP_ASSERT(coords.size() == n);
+  GeometricMeshResult best;
+  best.cut = std::numeric_limits<Weight>::max();
+  if (n == 0) {
+    best.cut = 0;
+    return best;
+  }
+
+  Rng rng(opt.seed);
+
+  // Normalize: centre at the centroid and scale to unit RMS radius so the
+  // stereographic lift spreads points over the sphere instead of crowding
+  // one pole.
+  Vec2 centroid{};
+  for (const Vec2& p : coords) centroid += p;
+  centroid /= static_cast<double>(n);
+  double rms = 0.0;
+  for (const Vec2& p : coords) rms += geom::distance2(p, centroid);
+  rms = std::sqrt(rms / static_cast<double>(n));
+  double inv_scale = rms > 1e-300 ? 1.0 / rms : 1.0;
+
+  std::vector<Vec3> lifted(n);
+  for (VertexId v = 0; v < n; ++v) {
+    lifted[v] = geom::stereo_up((coords[v] - centroid) * inv_scale);
+  }
+
+  auto weights = std::span<const Weight>(g.vertex_weights());
+  std::vector<double> s(n);
+
+  auto consider = [&](std::span<const double> values, bool is_line) {
+    double threshold = weighted_quantile(values, weights, opt.split_fraction);
+    Weight cut = cut_of_split(g, values, threshold);
+    ++best.tries;
+    if (cut < best.cut) {
+      best.cut = cut;
+      best.winner_is_line = is_line;
+      best.part = Bipartition(n);
+      best.separator_distance.assign(n, 0.0);
+      for (VertexId v = 0; v < n; ++v) {
+        best.part[v] = values[v] > threshold ? 1 : 0;
+        best.separator_distance[v] = values[v] - threshold;
+      }
+    }
+  };
+
+  // Great-circle separators, opt.num_centerpoints independent conformal
+  // centrings.
+  for (std::uint32_t c = 0; c < opt.num_centerpoints; ++c) {
+    Vec3 cp = geom::approximate_centerpoint(lifted, rng, opt.centerpoint_sample);
+    // Guard: the iterated-Radon approximation can land outside the ball on
+    // adversarial inputs; pull it inside.
+    if (cp.norm() >= 0.999) cp = cp * (0.999 / cp.norm());
+    geom::ConformalMap map(cp);
+    std::vector<Vec3> mapped(n);
+    for (VertexId v = 0; v < n; ++v) mapped[v] = map.apply(lifted[v]);
+
+    for (std::uint32_t t = 0; t < opt.circles_per_centerpoint; ++t) {
+      Vec3 u = geom::random_unit_vector(rng);
+      for (VertexId v = 0; v < n; ++v) s[v] = u.dot(mapped[v]) + jitter(v);
+      consider(s, /*is_line=*/false);
+    }
+  }
+
+  // Line separators: random directions in the plane, median split.
+  for (std::uint32_t t = 0; t < opt.num_lines; ++t) {
+    double angle = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    Vec2 dir = geom::vec2(std::cos(angle), std::sin(angle));
+    for (VertexId v = 0; v < n; ++v) s[v] = dir.dot(coords[v]) + jitter(v);
+    consider(s, /*is_line=*/true);
+  }
+
+  // Optional axis-aligned median cut (cheap extra candidate in G30).
+  if (opt.axis_cut) {
+    for (VertexId v = 0; v < n; ++v) s[v] = coords[v][0] + jitter(v);
+    consider(s, /*is_line=*/true);
+  }
+
+  return best;
+}
+
+PartitionResult gmt_partition(const CsrGraph& g, std::span<const Vec2> coords,
+                              const GeometricMeshOptions& opt,
+                              const std::string& method_name) {
+  WallTimer timer;
+  GeometricMeshResult r = geometric_mesh_partition(g, coords, opt);
+  PartitionResult result;
+  result.part = std::move(r.part);
+  result.report = evaluate(g, result.part);
+  result.seconds = timer.seconds();
+  result.method = method_name;
+  return result;
+}
+
+}  // namespace sp::partition

@@ -1,0 +1,130 @@
+#include "partition/multilevel_kl.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "refine/fm.hpp"
+#include "refine/greedy.hpp"
+#include "refine/strip.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+#include "support/timer.hpp"
+
+namespace sp::partition {
+
+using graph::Bipartition;
+using graph::CsrGraph;
+using graph::VertexId;
+using graph::Weight;
+
+Bipartition greedy_graph_growing(const CsrGraph& g, VertexId seed_vertex) {
+  const VertexId n = g.num_vertices();
+  SP_ASSERT(seed_vertex < n);
+  Bipartition part(n);
+  for (VertexId v = 0; v < n; ++v) part[v] = 1;  // grow side 0 from the seed
+
+  const Weight half = g.total_vertex_weight() / 2;
+  Weight grown = 0;
+
+  // Priority: vertices with the largest (internal - external) connectivity
+  // to the grown region first — the classic GGGP gain function.
+  std::priority_queue<std::pair<Weight, VertexId>> frontier;
+  std::vector<bool> in_queue(n, false);
+  std::vector<Weight> gain(n, 0);
+
+  auto absorb = [&](VertexId v) {
+    part[v] = 0;
+    grown += g.vertex_weight(v);
+    auto nbrs = g.neighbors(v);
+    auto ws = g.edge_weights_of(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      VertexId u = nbrs[k];
+      if (part[u] == 0) continue;
+      gain[u] += 2 * ws[k];
+      frontier.emplace(gain[u], u);  // lazy update; stale entries skipped
+      in_queue[u] = true;
+    }
+  };
+
+  absorb(seed_vertex);
+  while (grown < half && !frontier.empty()) {
+    auto [priority, v] = frontier.top();
+    frontier.pop();
+    if (part[v] == 0 || priority != gain[v]) continue;  // stale
+    absorb(v);
+  }
+  // Disconnected graphs: frontier may dry up early; absorb arbitrary
+  // remaining vertices to reach balance.
+  for (VertexId v = 0; grown < half && v < n; ++v) {
+    if (part[v] == 1) absorb(v);
+  }
+  return part;
+}
+
+Bipartition initial_bisection(const CsrGraph& g, std::uint32_t tries,
+                              double epsilon, std::uint64_t seed) {
+  SP_ASSERT(g.num_vertices() >= 2);
+  Rng rng(seed);
+  Bipartition best;
+  Weight best_cut = std::numeric_limits<Weight>::max();
+  refine::FmOptions fm_opt;
+  fm_opt.epsilon = epsilon;
+  fm_opt.max_passes = 10;
+  for (std::uint32_t t = 0; t < std::max(1u, tries); ++t) {
+    auto seed_vertex = static_cast<VertexId>(rng.below(g.num_vertices()));
+    Bipartition part = greedy_graph_growing(g, seed_vertex);
+    refine::fm_refine(g, part, fm_opt);
+    Weight cut = cut_size(g, part);
+    if (cut < best_cut) {
+      best_cut = cut;
+      best = part;
+    }
+  }
+  return best;
+}
+
+PartitionResult multilevel_partition(const CsrGraph& g,
+                                     const MultilevelKLOptions& opt) {
+  WallTimer timer;
+  PartitionResult result;
+  result.method =
+      opt.preset == MlPreset::kParMetisLike ? "ParMetis-like" : "Pt-Scotch-like";
+
+  coarsen::HierarchyOptions hopt;
+  hopt.coarsest_size = opt.coarsest_size;
+  hopt.rounds_per_level = 1;  // classic halving for the baselines
+  hopt.seed = opt.seed;
+  coarsen::Hierarchy hierarchy = coarsen::Hierarchy::build(g, hopt);
+
+  Bipartition part = initial_bisection(hierarchy.coarsest(), opt.initial_tries,
+                                       opt.epsilon, opt.seed ^ 0xC0A53ull);
+
+  // Uncoarsen level by level with preset-specific refinement.
+  for (std::size_t level = hierarchy.num_levels() - 1; level > 0; --level) {
+    part = hierarchy.project(part, level, level - 1);
+    const CsrGraph& fine = hierarchy.graph_at(level - 1);
+    if (opt.preset == MlPreset::kParMetisLike) {
+      refine::greedy_refine(fine, part, opt.epsilon, opt.greedy_sweeps);
+    } else {
+      auto band = refine::hop_band(fine, part, opt.band_hops);
+      refine::FmOptions fm_opt;
+      fm_opt.epsilon = opt.epsilon;
+      fm_opt.max_passes = opt.fm_passes;
+      refine::fm_refine(fine, part, fm_opt, band);
+    }
+  }
+  // Single-level hierarchies (tiny graphs) still deserve refinement.
+  if (hierarchy.num_levels() == 1) {
+    refine::FmOptions fm_opt;
+    fm_opt.epsilon = opt.epsilon;
+    refine::fm_refine(g, part, fm_opt);
+  }
+
+  result.part = std::move(part);
+  result.report = evaluate(g, result.part);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace sp::partition

@@ -1,0 +1,43 @@
+// Parallel recursive coordinate bisection (single cut), Zoltan-style.
+//
+// The graph is block-distributed; each rank holds its slice of the input
+// coordinates. One bisection requires: a bounding-box reduction (pick the
+// wider axis), a sampled median (one allgather of a few thousand scalars),
+// and a final halo exchange + reduction to evaluate the cut — the same
+// communication pattern Zoltan's RCB uses per level, which is why the
+// paper's Figure 4 shows it as the fastest (and lowest-quality) scheme.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comm/engine.hpp"
+#include "geometry/vec.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/distributed_graph.hpp"
+
+namespace sp::partition {
+
+struct ParallelRcbOptions {
+  /// Bisection rounds of the iterative median search (Zoltan-style); each
+  /// round is one counting reduction.
+  std::uint32_t median_rounds = 40;
+  std::uint64_t seed = 5;
+};
+
+struct ParallelRcbResult {
+  /// Side per owned vertex of the rank's block.
+  std::vector<std::uint8_t> side;
+  graph::Weight cut = 0;
+};
+
+/// SPMD: rank r owns the block [view.global_begin(), view.global_end());
+/// `coords` is the full coordinate array but each rank reads only its
+/// block plus the ghost entries it pays to exchange.
+ParallelRcbResult parallel_rcb(comm::Comm& comm,
+                               const graph::LocalView& view,
+                               std::span<const geom::Vec2> coords,
+                               const ParallelRcbOptions& opt);
+
+}  // namespace sp::partition

@@ -1,0 +1,25 @@
+// Common result types for the partitioners.
+//
+// Every scheme in the evaluation (RCB, G30/G7/G7-NL, ParMetis-like,
+// Pt-Scotch-like, ScalaPart) produces a Bipartition plus a quality report;
+// schemes that run under the BSP runtime additionally report modeled
+// parallel time through comm::CommTrace (see src/comm).
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "graph/partition.hpp"
+
+namespace sp::partition {
+
+struct PartitionResult {
+  graph::Bipartition part;
+  graph::PartitionReport report;
+  /// Wall-clock seconds of the sequential computation (for reference; the
+  /// scaling figures use modeled time, not this).
+  double seconds = 0.0;
+  std::string method;
+};
+
+}  // namespace sp::partition

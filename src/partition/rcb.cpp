@@ -1,0 +1,112 @@
+#include "partition/rcb.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.hpp"
+#include "support/random.hpp"
+#include "support/timer.hpp"
+
+namespace sp::partition {
+
+using geom::Vec2;
+using graph::Bipartition;
+using graph::CsrGraph;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+
+/// Splits `idx` (indices into coords/weights) at the weighted median along
+/// `axis`; lower half stays in idx[0..split), upper in idx[split..).
+/// Returns split position. Ties on coordinate are broken by index hash so
+/// regular grids still split evenly.
+std::size_t weighted_median_split(std::vector<std::uint32_t>& idx,
+                                  std::span<const Vec2> coords,
+                                  std::span<const Weight> weights,
+                                  std::size_t axis, double target_fraction) {
+  auto key = [&](std::uint32_t i) {
+    return std::make_pair(coords[i][axis], hash64(i));
+  };
+  std::sort(idx.begin(), idx.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return key(a) < key(b); });
+  Weight total = 0;
+  for (std::uint32_t i : idx) total += weights.empty() ? 1 : weights[i];
+  const double target = target_fraction * static_cast<double>(total);
+  Weight acc = 0;
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    acc += weights.empty() ? 1 : weights[idx[k]];
+    if (static_cast<double>(acc) >= target) return k + 1;
+  }
+  return idx.size();
+}
+
+std::size_t wider_axis(std::span<const Vec2> coords,
+                       std::span<const std::uint32_t> idx) {
+  double lo[2] = {1e300, 1e300}, hi[2] = {-1e300, -1e300};
+  for (std::uint32_t i : idx) {
+    for (std::size_t a = 0; a < 2; ++a) {
+      lo[a] = std::min(lo[a], coords[i][a]);
+      hi[a] = std::max(hi[a], coords[i][a]);
+    }
+  }
+  return (hi[0] - lo[0] >= hi[1] - lo[1]) ? 0 : 1;
+}
+
+void rcb_recurse(std::vector<std::uint32_t> idx, std::span<const Vec2> coords,
+                 std::span<const Weight> weights, std::uint32_t parts,
+                 std::uint32_t first_part, std::vector<std::uint32_t>* out) {
+  if (parts == 1 || idx.size() <= 1) {
+    for (std::uint32_t i : idx) (*out)[i] = first_part;
+    return;
+  }
+  std::uint32_t left_parts = parts / 2;
+  double frac = static_cast<double>(left_parts) / static_cast<double>(parts);
+  std::size_t split = weighted_median_split(idx, coords, weights,
+                                            wider_axis(coords, idx), frac);
+  std::vector<std::uint32_t> right(idx.begin() + static_cast<std::ptrdiff_t>(split),
+                                   idx.end());
+  idx.resize(split);
+  rcb_recurse(std::move(idx), coords, weights, left_parts, first_part, out);
+  rcb_recurse(std::move(right), coords, weights, parts - left_parts,
+              first_part + left_parts, out);
+}
+
+}  // namespace
+
+Bipartition rcb_bisect(std::span<const Vec2> coords,
+                       std::span<const Weight> weights) {
+  const auto n = static_cast<VertexId>(coords.size());
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::size_t split =
+      weighted_median_split(idx, coords, weights, wider_axis(coords, idx), 0.5);
+  Bipartition part(n);
+  for (std::size_t k = split; k < idx.size(); ++k) part[idx[k]] = 1;
+  return part;
+}
+
+PartitionResult rcb_partition(const CsrGraph& g,
+                              std::span<const Vec2> coords) {
+  SP_ASSERT(coords.size() == g.num_vertices());
+  WallTimer timer;
+  PartitionResult result;
+  result.part = rcb_bisect(coords, g.vertex_weights());
+  result.report = evaluate(g, result.part);
+  result.seconds = timer.seconds();
+  result.method = "RCB";
+  return result;
+}
+
+std::vector<std::uint32_t> rcb_assign(std::span<const Vec2> coords,
+                                      std::span<const Weight> weights,
+                                      std::uint32_t parts) {
+  SP_ASSERT(parts >= 1);
+  std::vector<std::uint32_t> idx(coords.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::vector<std::uint32_t> out(coords.size(), 0);
+  rcb_recurse(std::move(idx), coords, weights, parts, 0, &out);
+  return out;
+}
+
+}  // namespace sp::partition

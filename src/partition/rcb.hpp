@@ -1,0 +1,37 @@
+// Recursive coordinate bisection (Berger-Bokhari; the scheme Zoltan ships).
+//
+// Splits the point set at the weighted median along the longest axis of
+// its bounding box, recursively. Fast and trivially parallel, but the cuts
+// ignore the edge structure entirely — the quality gap to the geometric
+// mesh partitioner in Table 2 comes from exactly that.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/vec.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/partition.hpp"
+#include "partition/partitioner.hpp"
+
+namespace sp::partition {
+
+/// Single bisection: weighted median split along the wider bounding-box
+/// axis. Deterministic.
+graph::Bipartition rcb_bisect(std::span<const geom::Vec2> coords,
+                              std::span<const graph::Weight> weights);
+
+/// Full RCB partitioner for a graph with coordinates (computes the cut).
+PartitionResult rcb_partition(const graph::CsrGraph& g,
+                              std::span<const geom::Vec2> coords);
+
+/// Recursive k-way assignment of points to `parts` parts (parts need not be
+/// a power of two; weights balanced proportionally). Used to map the
+/// coarsest embedded graph onto the processor grid, as the paper does with
+/// Zoltan's RCB.
+std::vector<std::uint32_t> rcb_assign(std::span<const geom::Vec2> coords,
+                                      std::span<const graph::Weight> weights,
+                                      std::uint32_t parts);
+
+}  // namespace sp::partition

@@ -1,0 +1,257 @@
+#include "refine/fm.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace sp::refine {
+
+using graph::Bipartition;
+using graph::CsrGraph;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+
+/// Doubly-linked bucket lists over gain values, one structure per side.
+/// Gains lie in [-pmax, pmax]; bucket index = gain + pmax. max_idx_ is a
+/// lazily-decremented pointer to the fullest nonempty bucket.
+class GainBuckets {
+ public:
+  GainBuckets(std::size_t n, Weight pmax)
+      : pmax_(pmax),
+        head_(static_cast<std::size_t>(2 * pmax + 1), -1),
+        next_(n, -1),
+        prev_(n, -1),
+        present_(n, false),
+        max_idx_(-1) {}
+
+  bool contains(VertexId v) const { return present_[v]; }
+
+  void insert(VertexId v, Weight gain) {
+    SP_ASSERT(!present_[v]);
+    auto idx = static_cast<std::int64_t>(gain + pmax_);
+    SP_ASSERT(idx >= 0 && idx < static_cast<std::int64_t>(head_.size()));
+    next_[v] = head_[static_cast<std::size_t>(idx)];
+    prev_[v] = -1;
+    if (next_[v] >= 0) prev_[static_cast<std::size_t>(next_[v])] = static_cast<std::int32_t>(v);
+    head_[static_cast<std::size_t>(idx)] = static_cast<std::int32_t>(v);
+    present_[v] = true;
+    max_idx_ = std::max(max_idx_, idx);
+  }
+
+  void erase(VertexId v, Weight gain) {
+    SP_ASSERT(present_[v]);
+    auto idx = static_cast<std::size_t>(gain + pmax_);
+    if (prev_[v] >= 0) {
+      next_[static_cast<std::size_t>(prev_[v])] = next_[v];
+    } else {
+      head_[idx] = next_[v];
+    }
+    if (next_[v] >= 0) prev_[static_cast<std::size_t>(next_[v])] = prev_[v];
+    present_[v] = false;
+  }
+
+  void update(VertexId v, Weight old_gain, Weight new_gain) {
+    erase(v, old_gain);
+    insert(v, new_gain);
+  }
+
+  /// Highest-gain vertex, or kInvalidVertex if empty.
+  VertexId top(Weight* gain) {
+    while (max_idx_ >= 0 && head_[static_cast<std::size_t>(max_idx_)] < 0) {
+      --max_idx_;
+    }
+    if (max_idx_ < 0) return graph::kInvalidVertex;
+    *gain = static_cast<Weight>(max_idx_) - pmax_;
+    return static_cast<VertexId>(head_[static_cast<std::size_t>(max_idx_)]);
+  }
+
+ private:
+  Weight pmax_;
+  std::vector<std::int32_t> head_;
+  std::vector<std::int32_t> next_;
+  std::vector<std::int32_t> prev_;
+  std::vector<bool> present_;
+  std::int64_t max_idx_;
+};
+
+}  // namespace
+
+FmResult fm_refine(const CsrGraph& g, Bipartition& part, const FmOptions& opt,
+                   std::span<const VertexId> movable) {
+  const VertexId n = g.num_vertices();
+  SP_ASSERT(part.size() == n);
+  FmResult result;
+  result.initial_cut = cut_size(g, part);
+  result.final_cut = result.initial_cut;
+  if (n < 2) return result;
+
+  std::vector<bool> is_movable(n, movable.empty());
+  Weight pmax = 0;
+  if (movable.empty()) {
+    for (VertexId v = 0; v < n; ++v) {
+      Weight wd = 0;
+      for (Weight w : g.edge_weights_of(v)) wd += w;
+      pmax = std::max(pmax, wd);
+    }
+  } else {
+    for (VertexId v : movable) {
+      SP_ASSERT(v < n);
+      is_movable[v] = true;
+      Weight wd = 0;
+      for (Weight w : g.edge_weights_of(v)) wd += w;
+      pmax = std::max(pmax, wd);
+    }
+  }
+  if (pmax == 0) return result;  // isolated movable vertices only
+
+  auto [w0, w1] = side_weights(g, part);
+  const Weight total = w0 + w1;
+  const double eps_cap = (1.0 + opt.epsilon) * static_cast<double>(total) / 2.0;
+  const double cap0 =
+      opt.side0_cap >= 0 ? static_cast<double>(opt.side0_cap) : eps_cap;
+  const double cap1 =
+      opt.side1_cap >= 0 ? static_cast<double>(opt.side1_cap) : eps_cap;
+  auto feasible = [&](Weight a, Weight b) {
+    return static_cast<double>(a) <= cap0 && static_cast<double>(b) <= cap1;
+  };
+
+  std::vector<Weight> gain(n, 0);
+  std::vector<bool> locked(n, false);
+  Weight cur_cut = result.initial_cut;
+
+  for (std::uint32_t pass = 0; pass < opt.max_passes; ++pass) {
+    // (Re)compute gains for movable vertices and fill the buckets.
+    GainBuckets buckets0(n, pmax);  // vertices currently on side 0
+    GainBuckets buckets1(n, pmax);
+    auto list = [&](auto&& fn) {
+      if (movable.empty()) {
+        for (VertexId v = 0; v < n; ++v) fn(v);
+      } else {
+        for (VertexId v : movable) fn(v);
+      }
+    };
+    list([&](VertexId v) {
+      Weight gain_v = 0;
+      auto nbrs = g.neighbors(v);
+      auto ws = g.edge_weights_of(v);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        gain_v += (part[v] != part[nbrs[k]]) ? ws[k] : -ws[k];
+      }
+      gain[v] = gain_v;
+      locked[v] = false;
+      (part[v] == 0 ? buckets0 : buckets1).insert(v, gain_v);
+    });
+
+    // Move log for rollback.
+    struct MoveRecord {
+      VertexId v;
+      Weight cut_after;
+      Weight w0_after, w1_after;
+    };
+    std::vector<MoveRecord> log;
+    Weight best_cut = cur_cut;
+    bool start_feasible = feasible(w0, w1);
+    std::size_t best_prefix = 0;
+    std::uint32_t negative_streak = 0;
+    Weight pass_w0 = w0, pass_w1 = w1;
+
+    for (;;) {
+      Weight g0 = std::numeric_limits<Weight>::min();
+      Weight g1 = std::numeric_limits<Weight>::min();
+      VertexId v0 = buckets0.top(&g0);
+      VertexId v1 = buckets1.top(&g1);
+      // Admissibility: moving from side s must keep (or restore) balance.
+      bool ok0 = v0 != graph::kInvalidVertex &&
+                 (feasible(pass_w0 - g.vertex_weight(v0),
+                           pass_w1 + g.vertex_weight(v0)) ||
+                  pass_w0 > pass_w1);  // escape infeasible starts
+      bool ok1 = v1 != graph::kInvalidVertex &&
+                 (feasible(pass_w0 + g.vertex_weight(v1),
+                           pass_w1 - g.vertex_weight(v1)) ||
+                  pass_w1 > pass_w0);
+      VertexId v;
+      if (ok0 && ok1) {
+        // Higher gain wins; tie-break toward the heavier side.
+        v = (g0 > g1 || (g0 == g1 && pass_w0 >= pass_w1)) ? v0 : v1;
+      } else if (ok0) {
+        v = v0;
+      } else if (ok1) {
+        v = v1;
+      } else {
+        break;
+      }
+
+      std::uint8_t from = part[v];
+      (from == 0 ? buckets0 : buckets1).erase(v, gain[v]);
+      locked[v] = true;
+      cur_cut -= gain[v];
+      part[v] = static_cast<std::uint8_t>(1 - from);
+      Weight vw = g.vertex_weight(v);
+      if (from == 0) {
+        pass_w0 -= vw;
+        pass_w1 += vw;
+      } else {
+        pass_w1 -= vw;
+        pass_w0 += vw;
+      }
+      // Update unlocked movable neighbours' gains.
+      auto nbrs = g.neighbors(v);
+      auto ws = g.edge_weights_of(v);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        VertexId u = nbrs[k];
+        if (!is_movable[u] || locked[u]) continue;
+        // v left `from`: u on `from` gains +2w, u on the other side -2w.
+        Weight delta = (part[u] == from) ? 2 * ws[k] : -2 * ws[k];
+        if (delta != 0) {
+          (part[u] == 0 ? buckets0 : buckets1).update(u, gain[u], gain[u] + delta);
+          gain[u] += delta;
+        }
+      }
+
+      log.push_back({v, cur_cut, pass_w0, pass_w1});
+      bool now_feasible = feasible(pass_w0, pass_w1);
+      // A prefix is preferable if it (a) fixes infeasibility, or (b) keeps
+      // feasibility (never trade it away) and strictly lowers the cut.
+      bool better =
+          (!start_feasible && now_feasible) ||
+          ((now_feasible || !start_feasible) && cur_cut < best_cut);
+      if (better) {
+        best_cut = cur_cut;
+        best_prefix = log.size();
+        start_feasible = start_feasible || now_feasible;
+        negative_streak = 0;
+      } else {
+        ++negative_streak;
+        if (opt.negative_move_limit != 0 &&
+            negative_streak >= opt.negative_move_limit) {
+          break;
+        }
+      }
+    }
+
+    // Roll back to the best prefix.
+    for (std::size_t i = log.size(); i > best_prefix; --i) {
+      VertexId v = log[i - 1].v;
+      part[v] = static_cast<std::uint8_t>(1 - part[v]);
+    }
+    if (best_prefix > 0) {
+      cur_cut = log[best_prefix - 1].cut_after;
+      w0 = log[best_prefix - 1].w0_after;
+      w1 = log[best_prefix - 1].w1_after;
+    } else {
+      cur_cut = result.final_cut;
+    }
+    result.moves_applied += best_prefix;
+    ++result.passes;
+    if (cur_cut >= result.final_cut && best_prefix == 0) break;  // converged
+    bool improved = cur_cut < result.final_cut;
+    result.final_cut = cur_cut;
+    if (!improved && pass > 0) break;
+  }
+  return result;
+}
+
+}  // namespace sp::refine

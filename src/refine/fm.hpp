@@ -1,0 +1,51 @@
+// Fiduccia-Mattheyses bipartition refinement.
+//
+// Classic bucket-gain FM: passes of single-vertex moves with locking and
+// best-prefix rollback, under a vertex-weight balance constraint. ScalaPart
+// applies FM to the geometric *strip* around a sphere separator (movable =
+// strip vertices only); the Pt-Scotch-like baseline applies it to a
+// hop-based band; the sequential multilevel baseline applies it per level.
+// The `movable` mask makes all three uses share this one engine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/partition.hpp"
+
+namespace sp::refine {
+
+struct FmOptions {
+  /// Allowed imbalance: max side weight <= (1 + epsilon) * total/2.
+  double epsilon = 0.05;
+  /// Absolute weight caps per side; when >= 0 they OVERRIDE epsilon. Used
+  /// when refining a subgraph under a constraint expressed on the full
+  /// graph (ScalaPart's strip refinement): the caller translates the
+  /// global balance window into asymmetric absolute caps on the strip.
+  graph::Weight side0_cap = -1;
+  graph::Weight side1_cap = -1;
+  /// Maximum improvement passes (each pass is one lock-all sweep).
+  std::uint32_t max_passes = 8;
+  /// Abandon a pass after this many consecutive non-improving moves
+  /// (bounds pass cost on large movable sets; 0 = unlimited).
+  std::uint32_t negative_move_limit = 400;
+};
+
+struct FmResult {
+  graph::Weight initial_cut = 0;
+  graph::Weight final_cut = 0;
+  std::uint32_t passes = 0;
+  std::uint64_t moves_applied = 0;  // after rollback
+};
+
+/// Refines `part` in place. `movable`: vertices allowed to move (empty span
+/// = every vertex). Never worsens the cut and never worsens balance beyond
+/// the epsilon cap (if the input already violates the cap, only
+/// balance-improving moves are admitted until it is met).
+FmResult fm_refine(const graph::CsrGraph& g, graph::Bipartition& part,
+                   const FmOptions& opt,
+                   std::span<const graph::VertexId> movable = {});
+
+}  // namespace sp::refine

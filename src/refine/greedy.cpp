@@ -1,0 +1,53 @@
+#include "refine/greedy.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace sp::refine {
+
+using graph::Bipartition;
+using graph::CsrGraph;
+using graph::VertexId;
+using graph::Weight;
+
+GreedyResult greedy_refine(const CsrGraph& g, Bipartition& part, double epsilon,
+                           std::uint32_t max_sweeps) {
+  GreedyResult result;
+  result.initial_cut = cut_size(g, part);
+  result.final_cut = result.initial_cut;
+  auto [w0, w1] = side_weights(g, part);
+  const double cap = (1.0 + epsilon) * static_cast<double>(w0 + w1) / 2.0;
+
+  for (std::uint32_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    Weight improvement = 0;
+    for (VertexId v : boundary_vertices(g, part)) {
+      Weight gain = 0;
+      auto nbrs = g.neighbors(v);
+      auto ws = g.edge_weights_of(v);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        gain += (part[v] != part[nbrs[k]]) ? ws[k] : -ws[k];
+      }
+      if (gain <= 0) continue;
+      Weight vw = g.vertex_weight(v);
+      Weight new_dest = (part[v] == 0 ? w1 : w0) + vw;
+      if (static_cast<double>(new_dest) > cap) continue;
+      if (part[v] == 0) {
+        w0 -= vw;
+        w1 += vw;
+      } else {
+        w1 -= vw;
+        w0 += vw;
+      }
+      part[v] = static_cast<std::uint8_t>(1 - part[v]);
+      improvement += gain;
+    }
+    ++result.sweeps;
+    result.final_cut -= improvement;
+    if (improvement == 0) break;
+  }
+  SP_ASSERT(result.final_cut == cut_size(g, part));
+  return result;
+}
+
+}  // namespace sp::refine

@@ -1,0 +1,25 @@
+// Boundary-greedy refinement: the cheap single-sweep scheme standing in
+// for ParMetis's coarse refinement. Each sweep scans boundary vertices and
+// flips any whose move strictly reduces the cut without breaking balance.
+// No hill-climbing, no rollback — fast and distinctly weaker than FM,
+// which is exactly the quality/speed trade-off the paper attributes to
+// ParMetis ("a trade-off in favor of faster coarsening and refinement").
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "graph/partition.hpp"
+
+namespace sp::refine {
+
+struct GreedyResult {
+  graph::Weight initial_cut = 0;
+  graph::Weight final_cut = 0;
+  std::uint32_t sweeps = 0;
+};
+
+GreedyResult greedy_refine(const graph::CsrGraph& g, graph::Bipartition& part,
+                           double epsilon = 0.05, std::uint32_t max_sweeps = 2);
+
+}  // namespace sp::refine

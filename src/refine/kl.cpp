@@ -1,0 +1,138 @@
+#include "refine/kl.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace sp::refine {
+
+using graph::Bipartition;
+using graph::CsrGraph;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+
+/// D value: external minus internal weighted degree.
+Weight d_value(const CsrGraph& g, const Bipartition& part, VertexId v) {
+  Weight d = 0;
+  auto nbrs = g.neighbors(v);
+  auto ws = g.edge_weights_of(v);
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    d += (part[v] != part[nbrs[k]]) ? ws[k] : -ws[k];
+  }
+  return d;
+}
+
+Weight edge_weight_between(const CsrGraph& g, VertexId a, VertexId b) {
+  auto nbrs = g.neighbors(a);
+  auto ws = g.edge_weights_of(a);
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    if (nbrs[k] == b) return ws[k];
+  }
+  return 0;
+}
+
+}  // namespace
+
+KlResult kl_refine(const CsrGraph& g, Bipartition& part, const KlOptions& opt) {
+  KlResult result;
+  result.initial_cut = cut_size(g, part);
+  result.final_cut = result.initial_cut;
+  const VertexId n = g.num_vertices();
+  if (n < 2) return result;
+
+  for (std::uint32_t pass = 0; pass < opt.max_passes; ++pass) {
+    // Candidates: boundary vertices and their neighbours, same weight
+    // required for weight-preserving swaps; split per side, capped.
+    auto boundary = boundary_vertices(g, part);
+    std::vector<bool> candidate(n, false);
+    for (VertexId v : boundary) {
+      candidate[v] = true;
+      for (VertexId u : g.neighbors(v)) candidate[u] = true;
+    }
+    std::vector<VertexId> side_a, side_b;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!candidate[v]) continue;
+      (part[v] == 0 ? side_a : side_b).push_back(v);
+      if (side_a.size() >= opt.max_candidates &&
+          side_b.size() >= opt.max_candidates) {
+        break;
+      }
+    }
+    if (side_a.size() > opt.max_candidates) side_a.resize(opt.max_candidates);
+    if (side_b.size() > opt.max_candidates) side_b.resize(opt.max_candidates);
+    if (side_a.empty() || side_b.empty()) break;
+
+    std::vector<Weight> d(n, 0);
+    std::vector<bool> locked(n, false);
+    for (VertexId v : side_a) d[v] = d_value(g, part, v);
+    for (VertexId v : side_b) d[v] = d_value(g, part, v);
+
+    struct SwapRecord {
+      VertexId a, b;
+      Weight gain;
+    };
+    std::vector<SwapRecord> log;
+    Weight running = 0, best_running = 0;
+    std::size_t best_prefix = 0;
+
+    const std::size_t steps = std::min(side_a.size(), side_b.size());
+    for (std::size_t step = 0; step < steps; ++step) {
+      // Best unlocked same-weight pair.
+      Weight best_gain = std::numeric_limits<Weight>::min();
+      VertexId best_a = graph::kInvalidVertex, best_b = graph::kInvalidVertex;
+      for (VertexId a : side_a) {
+        if (locked[a]) continue;
+        for (VertexId b : side_b) {
+          if (locked[b]) continue;
+          if (g.vertex_weight(a) != g.vertex_weight(b)) continue;
+          Weight gain = d[a] + d[b] - 2 * edge_weight_between(g, a, b);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+      if (best_a == graph::kInvalidVertex) break;
+      // Tentatively swap; update D values of unlocked candidates.
+      locked[best_a] = locked[best_b] = true;
+      part[best_a] = 1;
+      part[best_b] = 0;
+      auto update = [&](VertexId moved) {
+        auto nbrs = g.neighbors(moved);
+        for (VertexId u : nbrs) {
+          if (!locked[u] && candidate[u]) d[u] = d_value(g, part, u);
+        }
+        d[moved] = d_value(g, part, moved);
+      };
+      update(best_a);
+      update(best_b);
+      running += best_gain;
+      log.push_back({best_a, best_b, best_gain});
+      if (running > best_running) {
+        best_running = running;
+        best_prefix = log.size();
+      }
+    }
+
+    // Roll back past the best prefix.
+    for (std::size_t i = log.size(); i > best_prefix; --i) {
+      part[log[i - 1].a] = 0;
+      part[log[i - 1].b] = 1;
+    }
+    result.swaps_applied += best_prefix;
+    ++result.passes;
+    if (best_running <= 0) {
+      // No improvement: everything was rolled back; stop.
+      break;
+    }
+    result.final_cut -= best_running;
+  }
+  SP_ASSERT(result.final_cut == cut_size(g, part));
+  return result;
+}
+
+}  // namespace sp::refine

@@ -1,0 +1,39 @@
+// Kernighan-Lin pairwise-swap refinement.
+//
+// The historical ancestor of FM (the paper cites [21]); swaps one vertex
+// from each side per step, which preserves side weights exactly — useful
+// when the balance must not drift at all (FM's single moves wiggle it
+// within epsilon). Quadratic in the candidate set, so candidates are
+// restricted to the boundary neighbourhood on large graphs. Provided both
+// for completeness and as an exact-balance alternative in the k-way
+// driver's toolbox.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "graph/partition.hpp"
+
+namespace sp::refine {
+
+struct KlOptions {
+  std::uint32_t max_passes = 4;
+  /// Cap on candidate vertices per side per pass (boundary-nearest are
+  /// kept; bounds the quadratic pair search).
+  std::size_t max_candidates = 400;
+};
+
+struct KlResult {
+  graph::Weight initial_cut = 0;
+  graph::Weight final_cut = 0;
+  std::uint32_t passes = 0;
+  std::uint64_t swaps_applied = 0;
+};
+
+/// Refines `part` in place with weight-preserving swaps. Never worsens the
+/// cut; never changes side weights (only unit-weight swaps are applied on
+/// weighted graphs when the two vertices weigh the same).
+KlResult kl_refine(const graph::CsrGraph& g, graph::Bipartition& part,
+                   const KlOptions& opt = {});
+
+}  // namespace sp::refine

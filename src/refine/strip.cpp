@@ -1,0 +1,49 @@
+#include "refine/strip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace sp::refine {
+
+using graph::Bipartition;
+using graph::CsrGraph;
+using graph::VertexId;
+
+std::vector<VertexId> geometric_strip(const CsrGraph& g,
+                                      const Bipartition& part,
+                                      std::span<const double> separator_distance,
+                                      double strip_factor,
+                                      std::size_t min_size) {
+  SP_ASSERT(separator_distance.size() == g.num_vertices());
+  auto boundary = boundary_vertices(g, part);
+  std::size_t target = std::max<std::size_t>(
+      min_size,
+      static_cast<std::size_t>(strip_factor * static_cast<double>(boundary.size())));
+  target = std::min<std::size_t>(target, g.num_vertices());
+
+  std::vector<VertexId> order(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) order[v] = v;
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(target - 1),
+                   order.end(), [&](VertexId a, VertexId b) {
+                     return std::abs(separator_distance[a]) <
+                            std::abs(separator_distance[b]);
+                   });
+  order.resize(target);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+std::vector<VertexId> hop_band(const CsrGraph& g, const Bipartition& part,
+                               std::uint32_t hops) {
+  auto boundary = boundary_vertices(g, part);
+  auto dist = bfs_distance(g, boundary);
+  std::vector<VertexId> band;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (dist[v] <= hops) band.push_back(v);
+  }
+  return band;
+}
+
+}  // namespace sp::refine

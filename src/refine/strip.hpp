@@ -1,0 +1,36 @@
+// Separator-neighbourhood extraction for localized refinement.
+//
+// ScalaPart refines only a *strip* of vertices geometrically close to the
+// separating circle ("we select a strip using coordinate information",
+// Sec. 3) — the strip typically holds a small multiple of the separator
+// size, so FM on it costs O(|S|), not O(N). For comparison (and for the
+// Pt-Scotch-like baseline) a hop-based *band* a la Pt-Scotch's band graphs
+// is provided as well.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/partition.hpp"
+
+namespace sp::refine {
+
+/// Geometric strip: the `strip_factor * max(|boundary|, min_size)` vertices
+/// with the smallest |separator_distance|. `separator_distance[v]` is any
+/// signed geometric distance of v from the separating surface (ScalaPart
+/// uses the great-circle margin u.p - threshold). Result is sorted by
+/// vertex id.
+std::vector<graph::VertexId> geometric_strip(
+    const graph::CsrGraph& g, const graph::Bipartition& part,
+    std::span<const double> separator_distance, double strip_factor = 6.0,
+    std::size_t min_size = 64);
+
+/// Hop-based band (Pt-Scotch style): vertices within `hops` BFS hops of a
+/// separator endpoint. Sorted by vertex id.
+std::vector<graph::VertexId> hop_band(const graph::CsrGraph& g,
+                                      const graph::Bipartition& part,
+                                      std::uint32_t hops = 3);
+
+}  // namespace sp::refine

@@ -1,0 +1,44 @@
+// Minimal leveled logging to stderr.
+//
+// The experiment harnesses print their tables to stdout; diagnostics go
+// through this logger so output streams never interleave. Thread-safe: the
+// BSP engine's ranks log concurrently.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Core sink; prefix and thread-safe write. Prefer the SP_LOG macro.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace sp
+
+#define SP_LOG(level) ::sp::detail::LogLine(::sp::LogLevel::level)

@@ -1,0 +1,38 @@
+// Tiny command-line option parser for the examples and bench harnesses.
+//
+// Supports "--key=value", "--key value" and boolean "--flag". Unknown keys
+// are an error so typos in experiment sweeps fail loudly instead of running
+// the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sp {
+
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Positional (non --key) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys that were provided but never queried; call at end of main to warn
+  /// about typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sp

@@ -1,0 +1,102 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/assert.hpp"
+
+namespace sp {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double geometric_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  // Log-sum formulation avoids overflow on products of large cut sizes.
+  double logsum = 0.0;
+  for (double x : xs) {
+    SP_ASSERT_MSG(x > 0.0, "geometric_mean requires positive values");
+    logsum += std::log(x);
+  }
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double min_of(std::span<const double> xs) {
+  SP_ASSERT(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  SP_ASSERT(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  SP_ASSERT(!xs.empty());
+  SP_ASSERT(p >= 0.0 && p <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  double idx = p * static_cast<double>(xs.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(idx);
+  std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+void RunningStats::add(double x) {
+  // Welford's online algorithm.
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+std::string with_commas(long long value) {
+  bool negative = value < 0;
+  unsigned long long v =
+      negative ? 0ull - static_cast<unsigned long long>(value)
+               : static_cast<unsigned long long>(value);
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace sp

@@ -1,0 +1,45 @@
+// Small statistics helpers used by the experiment harnesses: the paper
+// reports geometric means of relative cut-sizes (Tables 2-3) and min/max
+// ranges across processor counts, so those are first-class here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sp {
+
+double mean(std::span<const double> xs);
+double geometric_mean(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+/// p in [0,1]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double p);
+
+/// Accumulates a running summary without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width numeric formatting for table output ("1,234" style thousands
+/// separators as used in the paper's Table 3).
+std::string with_commas(long long value);
+std::string fixed(double value, int decimals);
+
+}  // namespace sp

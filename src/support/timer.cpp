@@ -1,0 +1,4 @@
+#include "support/timer.hpp"
+
+// Header-only today; this TU anchors the library target and reserves a home
+// for platform-specific timing (e.g. rdtsc calibration) if it is needed.

@@ -1,0 +1,44 @@
+// Wall-clock timing helpers.
+//
+// WallTimer measures real elapsed time for coarse experiment harness use.
+// ScopedTimer accumulates into a double, which is how the pipeline collects
+// per-stage (coarsen / embed / partition) breakdowns reported in Figures
+// 7-8 of the paper.
+#pragma once
+
+#include <chrono>
+
+namespace sp {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Adds the lifetime of the scope to *sink on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() {
+    if (sink_) *sink_ += timer_.seconds();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace sp

@@ -1,0 +1,60 @@
+// API-contract tests: misuse must fail loudly (SP_ASSERT aborts), and
+// randomized configurations must stay within the documented guarantees.
+#include <gtest/gtest.h>
+
+#include "core/scalapart.hpp"
+#include "embed/lattice_parallel.hpp"
+#include "graph/generators.hpp"
+#include "support/random.hpp"
+
+namespace sp {
+namespace {
+
+using graph::VertexId;
+
+TEST(ApiContracts, NonPowerOfTwoRanksAborts) {
+  auto g = graph::gen::cycle(64).graph;
+  core::ScalaPartOptions opt;
+  opt.nranks = 6;
+  EXPECT_DEATH(core::scalapart_partition(g, opt), "power of two");
+}
+
+TEST(ApiContracts, MismatchedCoordsAborts) {
+  auto g = graph::gen::cycle(64).graph;
+  std::vector<geom::Vec2> too_few(10);
+  core::ScalaPartOptions opt;
+  opt.nranks = 4;
+  EXPECT_DEATH(core::sp_pg7nl_partition(g, too_few, opt), "");
+}
+
+TEST(ApiContracts, GridShapeRejectsNonPowerOfTwo) {
+  EXPECT_DEATH(embed::grid_shape(12), "power of two");
+}
+
+TEST(ApiContracts, BuilderRejectsOutOfRangeVertex) {
+  graph::GraphBuilder b(4);
+  EXPECT_DEATH(b.add_edge(0, 7), "");
+}
+
+// Randomized configuration sweep: any (seed, P, block, iters) combination
+// must produce a balanced, deterministic partition.
+TEST(ApiContracts, RandomConfigurationsHoldGuarantees) {
+  auto g = graph::gen::delaunay(1200, 5).graph;
+  Rng rng(2026);
+  for (int trial = 0; trial < 5; ++trial) {
+    core::ScalaPartOptions opt;
+    opt.nranks = 1u << rng.below(7);  // 1..64
+    opt.seed = rng();
+    opt.embed.stale_block = 1 + static_cast<std::uint32_t>(rng.below(8));
+    opt.embed.smooth_iterations =
+        10 + static_cast<std::uint32_t>(rng.below(40));
+    auto a = core::scalapart_partition(g, opt);
+    auto b = core::scalapart_partition(g, opt);
+    EXPECT_EQ(a.report.cut, b.report.cut) << "trial " << trial;
+    EXPECT_LE(a.report.imbalance, 0.055) << "trial " << trial;
+    EXPECT_GT(a.report.cut, 0) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace sp

@@ -1,0 +1,103 @@
+// Tests for the load-balanced rectilinear grid (the RCB-style processor
+// mapping of the embedding lattice).
+#include <gtest/gtest.h>
+
+#include "geometry/balanced_grid.hpp"
+#include "support/random.hpp"
+
+namespace sp::geom {
+namespace {
+
+Box unit_box() {
+  Box b;
+  b.expand(vec2(0, 0));
+  b.expand(vec2(1, 1));
+  return b;
+}
+
+TEST(BalancedGrid, UniformFallbackMatchesUniformLattice) {
+  BalancedGrid grid(unit_box(), 4, 4, {});
+  auto [r, c] = grid.cell_of(vec2(0.9, 0.1));
+  EXPECT_EQ(r, 0u);
+  EXPECT_EQ(c, 3u);
+  Box cell = grid.cell_box(0, 3);
+  EXPECT_DOUBLE_EQ(cell.lo[0], 0.75);
+  EXPECT_DOUBLE_EQ(cell.hi[0], 1.0);
+}
+
+TEST(BalancedGrid, BalancesSkewedDensity) {
+  // 90% of points crowd the lower-left corner; a 4x4 balanced grid should
+  // still give every cell a reasonable share.
+  Rng rng(1);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 9000; ++i) {
+    pts.push_back(vec2(rng.uniform(0.0, 0.1), rng.uniform(0.0, 0.1)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    pts.push_back(vec2(rng.uniform(), rng.uniform()));
+  }
+  BalancedGrid grid(unit_box(), 4, 4, pts);
+  std::vector<std::size_t> counts(16, 0);
+  for (const Vec2& p : pts) ++counts[grid.cell_index(p)];
+  auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*lo, pts.size() / 64) << "a cell is starved";
+  EXPECT_LT(*hi, pts.size() / 4) << "a cell is overloaded";
+}
+
+TEST(BalancedGrid, CellOfAndCellBoxAgree) {
+  Rng rng(2);
+  std::vector<Vec2> sample;
+  for (int i = 0; i < 2000; ++i) {
+    sample.push_back(vec2(rng.uniform(), std::pow(rng.uniform(), 3.0)));
+  }
+  BalancedGrid grid(unit_box(), 3, 5, sample);
+  for (int i = 0; i < 500; ++i) {
+    Vec2 p = vec2(rng.uniform(), rng.uniform());
+    auto [r, c] = grid.cell_of(p);
+    Box cell = grid.cell_box(r, c);
+    EXPECT_GE(p[0], cell.lo[0] - 1e-12);
+    EXPECT_LE(p[0], cell.hi[0] + 1e-12);
+    EXPECT_GE(p[1], cell.lo[1] - 1e-12);
+    EXPECT_LE(p[1], cell.hi[1] + 1e-12);
+  }
+}
+
+TEST(BalancedGrid, ClampToNeighborStaysAdjacent) {
+  Rng rng(3);
+  std::vector<Vec2> sample;
+  for (int i = 0; i < 2000; ++i) {
+    sample.push_back(vec2(rng.uniform(), rng.uniform()));
+  }
+  BalancedGrid grid(unit_box(), 4, 4, sample);
+  for (int i = 0; i < 300; ++i) {
+    auto owner_r = static_cast<std::uint32_t>(rng.below(4));
+    auto owner_c = static_cast<std::uint32_t>(rng.below(4));
+    Vec2 ghost = vec2(rng.uniform(), rng.uniform());
+    Vec2 clamped = grid.clamp_to_neighbor(owner_r, owner_c, ghost);
+    auto [r, c] = grid.cell_of(clamped);
+    EXPECT_LE(std::abs(static_cast<int>(r) - static_cast<int>(owner_r)), 1);
+    EXPECT_LE(std::abs(static_cast<int>(c) - static_cast<int>(owner_c)), 1);
+  }
+}
+
+TEST(BalancedGrid, DegenerateAtomicCoordinates) {
+  // All sample points identical: strict-monotonic boundary repair must
+  // keep cell_of well defined for arbitrary queries.
+  std::vector<Vec2> sample(100, vec2(0.5, 0.5));
+  BalancedGrid grid(unit_box(), 4, 4, sample);
+  auto [r, c] = grid.cell_of(vec2(0.25, 0.75));
+  EXPECT_LT(r, 4u);
+  EXPECT_LT(c, 4u);
+}
+
+TEST(BalancedGrid, SingleCell) {
+  BalancedGrid grid(unit_box(), 1, 1, {});
+  EXPECT_EQ(grid.cell_index(vec2(0.3, 0.9)), 0u);
+  Vec2 clamped = grid.clamp_to_neighbor(0, 0, vec2(5, -3));
+  auto [r, c] = grid.cell_of(clamped);
+  EXPECT_EQ(r, 0u);
+  EXPECT_EQ(c, 0u);
+}
+
+}  // namespace
+}  // namespace sp::geom

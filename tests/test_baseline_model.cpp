@@ -1,0 +1,95 @@
+// Tests for the modeled baseline times (ParMetis-like / Pt-Scotch-like).
+#include <gtest/gtest.h>
+
+#include "core/baseline_model.hpp"
+#include "graph/generators.hpp"
+
+namespace sp::core {
+namespace {
+
+coarsen::Hierarchy baseline_hierarchy(const graph::CsrGraph& g) {
+  coarsen::HierarchyOptions opt;
+  opt.coarsest_size = 160;
+  opt.rounds_per_level = 1;
+  return coarsen::Hierarchy::build(g, opt);
+}
+
+TEST(BaselineModel, PositiveAndDecomposed) {
+  auto g = graph::gen::delaunay(5000, 1).graph;
+  auto h = baseline_hierarchy(g);
+  auto t = modeled_multilevel_time(h, 16, partition::MlPreset::kPtScotchLike,
+                                   comm::CostModel::nehalem_qdr());
+  EXPECT_GT(t.coarsen_seconds, 0.0);
+  EXPECT_GT(t.initial_seconds, 0.0);
+  EXPECT_GT(t.refine_seconds, 0.0);
+  EXPECT_NEAR(t.total(),
+              t.coarsen_seconds + t.initial_seconds + t.refine_seconds, 1e-15);
+}
+
+TEST(BaselineModel, SpeedsUpThenSaturates) {
+  auto g = graph::gen::delaunay(8000, 2).graph;
+  auto h = baseline_hierarchy(g);
+  auto model = comm::CostModel::nehalem_qdr();
+  double t1 = modeled_multilevel_time(h, 1, partition::MlPreset::kParMetisLike,
+                                      model)
+                  .total();
+  double t16 = modeled_multilevel_time(
+                   h, 16, partition::MlPreset::kParMetisLike, model)
+                   .total();
+  EXPECT_LT(t16, t1);  // fixed-size speedup at moderate P
+}
+
+TEST(BaselineModel, PtScotchScalesWorseThanParMetis) {
+  // The paper's central comparison: at high P, Pt-Scotch's refinement
+  // synchronization dominates; ParMetis stays cheaper.
+  auto g = graph::gen::delaunay(8000, 3).graph;
+  auto h = baseline_hierarchy(g);
+  auto model = comm::CostModel::nehalem_qdr();
+  double ps = modeled_multilevel_time(h, 1024,
+                                      partition::MlPreset::kPtScotchLike, model)
+                  .total();
+  double pm = modeled_multilevel_time(
+                  h, 1024, partition::MlPreset::kParMetisLike, model)
+                  .total();
+  EXPECT_GT(ps, pm);
+  // And at P = 1 Pt-Scotch is slower but by a smaller *relative* margin
+  // than at 1024 (scaling gap widens).
+  double ps1 = modeled_multilevel_time(h, 1, partition::MlPreset::kPtScotchLike,
+                                       model)
+                   .total();
+  double pm1 = modeled_multilevel_time(
+                   h, 1, partition::MlPreset::kParMetisLike, model)
+                   .total();
+  EXPECT_GT(ps / pm, ps1 / pm1);
+}
+
+TEST(BaselineModel, LatencyTermGrowsWithP) {
+  auto g = graph::gen::delaunay(4000, 4).graph;
+  auto h = baseline_hierarchy(g);
+  auto model = comm::CostModel::nehalem_qdr();
+  double t256 = modeled_multilevel_time(
+                    h, 256, partition::MlPreset::kPtScotchLike, model)
+                    .refine_seconds;
+  double t1024 = modeled_multilevel_time(
+                     h, 1024, partition::MlPreset::kPtScotchLike, model)
+                     .refine_seconds;
+  // Refinement latency cost does not vanish with more ranks.
+  EXPECT_GE(t1024, 0.8 * t256);
+}
+
+TEST(BaselineModel, FreeNetworkRemovesCommCosts) {
+  auto g = graph::gen::delaunay(4000, 5).graph;
+  auto h = baseline_hierarchy(g);
+  double with = modeled_multilevel_time(
+                    h, 64, partition::MlPreset::kPtScotchLike,
+                    comm::CostModel::nehalem_qdr())
+                    .total();
+  double without = modeled_multilevel_time(
+                       h, 64, partition::MlPreset::kPtScotchLike,
+                       comm::CostModel::free_network())
+                       .total();
+  EXPECT_LT(without, with);
+}
+
+}  // namespace
+}  // namespace sp::core

@@ -1,0 +1,118 @@
+// Tests for the sequential multilevel Barnes-Hut embedder: the embedding
+// quality proxy is that geometric partitioners on the produced coordinates
+// find cuts close to those on the generator's true mesh coordinates.
+#include <gtest/gtest.h>
+
+#include "embed/bh_embedder.hpp"
+#include "geometry/box.hpp"
+#include "support/random.hpp"
+#include "graph/generators.hpp"
+#include "partition/rcb.hpp"
+
+namespace sp::embed {
+namespace {
+
+using graph::VertexId;
+
+TEST(BhEmbedder, OutputNormalised) {
+  auto g = graph::gen::delaunay(800, 1).graph;
+  BhEmbedderOptions opt;
+  auto coords = bh_embed(g, opt);
+  ASSERT_EQ(coords.size(), g.num_vertices());
+  geom::Vec2 centroid{};
+  for (const auto& p : coords) centroid += p;
+  centroid /= static_cast<double>(coords.size());
+  EXPECT_LT(centroid.norm(), 1e-6);
+  double rms = 0;
+  for (const auto& p : coords) rms += p.norm2();
+  rms = std::sqrt(rms / static_cast<double>(coords.size()));
+  EXPECT_NEAR(rms, 1.0, 1e-6);
+}
+
+TEST(BhEmbedder, Deterministic) {
+  auto g = graph::gen::grid2d(15, 15).graph;
+  BhEmbedderOptions opt;
+  opt.seed = 5;
+  auto a = bh_embed(g, opt);
+  auto b = bh_embed(g, opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i][0], b[i][0]);
+  }
+}
+
+TEST(BhEmbedder, TrivialInputs) {
+  graph::CsrGraph empty;
+  EXPECT_TRUE(bh_embed(empty, {}).empty());
+  auto one = graph::gen::cycle(3).graph;  // smallest valid generator input
+  auto coords = bh_embed(one, {});
+  EXPECT_EQ(coords.size(), 3u);
+}
+
+// Embedding quality: edges should be short relative to random pairs —
+// the defining property of a force-directed layout.
+TEST(BhEmbedder, EdgesShorterThanRandomPairs) {
+  auto g = graph::gen::delaunay(1500, 3).graph;
+  BhEmbedderOptions opt;
+  opt.smooth_iterations = 40;
+  auto coords = bh_embed(g, opt);
+  double edge_len = 0;
+  std::size_t edges = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (u > v) {
+        edge_len += geom::distance(coords[v], coords[u]);
+        ++edges;
+      }
+    }
+  }
+  edge_len /= static_cast<double>(edges);
+  double random_len = 0;
+  for (VertexId i = 0; i < 1000; ++i) {
+    VertexId a = static_cast<VertexId>(hash64(i) % g.num_vertices());
+    VertexId b = static_cast<VertexId>(hash64(i + 7777) % g.num_vertices());
+    random_len += geom::distance(coords[a], coords[b]);
+  }
+  random_len /= 1000.0;
+  EXPECT_LT(edge_len, random_len / 4.0);
+}
+
+// End-to-end usefulness: RCB on BH coordinates should cut a mesh at most a
+// few times worse than RCB on the true mesh coordinates.
+TEST(BhEmbedder, RcbOnEmbeddingIsReasonable) {
+  auto g = graph::gen::delaunay(2000, 4);
+  auto true_cut = partition::rcb_partition(g.graph, g.coords).report.cut;
+  BhEmbedderOptions opt;
+  opt.smooth_iterations = 50;
+  auto coords = bh_embed(g.graph, opt);
+  auto embed_cut = partition::rcb_partition(g.graph, coords).report.cut;
+  EXPECT_LT(embed_cut, 5 * true_cut) << "embedding unusable for partitioning";
+}
+
+TEST(BhSmooth, ReducesSpringEnergyFromRandomStart) {
+  auto g = graph::gen::grid2d(12, 12).graph;
+  Rng rng(5);
+  std::vector<geom::Vec2> coords(g.num_vertices());
+  for (auto& p : coords) p = geom::vec2(rng.uniform(), rng.uniform());
+  auto energy = [&]() {
+    double e = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (VertexId u : g.neighbors(v)) {
+        if (u > v) e += geom::distance2(coords[v], coords[u]);
+      }
+    }
+    return e;
+  };
+  // Normalise by layout spread so shrinking the whole cloud doesn't count.
+  auto spread = [&]() {
+    geom::Box box = geom::Box::of(coords);
+    return std::max(box.width() * box.height(), 1e-12);
+  };
+  double before = energy() / spread();
+  bh_smooth(g, coords, 60, 0.9, 0.2, 0.5);
+  double after = energy() / spread();
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace sp::embed

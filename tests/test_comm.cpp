@@ -1,0 +1,246 @@
+// Tests for the BSP message-passing runtime: collectives, exchange,
+// splitting, cost accounting, determinism.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comm/engine.hpp"
+
+namespace sp::comm {
+namespace {
+
+BspEngine::Options opts(std::uint32_t p) {
+  BspEngine::Options o;
+  o.nranks = p;
+  return o;
+}
+
+TEST(Comm, AllReduceSumMinMax) {
+  BspEngine engine(opts(8));
+  engine.run([](Comm& c) {
+    auto sum = c.allreduce<std::int64_t>(c.rank() + 1, ReduceOp::kSum);
+    EXPECT_EQ(sum, 36);
+    auto mn = c.allreduce<std::int64_t>(c.rank() + 1, ReduceOp::kMin);
+    EXPECT_EQ(mn, 1);
+    auto mx = c.allreduce<std::int64_t>(c.rank() + 1, ReduceOp::kMax);
+    EXPECT_EQ(mx, 8);
+  });
+}
+
+TEST(Comm, AllReduceVectorElementwise) {
+  BspEngine engine(opts(4));
+  engine.run([](Comm& c) {
+    double vals[2] = {1.0, static_cast<double>(c.rank())};
+    auto out = c.allreduce_vec(std::span<const double>(vals, 2),
+                               ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(out[0], 4.0);
+    EXPECT_DOUBLE_EQ(out[1], 6.0);
+  });
+}
+
+TEST(Comm, AllGatherOrdered) {
+  BspEngine engine(opts(6));
+  engine.run([](Comm& c) {
+    auto all = c.allgather<std::uint32_t>(c.rank() * c.rank());
+    ASSERT_EQ(all.size(), 6u);
+    for (std::uint32_t r = 0; r < 6; ++r) EXPECT_EQ(all[r], r * r);
+  });
+}
+
+TEST(Comm, AllGathervVariableSizesWithCounts) {
+  BspEngine engine(opts(4));
+  engine.run([](Comm& c) {
+    std::vector<std::uint32_t> mine(c.rank(), c.rank());  // rank r sends r copies
+    std::vector<std::size_t> counts;
+    auto all = c.allgatherv(std::span<const std::uint32_t>(mine), &counts);
+    EXPECT_EQ(all.size(), 0u + 1 + 2 + 3);
+    ASSERT_EQ(counts.size(), 4u);
+    for (std::uint32_t r = 0; r < 4; ++r) EXPECT_EQ(counts[r], r);
+    // Concatenation order: 1, 2 2, 3 3 3.
+    EXPECT_EQ(all[0], 1u);
+    EXPECT_EQ(all[1], 2u);
+    EXPECT_EQ(all[3], 3u);
+  });
+}
+
+TEST(Comm, GathervOnlyRootReceives) {
+  BspEngine engine(opts(4));
+  engine.run([](Comm& c) {
+    std::vector<double> mine = {static_cast<double>(c.rank())};
+    auto got = c.gatherv(std::span<const double>(mine), 2);
+    if (c.rank() == 2) {
+      ASSERT_EQ(got.size(), 4u);
+      EXPECT_DOUBLE_EQ(got[3], 3.0);
+    } else {
+      EXPECT_TRUE(got.empty());
+    }
+  });
+}
+
+TEST(Comm, BroadcastFromNonzeroRoot) {
+  BspEngine engine(opts(8));
+  engine.run([](Comm& c) {
+    std::vector<int> payload;
+    if (c.rank() == 5) payload = {42, 43, 44};
+    auto got = c.broadcast_vec(std::span<const int>(payload), 5);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[1], 43);
+  });
+}
+
+TEST(Comm, ExchangeRoutesAndSortsBySource) {
+  BspEngine engine(opts(5));
+  engine.run([](Comm& c) {
+    // Everyone sends its rank to every other rank.
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> out;
+    for (std::uint32_t r = 0; r < c.nranks(); ++r) {
+      if (r != c.rank()) out.push_back({r, {c.rank()}});
+    }
+    auto in = c.exchange_typed(out);
+    ASSERT_EQ(in.size(), 4u);
+    for (std::size_t i = 1; i < in.size(); ++i) {
+      EXPECT_LT(in[i - 1].first, in[i].first);
+    }
+    for (const auto& [src, data] : in) {
+      ASSERT_EQ(data.size(), 1u);
+      EXPECT_EQ(data[0], src);
+    }
+  });
+}
+
+TEST(Comm, ExchangeEmptyParticipation) {
+  BspEngine engine(opts(3));
+  engine.run([](Comm& c) {
+    std::vector<Comm::Packet> none;
+    auto in = c.exchange(std::move(none));
+    EXPECT_TRUE(in.empty());
+  });
+}
+
+TEST(Comm, SplitFormsCorrectSubgroups) {
+  BspEngine engine(opts(8));
+  engine.run([](Comm& c) {
+    Comm sub = c.split(c.rank() % 2, c.rank());
+    EXPECT_EQ(sub.nranks(), 4u);
+    EXPECT_EQ(sub.rank(), c.rank() / 2);
+    auto members = sub.allgather<std::uint32_t>(sub.world_rank());
+    for (std::uint32_t m : members) EXPECT_EQ(m % 2, c.rank() % 2);
+    // Nested split works too.
+    Comm subsub = sub.split(sub.rank() < 2 ? 0 : 1, sub.rank());
+    EXPECT_EQ(subsub.nranks(), 2u);
+  });
+}
+
+TEST(Comm, SubgroupsOperateConcurrently) {
+  BspEngine engine(opts(8));
+  engine.run([](Comm& c) {
+    Comm sub = c.split(c.rank() / 4, c.rank());  // two groups of 4
+    auto sum = sub.allreduce<std::uint32_t>(1, ReduceOp::kSum);
+    EXPECT_EQ(sum, 4u);
+  });
+}
+
+TEST(Comm, VirtualClockAdvancesWithComputeAndComm) {
+  BspEngine engine(opts(4));
+  auto stats = engine.run([](Comm& c) {
+    c.set_stage("s1");
+    c.add_compute(1e6);
+    c.barrier();
+    c.set_stage("s2");
+    c.allgather<double>(1.0);
+  });
+  EXPECT_GT(stats.makespan(), 0.0);
+  auto s1 = stats.stage_max("s1");
+  EXPECT_GT(s1.compute_seconds, 0.0);
+  EXPECT_GT(s1.comm_seconds, 0.0);  // barrier charged to s1
+  auto s2 = stats.stage_max("s2");
+  EXPECT_GT(s2.comm_seconds, 0.0);
+  EXPECT_EQ(s2.compute_seconds, 0.0);
+  EXPECT_EQ(stats.stages().size(), 2u);
+}
+
+TEST(Comm, ClockSynchronizesAtCollectives) {
+  BspEngine engine(opts(4));
+  auto stats = engine.run([](Comm& c) {
+    if (c.rank() == 0) c.add_compute(5e6);  // one slow rank
+    c.barrier();
+    // After the barrier every clock is at least the slow rank's time.
+    EXPECT_GE(c.clock(), 5e6 / 0.35e9 * 0.99);
+  });
+  (void)stats;
+}
+
+TEST(Comm, FreeNetworkModelHasZeroCommTime) {
+  BspEngine::Options o = opts(4);
+  o.model = CostModel::free_network();
+  BspEngine engine(o);
+  auto stats = engine.run([](Comm& c) {
+    c.allgather<int>(static_cast<int>(c.rank()));
+    c.barrier();
+  });
+  EXPECT_DOUBLE_EQ(stats.stage_max("main").comm_seconds, 0.0);
+}
+
+TEST(Comm, DeterministicAcrossRuns) {
+  auto program = [](Comm& c) {
+    double x = c.rank() * 1.5;
+    for (int i = 0; i < 3; ++i) {
+      x = c.allreduce(x, ReduceOp::kSum) / c.nranks();
+      c.add_compute(1000 * (c.rank() + 1));
+    }
+  };
+  BspEngine e1(opts(16)), e2(opts(16));
+  auto a = e1.run(program);
+  auto b = e2.run(program);
+  ASSERT_EQ(a.clocks.size(), b.clocks.size());
+  for (std::size_t i = 0; i < a.clocks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.clocks[i], b.clocks[i]);
+  }
+}
+
+TEST(Comm, ExceptionPropagates) {
+  BspEngine engine(opts(4));
+  EXPECT_THROW(engine.run([](Comm& c) {
+    if (c.rank() == 2) throw std::runtime_error("rank 2 failed");
+    c.barrier();
+  }),
+               std::runtime_error);
+}
+
+TEST(Comm, EngineReusableAcrossRuns) {
+  BspEngine engine(opts(4));
+  auto a = engine.run([](Comm& c) { c.add_compute(100); });
+  auto b = engine.run([](Comm& c) { c.add_compute(200); });
+  EXPECT_GT(b.makespan(), a.makespan());
+}
+
+TEST(Comm, SingleRankWorld) {
+  BspEngine engine(opts(1));
+  engine.run([](Comm& c) {
+    EXPECT_EQ(c.nranks(), 1u);
+    auto all = c.allgather<int>(7);
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_EQ(c.allreduce<int>(3, ReduceOp::kSum), 3);
+    auto in = c.exchange({});
+    EXPECT_TRUE(in.empty());
+  });
+}
+
+TEST(Comm, LargeRankCountCollectives) {
+  BspEngine engine(opts(256));
+  auto stats = engine.run([](Comm& c) {
+    auto sum = c.allreduce<std::uint64_t>(1, ReduceOp::kSum);
+    EXPECT_EQ(sum, 256u);
+  });
+  // log2(256) = 8 latency terms at t_s = 1.7us.
+  EXPECT_NEAR(stats.makespan(), 8 * 1.7e-6, 8 * 1.7e-6 * 0.5 + 1e-6);
+}
+
+TEST(CostModel, P2pFormula) {
+  CostModel m = CostModel::nehalem_qdr();
+  EXPECT_DOUBLE_EQ(m.p2p(0), m.ts);
+  EXPECT_GT(m.p2p(1 << 20), m.ts + 1e-4);  // 1 MiB at ~3.2 GB/s ~ 0.3 ms
+}
+
+}  // namespace
+}  // namespace sp::comm

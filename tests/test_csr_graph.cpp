@@ -1,0 +1,136 @@
+// Tests for the CSR graph container and builder.
+#include <gtest/gtest.h>
+
+#include "graph/csr_graph.hpp"
+
+namespace sp::graph {
+namespace {
+
+CsrGraph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  return b.build();
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(CsrGraph, TriangleBasics) {
+  CsrGraph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.is_symmetric());
+  g.validate();
+}
+
+TEST(CsrGraph, SelfLoopsDropped) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  b.add_edge(1, 1);
+  CsrGraph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(CsrGraph, DuplicateEdgesMergeWeights) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 0, 3);  // same undirected edge, reversed orientation
+  CsrGraph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge_weights_of(0)[0], 5);
+  EXPECT_EQ(g.edge_weights_of(1)[0], 5);
+  EXPECT_EQ(g.total_edge_weight(), 5);
+}
+
+TEST(CsrGraph, VertexWeights) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.set_vertex_weight(0, 4);
+  b.set_vertex_weight(2, 7);
+  CsrGraph g = b.build();
+  EXPECT_EQ(g.vertex_weight(0), 4);
+  EXPECT_EQ(g.vertex_weight(1), 1);
+  EXPECT_EQ(g.vertex_weight(2), 7);
+  EXPECT_EQ(g.total_vertex_weight(), 12);
+}
+
+TEST(CsrGraph, NeighborsSortedAndComplete) {
+  GraphBuilder b(5);
+  b.add_edge(2, 4);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  CsrGraph g = b.build();
+  auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 3u);
+  EXPECT_EQ(nbrs[2], 4u);
+}
+
+TEST(CsrGraph, DegreeStats) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  CsrGraph g = b.build();
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 6.0 / 4.0);
+}
+
+TEST(CsrGraph, FromEdges) {
+  std::vector<std::pair<VertexId, VertexId>> edges = {{0, 1}, {1, 2}};
+  CsrGraph g = from_edges(3, edges);
+  EXPECT_EQ(g.num_edges(), 2u);
+  g.validate();
+}
+
+TEST(CsrGraph, InducedSubgraphKeepsInternalEdges) {
+  // Path 0-1-2-3 plus chord 0-2; take {0, 1, 2}.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(0, 2, 5);
+  CsrGraph g = b.build();
+  std::vector<VertexId> keep = {0, 1, 2};
+  std::vector<VertexId> map;
+  CsrGraph sub = induced_subgraph(g, keep, &map);
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 3u);  // 0-1, 1-2, 0-2
+  EXPECT_EQ(map[3], kInvalidVertex);
+  EXPECT_EQ(map[0], 0u);
+  sub.validate();
+  // Chord weight preserved.
+  bool found = false;
+  auto nbrs = sub.neighbors(0);
+  auto ws = sub.edge_weights_of(0);
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    if (nbrs[k] == 2) {
+      EXPECT_EQ(ws[k], 5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CsrGraph, InducedSubgraphPreservesVertexWeights) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.set_vertex_weight(1, 9);
+  CsrGraph g = b.build();
+  std::vector<VertexId> keep = {1, 2};
+  CsrGraph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.vertex_weight(0), 9);
+}
+
+}  // namespace
+}  // namespace sp::graph

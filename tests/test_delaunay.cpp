@@ -1,0 +1,124 @@
+// Tests for the Bowyer-Watson Delaunay triangulation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "geometry/delaunay.hpp"
+#include "support/random.hpp"
+
+namespace sp::geom {
+namespace {
+
+std::vector<Vec2> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> pts(n);
+  for (auto& p : pts) p = vec2(rng.uniform(), rng.uniform());
+  return pts;
+}
+
+TEST(Delaunay, Predicates) {
+  EXPECT_GT(orient2d(vec2(0, 0), vec2(1, 0), vec2(0, 1)), 0.0);
+  EXPECT_LT(orient2d(vec2(0, 0), vec2(0, 1), vec2(1, 0)), 0.0);
+  EXPECT_DOUBLE_EQ(orient2d(vec2(0, 0), vec2(1, 1), vec2(2, 2)), 0.0);
+  // Unit circle through (1,0),(0,1),(-1,0): origin is inside, (2,0) outside.
+  EXPECT_GT(in_circle(vec2(1, 0), vec2(0, 1), vec2(-1, 0), vec2(0, 0)), 0.0);
+  EXPECT_LT(in_circle(vec2(1, 0), vec2(0, 1), vec2(-1, 0), vec2(2, 0)), 0.0);
+}
+
+TEST(Delaunay, TinyInputs) {
+  EXPECT_TRUE(delaunay_edges(std::vector<Vec2>{}).empty());
+  EXPECT_TRUE(delaunay_edges(std::vector<Vec2>{vec2(0, 0)}).empty());
+  auto two = delaunay_edges(std::vector<Vec2>{vec2(0, 0), vec2(1, 0)});
+  ASSERT_EQ(two.size(), 1u);
+  EXPECT_EQ(two[0], std::make_pair(0u, 1u));
+}
+
+TEST(Delaunay, TriangleAndSquare) {
+  auto tri = delaunay_edges(
+      std::vector<Vec2>{vec2(0, 0), vec2(1, 0), vec2(0.5, 1)});
+  EXPECT_EQ(tri.size(), 3u);
+  auto square = delaunay_edges(std::vector<Vec2>{
+      vec2(0, 0.01), vec2(1, 0), vec2(1, 1.02), vec2(0.02, 1)});
+  EXPECT_EQ(square.size(), 5u);  // 4 sides + 1 diagonal
+}
+
+TEST(Delaunay, EulerBoundOnRandomPoints) {
+  auto pts = random_points(3000, 5);
+  auto edges = delaunay_edges(pts);
+  // Planar triangulation: e <= 3n - 6, and Delaunay of uniform points is
+  // near-complete: e close to 3n (within hull-boundary slack).
+  EXPECT_LE(edges.size(), 3u * pts.size() - 6);
+  EXPECT_GE(edges.size(), 5u * pts.size() / 2);
+}
+
+// The core Delaunay property: no point lies strictly inside any
+// triangle's circumcircle (checked on a sample of triangles x points).
+TEST(Delaunay, EmptyCircumcircleProperty) {
+  auto pts = random_points(300, 7);
+  auto tri = delaunay_triangulate(pts);
+  ASSERT_FALSE(tri.triangles.empty());
+  Rng rng(11);
+  for (int check = 0; check < 300; ++check) {
+    const auto& t = tri.triangles[rng.below(tri.triangles.size())];
+    std::uint32_t p = static_cast<std::uint32_t>(rng.below(pts.size()));
+    if (p == t[0] || p == t[1] || p == t[2]) continue;
+    EXPECT_LE(in_circle(pts[t[0]], pts[t[1]], pts[t[2]], pts[p]), 1e-9)
+        << "point " << p << " inside circumcircle";
+  }
+}
+
+TEST(Delaunay, TrianglesAreCcwAndEdgeConsistent) {
+  auto pts = random_points(500, 13);
+  auto tri = delaunay_triangulate(pts);
+  // Every triangle CCW; every interior edge shared by exactly 2 triangles.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> edge_count;
+  for (const auto& t : tri.triangles) {
+    EXPECT_GT(orient2d(pts[t[0]], pts[t[1]], pts[t[2]]), 0.0);
+    for (int i = 0; i < 3; ++i) {
+      auto a = t[static_cast<std::size_t>(i)];
+      auto b = t[static_cast<std::size_t>((i + 1) % 3)];
+      if (a > b) std::swap(a, b);
+      ++edge_count[{a, b}];
+    }
+  }
+  for (const auto& [edge, count] : edge_count) {
+    (void)edge;
+    EXPECT_LE(count, 2);
+  }
+}
+
+TEST(Delaunay, EveryPointHasAnEdge) {
+  auto pts = random_points(400, 17);
+  auto edges = delaunay_edges(pts);
+  std::vector<bool> touched(pts.size(), false);
+  for (const auto& [a, b] : edges) {
+    touched[a] = true;
+    touched[b] = true;
+  }
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_TRUE(touched[i]) << "isolated point " << i;
+  }
+}
+
+TEST(Delaunay, DeterministicAcrossCalls) {
+  auto pts = random_points(250, 19);
+  EXPECT_EQ(delaunay_edges(pts), delaunay_edges(pts));
+}
+
+TEST(Delaunay, JitteredGridSurvives) {
+  // Near-degenerate input: grid with tiny jitter.
+  Rng rng(23);
+  std::vector<Vec2> pts;
+  for (int y = 0; y < 20; ++y) {
+    for (int x = 0; x < 20; ++x) {
+      pts.push_back(vec2(x + rng.uniform() * 1e-4, y + rng.uniform() * 1e-4));
+    }
+  }
+  auto edges = delaunay_edges(pts);
+  EXPECT_GE(edges.size(), 2u * pts.size() - 42);  // at least grid-ish density
+  EXPECT_LE(edges.size(), 3u * pts.size());
+}
+
+}  // namespace
+}  // namespace sp::geom

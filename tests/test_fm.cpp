@@ -1,0 +1,177 @@
+// Tests for Fiduccia-Mattheyses refinement.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "refine/fm.hpp"
+#include "support/random.hpp"
+
+namespace sp::refine {
+namespace {
+
+using graph::Bipartition;
+using graph::CsrGraph;
+using graph::VertexId;
+using graph::Weight;
+
+Bipartition random_balanced(const CsrGraph& g, std::uint64_t seed) {
+  Bipartition part(g.num_vertices());
+  std::vector<VertexId> order(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) order[v] = v;
+  Rng rng(seed);
+  rng.shuffle(order);
+  for (VertexId i = 0; i < g.num_vertices() / 2; ++i) part[order[i]] = 1;
+  return part;
+}
+
+TEST(Fm, NeverWorsensCut) {
+  auto g = graph::gen::delaunay(800, 1).graph;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Bipartition part = random_balanced(g, seed);
+    Weight before = cut_size(g, part);
+    FmOptions opt;
+    auto result = fm_refine(g, part, opt);
+    EXPECT_EQ(result.initial_cut, before);
+    EXPECT_LE(result.final_cut, before);
+    EXPECT_EQ(result.final_cut, cut_size(g, part));
+  }
+}
+
+TEST(Fm, RespectsBalanceCap) {
+  auto g = graph::gen::grid2d(24, 24).graph;
+  Bipartition part = random_balanced(g, 3);
+  FmOptions opt;
+  opt.epsilon = 0.03;
+  fm_refine(g, part, opt);
+  EXPECT_LE(imbalance(g, part), 0.03 + 1e-9);
+}
+
+TEST(Fm, ImprovesRandomPartitionSubstantially) {
+  auto g = graph::gen::grid2d(30, 30).graph;
+  Bipartition part = random_balanced(g, 4);
+  Weight before = cut_size(g, part);
+  FmOptions opt;
+  opt.max_passes = 12;
+  opt.negative_move_limit = 0;  // unlimited
+  auto result = fm_refine(g, part, opt);
+  // A random split of a 30x30 grid cuts ~half the edges (~850); FM should
+  // reduce it drastically (a straight cut is 30).
+  EXPECT_LT(result.final_cut, before / 3);
+}
+
+TEST(Fm, FindsOptimalOnDumbbell) {
+  // Two K4 cliques joined by one edge; optimal cut = 1.
+  graph::GraphBuilder b(8);
+  for (VertexId i = 0; i < 4; ++i)
+    for (VertexId j = i + 1; j < 4; ++j) b.add_edge(i, j);
+  for (VertexId i = 4; i < 8; ++i)
+    for (VertexId j = i + 1; j < 8; ++j) b.add_edge(i, j);
+  b.add_edge(0, 4);
+  CsrGraph g = b.build();
+  // Adversarial start: split across the cliques.
+  Bipartition part(8);
+  part[0] = part[1] = part[4] = part[5] = 0;
+  part[2] = part[3] = part[6] = part[7] = 1;
+  FmOptions opt;
+  // 8 vertices quantize balance coarsely; FM needs hill-climbing room
+  // (6-2 intermediate states) to escape this local optimum.
+  opt.epsilon = 0.6;
+  auto result = fm_refine(g, part, opt);
+  EXPECT_EQ(result.final_cut, 1);
+  EXPECT_LE(imbalance(g, part), 0.6 + 1e-9);
+}
+
+TEST(Fm, MovableMaskRestrictsMoves) {
+  auto g = graph::gen::grid2d(10, 10).graph;
+  Bipartition part = random_balanced(g, 5);
+  Bipartition before = part;
+  std::vector<VertexId> movable = {0, 1, 2, 3, 4};
+  FmOptions opt;
+  fm_refine(g, part, opt, movable);
+  for (VertexId v = 5; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(part[v], before[v]) << "immovable vertex moved: " << v;
+  }
+}
+
+TEST(Fm, AbsoluteSideCapsHonored) {
+  auto g = graph::gen::grid2d(12, 12).graph;
+  Bipartition part = random_balanced(g, 6);
+  auto [w0, w1] = side_weights(g, part);
+  FmOptions opt;
+  opt.side0_cap = w0 + 5;  // side 0 may grow by at most 5
+  opt.side1_cap = w1 + 5;
+  fm_refine(g, part, opt);
+  auto [a0, a1] = side_weights(g, part);
+  EXPECT_LE(a0, w0 + 5);
+  EXPECT_LE(a1, w1 + 5);
+}
+
+TEST(Fm, WeightedVerticesBalanceByWeight) {
+  graph::GraphBuilder b(4);  // path with a heavy head
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.set_vertex_weight(0, 3);
+  CsrGraph g = b.build();
+  Bipartition part(4);
+  part[2] = part[3] = 1;  // weights 4 | 2, imbalance 4/3-1 = 0.33
+  FmOptions opt;
+  opt.epsilon = 0.40;
+  auto result = fm_refine(g, part, opt);
+  EXPECT_LE(result.final_cut, 1);
+}
+
+TEST(Fm, TrivialInputs) {
+  CsrGraph empty;
+  Bipartition none(0);
+  FmOptions opt;
+  auto r = fm_refine(empty, none, opt);
+  EXPECT_EQ(r.final_cut, 0);
+
+  auto single = graph::gen::cycle(3).graph;
+  Bipartition part(3);
+  part[0] = 1;
+  auto r2 = fm_refine(single, part, opt);
+  EXPECT_LE(r2.final_cut, 2);
+}
+
+TEST(Fm, ZeroCutStaysZero) {
+  // Two disconnected cliques, already separated.
+  graph::GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(3, 5);
+  CsrGraph g = b.build();
+  Bipartition part(6);
+  part[3] = part[4] = part[5] = 1;
+  FmOptions opt;
+  auto result = fm_refine(g, part, opt);
+  EXPECT_EQ(result.final_cut, 0);
+}
+
+// Parameterized sweep: FM must be cut-monotone and balance-feasible on all
+// structure classes.
+class FmSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FmSweep, MonotoneAndFeasible) {
+  auto gen = GetParam();
+  graph::CsrGraph g;
+  if (gen == "delaunay") g = graph::gen::delaunay(600, 7).graph;
+  if (gen == "grid") g = graph::gen::grid2d(25, 25).graph;
+  if (gen == "er") g = graph::gen::erdos_renyi(400, 1600, 7).graph;
+  if (gen == "rgg") g = graph::gen::random_geometric(500, 0.08, 7).graph;
+  Bipartition part = random_balanced(g, 8);
+  Weight before = cut_size(g, part);
+  FmOptions opt;
+  auto result = fm_refine(g, part, opt);
+  EXPECT_LE(result.final_cut, before);
+  EXPECT_LE(imbalance(g, part), 0.05 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, FmSweep,
+                         ::testing::Values("delaunay", "grid", "er", "rgg"));
+
+}  // namespace
+}  // namespace sp::refine

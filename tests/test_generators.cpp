@@ -1,0 +1,168 @@
+// Tests for the synthetic graph generators, including the paper test-suite
+// analogues (structure-class properties, determinism, coordinate sanity).
+#include <gtest/gtest.h>
+
+#include "core/testsuite.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+namespace sp::graph::gen {
+namespace {
+
+TEST(Generators, Grid2dStructure) {
+  auto g = grid2d(10, 12);
+  EXPECT_EQ(g.graph.num_vertices(), 120u);
+  // rows*(cols-1) + cols*(rows-1) edges
+  EXPECT_EQ(g.graph.num_edges(), 10u * 11 + 12u * 9);
+  EXPECT_EQ(g.coords.size(), 120u);
+  g.graph.validate();
+  VertexId comp = 0;
+  connected_components(g.graph, &comp);
+  EXPECT_EQ(comp, 1u);
+}
+
+TEST(Generators, Grid3dStructure) {
+  auto g = grid3d(3, 4, 5);
+  EXPECT_EQ(g.graph.num_vertices(), 60u);
+  EXPECT_EQ(g.graph.num_edges(), 2u * 4 * 5 + 3u * 3 * 5 + 3u * 4 * 4);
+  g.graph.validate();
+}
+
+TEST(Generators, DelaunayIsPlanarScale) {
+  auto g = delaunay(2000, 9);
+  EXPECT_EQ(g.graph.num_vertices(), 2000u);
+  // Planar: m <= 3n - 6; Delaunay of random points is close to 3n.
+  EXPECT_LE(g.graph.num_edges(), 3u * 2000 - 6);
+  EXPECT_GE(g.graph.num_edges(), 2u * 2000);  // not degenerate
+  g.graph.validate();
+  VertexId comp = 0;
+  connected_components(g.graph, &comp);
+  EXPECT_EQ(comp, 1u);
+}
+
+TEST(Generators, DelaunayDeterministic) {
+  auto a = delaunay(500, 4);
+  auto b = delaunay(500, 4);
+  EXPECT_EQ(a.graph.adjncy(), b.graph.adjncy());
+  auto c = delaunay(500, 5);
+  EXPECT_NE(a.graph.adjncy(), c.graph.adjncy());
+}
+
+TEST(Generators, CircuitAddsLongEdges) {
+  auto base = grid2d(40, 40);
+  auto g = circuit(40, 40, 0.4, 11);
+  EXPECT_GT(g.graph.num_edges(), base.graph.num_edges());
+  g.graph.validate();
+}
+
+TEST(Generators, KktPowerHasHubs) {
+  auto g = kkt_power(3000, 6, 60, 2);
+  EXPECT_EQ(g.graph.num_vertices(), 3000u);
+  // Hubs live at the end and have high degree.
+  EdgeIndex max_tail_degree = 0;
+  for (VertexId v = 2994; v < 3000; ++v) {
+    max_tail_degree = std::max(max_tail_degree, g.graph.degree(v));
+  }
+  EXPECT_GE(max_tail_degree, 30u);
+  EXPECT_GT(max_tail_degree, 3 * g.graph.num_arcs() / g.graph.num_vertices());
+  g.graph.validate();
+}
+
+TEST(Generators, TraceIsElongated) {
+  auto g = trace(3000, 16.0, 3);
+  double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+  for (const auto& p : g.coords) {
+    min_x = std::min(min_x, p[0]);
+    max_x = std::max(max_x, p[0]);
+    min_y = std::min(min_y, p[1]);
+    max_y = std::max(max_y, p[1]);
+  }
+  EXPECT_GT((max_x - min_x) / (max_y - min_y), 1.2);  // wide strip
+  g.graph.validate();
+}
+
+TEST(Generators, BubblesHasHoles) {
+  auto with_holes = bubbles(4000, 10, 7);
+  auto no_holes = delaunay(4000, 7);
+  // Removing hole triangles loses edges relative to a full triangulation.
+  EXPECT_LT(with_holes.graph.num_edges(), no_holes.graph.num_edges());
+  with_holes.graph.validate();
+}
+
+TEST(Generators, RandomGeometricRespectsRadius) {
+  auto g = random_geometric(800, 0.08, 5);
+  for (VertexId v = 0; v < g.graph.num_vertices(); ++v) {
+    for (VertexId u : g.graph.neighbors(v)) {
+      EXPECT_LE(geom::distance(g.coords[v], g.coords[u]), 0.08 + 1e-12);
+    }
+  }
+}
+
+TEST(Generators, ErdosRenyiEdgeCount) {
+  auto g = erdos_renyi(100, 300, 6);
+  // Duplicates merge, so <= 300, but most survive.
+  EXPECT_LE(g.graph.num_edges(), 300u);
+  EXPECT_GE(g.graph.num_edges(), 250u);
+  g.graph.validate();
+}
+
+TEST(Generators, CycleAndComplete) {
+  auto c = cycle(10);
+  EXPECT_EQ(c.graph.num_edges(), 10u);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(c.graph.degree(v), 2u);
+  auto k = complete(6);
+  EXPECT_EQ(k.graph.num_edges(), 15u);
+}
+
+// --- Paper suite parameterized checks ---
+
+class SuiteGraphTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteGraphTest, BuildsConnectedValidatedGraph) {
+  auto g = core::make_suite_graph(GetParam(), 0.002, 1);
+  EXPECT_GE(g.graph.num_vertices(), 250u);
+  g.graph.validate();
+  VertexId comp = 0;
+  connected_components(g.graph, &comp);
+  // kkt_power hub backbone keeps it connected; meshes are connected.
+  EXPECT_EQ(comp, 1u) << GetParam();
+  EXPECT_EQ(g.name, GetParam());
+}
+
+TEST_P(SuiteGraphTest, ScaleControlsSize) {
+  auto small = core::make_suite_graph(GetParam(), 0.001, 1);
+  auto large = core::make_suite_graph(GetParam(), 0.004, 1);
+  EXPECT_GT(large.graph.num_vertices(), 2 * small.graph.num_vertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNine, SuiteGraphTest,
+    ::testing::Values("ecology1", "ecology2", "delaunay_n20", "G3_circuit",
+                      "kkt_power", "hugetrace-00000", "delaunay_n23",
+                      "delaunay_n24", "hugebubbles-00020"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Testsuite, RegistryHasNineEntriesWithPaperData) {
+  const auto& suite = core::paper_suite();
+  ASSERT_EQ(suite.size(), 9u);
+  for (const auto& entry : suite) {
+    EXPECT_GT(entry.paper_n_millions, 0.0);
+    EXPECT_GT(entry.paper_m_millions, entry.paper_n_millions);
+    EXPECT_GT(entry.paper_cuts.ptscotch_best, 0);
+    EXPECT_GE(entry.paper_cuts.ptscotch_worst, entry.paper_cuts.ptscotch_best);
+    EXPECT_GE(entry.paper_cuts.scalapart_worst, entry.paper_cuts.scalapart_best);
+  }
+}
+
+TEST(Testsuite, UnknownNameThrows) {
+  EXPECT_THROW(core::make_suite_graph("nope", 0.01, 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sp::graph::gen

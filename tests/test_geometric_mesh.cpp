@@ -1,0 +1,141 @@
+// Tests for the Gilbert-Miller-Teng geometric mesh partitioner.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/geometric_mesh.hpp"
+#include "partition/rcb.hpp"
+
+namespace sp::partition {
+namespace {
+
+using graph::VertexId;
+using graph::Weight;
+
+TEST(GeometricMesh, BalancedCutOnDelaunay) {
+  auto g = graph::gen::delaunay(3000, 1);
+  auto r = geometric_mesh_partition(g.graph, g.coords,
+                                    GeometricMeshOptions::g7nl());
+  EXPECT_GT(r.cut, 0);
+  graph::Bipartition part = r.part;
+  EXPECT_LE(imbalance(g.graph, part), 0.03);
+  EXPECT_EQ(cut_size(g.graph, part), r.cut);
+  EXPECT_EQ(r.tries, 5u);
+}
+
+TEST(GeometricMesh, VariantTryCounts) {
+  auto g = graph::gen::delaunay(500, 2);
+  auto g30 = geometric_mesh_partition(g.graph, g.coords,
+                                      GeometricMeshOptions::g30());
+  EXPECT_EQ(g30.tries, 2u * 11 + 7 + 1);
+  auto g7 = geometric_mesh_partition(g.graph, g.coords,
+                                     GeometricMeshOptions::g7());
+  EXPECT_EQ(g7.tries, 7u);
+}
+
+TEST(GeometricMesh, MoreTriesNeverHurt) {
+  auto g = graph::gen::delaunay(2000, 3);
+  GeometricMeshOptions few = GeometricMeshOptions::g7nl();
+  few.seed = 9;
+  GeometricMeshOptions many = few;
+  many.circles_per_centerpoint = 30;
+  auto a = geometric_mesh_partition(g.graph, g.coords, few);
+  auto b = geometric_mesh_partition(g.graph, g.coords, many);
+  // Same seed stream: the first 5 circles coincide, so 30 tries can only
+  // match or improve.
+  EXPECT_LE(b.cut, a.cut);
+}
+
+TEST(GeometricMesh, SeparatorDistanceSignsMatchSides) {
+  auto g = graph::gen::delaunay(1000, 4);
+  auto r = geometric_mesh_partition(g.graph, g.coords,
+                                    GeometricMeshOptions::g7nl());
+  ASSERT_EQ(r.separator_distance.size(), g.graph.num_vertices());
+  for (VertexId v = 0; v < g.graph.num_vertices(); ++v) {
+    EXPECT_EQ(r.part[v] == 1, r.separator_distance[v] > 0.0);
+  }
+}
+
+TEST(GeometricMesh, BeatsRcbOnEllipticalMesh) {
+  // A long thin trace: RCB's axis cut is forced through the middle, while
+  // circle separators can follow the geometry. GMT should usually win;
+  // compare on aggregate over seeds to avoid flakiness.
+  auto g = graph::gen::trace(4000, 16.0, 5);
+  double gmt_total = 0, rcb_total = 0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    GeometricMeshOptions opt = GeometricMeshOptions::g30();
+    opt.seed = seed * 101 + 7;
+    gmt_total += static_cast<double>(
+        geometric_mesh_partition(g.graph, g.coords, opt).cut);
+    rcb_total +=
+        static_cast<double>(rcb_partition(g.graph, g.coords).report.cut);
+  }
+  EXPECT_LE(gmt_total, rcb_total * 1.15);
+}
+
+TEST(GeometricMesh, GridWithUniformCoordsStillBalanced) {
+  auto g = graph::gen::grid2d(40, 40);
+  auto r = geometric_mesh_partition(g.graph, g.coords,
+                                    GeometricMeshOptions::g7nl());
+  graph::Bipartition part = r.part;
+  EXPECT_LE(imbalance(g.graph, part), 0.03);
+}
+
+TEST(GeometricMesh, DegenerateInputs) {
+  // All-coincident coordinates: must not crash, still balanced via jitter.
+  auto g = graph::gen::cycle(64);
+  std::vector<geom::Vec2> same(64, geom::vec2(1.0, 1.0));
+  auto r = geometric_mesh_partition(g.graph, same,
+                                    GeometricMeshOptions::g7nl());
+  graph::Bipartition part = r.part;
+  EXPECT_LE(imbalance(g.graph, part), 0.10);
+
+  graph::CsrGraph empty;
+  auto r2 = geometric_mesh_partition(empty, {}, GeometricMeshOptions::g7nl());
+  EXPECT_EQ(r2.cut, 0);
+}
+
+TEST(GeometricMesh, DeterministicForSeed) {
+  auto g = graph::gen::delaunay(800, 6);
+  GeometricMeshOptions opt = GeometricMeshOptions::g7nl();
+  opt.seed = 1234;
+  auto a = geometric_mesh_partition(g.graph, g.coords, opt);
+  auto b = geometric_mesh_partition(g.graph, g.coords, opt);
+  EXPECT_EQ(a.cut, b.cut);
+  EXPECT_EQ(a.part.side, b.part.side);
+}
+
+TEST(GeometricMesh, WrapperReportsMethodName) {
+  auto g = graph::gen::delaunay(400, 7);
+  auto r = gmt_partition(g.graph, g.coords, GeometricMeshOptions::g30(), "G30");
+  EXPECT_EQ(r.method, "G30");
+  EXPECT_EQ(r.report.cut, cut_size(g.graph, r.part));
+}
+
+}  // namespace
+}  // namespace sp::partition
+
+// -- Asymmetric splits (k-way support) ---------------------------------------
+// Placed in its own TU section: verifies GeometricMeshOptions::split_fraction.
+namespace sp::partition {
+namespace {
+
+TEST(GeometricMesh, AsymmetricSplitFraction) {
+  auto g = sp::graph::gen::delaunay(3000, 11);
+  GeometricMeshOptions opt = GeometricMeshOptions::g7nl();
+  opt.split_fraction = 1.0 / 3.0;
+  auto r = geometric_mesh_partition(g.graph, g.coords, opt);
+  auto [w0, w1] = side_weights(g.graph, r.part);
+  double frac0 = static_cast<double>(w0) / static_cast<double>(w0 + w1);
+  EXPECT_NEAR(frac0, 1.0 / 3.0, 0.02);
+}
+
+TEST(GeometricMesh, SplitFractionHalfIsBisection) {
+  auto g = sp::graph::gen::grid2d(30, 30);
+  GeometricMeshOptions opt = GeometricMeshOptions::g7nl();
+  opt.split_fraction = 0.5;
+  auto r = geometric_mesh_partition(g.graph, g.coords, opt);
+  EXPECT_LE(imbalance(g.graph, r.part), 0.02);
+}
+
+}  // namespace
+}  // namespace sp::partition

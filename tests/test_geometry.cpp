@@ -1,0 +1,140 @@
+// Tests for vectors, boxes, and the fixed-lattice decomposition.
+#include <gtest/gtest.h>
+
+#include "geometry/box.hpp"
+#include "geometry/vec.hpp"
+
+namespace sp::geom {
+namespace {
+
+TEST(Vec, Arithmetic) {
+  Vec2 a = vec2(1, 2), b = vec2(3, -1);
+  EXPECT_EQ((a + b), vec2(4, 1));
+  EXPECT_EQ((a - b), vec2(-2, 3));
+  EXPECT_EQ((a * 2.0), vec2(2, 4));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(vec2(3, 4).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), std::sqrt(4.0 + 9.0));
+}
+
+TEST(Vec, NormalizedHandlesZero) {
+  EXPECT_DOUBLE_EQ(vec2(0, 0).normalized().norm(), 0.0);
+  EXPECT_NEAR(vec2(5, 0).normalized()[0], 1.0, 1e-15);
+}
+
+TEST(Vec, Cross2dAnd3d) {
+  EXPECT_DOUBLE_EQ(cross(vec2(1, 0), vec2(0, 1)), 1.0);
+  Vec3 z = cross(vec3(1, 0, 0), vec3(0, 1, 0));
+  EXPECT_DOUBLE_EQ(z[2], 1.0);
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+}
+
+TEST(Box, ExpandAndContain) {
+  Box box;
+  box.expand(vec2(0, 0));
+  box.expand(vec2(2, 3));
+  EXPECT_TRUE(box.contains(vec2(1, 1)));
+  EXPECT_FALSE(box.contains(vec2(3, 1)));
+  EXPECT_DOUBLE_EQ(box.width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.height(), 3.0);
+  EXPECT_EQ(box.center(), vec2(1, 1.5));
+}
+
+TEST(Box, OfSpanAndScaled) {
+  std::vector<Vec2> pts = {vec2(-1, 0), vec2(1, 2)};
+  Box box = Box::of(pts);
+  EXPECT_DOUBLE_EQ(box.lo[0], -1.0);
+  Box big = box.scaled(2.0);
+  EXPECT_DOUBLE_EQ(big.hi[1], 4.0);
+  EXPECT_DOUBLE_EQ(big.lo[0], -2.0);
+}
+
+TEST(Box, InflatedGrows) {
+  Box box;
+  box.expand(vec2(0, 0));
+  box.expand(vec2(1, 1));
+  Box grown = box.inflated(0.1);
+  EXPECT_LT(grown.lo[0], 0.0);
+  EXPECT_GT(grown.hi[1], 1.0);
+}
+
+TEST(Lattice, CellOfCoversGrid) {
+  Box box;
+  box.expand(vec2(0, 0));
+  box.expand(vec2(4, 4));
+  Lattice lattice(box, 4, 4);
+  auto [r0, c0] = lattice.cell_of(vec2(0.5, 0.5));
+  EXPECT_EQ(r0, 0u);
+  EXPECT_EQ(c0, 0u);
+  auto [r1, c1] = lattice.cell_of(vec2(3.5, 0.5));
+  EXPECT_EQ(r1, 0u);
+  EXPECT_EQ(c1, 3u);
+  auto [r2, c2] = lattice.cell_of(vec2(0.5, 3.5));
+  EXPECT_EQ(r2, 3u);
+  EXPECT_EQ(c2, 0u);
+}
+
+TEST(Lattice, OutOfBoxClamped) {
+  Box box;
+  box.expand(vec2(0, 0));
+  box.expand(vec2(1, 1));
+  Lattice lattice(box, 2, 2);
+  auto [r, c] = lattice.cell_of(vec2(-5, 9));
+  EXPECT_EQ(r, 1u);
+  EXPECT_EQ(c, 0u);
+}
+
+TEST(Lattice, CellBoxTilesTheBox) {
+  Box box;
+  box.expand(vec2(0, 0));
+  box.expand(vec2(3, 2));
+  Lattice lattice(box, 2, 3);
+  Box cell = lattice.cell_box(1, 2);
+  EXPECT_DOUBLE_EQ(cell.lo[0], 2.0);
+  EXPECT_DOUBLE_EQ(cell.lo[1], 1.0);
+  EXPECT_DOUBLE_EQ(cell.hi[0], 3.0);
+  EXPECT_DOUBLE_EQ(cell.hi[1], 2.0);
+}
+
+// The paper's ghost rule: a ghost's presented coordinate must land inside
+// one of the owner's 8 neighbouring cells (or its own), at L1-nearest
+// position.
+TEST(Lattice, ClampToNeighborPullsFarGhostsAdjacent) {
+  Box box;
+  box.expand(vec2(0, 0));
+  box.expand(vec2(8, 8));
+  Lattice lattice(box, 8, 8);
+  // Owner cell (2,2); ghost truly in cell (2,6) -> clamp into (2,3).
+  Vec2 clamped = lattice.clamp_to_neighbor(2, 2, vec2(6.5, 2.5));
+  auto [r, c] = lattice.cell_of(clamped);
+  EXPECT_EQ(r, 2u);
+  EXPECT_EQ(c, 3u);
+  // y unchanged (already in row band), x clamped to the near cell face.
+  EXPECT_DOUBLE_EQ(clamped[1], 2.5);
+  EXPECT_NEAR(clamped[0], 4.0, 1e-6);
+}
+
+TEST(Lattice, ClampKeepsAlreadyNearGhosts) {
+  Box box;
+  box.expand(vec2(0, 0));
+  box.expand(vec2(4, 4));
+  Lattice lattice(box, 4, 4);
+  Vec2 ghost = vec2(1.5, 2.5);  // cell (2,1), neighbour of (1,1)
+  Vec2 clamped = lattice.clamp_to_neighbor(1, 1, ghost);
+  EXPECT_EQ(clamped, ghost);
+}
+
+TEST(Lattice, ClampAtGridEdge) {
+  Box box;
+  box.expand(vec2(0, 0));
+  box.expand(vec2(4, 4));
+  Lattice lattice(box, 4, 4);
+  // Owner (0,0); ghost far diagonal: clamps into (1,1).
+  Vec2 clamped = lattice.clamp_to_neighbor(0, 0, vec2(3.9, 3.9));
+  auto [r, c] = lattice.cell_of(clamped);
+  EXPECT_LE(r, 1u);
+  EXPECT_LE(c, 1u);
+}
+
+}  // namespace
+}  // namespace sp::geom

@@ -1,0 +1,117 @@
+// Tests for the multilevel hierarchy (keep-every-other-level coarsening).
+#include <gtest/gtest.h>
+
+#include "coarsen/hierarchy.hpp"
+#include "graph/generators.hpp"
+
+namespace sp::coarsen {
+namespace {
+
+using graph::VertexId;
+
+TEST(Hierarchy, ReachesCoarsestSize) {
+  auto g = graph::gen::delaunay(8000, 1).graph;
+  HierarchyOptions opt;
+  opt.coarsest_size = 300;
+  auto h = Hierarchy::build(g, opt);
+  EXPECT_GT(h.num_levels(), 1u);
+  EXPECT_LE(h.coarsest().num_vertices(), 2 * 300u);  // last round may stall
+  EXPECT_EQ(h.graph_at(0).num_vertices(), g.num_vertices());
+}
+
+TEST(Hierarchy, QuarterShrinkWithTwoRounds) {
+  auto g = graph::gen::grid2d(100, 100).graph;
+  HierarchyOptions opt;
+  opt.coarsest_size = 200;
+  opt.rounds_per_level = 2;  // the paper's keep-every-other-graph rule
+  auto h = Hierarchy::build(g, opt);
+  // The last level may stop after one round (target size reached), so the
+  // quarter-shrink invariant binds on all but the final level.
+  for (std::size_t level = 1; level + 1 < h.num_levels(); ++level) {
+    double ratio = static_cast<double>(h.graph_at(level).num_vertices()) /
+                   static_cast<double>(h.graph_at(level - 1).num_vertices());
+    EXPECT_LT(ratio, 0.42) << "level " << level;  // ~1/4 with slack
+  }
+  double last = static_cast<double>(h.coarsest().num_vertices()) /
+                static_cast<double>(
+                    h.graph_at(h.num_levels() - 2).num_vertices());
+  EXPECT_LT(last, 0.65);
+}
+
+TEST(Hierarchy, HalvingWithOneRound) {
+  auto g = graph::gen::grid2d(60, 60).graph;
+  HierarchyOptions opt;
+  opt.coarsest_size = 200;
+  opt.rounds_per_level = 1;
+  auto h = Hierarchy::build(g, opt);
+  for (std::size_t level = 1; level < h.num_levels(); ++level) {
+    double ratio = static_cast<double>(h.graph_at(level).num_vertices()) /
+                   static_cast<double>(h.graph_at(level - 1).num_vertices());
+    EXPECT_GT(ratio, 0.40) << "level " << level;
+    EXPECT_LT(ratio, 0.70) << "level " << level;
+  }
+}
+
+TEST(Hierarchy, WeightsConservedPerLevel) {
+  auto g = graph::gen::delaunay(3000, 2).graph;
+  HierarchyOptions opt;
+  opt.coarsest_size = 100;
+  auto h = Hierarchy::build(g, opt);
+  for (std::size_t level = 0; level < h.num_levels(); ++level) {
+    EXPECT_EQ(h.graph_at(level).total_vertex_weight(),
+              g.total_vertex_weight());
+  }
+}
+
+TEST(Hierarchy, ProjectionPreservesCutAcrossLevels) {
+  auto g = graph::gen::delaunay(4000, 3).graph;
+  HierarchyOptions opt;
+  opt.coarsest_size = 150;
+  auto h = Hierarchy::build(g, opt);
+  std::size_t top = h.num_levels() - 1;
+  graph::Bipartition part(h.coarsest().num_vertices());
+  for (VertexId v = 0; v < h.coarsest().num_vertices(); ++v) {
+    part[v] = static_cast<std::uint8_t>(hash64(v) & 1);
+  }
+  graph::Weight coarse_cut = cut_size(h.coarsest(), part);
+  auto fine = h.project(part, top, 0);
+  EXPECT_EQ(fine.size(), g.num_vertices());
+  EXPECT_EQ(cut_size(g, fine), coarse_cut);
+}
+
+TEST(Hierarchy, ProjectIdentityAtSameLevel) {
+  auto g = graph::gen::cycle(64).graph;
+  HierarchyOptions opt;
+  opt.coarsest_size = 16;
+  auto h = Hierarchy::build(g, opt);
+  graph::Bipartition part(h.coarsest().num_vertices());
+  part[0] = 1;
+  auto same = h.project(part, h.num_levels() - 1, h.num_levels() - 1);
+  EXPECT_EQ(same.side, part.side);
+}
+
+TEST(Hierarchy, TinyGraphSingleLevel) {
+  auto g = graph::gen::cycle(10).graph;
+  HierarchyOptions opt;
+  opt.coarsest_size = 512;
+  auto h = Hierarchy::build(g, opt);
+  EXPECT_EQ(h.num_levels(), 1u);
+}
+
+TEST(Hierarchy, DeterministicForSeed) {
+  auto g = graph::gen::delaunay(1000, 4).graph;
+  HierarchyOptions opt;
+  opt.coarsest_size = 100;
+  opt.seed = 77;
+  auto a = Hierarchy::build(g, opt);
+  auto b = Hierarchy::build(g, opt);
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  for (std::size_t level = 0; level < a.num_levels(); ++level) {
+    EXPECT_EQ(a.graph_at(level).num_vertices(),
+              b.graph_at(level).num_vertices());
+    EXPECT_EQ(a.level(level).fine_to_coarse, b.level(level).fine_to_coarse);
+  }
+}
+
+}  // namespace
+}  // namespace sp::coarsen

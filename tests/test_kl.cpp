@@ -1,0 +1,97 @@
+// Tests for Kernighan-Lin pairwise-swap refinement.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "refine/kl.hpp"
+#include "support/random.hpp"
+
+namespace sp::refine {
+namespace {
+
+using graph::Bipartition;
+using graph::CsrGraph;
+using graph::VertexId;
+using graph::Weight;
+
+Bipartition random_balanced(const CsrGraph& g, std::uint64_t seed) {
+  Bipartition part(g.num_vertices());
+  std::vector<VertexId> order(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) order[v] = v;
+  Rng rng(seed);
+  rng.shuffle(order);
+  for (VertexId i = 0; i < g.num_vertices() / 2; ++i) part[order[i]] = 1;
+  return part;
+}
+
+TEST(Kl, NeverWorsensAndPreservesWeightsExactly) {
+  auto g = graph::gen::delaunay(600, 1).graph;
+  Bipartition part = random_balanced(g, 1);
+  auto [w0, w1] = side_weights(g, part);
+  Weight before = cut_size(g, part);
+  auto r = kl_refine(g, part);
+  EXPECT_LE(r.final_cut, before);
+  EXPECT_EQ(r.final_cut, cut_size(g, part));
+  auto [a0, a1] = side_weights(g, part);
+  EXPECT_EQ(a0, w0);  // swaps preserve weights exactly
+  EXPECT_EQ(a1, w1);
+}
+
+TEST(Kl, ImprovesRandomGridPartition) {
+  auto g = graph::gen::grid2d(16, 16).graph;
+  Bipartition part = random_balanced(g, 2);
+  Weight before = cut_size(g, part);
+  KlOptions opt;
+  opt.max_passes = 8;
+  auto r = kl_refine(g, part, opt);
+  EXPECT_LT(r.final_cut, before);
+  EXPECT_GT(r.swaps_applied, 0u);
+}
+
+TEST(Kl, FindsOptimalOnSwappedDumbbell) {
+  // Two triangles joined by an edge, one vertex swapped across.
+  graph::GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(3, 5);
+  b.add_edge(0, 3);
+  CsrGraph g = b.build();
+  Bipartition part(6);
+  // Swap 2 and 5 across: cut = edges (0,2)(1,2)(3,5)(4,5)(0,3)... sides
+  // {0,1,5} vs {2,3,4}: cut = (0,2),(1,2),(5,3),(5,4),(0,3) = 5.
+  part[2] = 1;
+  part[3] = 1;
+  part[4] = 1;
+  std::swap(part.side[2], part.side[5]);
+  auto r = kl_refine(g, part);
+  EXPECT_EQ(r.final_cut, 1);  // one swap restores the triangles
+}
+
+TEST(Kl, RespectsUnequalWeights) {
+  // Vertices with different weights cannot be swapped; assignment stays.
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.set_vertex_weight(1, 5);
+  CsrGraph g = b.build();
+  Bipartition part(4);
+  part[1] = 1;  // weights: side0 = {0,2,3} = 3, side1 = {1} = 5
+  auto [w0, w1] = side_weights(g, part);
+  kl_refine(g, part);
+  auto [a0, a1] = side_weights(g, part);
+  EXPECT_EQ(a0, w0);
+  EXPECT_EQ(a1, w1);
+}
+
+TEST(Kl, TrivialInputs) {
+  CsrGraph empty;
+  Bipartition none(0);
+  auto r = kl_refine(empty, none);
+  EXPECT_EQ(r.final_cut, 0);
+}
+
+}  // namespace
+}  // namespace sp::refine

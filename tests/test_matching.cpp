@@ -1,0 +1,128 @@
+// Tests for sequential matchings and contraction.
+#include <gtest/gtest.h>
+
+#include "coarsen/contract.hpp"
+#include "coarsen/matching.hpp"
+#include "graph/generators.hpp"
+
+namespace sp::coarsen {
+namespace {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+TEST(Matching, HemIsValidInvolution) {
+  auto g = graph::gen::delaunay(1000, 1).graph;
+  Rng rng(1);
+  auto match = heavy_edge_matching(g, rng);
+  validate_matching(g, match);
+}
+
+TEST(Matching, MatchedPairsAreAdjacent) {
+  auto g = graph::gen::grid2d(20, 20).graph;
+  Rng rng(2);
+  auto match = heavy_edge_matching(g, rng);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (match[v] == v) continue;
+    bool adjacent = false;
+    for (VertexId u : g.neighbors(v)) adjacent |= (u == match[v]);
+    EXPECT_TRUE(adjacent);
+  }
+}
+
+TEST(Matching, HemPrefersHeavyEdges) {
+  // Star-free path with one heavy edge: 0-1 (w=100), 1-2 (w=1), 2-3 (w=1).
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1, 100);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 1);
+  CsrGraph g = b.build();
+  // Whatever the visit order, vertex 1 must end up matched with 0: any
+  // visit of 0 or 1 picks the weight-100 edge first.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    auto match = heavy_edge_matching(g, rng);
+    EXPECT_EQ(match[0], 1u);
+    EXPECT_EQ(match[1], 0u);
+  }
+}
+
+TEST(Matching, HemMatchesMostVerticesOnMeshes) {
+  auto g = graph::gen::delaunay(2000, 3).graph;
+  Rng rng(3);
+  auto match = heavy_edge_matching(g, rng);
+  EXPECT_GT(matched_fraction(match), 0.8);
+}
+
+TEST(Matching, RandomMatchingValid) {
+  auto g = graph::gen::grid2d(15, 15).graph;
+  Rng rng(4);
+  auto match = random_matching(g, rng);
+  validate_matching(g, match);
+  EXPECT_GT(matched_fraction(match), 0.6);
+}
+
+TEST(Matching, IsolatedVerticesSelfMatch) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  CsrGraph g = b.build();
+  Rng rng(5);
+  auto match = heavy_edge_matching(g, rng);
+  EXPECT_EQ(match[2], 2u);
+}
+
+TEST(Contract, PreservesTotalVertexWeight) {
+  auto g = graph::gen::delaunay(800, 6).graph;
+  Rng rng(6);
+  auto match = heavy_edge_matching(g, rng);
+  auto c = contract(g, match);
+  EXPECT_EQ(c.coarse.total_vertex_weight(), g.total_vertex_weight());
+  c.coarse.validate();
+}
+
+TEST(Contract, HalvesVertexCountRoughly) {
+  auto g = graph::gen::grid2d(30, 30).graph;
+  Rng rng(7);
+  auto match = heavy_edge_matching(g, rng);
+  auto c = contract(g, match);
+  double ratio = static_cast<double>(c.coarse.num_vertices()) /
+                 static_cast<double>(g.num_vertices());
+  EXPECT_LT(ratio, 0.65);
+  EXPECT_GT(ratio, 0.45);
+}
+
+TEST(Contract, MapsAreConsistent) {
+  auto g = graph::gen::cycle(40).graph;
+  Rng rng(8);
+  auto match = heavy_edge_matching(g, rng);
+  auto c = contract(g, match);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LT(c.fine_to_coarse[v], c.coarse.num_vertices());
+    EXPECT_EQ(c.fine_to_coarse[v], c.fine_to_coarse[match[v]]);
+  }
+  for (VertexId cv = 0; cv < c.coarse.num_vertices(); ++cv) {
+    EXPECT_EQ(c.fine_to_coarse[c.coarse_to_fine[cv]], cv);
+  }
+}
+
+// The key multilevel invariant: a coarse partition's cut equals the
+// projected fine partition's cut exactly (edge weights aggregate).
+TEST(Contract, ProjectedCutIsExact) {
+  auto g = graph::gen::delaunay(1200, 9).graph;
+  Rng rng(9);
+  auto match = heavy_edge_matching(g, rng);
+  auto c = contract(g, match);
+  graph::Bipartition coarse_part(c.coarse.num_vertices());
+  for (VertexId v = 0; v < c.coarse.num_vertices(); ++v) {
+    coarse_part[v] = static_cast<std::uint8_t>(hash64(v) & 1);
+  }
+  auto fine_part = project_partition(c, coarse_part);
+  EXPECT_EQ(cut_size(c.coarse, coarse_part), cut_size(g, fine_part));
+  auto [cw0, cw1] = side_weights(c.coarse, coarse_part);
+  auto [fw0, fw1] = side_weights(g, fine_part);
+  EXPECT_EQ(cw0, fw0);
+  EXPECT_EQ(cw1, fw1);
+}
+
+}  // namespace
+}  // namespace sp::coarsen

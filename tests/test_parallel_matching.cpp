@@ -1,0 +1,120 @@
+// Tests for distributed heavy-edge matching: the result gathered across
+// ranks must be a valid global matching on adjacent pairs.
+#include <gtest/gtest.h>
+
+#include "coarsen/matching.hpp"
+#include "coarsen/parallel_matching.hpp"
+#include "comm/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace sp::coarsen {
+namespace {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+/// Runs distributed matching at P ranks and assembles the global partner
+/// array.
+std::vector<VertexId> run_matching(const CsrGraph& g, std::uint32_t p,
+                                   std::uint32_t rounds) {
+  std::vector<VertexId> global(g.num_vertices(), graph::kInvalidVertex);
+  comm::BspEngine::Options opt;
+  opt.nranks = p;
+  comm::BspEngine engine(opt);
+  engine.run([&](comm::Comm& c) {
+    graph::LocalView view(g, c.rank(), c.nranks());
+    auto result = distributed_matching(c, view, rounds, 42);
+    for (VertexId local = 0; local < view.num_local(); ++local) {
+      global[view.to_global(local)] = result.partner[local];
+    }
+    c.barrier();
+  });
+  return global;
+}
+
+void check_valid(const CsrGraph& g, const std::vector<VertexId>& partner) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_NE(partner[v], graph::kInvalidVertex);
+    ASSERT_LT(partner[v], g.num_vertices());
+    // Involution.
+    EXPECT_EQ(partner[partner[v]], v) << "vertex " << v;
+    // Matched pairs adjacent.
+    if (partner[v] != v) {
+      bool adjacent = false;
+      for (VertexId u : g.neighbors(v)) adjacent |= (u == partner[v]);
+      EXPECT_TRUE(adjacent) << "non-adjacent match " << v;
+    }
+  }
+}
+
+class ParallelMatchingTest
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ParallelMatchingTest, ValidMatchingOnMesh) {
+  auto g = graph::gen::delaunay(1500, 3).graph;
+  auto partner = run_matching(g, GetParam(), 3);
+  check_valid(g, partner);
+}
+
+TEST_P(ParallelMatchingTest, ValidOnGrid) {
+  auto g = graph::gen::grid2d(30, 30).graph;
+  auto partner = run_matching(g, GetParam(), 3);
+  check_valid(g, partner);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelMatchingTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+TEST(ParallelMatching, MatchesMostVertices) {
+  auto g = graph::gen::delaunay(2000, 5).graph;
+  auto partner = run_matching(g, 8, 3);
+  std::size_t matched = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (partner[v] != v) ++matched;
+  }
+  double fraction =
+      static_cast<double>(matched) / static_cast<double>(g.num_vertices());
+  EXPECT_GT(fraction, 0.7);  // a few rounds leave a small residue
+}
+
+TEST(ParallelMatching, MoreRoundsMatchMore) {
+  auto g = graph::gen::delaunay(1500, 7).graph;
+  auto one = run_matching(g, 8, 1);
+  auto three = run_matching(g, 8, 3);
+  auto count = [&](const std::vector<VertexId>& partner) {
+    std::size_t matched = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      matched += partner[v] != v;
+    }
+    return matched;
+  };
+  EXPECT_GE(count(three), count(one));
+}
+
+TEST(ParallelMatching, SingleRankMatchesSequentialBehavior) {
+  auto g = graph::gen::grid2d(20, 20).graph;
+  auto partner = run_matching(g, 1, 3);
+  check_valid(g, partner);
+  std::size_t matched = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) matched += partner[v] != v;
+  EXPECT_GT(static_cast<double>(matched) / g.num_vertices(), 0.85);
+}
+
+TEST(ParallelMatching, TracesCommunication) {
+  auto g = graph::gen::delaunay(1000, 9).graph;
+  comm::BspEngine::Options opt;
+  opt.nranks = 4;
+  comm::BspEngine engine(opt);
+  auto stats = engine.run([&](comm::Comm& c) {
+    c.set_stage("match");
+    graph::LocalView view(g, c.rank(), c.nranks());
+    distributed_matching(c, view, 3, 1);
+  });
+  auto cost = stats.stage_sum("match");
+  EXPECT_GT(cost.messages, 0u);       // proposals crossed rank boundaries
+  EXPECT_GT(cost.bytes_sent, 0u);
+  EXPECT_GT(cost.compute_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace sp::coarsen

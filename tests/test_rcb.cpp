@@ -1,0 +1,90 @@
+// Tests for recursive coordinate bisection.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/rcb.hpp"
+
+namespace sp::partition {
+namespace {
+
+using graph::VertexId;
+using graph::Weight;
+
+TEST(Rcb, BisectsGridAtMedian) {
+  auto g = graph::gen::grid2d(10, 20);  // wider in x
+  auto part = rcb_bisect(g.coords, g.graph.vertex_weights());
+  auto [w0, w1] = side_weights(g.graph, part);
+  EXPECT_EQ(w0, w1);
+  // The cut is the column cut: 10 edges.
+  EXPECT_EQ(cut_size(g.graph, part), 10);
+}
+
+TEST(Rcb, PicksWiderAxis) {
+  auto tall = graph::gen::grid2d(40, 5);  // taller in y
+  auto part = rcb_bisect(tall.coords, tall.graph.vertex_weights());
+  EXPECT_EQ(cut_size(tall.graph, part), 5);  // horizontal cut of width 5
+}
+
+TEST(Rcb, BalancedOnTiesGrid) {
+  // Many identical coordinates per column: hash tie-breaking must still
+  // deliver balance.
+  auto g = graph::gen::grid2d(31, 31);
+  auto part = rcb_bisect(g.coords, g.graph.vertex_weights());
+  EXPECT_LE(imbalance(g.graph, part), 0.01);
+}
+
+TEST(Rcb, WeightedMedianRespectsWeights) {
+  // 4 points on a line; the left one is heavy.
+  std::vector<geom::Vec2> coords = {geom::vec2(0, 0), geom::vec2(1, 0),
+                                    geom::vec2(2, 0), geom::vec2(3, 0)};
+  std::vector<Weight> weights = {10, 1, 1, 1};
+  auto part = rcb_bisect(coords, weights);
+  // Heavy point alone reaches half the total weight: split after it.
+  EXPECT_EQ(part[0], 0);
+  EXPECT_EQ(part[1], 1);
+  EXPECT_EQ(part[2], 1);
+  EXPECT_EQ(part[3], 1);
+}
+
+TEST(Rcb, PartitionResultIsEvaluated) {
+  auto g = graph::gen::delaunay(1500, 1);
+  auto result = rcb_partition(g.graph, g.coords);
+  EXPECT_EQ(result.method, "RCB");
+  EXPECT_GT(result.report.cut, 0);
+  EXPECT_LE(result.report.imbalance, 0.01);
+  EXPECT_EQ(result.report.cut, cut_size(g.graph, result.part));
+}
+
+TEST(Rcb, AssignCoversAllPartsEvenly) {
+  auto g = graph::gen::delaunay(2000, 2);
+  for (std::uint32_t parts : {2u, 3u, 8u, 16u}) {
+    auto assign = rcb_assign(g.coords, g.graph.vertex_weights(), parts);
+    std::vector<std::size_t> counts(parts, 0);
+    for (auto p : assign) {
+      ASSERT_LT(p, parts);
+      ++counts[p];
+    }
+    auto [min_it, max_it] = std::minmax_element(counts.begin(), counts.end());
+    EXPECT_GT(*min_it, 0u);
+    EXPECT_LT(static_cast<double>(*max_it) / static_cast<double>(*min_it),
+              1.4)
+        << "parts=" << parts;
+  }
+}
+
+TEST(Rcb, AssignOnePartIsTrivial) {
+  auto g = graph::gen::cycle(20);
+  auto assign = rcb_assign(g.coords, g.graph.vertex_weights(), 1);
+  for (auto p : assign) EXPECT_EQ(p, 0u);
+}
+
+TEST(Rcb, CutQualityReasonableOnMesh) {
+  auto g = graph::gen::delaunay(4000, 3);
+  auto result = rcb_partition(g.graph, g.coords);
+  // Mesh separator ~ O(sqrt n): allow generous constant.
+  EXPECT_LT(result.report.cut,
+            8 * static_cast<Weight>(std::sqrt(4000.0) * 3));
+}
+
+}  // namespace
+}  // namespace sp::partition

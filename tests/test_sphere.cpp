@@ -1,0 +1,155 @@
+// Tests for stereographic projection, rotations, conformal maps,
+// Radon points and the approximate centerpoint.
+#include <gtest/gtest.h>
+
+#include "geometry/sphere.hpp"
+#include "support/random.hpp"
+
+namespace sp::geom {
+namespace {
+
+TEST(Sphere, StereoUpLandsOnUnitSphere) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    Vec2 x = vec2(rng.uniform(-10, 10), rng.uniform(-10, 10));
+    Vec3 p = stereo_up(x);
+    EXPECT_NEAR(p.norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(Sphere, StereoRoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    Vec2 x = vec2(rng.uniform(-5, 5), rng.uniform(-5, 5));
+    Vec2 back = stereo_down(stereo_up(x));
+    EXPECT_NEAR(back[0], x[0], 1e-9);
+    EXPECT_NEAR(back[1], x[1], 1e-9);
+  }
+}
+
+TEST(Sphere, StereoOriginMapsToSouthPole) {
+  Vec3 p = stereo_up(vec2(0, 0));
+  EXPECT_NEAR(p[2], -1.0, 1e-12);
+}
+
+TEST(Sphere, RotationBetweenMapsFromToTo) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    Vec3 a = random_unit_vector(rng);
+    Vec3 b = random_unit_vector(rng);
+    Rot3 rot = rotation_between(a, b);
+    Vec3 image = rot.apply(a);
+    EXPECT_NEAR(distance(image, b), 0.0, 1e-9);
+    // Orthogonality: norms preserved.
+    Vec3 probe = random_unit_vector(rng);
+    EXPECT_NEAR(rot.apply(probe).norm(), 1.0, 1e-9);
+  }
+}
+
+TEST(Sphere, RotationIdentityAndOpposite) {
+  Vec3 z = vec3(0, 0, 1);
+  Rot3 id = rotation_between(z, z);
+  EXPECT_NEAR(distance(id.apply(vec3(1, 2, 3)), vec3(1, 2, 3)), 0.0, 1e-12);
+  Rot3 flip = rotation_between(z, vec3(0, 0, -1));
+  EXPECT_NEAR(distance(flip.apply(z), vec3(0, 0, -1)), 0.0, 1e-9);
+  EXPECT_NEAR(flip.apply(vec3(1, 0, 0)).norm(), 1.0, 1e-9);
+}
+
+TEST(Sphere, TransposeIsInverse) {
+  Rng rng(5);
+  Rot3 rot = rotation_between(random_unit_vector(rng), random_unit_vector(rng));
+  Vec3 v = random_unit_vector(rng);
+  EXPECT_NEAR(distance(rot.transposed().apply(rot.apply(v)), v), 0.0, 1e-9);
+}
+
+TEST(Sphere, ConformalMapStaysOnSphere) {
+  Rng rng(7);
+  ConformalMap map(vec3(0.2, 0.1, 0.4));
+  for (int i = 0; i < 100; ++i) {
+    Vec3 p = random_unit_vector(rng);
+    EXPECT_NEAR(map.apply(p).norm(), 1.0, 1e-9);
+  }
+}
+
+TEST(Sphere, ConformalMapCentersSkewedCloud) {
+  // Points crowded near the north pole: after centring with their
+  // centerpoint, the cloud's centroid should move much closer to origin.
+  Rng rng(9);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 500; ++i) {
+    Vec3 p = (random_unit_vector(rng) + vec3(0, 0, 2.5)).normalized();
+    pts.push_back(p);
+  }
+  Vec3 centroid_before{};
+  for (const Vec3& p : pts) centroid_before += p;
+  centroid_before /= 500.0;
+
+  Rng cp_rng(11);
+  Vec3 cp = approximate_centerpoint(pts, cp_rng);
+  ConformalMap map(cp);
+  Vec3 centroid_after{};
+  for (const Vec3& p : pts) centroid_after += map.apply(p);
+  centroid_after /= 500.0;
+  EXPECT_LT(centroid_after.norm(), 0.5 * centroid_before.norm());
+}
+
+TEST(Sphere, ConformalIdentityNearOrigin) {
+  ConformalMap map(vec3(0, 0, 0));
+  Vec3 p = vec3(0, 1, 0);
+  EXPECT_NEAR(distance(map.apply(p), p), 0.0, 1e-12);
+}
+
+TEST(Sphere, RadonPointInBothHulls) {
+  // A concrete Radon configuration: 4 corners of a tetrahedron + center.
+  std::vector<Vec3> pts = {vec3(1, 0, 0), vec3(0, 1, 0), vec3(0, 0, 1),
+                           vec3(-1, -1, -1), vec3(0.01, 0.01, 0.01)};
+  Vec3 rp;
+  ASSERT_TRUE(radon_point(pts, &rp));
+  // The Radon point of this configuration is near the interior point.
+  EXPECT_LT(rp.norm(), 1.0);
+}
+
+TEST(Sphere, RadonPointDegenerateFails) {
+  std::vector<Vec3> pts(5, vec3(1, 1, 1));  // all identical
+  Vec3 rp;
+  // Coincident points have trivial dependencies with denom 0 on the
+  // positive side sometimes; either outcome must not crash. When it
+  // succeeds the point equals the common location.
+  if (radon_point(pts, &rp)) {
+    EXPECT_NEAR(distance(rp, vec3(1, 1, 1)), 0.0, 1e-9);
+  }
+}
+
+// Centerpoint property (statistical): every halfspace through the
+// centerpoint keeps >= ~1/(d+2) of the points on each side. We verify a
+// relaxed version over random directions.
+TEST(Sphere, CenterpointHasDepth) {
+  Rng rng(13);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 2000; ++i) pts.push_back(random_unit_vector(rng));
+  Rng cp_rng(17);
+  Vec3 cp = approximate_centerpoint(pts, cp_rng, 600);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec3 u = random_unit_vector(rng);
+    double offset = u.dot(cp);
+    int above = 0;
+    for (const Vec3& p : pts) above += (u.dot(p) > offset);
+    double frac = static_cast<double>(above) / 2000.0;
+    EXPECT_GT(frac, 0.08);  // relaxed 1/(d+2) = 0.2 bound for a heuristic
+    EXPECT_LT(frac, 0.92);
+  }
+}
+
+TEST(Sphere, RandomUnitVectorIsUnit) {
+  Rng rng(19);
+  Vec3 mean{};
+  for (int i = 0; i < 1000; ++i) {
+    Vec3 v = random_unit_vector(rng);
+    EXPECT_NEAR(v.norm(), 1.0, 1e-12);
+    mean += v;
+  }
+  EXPECT_LT((mean / 1000.0).norm(), 0.08);  // roughly isotropic
+}
+
+}  // namespace
+}  // namespace sp::geom

@@ -1,0 +1,101 @@
+// Tests for the SSDE-style landmark-MDS embedder (the paper's future-work
+// direction).
+#include <gtest/gtest.h>
+
+#include "embed/ssde.hpp"
+#include "graph/generators.hpp"
+#include "partition/rcb.hpp"
+#include "support/random.hpp"
+
+namespace sp::embed {
+namespace {
+
+using graph::VertexId;
+
+TEST(Ssde, LandmarksDistinctAndSpread) {
+  auto g = graph::gen::grid2d(20, 20).graph;
+  auto landmarks = select_landmarks(g, 16, 1);
+  ASSERT_EQ(landmarks.size(), 16u);
+  std::set<VertexId> unique(landmarks.begin(), landmarks.end());
+  EXPECT_EQ(unique.size(), 16u);
+  // Max-min selection on a 20x20 grid: pairwise hop distance of the first
+  // few landmarks should be large (>= 10).
+  std::vector<VertexId> first = {landmarks[0]};
+  auto d = graph::bfs_distance(g, first);
+  EXPECT_GE(d[landmarks[1]], 10u);
+}
+
+TEST(Ssde, OutputNormalised) {
+  auto g = graph::gen::delaunay(1000, 2).graph;
+  auto coords = ssde_embed(g, {});
+  ASSERT_EQ(coords.size(), g.num_vertices());
+  geom::Vec2 centroid{};
+  for (const auto& p : coords) centroid += p;
+  centroid /= static_cast<double>(coords.size());
+  EXPECT_LT(centroid.norm(), 1e-6);
+}
+
+TEST(Ssde, RecoversGridGeometryApproximately) {
+  // Hop distance on a grid ~ L1 distance: landmark MDS should recover a
+  // layout where graph neighbours are geometrically close.
+  auto g = graph::gen::grid2d(24, 24).graph;
+  auto coords = ssde_embed(g, {});
+  double edge_len = 0;
+  std::size_t edges = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (u > v) {
+        edge_len += geom::distance(coords[v], coords[u]);
+        ++edges;
+      }
+    }
+  }
+  edge_len /= static_cast<double>(edges);
+  double random_len = 0;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    auto a = static_cast<VertexId>(hash64(i) % g.num_vertices());
+    auto b = static_cast<VertexId>(hash64(i + 999) % g.num_vertices());
+    random_len += geom::distance(coords[a], coords[b]);
+  }
+  random_len /= 500.0;
+  EXPECT_LT(edge_len, random_len / 3.0);
+}
+
+TEST(Ssde, UsableForGeometricPartitioning) {
+  auto g = graph::gen::delaunay(2000, 3);
+  auto ssde_coords = ssde_embed(g.graph, {});
+  auto ssde_cut = partition::rcb_partition(g.graph, ssde_coords).report.cut;
+  auto true_cut = partition::rcb_partition(g.graph, g.coords).report.cut;
+  // A global-structure embedding: RCB on it should be within a modest
+  // factor of RCB on the true coordinates.
+  EXPECT_LT(ssde_cut, 8 * true_cut);
+}
+
+TEST(Ssde, DeterministicAndTinyInputs) {
+  auto g = graph::gen::cycle(64).graph;
+  auto a = ssde_embed(g, {});
+  auto b = ssde_embed(g, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i][0], b[i][0]);
+  }
+  graph::CsrGraph empty;
+  EXPECT_TRUE(ssde_embed(empty, {}).empty());
+}
+
+TEST(Ssde, MuchCheaperSetupThanForceDirected) {
+  // Structural check, not a timing test: SSDE does exactly `landmarks`
+  // BFS sweeps; verify it completes on a graph size where that is the
+  // dominant cost and the result is sane.
+  auto g = graph::gen::delaunay(20000, 4).graph;
+  SsdeOptions opt;
+  opt.landmarks = 16;
+  auto coords = ssde_embed(g, opt);
+  EXPECT_EQ(coords.size(), g.num_vertices());
+  for (const auto& p : coords) {
+    ASSERT_TRUE(std::isfinite(p[0]) && std::isfinite(p[1]));
+  }
+}
+
+}  // namespace
+}  // namespace sp::embed

@@ -1,0 +1,164 @@
+// Tests for src/support: PRNG, statistics, option parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/options.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+
+namespace sp {
+namespace {
+
+TEST(Random, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Random, BelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+TEST(Random, BelowZeroAndOne) {
+  Rng rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Random, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, NormalMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Random, RangeInclusive) {
+  Rng rng(17);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Random, SplitProducesIndependentStreams) {
+  Rng parent(5);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (c1() == c2());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Random, PermutationIsValid) {
+  Rng rng(23);
+  auto perm = random_permutation(100, rng);
+  std::set<std::uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Random, Hash64IsStable) {
+  EXPECT_EQ(hash64(42), hash64(42));
+  EXPECT_NE(hash64(42), hash64(43));
+}
+
+TEST(Stats, MeanAndGeomean) {
+  std::vector<double> xs = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.0 / 3.0);
+  EXPECT_NEAR(geometric_mean(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, MinMaxPercentile) {
+  std::vector<double> xs = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  RunningStats rs;
+  std::vector<double> xs = {1.5, 2.5, 3.5, 10.0};
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), 4u);
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 10.0);
+  EXPECT_NEAR(std::sqrt(rs.variance()), stddev(xs), 1e-12);
+}
+
+TEST(Stats, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(Options, ParsesForms) {
+  // Note: a bare "--flag" followed by a non-option token would consume the
+  // token as its value; positional arguments therefore precede bare flags.
+  const char* argv[] = {"prog",   "--alpha=3", "--beta", "4",
+                        "pos1",   "--flag",    "--gamma=x"};
+  Options opt(7, const_cast<char**>(argv));
+  EXPECT_EQ(opt.get_int("alpha", 0), 3);
+  EXPECT_EQ(opt.get_int("beta", 0), 4);
+  EXPECT_TRUE(opt.get_bool("flag", false));
+  EXPECT_EQ(opt.get("gamma", ""), "x");
+  ASSERT_EQ(opt.positional().size(), 1u);
+  EXPECT_EQ(opt.positional()[0], "pos1");
+  EXPECT_EQ(opt.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Options, UnusedDetection) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  Options opt(3, const_cast<char**>(argv));
+  (void)opt.get_int("used", 0);
+  auto unused = opt.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace sp

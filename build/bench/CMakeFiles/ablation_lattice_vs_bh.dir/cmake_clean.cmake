@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lattice_vs_bh.dir/ablation_lattice_vs_bh.cpp.o"
+  "CMakeFiles/ablation_lattice_vs_bh.dir/ablation_lattice_vs_bh.cpp.o.d"
+  "ablation_lattice_vs_bh"
+  "ablation_lattice_vs_bh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lattice_vs_bh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_lattice_vs_bh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_level_skip.dir/ablation_level_skip.cpp.o"
+  "CMakeFiles/ablation_level_skip.dir/ablation_level_skip.cpp.o.d"
+  "ablation_level_skip"
+  "ablation_level_skip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_level_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_refine_compare.dir/ablation_refine_compare.cpp.o"
+  "CMakeFiles/ablation_refine_compare.dir/ablation_refine_compare.cpp.o.d"
+  "ablation_refine_compare"
+  "ablation_refine_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_refine_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

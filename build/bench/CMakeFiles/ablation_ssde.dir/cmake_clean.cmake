@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ssde.dir/ablation_ssde.cpp.o"
+  "CMakeFiles/ablation_ssde.dir/ablation_ssde.cpp.o.d"
+  "ablation_ssde"
+  "ablation_ssde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ssde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

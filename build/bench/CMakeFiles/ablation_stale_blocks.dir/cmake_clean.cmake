@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stale_blocks.dir/ablation_stale_blocks.cpp.o"
+  "CMakeFiles/ablation_stale_blocks.dir/ablation_stale_blocks.cpp.o.d"
+  "ablation_stale_blocks"
+  "ablation_stale_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stale_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_strip_fm.dir/ablation_strip_fm.cpp.o"
+  "CMakeFiles/ablation_strip_fm.dir/ablation_strip_fm.cpp.o.d"
+  "ablation_strip_fm"
+  "ablation_strip_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strip_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rcb_vs_ppg7nl.dir/fig4_rcb_vs_ppg7nl.cpp.o"
+  "CMakeFiles/fig4_rcb_vs_ppg7nl.dir/fig4_rcb_vs_ppg7nl.cpp.o.d"
+  "fig4_rcb_vs_ppg7nl"
+  "fig4_rcb_vs_ppg7nl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rcb_vs_ppg7nl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hugebubbles.dir/fig5_hugebubbles.cpp.o"
+  "CMakeFiles/fig5_hugebubbles.dir/fig5_hugebubbles.cpp.o.d"
+  "fig5_hugebubbles"
+  "fig5_hugebubbles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hugebubbles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

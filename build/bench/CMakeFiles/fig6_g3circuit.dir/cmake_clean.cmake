@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_g3circuit.dir/fig6_g3circuit.cpp.o"
+  "CMakeFiles/fig6_g3circuit.dir/fig6_g3circuit.cpp.o.d"
+  "fig6_g3circuit"
+  "fig6_g3circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_g3circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_embed_composition.dir/fig8_embed_composition.cpp.o"
+  "CMakeFiles/fig8_embed_composition.dir/fig8_embed_composition.cpp.o.d"
+  "fig8_embed_composition"
+  "fig8_embed_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_embed_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_large4.dir/fig9_large4.cpp.o"
+  "CMakeFiles/fig9_large4.dir/fig9_large4.cpp.o.d"
+  "fig9_large4"
+  "fig9_large4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_large4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

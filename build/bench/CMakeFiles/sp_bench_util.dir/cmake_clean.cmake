@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/sp_bench_util.dir/bench_util.cpp.o.d"
+  "libsp_bench_util.a"
+  "libsp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_testsuite.dir/table1_testsuite.cpp.o"
+  "CMakeFiles/table1_testsuite.dir/table1_testsuite.cpp.o.d"
+  "table1_testsuite"
+  "table1_testsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_testsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

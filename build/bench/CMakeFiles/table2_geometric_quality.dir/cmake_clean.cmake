@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_geometric_quality.dir/table2_geometric_quality.cpp.o"
+  "CMakeFiles/table2_geometric_quality.dir/table2_geometric_quality.cpp.o.d"
+  "table2_geometric_quality"
+  "table2_geometric_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_geometric_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

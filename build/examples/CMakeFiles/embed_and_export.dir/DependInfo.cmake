@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/embed_and_export.cpp" "examples/CMakeFiles/embed_and_export.dir/embed_and_export.cpp.o" "gcc" "examples/CMakeFiles/embed_and_export.dir/embed_and_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/sp_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/coarsen/CMakeFiles/sp_coarsen.dir/DependInfo.cmake"
+  "/root/repo/build/src/refine/CMakeFiles/sp_refine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/sp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embed_and_export.dir/embed_and_export.cpp.o"
+  "CMakeFiles/embed_and_export.dir/embed_and_export.cpp.o.d"
+  "embed_and_export"
+  "embed_and_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embed_and_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kway_distribution.dir/kway_distribution.cpp.o"
+  "CMakeFiles/kway_distribution.dir/kway_distribution.cpp.o.d"
+  "kway_distribution"
+  "kway_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kway_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_repartition.dir/mesh_repartition.cpp.o"
+  "CMakeFiles/mesh_repartition.dir/mesh_repartition.cpp.o.d"
+  "mesh_repartition"
+  "mesh_repartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_repartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

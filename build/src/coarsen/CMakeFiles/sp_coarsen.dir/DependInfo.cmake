@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coarsen/contract.cpp" "src/coarsen/CMakeFiles/sp_coarsen.dir/contract.cpp.o" "gcc" "src/coarsen/CMakeFiles/sp_coarsen.dir/contract.cpp.o.d"
+  "/root/repo/src/coarsen/hierarchy.cpp" "src/coarsen/CMakeFiles/sp_coarsen.dir/hierarchy.cpp.o" "gcc" "src/coarsen/CMakeFiles/sp_coarsen.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/coarsen/matching.cpp" "src/coarsen/CMakeFiles/sp_coarsen.dir/matching.cpp.o" "gcc" "src/coarsen/CMakeFiles/sp_coarsen.dir/matching.cpp.o.d"
+  "/root/repo/src/coarsen/parallel_matching.cpp" "src/coarsen/CMakeFiles/sp_coarsen.dir/parallel_matching.cpp.o" "gcc" "src/coarsen/CMakeFiles/sp_coarsen.dir/parallel_matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/sp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

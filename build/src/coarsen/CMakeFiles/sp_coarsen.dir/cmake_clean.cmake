@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_coarsen.dir/contract.cpp.o"
+  "CMakeFiles/sp_coarsen.dir/contract.cpp.o.d"
+  "CMakeFiles/sp_coarsen.dir/hierarchy.cpp.o"
+  "CMakeFiles/sp_coarsen.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/sp_coarsen.dir/matching.cpp.o"
+  "CMakeFiles/sp_coarsen.dir/matching.cpp.o.d"
+  "CMakeFiles/sp_coarsen.dir/parallel_matching.cpp.o"
+  "CMakeFiles/sp_coarsen.dir/parallel_matching.cpp.o.d"
+  "libsp_coarsen.a"
+  "libsp_coarsen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_coarsen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_comm.dir/engine.cpp.o"
+  "CMakeFiles/sp_comm.dir/engine.cpp.o.d"
+  "libsp_comm.a"
+  "libsp_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_model.cpp" "src/core/CMakeFiles/sp_core.dir/baseline_model.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/baseline_model.cpp.o.d"
+  "/root/repo/src/core/kway.cpp" "src/core/CMakeFiles/sp_core.dir/kway.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/kway.cpp.o.d"
+  "/root/repo/src/core/scalapart.cpp" "src/core/CMakeFiles/sp_core.dir/scalapart.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/scalapart.cpp.o.d"
+  "/root/repo/src/core/testsuite.cpp" "src/core/CMakeFiles/sp_core.dir/testsuite.cpp.o" "gcc" "src/core/CMakeFiles/sp_core.dir/testsuite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/sp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/sp_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/coarsen/CMakeFiles/sp_coarsen.dir/DependInfo.cmake"
+  "/root/repo/build/src/refine/CMakeFiles/sp_refine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/sp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_core.dir/baseline_model.cpp.o"
+  "CMakeFiles/sp_core.dir/baseline_model.cpp.o.d"
+  "CMakeFiles/sp_core.dir/kway.cpp.o"
+  "CMakeFiles/sp_core.dir/kway.cpp.o.d"
+  "CMakeFiles/sp_core.dir/scalapart.cpp.o"
+  "CMakeFiles/sp_core.dir/scalapart.cpp.o.d"
+  "CMakeFiles/sp_core.dir/testsuite.cpp.o"
+  "CMakeFiles/sp_core.dir/testsuite.cpp.o.d"
+  "libsp_core.a"
+  "libsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

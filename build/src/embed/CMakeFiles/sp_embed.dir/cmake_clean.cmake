@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_embed.dir/bh_embedder.cpp.o"
+  "CMakeFiles/sp_embed.dir/bh_embedder.cpp.o.d"
+  "CMakeFiles/sp_embed.dir/lattice_parallel.cpp.o"
+  "CMakeFiles/sp_embed.dir/lattice_parallel.cpp.o.d"
+  "CMakeFiles/sp_embed.dir/ssde.cpp.o"
+  "CMakeFiles/sp_embed.dir/ssde.cpp.o.d"
+  "libsp_embed.a"
+  "libsp_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/balanced_grid.cpp" "src/geometry/CMakeFiles/sp_geometry.dir/balanced_grid.cpp.o" "gcc" "src/geometry/CMakeFiles/sp_geometry.dir/balanced_grid.cpp.o.d"
+  "/root/repo/src/geometry/delaunay.cpp" "src/geometry/CMakeFiles/sp_geometry.dir/delaunay.cpp.o" "gcc" "src/geometry/CMakeFiles/sp_geometry.dir/delaunay.cpp.o.d"
+  "/root/repo/src/geometry/quadtree.cpp" "src/geometry/CMakeFiles/sp_geometry.dir/quadtree.cpp.o" "gcc" "src/geometry/CMakeFiles/sp_geometry.dir/quadtree.cpp.o.d"
+  "/root/repo/src/geometry/sphere.cpp" "src/geometry/CMakeFiles/sp_geometry.dir/sphere.cpp.o" "gcc" "src/geometry/CMakeFiles/sp_geometry.dir/sphere.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_geometry.dir/balanced_grid.cpp.o"
+  "CMakeFiles/sp_geometry.dir/balanced_grid.cpp.o.d"
+  "CMakeFiles/sp_geometry.dir/delaunay.cpp.o"
+  "CMakeFiles/sp_geometry.dir/delaunay.cpp.o.d"
+  "CMakeFiles/sp_geometry.dir/quadtree.cpp.o"
+  "CMakeFiles/sp_geometry.dir/quadtree.cpp.o.d"
+  "CMakeFiles/sp_geometry.dir/sphere.cpp.o"
+  "CMakeFiles/sp_geometry.dir/sphere.cpp.o.d"
+  "libsp_geometry.a"
+  "libsp_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

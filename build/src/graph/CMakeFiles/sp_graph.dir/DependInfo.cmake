@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr_graph.cpp" "src/graph/CMakeFiles/sp_graph.dir/csr_graph.cpp.o" "gcc" "src/graph/CMakeFiles/sp_graph.dir/csr_graph.cpp.o.d"
+  "/root/repo/src/graph/distributed_graph.cpp" "src/graph/CMakeFiles/sp_graph.dir/distributed_graph.cpp.o" "gcc" "src/graph/CMakeFiles/sp_graph.dir/distributed_graph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/sp_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/sp_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/graph/CMakeFiles/sp_graph.dir/graph_io.cpp.o" "gcc" "src/graph/CMakeFiles/sp_graph.dir/graph_io.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/graph/CMakeFiles/sp_graph.dir/partition.cpp.o" "gcc" "src/graph/CMakeFiles/sp_graph.dir/partition.cpp.o.d"
+  "/root/repo/src/graph/quality.cpp" "src/graph/CMakeFiles/sp_graph.dir/quality.cpp.o" "gcc" "src/graph/CMakeFiles/sp_graph.dir/quality.cpp.o.d"
+  "/root/repo/src/graph/reorder.cpp" "src/graph/CMakeFiles/sp_graph.dir/reorder.cpp.o" "gcc" "src/graph/CMakeFiles/sp_graph.dir/reorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_graph.dir/csr_graph.cpp.o"
+  "CMakeFiles/sp_graph.dir/csr_graph.cpp.o.d"
+  "CMakeFiles/sp_graph.dir/distributed_graph.cpp.o"
+  "CMakeFiles/sp_graph.dir/distributed_graph.cpp.o.d"
+  "CMakeFiles/sp_graph.dir/generators.cpp.o"
+  "CMakeFiles/sp_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/sp_graph.dir/graph_io.cpp.o"
+  "CMakeFiles/sp_graph.dir/graph_io.cpp.o.d"
+  "CMakeFiles/sp_graph.dir/partition.cpp.o"
+  "CMakeFiles/sp_graph.dir/partition.cpp.o.d"
+  "CMakeFiles/sp_graph.dir/quality.cpp.o"
+  "CMakeFiles/sp_graph.dir/quality.cpp.o.d"
+  "CMakeFiles/sp_graph.dir/reorder.cpp.o"
+  "CMakeFiles/sp_graph.dir/reorder.cpp.o.d"
+  "libsp_graph.a"
+  "libsp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_partition.dir/geometric_mesh.cpp.o"
+  "CMakeFiles/sp_partition.dir/geometric_mesh.cpp.o.d"
+  "CMakeFiles/sp_partition.dir/multilevel_kl.cpp.o"
+  "CMakeFiles/sp_partition.dir/multilevel_kl.cpp.o.d"
+  "CMakeFiles/sp_partition.dir/parallel_gmt.cpp.o"
+  "CMakeFiles/sp_partition.dir/parallel_gmt.cpp.o.d"
+  "CMakeFiles/sp_partition.dir/parallel_rcb.cpp.o"
+  "CMakeFiles/sp_partition.dir/parallel_rcb.cpp.o.d"
+  "CMakeFiles/sp_partition.dir/rcb.cpp.o"
+  "CMakeFiles/sp_partition.dir/rcb.cpp.o.d"
+  "libsp_partition.a"
+  "libsp_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

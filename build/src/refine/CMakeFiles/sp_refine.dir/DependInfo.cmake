@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/refine/fm.cpp" "src/refine/CMakeFiles/sp_refine.dir/fm.cpp.o" "gcc" "src/refine/CMakeFiles/sp_refine.dir/fm.cpp.o.d"
+  "/root/repo/src/refine/greedy.cpp" "src/refine/CMakeFiles/sp_refine.dir/greedy.cpp.o" "gcc" "src/refine/CMakeFiles/sp_refine.dir/greedy.cpp.o.d"
+  "/root/repo/src/refine/kl.cpp" "src/refine/CMakeFiles/sp_refine.dir/kl.cpp.o" "gcc" "src/refine/CMakeFiles/sp_refine.dir/kl.cpp.o.d"
+  "/root/repo/src/refine/strip.cpp" "src/refine/CMakeFiles/sp_refine.dir/strip.cpp.o" "gcc" "src/refine/CMakeFiles/sp_refine.dir/strip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_refine.dir/fm.cpp.o"
+  "CMakeFiles/sp_refine.dir/fm.cpp.o.d"
+  "CMakeFiles/sp_refine.dir/greedy.cpp.o"
+  "CMakeFiles/sp_refine.dir/greedy.cpp.o.d"
+  "CMakeFiles/sp_refine.dir/kl.cpp.o"
+  "CMakeFiles/sp_refine.dir/kl.cpp.o.d"
+  "CMakeFiles/sp_refine.dir/strip.cpp.o"
+  "CMakeFiles/sp_refine.dir/strip.cpp.o.d"
+  "libsp_refine.a"
+  "libsp_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

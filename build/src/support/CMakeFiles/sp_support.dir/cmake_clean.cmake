@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_support.dir/log.cpp.o"
+  "CMakeFiles/sp_support.dir/log.cpp.o.d"
+  "CMakeFiles/sp_support.dir/options.cpp.o"
+  "CMakeFiles/sp_support.dir/options.cpp.o.d"
+  "CMakeFiles/sp_support.dir/random.cpp.o"
+  "CMakeFiles/sp_support.dir/random.cpp.o.d"
+  "CMakeFiles/sp_support.dir/stats.cpp.o"
+  "CMakeFiles/sp_support.dir/stats.cpp.o.d"
+  "CMakeFiles/sp_support.dir/timer.cpp.o"
+  "CMakeFiles/sp_support.dir/timer.cpp.o.d"
+  "libsp_support.a"
+  "libsp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_api_contracts.cpp" "tests/CMakeFiles/sp_tests.dir/test_api_contracts.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_api_contracts.cpp.o.d"
+  "/root/repo/tests/test_balanced_grid.cpp" "tests/CMakeFiles/sp_tests.dir/test_balanced_grid.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_balanced_grid.cpp.o.d"
+  "/root/repo/tests/test_baseline_model.cpp" "tests/CMakeFiles/sp_tests.dir/test_baseline_model.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_baseline_model.cpp.o.d"
+  "/root/repo/tests/test_bh_embedder.cpp" "tests/CMakeFiles/sp_tests.dir/test_bh_embedder.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_bh_embedder.cpp.o.d"
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/sp_tests.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/test_csr_graph.cpp" "tests/CMakeFiles/sp_tests.dir/test_csr_graph.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_csr_graph.cpp.o.d"
+  "/root/repo/tests/test_delaunay.cpp" "tests/CMakeFiles/sp_tests.dir/test_delaunay.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_delaunay.cpp.o.d"
+  "/root/repo/tests/test_distributed_graph.cpp" "tests/CMakeFiles/sp_tests.dir/test_distributed_graph.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_distributed_graph.cpp.o.d"
+  "/root/repo/tests/test_engine_stress.cpp" "tests/CMakeFiles/sp_tests.dir/test_engine_stress.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_engine_stress.cpp.o.d"
+  "/root/repo/tests/test_fm.cpp" "tests/CMakeFiles/sp_tests.dir/test_fm.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_fm.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/sp_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_geometric_mesh.cpp" "tests/CMakeFiles/sp_tests.dir/test_geometric_mesh.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_geometric_mesh.cpp.o.d"
+  "/root/repo/tests/test_geometry.cpp" "tests/CMakeFiles/sp_tests.dir/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_geometry.cpp.o.d"
+  "/root/repo/tests/test_graph_io.cpp" "tests/CMakeFiles/sp_tests.dir/test_graph_io.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_graph_io.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/sp_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_integration_suite.cpp" "tests/CMakeFiles/sp_tests.dir/test_integration_suite.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_integration_suite.cpp.o.d"
+  "/root/repo/tests/test_kl.cpp" "tests/CMakeFiles/sp_tests.dir/test_kl.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_kl.cpp.o.d"
+  "/root/repo/tests/test_kway.cpp" "tests/CMakeFiles/sp_tests.dir/test_kway.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_kway.cpp.o.d"
+  "/root/repo/tests/test_lattice_embed.cpp" "tests/CMakeFiles/sp_tests.dir/test_lattice_embed.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_lattice_embed.cpp.o.d"
+  "/root/repo/tests/test_matching.cpp" "tests/CMakeFiles/sp_tests.dir/test_matching.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_matching.cpp.o.d"
+  "/root/repo/tests/test_multilevel_kl.cpp" "tests/CMakeFiles/sp_tests.dir/test_multilevel_kl.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_multilevel_kl.cpp.o.d"
+  "/root/repo/tests/test_parallel_matching.cpp" "tests/CMakeFiles/sp_tests.dir/test_parallel_matching.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_parallel_matching.cpp.o.d"
+  "/root/repo/tests/test_parallel_partition.cpp" "tests/CMakeFiles/sp_tests.dir/test_parallel_partition.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_parallel_partition.cpp.o.d"
+  "/root/repo/tests/test_partition_metrics.cpp" "tests/CMakeFiles/sp_tests.dir/test_partition_metrics.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_partition_metrics.cpp.o.d"
+  "/root/repo/tests/test_quadtree.cpp" "tests/CMakeFiles/sp_tests.dir/test_quadtree.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_quadtree.cpp.o.d"
+  "/root/repo/tests/test_quality_reorder.cpp" "tests/CMakeFiles/sp_tests.dir/test_quality_reorder.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_quality_reorder.cpp.o.d"
+  "/root/repo/tests/test_rcb.cpp" "tests/CMakeFiles/sp_tests.dir/test_rcb.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_rcb.cpp.o.d"
+  "/root/repo/tests/test_refine_aux.cpp" "tests/CMakeFiles/sp_tests.dir/test_refine_aux.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_refine_aux.cpp.o.d"
+  "/root/repo/tests/test_scalapart.cpp" "tests/CMakeFiles/sp_tests.dir/test_scalapart.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_scalapart.cpp.o.d"
+  "/root/repo/tests/test_sphere.cpp" "tests/CMakeFiles/sp_tests.dir/test_sphere.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_sphere.cpp.o.d"
+  "/root/repo/tests/test_ssde.cpp" "tests/CMakeFiles/sp_tests.dir/test_ssde.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_ssde.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/sp_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/sp_tests.dir/test_support.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/sp_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/coarsen/CMakeFiles/sp_coarsen.dir/DependInfo.cmake"
+  "/root/repo/build/src/refine/CMakeFiles/sp_refine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/sp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,72 @@
+// Robustness trajectory: time-to-completion when a rank crashes partway
+// through the pipeline, with shrink-and-recover fault tolerance enabled.
+// Sweeps rank count x failure time (as a fraction of the fault-free
+// makespan) and reports the recovered run's makespan, the overhead
+// relative to the fault-free run, the fault-tolerance message counts,
+// and the cut of the recovered partition next to the fault-free one.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  Options opts(argc, argv);
+  auto cfg = bench::BenchConfig::from_options(opts);
+  const char* name = "delaunay_n20";
+  auto g = bench::build_one(cfg, name);
+
+  bench::print_header(
+      "Fault recovery: kill rank 1 at fraction f of the fault-free "
+      "makespan (" + std::string(name) + ", n=" +
+      std::to_string(g.graph.num_vertices()) + ")");
+  std::printf("%5s %6s %11s %9s %6s %9s %9s %10s %8s\n", "P", "f",
+              "makespan", "overhead", "P_end", "ckpt msg", "rec msg",
+              "cut", "vs clean");
+  bench::print_rule();
+
+  for (std::uint32_t p : {8u, 16u, 32u, 64u}) {
+    if (p > cfg.pmax) break;
+    const auto base_opt = bench::sp_options(cfg, p);
+    const auto base = core::scalapart_partition(g.graph, base_opt);
+    const double clean = base.stats.makespan();
+    std::printf("%5u %6s %11s %9s %6u %9s %9s %10s %8s\n", p, "none",
+                bench::time_str(clean).c_str(), "1.00x", p, "-", "-",
+                with_commas(base.report.cut).c_str(), "-");
+
+    for (double f : {0.25, 0.5, 0.75}) {
+      auto opt = base_opt;
+      opt.faults.kill_at_time(1, f * clean);
+      const auto r = core::scalapart_partition(g.graph, opt);
+      if (r.recovery.failed_ranks.empty()) {
+        // Rank 1's own clock never reached the trigger (it idles past
+        // its active levels); nothing to recover.
+        std::printf("%5u %6.2f %11s %9s %6u %9s %9s %10s %8s\n", p, f,
+                    bench::time_str(r.stats.makespan()).c_str(), "1.00x",
+                    p, "-", "-", with_commas(r.report.cut).c_str(),
+                    "no fire");
+        continue;
+      }
+      const double span = r.stats.makespan();
+      const double dev =
+          100.0 * (static_cast<double>(r.report.cut) -
+                   static_cast<double>(base.report.cut)) /
+          static_cast<double>(base.report.cut);
+      char overhead[32], devs[32];
+      std::snprintf(overhead, sizeof overhead, "%.2fx", span / clean);
+      std::snprintf(devs, sizeof devs, "%+.1f%%", dev);
+      std::printf("%5u %6.2f %11s %9s %6u %9llu %9llu %10s %8s\n", p, f,
+                  bench::time_str(span).c_str(), overhead,
+                  r.recovery.final_active_ranks,
+                  static_cast<unsigned long long>(
+                      r.recovery.checkpoint_messages),
+                  static_cast<unsigned long long>(
+                      r.recovery.recover_messages),
+                  with_commas(r.report.cut).c_str(), devs);
+    }
+    bench::print_rule();
+  }
+  std::printf(
+      "Expected: overhead stays well under 2x (the pipeline resumes from "
+      "the last\nlevel-boundary checkpoint on the surviving power-of-two "
+      "rank set) and the\nrecovered cut stays within ~10%% of the "
+      "fault-free one.\n");
+  return 0;
+}

@@ -6,8 +6,10 @@
 #include <cmath>
 #include <exception>
 #include <map>
+#include <string>
 #include <tuple>
 
+#include "support/random.hpp"
 #include "support/timer.hpp"
 
 namespace sp::comm {
@@ -23,7 +25,20 @@ namespace {
 double ceil_log2(std::uint32_t p) {
   return p <= 1 ? 0.0 : std::ceil(std::log2(static_cast<double>(p)));
 }
+
+bool contains_rank(const std::vector<std::uint32_t>& members,
+                   std::uint32_t world_rank) {
+  return std::find(members.begin(), members.end(), world_rank) !=
+         members.end();
+}
 }  // namespace
+
+/// Thrown into a fiber to unwind it when the fault plan kills its rank.
+/// Deliberately not derived from std::exception so that user-level
+/// `catch (std::exception&)` recovery code cannot swallow it; only a
+/// blanket `catch (...)` without rethrow would (don't do that in SPMD
+/// programs).
+struct RankKilled {};
 
 /// One collective (or exchange) rendezvous: keyed by (group id, sequence
 /// number), created by the first arriving member, combined by the last,
@@ -42,6 +57,16 @@ struct CollState {
   // Exchange-specific:
   bool is_exchange = false;
   std::vector<std::vector<Comm::Packet>> inboxes;    // by group rank
+  // Identity + fault bookkeeping (for poisoning and diagnostics):
+  std::shared_ptr<GroupInfo> group;
+  std::uint64_t group_id = 0;
+  std::uint64_t seq = 0;
+  bool is_shrink = false;
+  /// Set when a group member died before arriving: the rendezvous can
+  /// never complete. Blocked members are woken to observe and raise
+  /// RankFailedError; the last observer destroys the state.
+  bool poisoned = false;
+  std::uint32_t poison_pickups = 0;
 };
 
 class EngineImpl {
@@ -58,6 +83,11 @@ class EngineImpl {
     stages_.assign(opt_.nranks, "main");
     finished_.assign(opt_.nranks, false);
     exceptions_.assign(opt_.nranks, nullptr);
+    failed_.assign(opt_.nranks, false);
+    failed_order_.clear();
+    comm_events_.assign(opt_.nranks, 0);
+    stage_events_.assign(opt_.nranks, 0);
+    exchange_counts_.assign(opt_.nranks, 0);
     states_.clear();
     group_registry_.clear();
     next_group_id_ = 1;
@@ -103,8 +133,7 @@ class EngineImpl {
         for (auto& ex : exceptions_) {
           if (ex) std::rethrow_exception(ex);
         }
-        SP_ASSERT_MSG(false,
-                      "BSP deadlock: mismatched collective calls across ranks");
+        throw DeadlockError(deadlock_report_());
       }
     }
 
@@ -113,11 +142,43 @@ class EngineImpl {
     }
     SP_ASSERT_MSG(states_.empty(), "collective state leaked (pickup mismatch)");
 
+    if (!failed_order_.empty() &&
+        failed_order_.size() == static_cast<std::size_t>(opt_.nranks)) {
+      // Every rank was killed: nobody is left to have produced a result.
+      throw RankFailedError(failed_order_);
+    }
+
     RunStats stats;
     stats.clocks = clocks_;
     stats.traces = traces_;
     stats.wall_seconds = wall.seconds();
+    stats.failed_ranks = failed_order_;
     return stats;
+  }
+
+  /// Per-rank description of what everyone is stuck in: the diagnostic a
+  /// mismatched-collective SPMD bug deserves instead of a bare assert.
+  std::string deadlock_report_() const {
+    std::string msg =
+        "BSP deadlock: mismatched collective calls across ranks; no rank "
+        "can make progress. Blocked ranks:";
+    for (std::uint32_t r = 0; r < opt_.nranks; ++r) {
+      if (finished_[r]) continue;
+      const CollState* st = blocked_on_[r];
+      msg += "\n  rank " + std::to_string(r) + " (stage '" + stages_[r] + "'): ";
+      if (st == nullptr) {
+        msg += "not blocked in any rendezvous";
+        continue;
+      }
+      const char* op = st->is_shrink    ? "shrink"
+                       : st->is_exchange ? "exchange"
+                                         : coll_kind_name(st->kind);
+      msg += std::string("blocked in ") + op + " on group " +
+             std::to_string(st->group_id) + ", collective seq " +
+             std::to_string(st->seq) + " (" + std::to_string(st->arrived) +
+             "/" + std::to_string(st->expected) + " ranks arrived)";
+    }
+    return msg;
   }
 
   // ---- Called from fibers ----
@@ -129,13 +190,19 @@ class EngineImpl {
   }
 
   void add_compute(std::uint32_t world_rank, double units) {
-    double seconds = units * opt_.model.seconds_per_unit;
+    double seconds =
+        units * opt_.model.seconds_per_unit * fault_time_scale_(world_rank);
     clocks_[world_rank] += seconds;
     traces_[world_rank][stages_[world_rank]].compute_seconds += seconds;
   }
 
   void set_stage(std::uint32_t world_rank, const std::string& stage) {
     stages_[world_rank] = stage;
+    stage_events_[world_rank] = 0;
+  }
+
+  const std::string& stage_of(std::uint32_t world_rank) const {
+    return stages_[world_rank];
   }
 
   double clock(std::uint32_t world_rank) const { return clocks_[world_rank]; }
@@ -144,14 +211,23 @@ class EngineImpl {
 
   std::shared_ptr<GroupInfo> world() const { return world_; }
 
-  /// Rendezvous lookup/creation for (group, seq).
-  CollState& state_for(const GroupInfo& group, std::uint64_t seq) {
-    auto key = std::make_pair(group.id, seq);
+  /// Rendezvous lookup/creation for (group, seq). `expected_override`
+  /// (used by shrink) caps the arrival count below the full group size.
+  CollState& state_for(const std::shared_ptr<GroupInfo>& group,
+                       std::uint64_t seq,
+                       std::uint32_t expected_override = 0) {
+    auto key = std::make_pair(group->id, seq);
     auto [it, inserted] = states_.try_emplace(key);
     if (inserted) {
-      it->second.expected = static_cast<std::uint32_t>(group.members.size());
-      it->second.contribs.resize(group.members.size());
-      it->second.inboxes.resize(group.members.size());
+      it->second.expected =
+          expected_override != 0
+              ? expected_override
+              : static_cast<std::uint32_t>(group->members.size());
+      it->second.contribs.resize(group->members.size());
+      it->second.inboxes.resize(group->members.size());
+      it->second.group = group;
+      it->second.group_id = group->id;
+      it->second.seq = seq;
       ++activity_;
     }
     return it->second;
@@ -164,13 +240,98 @@ class EngineImpl {
 
   void bump_activity() { ++activity_; }
 
-  /// Block the current fiber until `state` has all arrivals.
-  void wait_all_arrived(CollState& state) {
-    while (state.arrived < state.expected) {
+  /// Block the current fiber until `state` has all arrivals (returns
+  /// false) or the rendezvous is poisoned by a member's death (returns
+  /// true; the caller must observe via observe_poison and raise).
+  bool wait_all_arrived(CollState& state) {
+    while (state.arrived < state.expected && !state.poisoned) {
       blocked_on_[current_rank_] = &state;
       yield_();
     }
     blocked_on_[current_rank_] = nullptr;
+    return state.poisoned;
+  }
+
+  /// Bookkeeping for a rank observing a poisoned rendezvous: the last
+  /// arrived rank to observe destroys the state (no further arrivals can
+  /// happen — entry checks turn later callers away).
+  void observe_poison(CollState& state) {
+    clocks_[current_rank_] = std::max(clocks_[current_rank_], state.max_clock);
+    if (++state.poison_pickups == state.arrived) {
+      erase_state(*state.group, state.seq);
+    }
+  }
+
+  // ---- Fault injection ----
+
+  /// Every collective/exchange entry is one communication event: counts
+  /// it (per lifetime, per stage, per trace) and fires any due crash
+  /// trigger by unwinding the current fiber with RankKilled.
+  void on_comm_event(std::uint32_t world_rank) {
+    const std::uint64_t life_idx = comm_events_[world_rank]++;
+    const std::uint64_t stage_idx = stage_events_[world_rank]++;
+    ++traces_[world_rank][stages_[world_rank]].comm_events;
+    if (opt_.faults.crashes.empty() || failed_[world_rank]) return;
+    for (const FaultPlan::Crash& c : opt_.faults.crashes) {
+      if (c.rank != world_rank) continue;
+      if (!c.stage.empty() && c.stage != stages_[world_rank]) continue;
+      const std::uint64_t idx = c.stage.empty() ? life_idx : stage_idx;
+      if (idx < c.after_events) continue;
+      if (c.at_time >= 0.0 && clocks_[world_rank] < c.at_time) continue;
+      kill_current_rank_();
+    }
+  }
+
+  bool any_failed_in(const GroupInfo& group) const {
+    if (failed_order_.empty()) return false;
+    for (std::uint32_t m : group.members) {
+      if (failed_[m]) return true;
+    }
+    return false;
+  }
+
+  /// All failures known engine-wide, in order of death.
+  const std::vector<std::uint32_t>& all_failed() const { return failed_order_; }
+
+  std::size_t failed_count() const { return failed_order_.size(); }
+
+  /// Surviving members of a group, in group order (world ranks).
+  std::vector<std::uint32_t> live_members(const GroupInfo& group) const {
+    std::vector<std::uint32_t> live;
+    live.reserve(group.members.size());
+    for (std::uint32_t m : group.members) {
+      if (!failed_[m]) live.push_back(m);
+    }
+    return live;
+  }
+
+  /// Applies the plan's drop/corrupt faults to one exchange call's
+  /// outgoing packets (deterministic: keyed by the sender's exchange
+  /// ordinal, corruption bytes from the plan seed).
+  void apply_message_faults(std::uint32_t world_rank,
+                            std::vector<Comm::Packet>& outgoing) {
+    const std::uint64_t idx = exchange_counts_[world_rank]++;
+    if (opt_.faults.message_faults.empty()) return;
+    for (const FaultPlan::MessageFault& f : opt_.faults.message_faults) {
+      if (f.rank != world_rank || f.at_exchange != idx) continue;
+      if (f.kind == FaultPlan::MessageFault::Kind::kDrop) {
+        std::erase_if(outgoing, [&](const Comm::Packet& p) {
+          return f.peer == FaultPlan::kAnyPeer || p.peer == f.peer;
+        });
+      } else {
+        for (Comm::Packet& p : outgoing) {
+          if (f.peer != FaultPlan::kAnyPeer && p.peer != f.peer) continue;
+          std::uint64_t x = hash64(opt_.faults.seed ^
+                                   (static_cast<std::uint64_t>(world_rank)
+                                    << 32) ^
+                                   idx);
+          for (std::byte& b : p.data) {
+            x = hash64(x);
+            b ^= static_cast<std::byte>(x & 0xFF);
+          }
+        }
+      }
+    }
   }
 
   /// Deterministic group id for a split, agreed between members without
@@ -189,6 +350,7 @@ class EngineImpl {
                    std::uint64_t messages, std::uint64_t bytes,
                    bool is_collective) {
     StageCost& cost = traces_[world_rank][stages_[world_rank]];
+    seconds *= fault_time_scale_(world_rank);
     cost.comm_seconds += seconds;
     cost.messages += messages;
     cost.bytes_sent += bytes;
@@ -208,7 +370,40 @@ class EngineImpl {
 
   bool rendezvous_ready_(std::uint32_t rank) const {
     const CollState* st = blocked_on_[rank];
-    return st->arrived >= st->expected;
+    return st->poisoned || st->arrived >= st->expected;
+  }
+
+  /// Straggler model: the product of all active slowdown factors for a
+  /// rank, applied to every virtual-clock charge.
+  double fault_time_scale_(std::uint32_t world_rank) const {
+    if (opt_.faults.stragglers.empty()) return 1.0;
+    double f = 1.0;
+    for (const FaultPlan::Straggler& s : opt_.faults.stragglers) {
+      if (s.rank == world_rank && clocks_[world_rank] >= s.from_time) {
+        f *= s.factor;
+      }
+    }
+    return f;
+  }
+
+  /// Fail-stop: marks the current rank dead, poisons every rendezvous
+  /// that can no longer complete, and unwinds the fiber.
+  [[noreturn]] void kill_current_rank_() {
+    const std::uint32_t r = current_rank_;
+    failed_[r] = true;
+    failed_order_.push_back(r);
+    for (auto& [key, st] : states_) {
+      // A pending rendezvous expecting the dead rank can never fill up.
+      // (The dead rank itself is never mid-rendezvous: crashes fire at
+      // event entry, before it arrives anywhere.) Completed states keep
+      // serving pickups.
+      if (!st.poisoned && st.arrived < st.expected &&
+          contains_rank(st.group->members, r)) {
+        st.poisoned = true;
+      }
+    }
+    ++activity_;
+    throw RankKilled{};
   }
 
   static void trampoline_() {
@@ -217,6 +412,9 @@ class EngineImpl {
     try {
       Comm comm(engine, engine->world_, rank, rank);
       (*engine->program_)(comm);
+    } catch (const RankKilled&) {
+      // Fault-plan crash: the death is already recorded; the fiber just
+      // retires without surfacing an exception.
     } catch (...) {
       engine->exceptions_[rank] = std::current_exception();
     }
@@ -236,6 +434,11 @@ class EngineImpl {
   std::vector<std::string> stages_;
   std::vector<bool> finished_;
   std::vector<std::exception_ptr> exceptions_;
+  std::vector<bool> failed_;                  // by world rank
+  std::vector<std::uint32_t> failed_order_;   // world ranks, death order
+  std::vector<std::uint64_t> comm_events_;    // lifetime comm events per rank
+  std::vector<std::uint64_t> stage_events_;   // comm events since set_stage
+  std::vector<std::uint64_t> exchange_counts_;  // exchange calls per rank
   std::vector<CollState*> blocked_on_ =
       std::vector<CollState*>(1, nullptr);  // resized in run()
 
@@ -280,6 +483,10 @@ void Comm::set_stage(const std::string& stage) {
   engine_->set_stage(world_rank_, stage);
 }
 
+const std::string& Comm::stage() const {
+  return engine_->stage_of(world_rank_);
+}
+
 void Comm::add_compute(double units) {
   engine_->add_compute(world_rank_, units);
 }
@@ -294,7 +501,16 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
                                          std::vector<std::byte> payload,
                                          std::uint32_t root, Combiner combiner,
                                          std::vector<std::size_t>* counts) {
-  detail::CollState& st = engine_->state_for(*group_, seq_);
+  engine_->on_comm_event(world_rank_);
+  if (engine_->any_failed_in(*group_)) {
+    // ULFM-style failure propagation: touching a communicator with a dead
+    // member raises immediately. Consume the sequence number so survivors
+    // that were already blocked inside the doomed rendezvous (and spent
+    // theirs) stay aligned with us for any later traffic on this comm.
+    ++seq_;
+    throw RankFailedError(engine_->all_failed());
+  }
+  detail::CollState& st = engine_->state_for(group_, seq_);
   const std::uint64_t my_seq = seq_++;
   st.kind = kind;
   st.root = root;
@@ -302,7 +518,10 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
   st.max_clock = std::max(st.max_clock, engine_->clock(world_rank_));
   ++st.arrived;
   engine_->bump_activity();
-  engine_->wait_all_arrived(st);
+  if (engine_->wait_all_arrived(st)) {
+    engine_->observe_poison(st);
+    throw RankFailedError(engine_->all_failed());
+  }
 
   // Last-to-observe combines exactly once.
   if (!st.combined) {
@@ -381,14 +600,31 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
 }
 
 std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing) {
-  detail::CollState& st = engine_->state_for(*group_, seq_);
+  // Validate peers before touching any engine state: a bad destination
+  // must not corrupt the rendezvous it would have joined.
+  for (const Packet& p : outgoing) {
+    if (p.peer >= group_->members.size()) {
+      throw CommUsageError(
+          "exchange: rank " + std::to_string(group_rank_) + " (world rank " +
+          std::to_string(world_rank_) + ", stage '" +
+          engine_->stage_of(world_rank_) + "') addressed a packet to peer " +
+          std::to_string(p.peer) + " in a communicator of " +
+          std::to_string(nranks()) + " rank(s)");
+    }
+  }
+  engine_->on_comm_event(world_rank_);
+  if (engine_->any_failed_in(*group_)) {
+    ++seq_;  // keep survivors' sequence numbers aligned (see collective_)
+    throw RankFailedError(engine_->all_failed());
+  }
+  engine_->apply_message_faults(world_rank_, outgoing);
+  detail::CollState& st = engine_->state_for(group_, seq_);
   const std::uint64_t my_seq = seq_++;
   st.is_exchange = true;
 
   std::uint64_t bytes_out = 0;
   std::uint64_t msgs_out = outgoing.size();
   for (auto& p : outgoing) {
-    SP_ASSERT_MSG(p.peer < group_->members.size(), "exchange peer out of range");
     bytes_out += p.data.size();
     std::uint32_t dest = p.peer;
     p.peer = group_rank_;  // rewritten to the source for the receiver
@@ -397,7 +633,10 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing) {
   st.max_clock = std::max(st.max_clock, engine_->clock(world_rank_));
   ++st.arrived;
   engine_->bump_activity();
-  engine_->wait_all_arrived(st);
+  if (engine_->wait_all_arrived(st)) {
+    engine_->observe_poison(st);
+    throw RankFailedError(engine_->all_failed());
+  }
 
   std::vector<Packet> inbox = std::move(st.inboxes[group_rank_]);
   // Stable: preserves each source's send order.
@@ -447,6 +686,85 @@ Comm Comm::split(std::uint32_t color, std::uint32_t key) {
     if (members[i].world_rank == world_rank_) my_index = i;
   }
   return Comm(engine_, std::move(group), my_index, world_rank_);
+}
+
+Comm Comm::shrink() {
+  // Shrink rendezvous are keyed off the engine-global failure count, not
+  // this comm's seq_ counter: survivors reach shrink() having consumed
+  // different numbers of sequence slots (some threw at entry, some were
+  // woken out of a poisoned rendezvous), so seq_ no longer agrees across
+  // ranks. failed_count() does — every caller shrinking after the same
+  // failure observes the same count. kShrinkBase keeps these keys out of
+  // the ordinary seq_ range.
+  constexpr std::uint64_t kShrinkBase = 1ull << 62;
+  for (;;) {
+    engine_->on_comm_event(world_rank_);  // a rank may die entering shrink
+    const std::uint64_t key = kShrinkBase + engine_->failed_count();
+    std::vector<std::uint32_t> live = engine_->live_members(*group_);
+    detail::CollState& st = engine_->state_for(
+        group_, key, static_cast<std::uint32_t>(live.size()));
+    st.is_shrink = true;
+    st.max_clock = std::max(st.max_clock, engine_->clock(world_rank_));
+    ++st.arrived;
+    engine_->bump_activity();
+    if (engine_->wait_all_arrived(st)) {
+      // Another rank died while this shrink was in flight: restart. The
+      // new failure count yields a fresh key, so all survivors converge
+      // on the same retry rendezvous.
+      engine_->observe_poison(st);
+      continue;
+    }
+    if (!st.combined) {
+      st.combined = true;
+      // Freeze the survivor list now: a member that picks up early could
+      // hit its own crash trigger before the others read the list.
+      st.result.resize(live.size() * sizeof(std::uint32_t));
+      std::memcpy(st.result.data(), live.data(), st.result.size());
+    }
+    std::vector<std::uint32_t> members(st.result.size() /
+                                       sizeof(std::uint32_t));
+    std::memcpy(members.data(), st.result.data(), st.result.size());
+
+    // Cost: a small allgather (each survivor contributes its id) over the
+    // surviving group.
+    const CostModel& model = engine_->model();
+    const auto p = static_cast<std::uint32_t>(members.size());
+    const double log_p = detail::ceil_log2(p);
+    const double bytes = 4.0 * static_cast<double>(p);
+    engine_->set_clock(world_rank_, st.max_clock);
+    engine_->charge_comm(world_rank_, model.ts * log_p + model.tw * bytes,
+                         static_cast<std::uint64_t>(log_p),
+                         static_cast<std::uint64_t>(bytes),
+                         /*is_collective=*/true);
+
+    auto group = std::make_shared<detail::GroupInfo>();
+    group->id = engine_->group_id_for_split(group_->id, key, 0);
+    group->members = members;
+    std::uint32_t my_index = 0;
+    for (std::uint32_t i = 0; i < members.size(); ++i) {
+      if (members[i] == world_rank_) my_index = i;
+    }
+    if (++st.pickups == st.expected) {
+      engine_->erase_state(*group_, key);
+    }
+    return Comm(engine_, std::move(group), my_index, world_rank_);
+  }
+}
+
+const char* coll_kind_name(Comm::CollKind kind) {
+  switch (kind) {
+    case Comm::CollKind::kBarrier:
+      return "barrier";
+    case Comm::CollKind::kAllReduce:
+      return "allreduce";
+    case Comm::CollKind::kAllGather:
+      return "allgather";
+    case Comm::CollKind::kGather:
+      return "gather";
+    case Comm::CollKind::kBroadcast:
+      return "broadcast";
+  }
+  return "?";
 }
 
 // ---------------------------------------------------------------------------

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "comm/cost_model.hpp"
+#include "comm/fault_plan.hpp"
 #include "comm/trace.hpp"
 #include "support/assert.hpp"
 
@@ -38,6 +39,24 @@ struct GroupInfo;
 }  // namespace detail
 
 enum class ReduceOp { kSum, kMin, kMax };
+
+/// Raised (out of BspEngine::run) when the SPMD program deadlocks:
+/// a full scheduler cycle makes no progress because ranks issued
+/// mismatched collectives. The message names each blocked rank with the
+/// operation kind, communicator group id, and collective sequence number
+/// it is stuck in.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Raised on API misuse detectable at the call site (e.g. an exchange
+/// packet addressed to a peer outside the communicator). The message
+/// names the offending rank, value, and pipeline stage.
+class CommUsageError : public std::logic_error {
+ public:
+  explicit CommUsageError(const std::string& msg) : std::logic_error(msg) {}
+};
 
 /// A rank's endpoint within one process group. Obtained from
 /// BspEngine::run (world communicator) or Comm::split. Each Comm carries
@@ -53,6 +72,10 @@ class Comm {
   /// Tags subsequent charges with a pipeline stage name (for Fig. 7/8
   /// style breakdowns).
   void set_stage(const std::string& stage);
+
+  /// Current stage tag (lets library code retag a sub-operation and
+  /// restore the caller's stage afterwards).
+  const std::string& stage() const;
 
   /// Charge `units` work units of local computation to the virtual clock.
   void add_compute(double units);
@@ -170,6 +193,16 @@ class Comm {
   /// new communicator.
   Comm split(std::uint32_t color, std::uint32_t key);
 
+  /// Collective among the *survivors* of this group: returns a new
+  /// communicator containing exactly the non-failed members, in the old
+  /// group order (ULFM MPI_Comm_shrink). Unlike every other operation,
+  /// shrink does not raise RankFailedError for members that are already
+  /// dead — that is its purpose; a rank that dies while the shrink is in
+  /// flight makes the shrink itself restart transparently. Call once per
+  /// observed failure (after catching RankFailedError); the traced cost
+  /// is that of a small allgather over the survivors.
+  Comm shrink();
+
   /// Implementation detail, public only so the engine's rendezvous state
   /// can name it; not part of the user API.
   enum class CollKind { kBarrier, kAllReduce, kAllGather, kGather, kBroadcast };
@@ -234,6 +267,9 @@ class Comm {
   std::uint64_t seq_ = 0;
 };
 
+/// Printable name of a collective kind (used in deadlock diagnostics).
+const char* coll_kind_name(Comm::CollKind kind);
+
 class BspEngine {
  public:
   struct Options {
@@ -242,6 +278,8 @@ class BspEngine {
     /// Fiber stack size. Algorithms here recurse shallowly; 1 MiB is ample
     /// and keeps P=1024 within 1 GiB of (lazily mapped) stack.
     std::size_t stack_bytes = 256u << 10;
+    /// Deterministic faults to inject (empty = fault-free run).
+    FaultPlan faults;
   };
 
   explicit BspEngine(Options options);
@@ -252,6 +290,9 @@ class BspEngine {
   /// Runs `program(comm)` on every rank to completion; returns per-rank
   /// virtual clocks and traces. May be called repeatedly (fresh clocks per
   /// run). Exceptions thrown by any rank propagate out (first rank wins).
+  /// Ranks killed by the fault plan are reported in RunStats::failed_ranks,
+  /// not as exceptions — unless a surviving rank lets the resulting
+  /// RankFailedError escape, or every rank died (then run throws it).
   RunStats run(const std::function<void(Comm&)>& program);
 
  private:

@@ -19,6 +19,10 @@ struct StageCost {
   std::uint64_t messages = 0;       // point-to-point messages sent
   std::uint64_t bytes_sent = 0;     // point-to-point payload
   std::uint64_t collectives = 0;    // collective operations joined
+  /// Communication events entered (collective + exchange calls). This is
+  /// the counter FaultPlan crash triggers index into, so it lets a test
+  /// aim a crash at a precise point within a stage.
+  std::uint64_t comm_events = 0;
 
   double total() const { return compute_seconds + comm_seconds; }
 
@@ -28,6 +32,7 @@ struct StageCost {
     messages += o.messages;
     bytes_sent += o.bytes_sent;
     collectives += o.collectives;
+    comm_events += o.comm_events;
     return *this;
   }
 };
@@ -41,6 +46,9 @@ struct RunStats {
   std::vector<double> clocks;
   std::vector<RankTrace> traces;
   double wall_seconds = 0.0;  // actual host time (diagnostic only)
+  /// World ranks killed by the FaultPlan, in order of death. Empty on a
+  /// fault-free run. A listed rank's clock/trace stop at its death.
+  std::vector<std::uint32_t> failed_ranks;
 
   double makespan() const;
   /// Max-over-ranks cost of one stage (the modeled time that stage adds to

@@ -35,6 +35,69 @@ StageBreakdown breakdown_from(const comm::RunStats& stats) {
   return b;
 }
 
+/// Block-distributes externally-supplied coordinates over the ranks of
+/// `world` and fills in the halo (ghost coordinates are paid for with one
+/// exchange, exactly as when the coordinates arrive with the graph). The
+/// redistribution path of the coordinate entry point.
+embed::RankEmbedding embedding_from_coords(comm::Comm& world,
+                                           const CsrGraph& g,
+                                           std::span<const geom::Vec2> coords) {
+  const VertexId n = g.num_vertices();
+  graph::LocalView view(g, world.rank(), world.nranks());
+  embed::RankEmbedding emb;
+  emb.owned.resize(view.num_local());
+  emb.pos.resize(view.num_local());
+  for (VertexId i = 0; i < view.num_local(); ++i) {
+    emb.owned[i] = view.to_global(i);
+    emb.pos[i] = coords[view.to_global(i)];
+  }
+  struct CoordMsg {
+    VertexId id;
+    double x, y;
+  };
+  // Send my boundary coords to each neighbouring rank that ghosts them.
+  const auto& nbr_ranks = view.neighbor_ranks();
+  std::vector<std::pair<std::uint32_t, std::vector<CoordMsg>>> out;
+  for (std::uint32_t r : nbr_ranks) {
+    std::vector<CoordMsg> payload;
+    for (VertexId local : view.boundary_locals()) {
+      VertexId global = view.to_global(local);
+      bool adj = false;
+      for (VertexId u : view.neighbors(local)) {
+        if (!view.owns(u) &&
+            graph::block_owner(u, n, world.nranks()) == r) {
+          adj = true;
+          break;
+        }
+      }
+      if (adj) payload.push_back({global, coords[global][0], coords[global][1]});
+    }
+    if (!payload.empty()) out.emplace_back(r, std::move(payload));
+  }
+  auto in = world.exchange_typed(out);
+  emb.ghost_ids = view.ghosts();
+  emb.ghost_pos.assign(emb.ghost_ids.size(), geom::Vec2{});
+  emb.ghost_owner.resize(emb.ghost_ids.size());
+  for (std::size_t i = 0; i < emb.ghost_ids.size(); ++i) {
+    emb.ghost_owner[i] = graph::block_owner(emb.ghost_ids[i], n,
+                                            world.nranks());
+  }
+  std::unordered_map<VertexId, std::uint32_t> ghost_of;
+  for (std::uint32_t i = 0; i < emb.ghost_ids.size(); ++i) {
+    ghost_of[emb.ghost_ids[i]] = i;
+  }
+  for (const auto& [src, payload] : in) {
+    (void)src;
+    for (const CoordMsg& msg : payload) {
+      auto it = ghost_of.find(msg.id);
+      if (it != ghost_of.end()) {
+        emb.ghost_pos[it->second] = geom::vec2(msg.x, msg.y);
+      }
+    }
+  }
+  return emb;
+}
+
 }  // namespace
 
 ScalaPartResult scalapart_partition(const CsrGraph& g,
@@ -72,56 +135,113 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
   graph::Weight cut = 0;
   std::size_t strip_size = 0;
   std::vector<geom::Vec2> coords;
+  bool completed = false;
+
+  // Fault-tolerance shared state. Checkpointing is only worth paying for
+  // when the plan can actually kill a rank.
+  const bool tolerate =
+      opt.recover_on_failure && !opt.faults.crashes.empty();
+  std::size_t coarsen_ckpt = 0;  // levels below this index are done
+  embed::EmbedCheckpoint embed_ckpt;
+  std::uint32_t recoveries = 0;
+  std::uint32_t final_active = opt.nranks;
 
   comm::BspEngine::Options eng_opt;
   eng_opt.nranks = opt.nranks;
   eng_opt.model = opt.cost_model;
+  eng_opt.faults = opt.faults;
   comm::BspEngine engine(eng_opt);
 
-  auto stats = engine.run([&](comm::Comm& world) {
-    // ---- Coarsening: distributed heavy-edge matching per level. ----
-    world.set_stage("coarsen");
-    for (std::size_t level = 0; level + 1 < hierarchy.num_levels(); ++level) {
-      const std::uint32_t pl = p_at_level(opt.nranks, level);
-      const bool active = world.rank() < pl;
-      comm::Comm sub = world.split(active ? 0u : 1u, world.rank());
-      if (!active) continue;
-      const CsrGraph& level_graph = hierarchy.graph_at(level);
-      graph::LocalView view(level_graph, sub.rank(), pl);
-      coarsen::distributed_matching(sub, view, opt.matching_rounds,
-                                    opt.seed + level);
-      // The retained-level step contracts twice (intermediate halved graph
-      // plus its matching); charge the intermediate round's compute, whose
-      // communication profile mirrors the first at half the volume.
-      double arcs_local = 0;
-      for (VertexId v = 0; v < view.num_local(); ++v) {
-        arcs_local += static_cast<double>(view.neighbors(v).size());
+  auto stats = engine.run([&](comm::Comm& world0) {
+    comm::Comm world = world0;
+    bool need_recover = false;
+    for (;;) {
+      try {
+        if (need_recover) {
+          // ---- Shrink-and-recover (traced under stage "recover"). ----
+          world.set_stage("recover");
+          world = world.shrink();
+          // lattice_embed needs a power-of-two rank count: the largest
+          // power-of-two prefix of the survivors keeps computing; the
+          // remainder retire as spares.
+          std::uint32_t p2 = 1;
+          while (p2 * 2 <= world.nranks()) p2 *= 2;
+          const bool active = world.rank() < p2;
+          if (world.rank() == 0) {
+            ++recoveries;
+            final_active = p2;
+          }
+          comm::Comm active_comm =
+              world.split(active ? 0u : 1u, world.rank());
+          if (!active) return;  // spare: no further part in the pipeline
+          world = active_comm;
+          need_recover = false;
+        }
+        const std::uint32_t P = world.nranks();
+
+        // ---- Coarsening: distributed heavy-edge matching per level. ----
+        world.set_stage("coarsen");
+        for (std::size_t level = coarsen_ckpt;
+             level + 1 < hierarchy.num_levels(); ++level) {
+          const std::uint32_t pl = p_at_level(P, level);
+          const bool active = world.rank() < pl;
+          comm::Comm sub = world.split(active ? 0u : 1u, world.rank());
+          // This split completing means every rank finished the previous
+          // level; a retry never needs to re-run levels below here. (The
+          // coarse hierarchy itself is shared read-only, so the coarsen
+          // checkpoint is just this index.)
+          if (world.rank() == 0) coarsen_ckpt = level;
+          if (!active) continue;
+          const CsrGraph& level_graph = hierarchy.graph_at(level);
+          graph::LocalView view(level_graph, sub.rank(), pl);
+          coarsen::distributed_matching(sub, view, opt.matching_rounds,
+                                        opt.seed + level);
+          // The retained-level step contracts twice (intermediate halved
+          // graph plus its matching); charge the intermediate round's
+          // compute, whose communication profile mirrors the first at
+          // half the volume.
+          double arcs_local = 0;
+          for (VertexId v = 0; v < view.num_local(); ++v) {
+            arcs_local += static_cast<double>(view.neighbors(v).size());
+          }
+          sub.add_compute(arcs_local * 4.0 /*contract*/ +
+                          arcs_local * 1.5 /*intermediate matching+contract*/);
+        }
+
+        // ---- Multilevel fixed-lattice embedding. ----
+        world.set_stage("embed");
+        embed::RankEmbedding emb = embed::lattice_embed(
+            world, workspace, embed_opt, tolerate ? &embed_ckpt : nullptr);
+
+        // ---- Parallel geometric partitioning + strip refinement. ----
+        world.set_stage("partition");
+        auto gmt = partition::parallel_gmt(world, g, emb, gmt_opt);
+        for (std::size_t i = 0; i < emb.owned.size(); ++i) {
+          side[emb.owned[i]] = gmt.side[i];
+        }
+
+        // ---- Result collection (not part of the timed pipeline). ----
+        world.set_stage("output");
+        auto gathered = embed::gather_embedding(world, emb, n);
+        if (world.rank() == 0) {
+          coords = std::move(gathered);
+          cut = gmt.cut;
+          strip_size = gmt.strip_size;
+          completed = true;
+        }
+        world.barrier();
+        return;
+      } catch (const comm::RankFailedError&) {
+        if (!opt.recover_on_failure) throw;
+        need_recover = true;
       }
-      sub.add_compute(arcs_local * 4.0 /*contract*/ +
-                      arcs_local * 1.5 /*intermediate matching+contract*/);
     }
-
-    // ---- Multilevel fixed-lattice embedding. ----
-    world.set_stage("embed");
-    embed::RankEmbedding emb = embed::lattice_embed(world, workspace, embed_opt);
-
-    // ---- Parallel geometric partitioning + strip refinement. ----
-    world.set_stage("partition");
-    auto gmt = partition::parallel_gmt(world, g, emb, gmt_opt);
-    for (std::size_t i = 0; i < emb.owned.size(); ++i) {
-      side[emb.owned[i]] = gmt.side[i];
-    }
-
-    // ---- Result collection (not part of the timed pipeline). ----
-    world.set_stage("output");
-    auto gathered = embed::gather_embedding(world, emb, n);
-    if (world.rank() == 0) {
-      coords = std::move(gathered);
-      cut = gmt.cut;
-      strip_size = gmt.strip_size;
-    }
-    world.barrier();
   });
+
+  if (!completed) {
+    // Every rank that could have finished the pipeline was killed.
+    throw comm::RankFailedError(stats.failed_ranks);
+  }
 
   for (VertexId v = 0; v < n; ++v) result.part[v] = side[v];
   result.report = evaluate(g, result.part);
@@ -130,6 +250,13 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
   result.stages = breakdown_from(stats);
   result.modeled_seconds = result.stages.total();
   result.partition_only_seconds = result.stages.partition_seconds;
+  result.recovery.failed_ranks = stats.failed_ranks;
+  result.recovery.recoveries = recoveries;
+  result.recovery.final_active_ranks = final_active;
+  result.recovery.checkpoint_seconds = stats.stage_max("checkpoint").total();
+  result.recovery.recover_seconds = stats.stage_max("recover").total();
+  result.recovery.checkpoint_messages = stats.stage_sum("checkpoint").messages;
+  result.recovery.recover_messages = stats.stage_sum("recover").messages;
   result.stats = std::move(stats);
   result.embedding = std::move(coords);
   result.strip_size = strip_size;
@@ -159,65 +286,12 @@ ScalaPartResult sp_pg7nl_partition(const CsrGraph& g,
   comm::BspEngine::Options eng_opt;
   eng_opt.nranks = opt.nranks;
   eng_opt.model = opt.cost_model;
+  eng_opt.faults = opt.faults;
   comm::BspEngine engine(eng_opt);
 
   auto stats = engine.run([&](comm::Comm& world) {
     world.set_stage("partition");
-    // Block distribution; ghost coordinates are paid for with one halo
-    // exchange, exactly as when the coordinates arrive with the graph.
-    graph::LocalView view(g, world.rank(), world.nranks());
-    embed::RankEmbedding emb;
-    emb.owned.resize(view.num_local());
-    emb.pos.resize(view.num_local());
-    for (VertexId i = 0; i < view.num_local(); ++i) {
-      emb.owned[i] = view.to_global(i);
-      emb.pos[i] = coords[view.to_global(i)];
-    }
-    struct CoordMsg {
-      VertexId id;
-      double x, y;
-    };
-    // Send my boundary coords to each neighbouring rank that ghosts them.
-    const auto& nbr_ranks = view.neighbor_ranks();
-    std::vector<std::pair<std::uint32_t, std::vector<CoordMsg>>> out;
-    for (std::uint32_t r : nbr_ranks) {
-      std::vector<CoordMsg> payload;
-      for (VertexId local : view.boundary_locals()) {
-        VertexId global = view.to_global(local);
-        bool adj = false;
-        for (VertexId u : view.neighbors(local)) {
-          if (!view.owns(u) &&
-              graph::block_owner(u, n, world.nranks()) == r) {
-            adj = true;
-            break;
-          }
-        }
-        if (adj) payload.push_back({global, coords[global][0], coords[global][1]});
-      }
-      if (!payload.empty()) out.emplace_back(r, std::move(payload));
-    }
-    auto in = world.exchange_typed(out);
-    emb.ghost_ids = view.ghosts();
-    emb.ghost_pos.assign(emb.ghost_ids.size(), geom::Vec2{});
-    emb.ghost_owner.resize(emb.ghost_ids.size());
-    for (std::size_t i = 0; i < emb.ghost_ids.size(); ++i) {
-      emb.ghost_owner[i] = graph::block_owner(emb.ghost_ids[i], n,
-                                              world.nranks());
-    }
-    std::unordered_map<VertexId, std::uint32_t> ghost_of;
-    for (std::uint32_t i = 0; i < emb.ghost_ids.size(); ++i) {
-      ghost_of[emb.ghost_ids[i]] = i;
-    }
-    for (const auto& [src, payload] : in) {
-      (void)src;
-      for (const CoordMsg& msg : payload) {
-        auto it = ghost_of.find(msg.id);
-        if (it != ghost_of.end()) {
-          emb.ghost_pos[it->second] = geom::vec2(msg.x, msg.y);
-        }
-      }
-    }
-
+    embed::RankEmbedding emb = embedding_from_coords(world, g, coords);
     auto gmt = partition::parallel_gmt(world, g, emb, gmt_opt);
     for (std::size_t i = 0; i < emb.owned.size(); ++i) {
       side[emb.owned[i]] = gmt.side[i];

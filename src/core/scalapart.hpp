@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "comm/cost_model.hpp"
+#include "comm/fault_plan.hpp"
 #include "comm/trace.hpp"
 #include "embed/lattice_parallel.hpp"
 #include "geometry/vec.hpp"
@@ -51,6 +52,17 @@ struct ScalaPartOptions {
 
   std::uint64_t seed = 42;
 
+  /// Deterministic faults injected into the BSP run (empty = fault-free).
+  /// The same plan + seed reproduces the identical failure, recovery,
+  /// trace, and partition bit-for-bit.
+  comm::FaultPlan faults;
+  /// Recover from injected rank crashes: survivors shrink to a new
+  /// communicator, the largest power-of-two prefix resumes from the last
+  /// level-boundary checkpoint (spare survivors retire), and the pipeline
+  /// completes on the reduced rank set. When false, a crash propagates
+  /// out of scalapart_partition as comm::RankFailedError.
+  bool recover_on_failure = true;
+
   /// Convenience: derive all per-stage seeds from `seed` and `nranks` so
   /// different P values explore different separators (as in the paper,
   /// where cut size varies with P).
@@ -72,6 +84,26 @@ struct StageBreakdown {
   }
 };
 
+/// What fault tolerance cost this run (all zeros on a fault-free run
+/// without scheduled crashes; checkpointing is only enabled when the
+/// fault plan contains crashes).
+struct RecoveryStats {
+  /// World ranks killed by the fault plan, in order of death.
+  std::vector<std::uint32_t> failed_ranks;
+  /// Shrink-and-resume rounds performed.
+  std::uint32_t recoveries = 0;
+  /// Ranks still computing when the pipeline completed (power of two;
+  /// equals nranks when nothing failed).
+  std::uint32_t final_active_ranks = 0;
+  /// Modeled time spent writing level-boundary checkpoints (max over
+  /// ranks) and recovering (shrink + redistribution), respectively.
+  double checkpoint_seconds = 0.0;
+  double recover_seconds = 0.0;
+  /// Messages charged to checkpointing / recovery, summed over ranks.
+  std::uint64_t checkpoint_messages = 0;
+  std::uint64_t recover_messages = 0;
+};
+
 struct ScalaPartResult {
   graph::Bipartition part;
   graph::PartitionReport report;
@@ -86,6 +118,8 @@ struct ScalaPartResult {
   /// Final embedding (gathered), useful for inspection and examples.
   std::vector<geom::Vec2> embedding;
   std::size_t strip_size = 0;
+  /// Fault-tolerance accounting (see RecoveryStats).
+  RecoveryStats recovery;
 };
 
 /// Runs the full ScalaPart pipeline on `g`. Deterministic given options.

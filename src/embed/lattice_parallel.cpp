@@ -434,6 +434,91 @@ void smooth_level(comm::Comm& sub, LevelLocal& local, const CsrGraph& g,
   }
 }
 
+/// Gathers the level's full coordinate array into `ckpt` (every rank
+/// receives the gather; rank 0 of the active sub-communicator writes the
+/// shared slot, atomically w.r.t. the cooperative scheduler). Traced
+/// under stage "checkpoint" so the fault-tolerance overhead is
+/// reportable separately from the embedding itself.
+void write_checkpoint(comm::Comm& sub, const LevelLocal& local, VertexId n,
+                      EmbedCheckpoint& ckpt) {
+  const std::string prev = sub.stage();
+  sub.set_stage("checkpoint");
+  std::vector<CoordMsg> out;
+  out.reserve(local.owned.size());
+  for (std::size_t i = 0; i < local.owned.size(); ++i) {
+    out.push_back({local.owned[i], local.pos[i][0], local.pos[i][1]});
+  }
+  auto all = sub.allgatherv(std::span<const CoordMsg>(out));
+  if (sub.rank() == 0) {
+    ckpt.coords.assign(n, Vec2{});
+    for (const CoordMsg& msg : all) {
+      ckpt.coords[msg.id] = geom::vec2(msg.x, msg.y);
+    }
+    ckpt.level = local.level;
+    ckpt.box = local.box;
+    ckpt.valid = true;
+  }
+  sub.add_compute(static_cast<double>(all.size()));
+  sub.set_stage(prev);
+}
+
+/// Rebuilds a level's distributed state from a checkpoint: fetches the
+/// saved coordinates (modeled as a broadcast — the cost of reading a
+/// replicated snapshot) and redistributes every vertex over the current
+/// grid, which may be smaller than the one that wrote the checkpoint.
+/// This is how lost ranks' vertices find their new owners.
+LevelLocal restore_level(comm::Comm& sub, const EmbedCheckpoint& ckpt,
+                         std::size_t lvl, std::uint32_t pl, std::uint32_t rows,
+                         std::uint32_t cols, const CsrGraph& g,
+                         std::vector<std::uint32_t>& owner) {
+  const std::string prev = sub.stage();
+  sub.set_stage("recover");
+  LevelLocal init;
+  init.level = lvl;
+  init.pl = pl;
+  init.rows = rows;
+  init.cols = cols;
+  std::vector<Vec2> coords;
+  if (sub.rank() == 0) coords = ckpt.coords;
+  coords = sub.broadcast_vec(std::span<const Vec2>(coords), 0);
+  SP_ASSERT(coords.size() == g.num_vertices());
+  // Recompute the box from the coordinates (positions drift outside the
+  // smoothing-time box) and rebuild a load-balanced grid for the current
+  // rank count with the same proportional sampling as projection.
+  double ext[4] = {1e300, 1e300, 1e300, 1e300};
+  for (const Vec2& c : coords) {
+    ext[0] = std::min(ext[0], c[0]);
+    ext[1] = std::min(ext[1], c[1]);
+    ext[2] = std::min(ext[2], -c[0]);
+    ext[3] = std::min(ext[3], -c[1]);
+  }
+  init.box.lo = geom::vec2(ext[0], ext[1]);
+  init.box.hi = geom::vec2(-ext[2], -ext[3]);
+  init.box = init.box.inflated(0.05);
+  const double n_level = static_cast<double>(coords.size());
+  const double sample_target = std::min(n_level, 24.0 * pl + 512.0);
+  const std::size_t stride = std::max<std::size_t>(
+      static_cast<std::size_t>(n_level / sample_target), 1);
+  std::vector<Vec2> sample;
+  for (std::size_t v = 0; v < coords.size(); v += stride) {
+    sample.push_back(coords[v]);
+  }
+  init.grid = std::make_shared<geom::BalancedGrid>(
+      init.box, rows, cols, std::span<const Vec2>(sample));
+  // Every rank derives the full ownership map deterministically (same
+  // values everywhere, like the coarsest-level initialisation).
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    owner[v] = init.grid->cell_index(coords[v]);
+    if (owner[v] == sub.rank()) {
+      init.owned.push_back(v);
+      init.pos.push_back(coords[v]);
+    }
+  }
+  sub.add_compute(2.0 * n_level);
+  sub.set_stage(prev);
+  return init;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -441,7 +526,8 @@ void smooth_level(comm::Comm& sub, LevelLocal& local, const CsrGraph& g,
 // ---------------------------------------------------------------------------
 
 RankEmbedding lattice_embed(comm::Comm& world, EmbedWorkspace& workspace,
-                            const LatticeEmbedOptions& opt) {
+                            const LatticeEmbedOptions& opt,
+                            EmbedCheckpoint* checkpoint) {
   const std::uint32_t P = world.nranks();
   SP_ASSERT_MSG((P & (P - 1)) == 0, "lattice_embed requires power-of-two P");
   const std::size_t levels = workspace.num_levels();
@@ -453,9 +539,13 @@ RankEmbedding lattice_embed(comm::Comm& world, EmbedWorkspace& workspace,
     return shift >= 32 ? 1u : std::max(P >> shift, 1u);
   };
 
+  const bool resume = checkpoint && checkpoint->valid;
+  SP_ASSERT(!resume || checkpoint->level < levels);
+  const std::size_t start_level = resume ? checkpoint->level : coarsest;
+
   LevelLocal local;
 
-  for (std::size_t lvl = coarsest;; --lvl) {
+  for (std::size_t lvl = start_level;; --lvl) {
     const std::uint32_t pl = p_at(lvl);
     const bool active = world.rank() < pl;
     comm::Comm sub = world.split(active ? 0u : 1u, world.rank());
@@ -463,7 +553,13 @@ RankEmbedding lattice_embed(comm::Comm& world, EmbedWorkspace& workspace,
 
     if (active) {
       auto [rows, cols] = grid_shape(pl);
-      if (lvl == coarsest) {
+      if (resume && lvl == start_level) {
+        // ---- Resume: rebuild this (already-smoothed) level from the
+        // checkpoint; the finer levels are projected from it as usual. ----
+        local = restore_level(sub, *checkpoint, lvl, pl, rows, cols, g,
+                              workspace.owner(lvl));
+        build_halo(local, g, workspace.owner(lvl), sub.rank(), sub);
+      } else if (lvl == coarsest) {
         // Deterministic random initial embedding in the unit box; every
         // rank derives the same positions, so ownership needs no
         // communication.
@@ -597,6 +693,12 @@ RankEmbedding lattice_embed(comm::Comm& world, EmbedWorkspace& workspace,
         build_halo(local, g, owner, sub.rank(), sub);
         smooth_level(sub, local, g, opt, opt.smooth_iterations,
                      /*initial_step_factor=*/0.5, /*final_step_fraction=*/0.05);
+      }
+      // Level boundary: the natural checkpoint granularity (a crash mid-
+      // smoothing rolls back to the last completed level). A restored
+      // level is already identical to its checkpoint — skip rewriting it.
+      if (checkpoint && !(resume && lvl == start_level)) {
+        write_checkpoint(sub, local, g.num_vertices(), *checkpoint);
       }
       if (lvl == 0) refresh_all_ghosts(sub, local);
     }

@@ -106,10 +106,29 @@ struct RankEmbedding {
   geom::Box box;
 };
 
+/// Level-boundary checkpoint of the embedding (fault tolerance). After a
+/// level's smoothing completes, the full coordinate array of that level
+/// is gathered and stored here (the gather is traced under stage
+/// "checkpoint"). When a run starts with `valid == true`, lattice_embed
+/// resumes from this level instead of the coarsest: the saved coordinates
+/// are fetched (a traced broadcast, stage "recover") and redistributed
+/// over the — possibly shrunken — rank grid, and projection continues to
+/// the finer levels. The caller owns the storage; it is shared across
+/// ranks under the same write-once-then-barrier discipline as the other
+/// shared structures.
+struct EmbedCheckpoint {
+  bool valid = false;
+  std::size_t level = 0;           // hierarchy level the coords belong to
+  std::vector<geom::Vec2> coords;  // coords for graph_at(level), by vertex id
+  geom::Box box;                   // that level's lattice bounding box
+};
+
 /// SPMD entry point: every rank of `world` calls this; returns its slice.
-/// world.nranks() must be a power of two.
+/// world.nranks() must be a power of two. `checkpoint`, when non-null,
+/// enables level-boundary checkpointing and resume (see EmbedCheckpoint).
 RankEmbedding lattice_embed(comm::Comm& world, EmbedWorkspace& workspace,
-                            const LatticeEmbedOptions& opt);
+                            const LatticeEmbedOptions& opt,
+                            EmbedCheckpoint* checkpoint = nullptr);
 
 /// Gathers a full coordinate array onto every rank (one allgatherv; used
 /// by tests and by callers that need the embedding itself rather than the

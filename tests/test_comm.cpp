@@ -131,6 +131,51 @@ TEST(Comm, SplitFormsCorrectSubgroups) {
   });
 }
 
+TEST(Comm, SplitSingletonGroups) {
+  // Every rank its own color: 8 one-rank communicators, all usable.
+  BspEngine engine(opts(8));
+  engine.run([](Comm& c) {
+    Comm solo = c.split(c.rank(), 0);
+    EXPECT_EQ(solo.nranks(), 1u);
+    EXPECT_EQ(solo.rank(), 0u);
+    EXPECT_EQ(solo.world_rank(), c.world_rank());
+    EXPECT_EQ(solo.allreduce<std::int64_t>(7, ReduceOp::kSum), 7);
+    EXPECT_EQ(solo.allgather<std::uint32_t>(c.rank()),
+              std::vector<std::uint32_t>{c.rank()});
+    solo.barrier();
+    // Self-addressed exchange round-trips.
+    std::vector<Comm::Packet> out(1);
+    out[0].peer = 0;
+    out[0].data.assign(3, std::byte{0x11});
+    auto in = solo.exchange(std::move(out));
+    ASSERT_EQ(in.size(), 1u);
+    EXPECT_EQ(in[0].data.size(), 3u);
+  });
+}
+
+TEST(Comm, SplitOfSplitThreeLevels) {
+  BspEngine engine(opts(8));
+  engine.run([](Comm& c) {
+    Comm half = c.split(c.rank() / 4, c.rank());       // {0..3}, {4..7}
+    Comm pair = half.split(half.rank() / 2, half.rank());  // groups of 2
+    ASSERT_EQ(pair.nranks(), 2u);
+    EXPECT_EQ(pair.rank(), c.rank() % 2);
+    // Partner in the pair is the world neighbor.
+    auto members = pair.allgather<std::uint32_t>(c.world_rank());
+    EXPECT_EQ(members[0] + 1, members[1]);
+    // Key reverses order within the innermost group.
+    Comm rev = pair.split(0, 1 - pair.rank());
+    EXPECT_EQ(rev.rank(), 1 - pair.rank());
+    // Collectives on all three levels interleave without cross-talk.
+    EXPECT_EQ(half.allreduce<std::uint32_t>(1, ReduceOp::kSum), 4u);
+    EXPECT_EQ(pair.allreduce<std::uint32_t>(1, ReduceOp::kSum), 2u);
+    EXPECT_EQ(rev.allreduce<std::uint32_t>(1, ReduceOp::kSum), 2u);
+    // All-empty exchange completes on a nested communicator too.
+    auto in = rev.exchange({});
+    EXPECT_TRUE(in.empty());
+  });
+}
+
 TEST(Comm, SubgroupsOperateConcurrently) {
   BspEngine engine(opts(8));
   engine.run([](Comm& c) {

@@ -1,0 +1,382 @@
+// Fault injection and shrink-and-recover fault tolerance: crash
+// propagation (ULFM-style), Comm::shrink semantics, stragglers, message
+// drop/corruption, the deadlock diagnostic, exchange peer validation,
+// and end-to-end ScalaPart recovery from a crash in every pipeline
+// stage. Everything here leans on the engine's determinism: the same
+// fault plan reproduces the identical failure and recovery bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/engine.hpp"
+#include "core/scalapart.hpp"
+#include "graph/generators.hpp"
+
+namespace sp {
+namespace {
+
+using comm::BspEngine;
+using comm::Comm;
+using comm::CommUsageError;
+using comm::DeadlockError;
+using comm::FaultPlan;
+using comm::RankFailedError;
+
+BspEngine::Options opts(std::uint32_t p, FaultPlan plan = {}) {
+  BspEngine::Options o;
+  o.nranks = p;
+  o.faults = std::move(plan);
+  return o;
+}
+
+TEST(FaultInjection, CrashPropagatesToEverySurvivor) {
+  FaultPlan plan;
+  plan.kill_at_event(2, 1);  // rank 2 dies entering its second event
+  BspEngine engine(opts(4, plan));
+  std::vector<int> caught(4, 0);
+  auto stats = engine.run([&](Comm& c) {
+    try {
+      for (int i = 0; i < 4; ++i) c.barrier();
+      FAIL() << "rank " << c.rank() << " missed the failure";
+    } catch (const RankFailedError& e) {
+      ASSERT_EQ(e.failed_ranks().size(), 1u);
+      EXPECT_EQ(e.failed_ranks()[0], 2u);
+      caught[c.rank()] = 1;
+    }
+  });
+  ASSERT_EQ(stats.failed_ranks.size(), 1u);
+  EXPECT_EQ(stats.failed_ranks[0], 2u);
+  // Every survivor (not the dead rank) observed the failure.
+  EXPECT_EQ(caught, (std::vector<int>{1, 1, 0, 1}));
+}
+
+TEST(FaultInjection, ShrinkExcludesFailedRankPreservesOrder) {
+  FaultPlan plan;
+  plan.kill_at_event(2, 2);
+  BspEngine engine(opts(8, plan));
+  engine.run([&](Comm& world) {
+    try {
+      for (int i = 0; i < 5; ++i) world.barrier();
+      FAIL() << "rank " << world.rank() << " missed the failure";
+    } catch (const RankFailedError&) {
+      Comm s = world.shrink();
+      ASSERT_EQ(s.nranks(), 7u);
+      // Survivors keep the old group order, with the dead rank excised.
+      auto members = s.allgather<std::uint32_t>(world.rank());
+      EXPECT_EQ(members,
+                (std::vector<std::uint32_t>{0, 1, 3, 4, 5, 6, 7}));
+      EXPECT_EQ(members[s.rank()], world.rank());
+      s.barrier();  // the shrunken communicator is fully usable
+      double before = s.clock();
+      s.barrier();
+      EXPECT_GT(s.clock(), before);  // ops on it keep charging the clock
+    }
+  });
+}
+
+TEST(FaultInjection, ShrinkRestartsWhenRankDiesMidShrink) {
+  FaultPlan plan;
+  plan.kill_at_event(2, 2);
+  // Rank 3's third event is its shrink() entry: it dies *inside*
+  // recovery, and the other survivors' shrink restarts transparently.
+  plan.kill_at_event(3, 3);
+  BspEngine engine(opts(8, plan));
+  auto stats = engine.run([&](Comm& world) {
+    try {
+      for (int i = 0; i < 5; ++i) world.barrier();
+      FAIL() << "rank " << world.rank() << " missed the failure";
+    } catch (const RankFailedError&) {
+      Comm s = world.shrink();
+      ASSERT_EQ(s.nranks(), 6u);
+      auto members = s.allgather<std::uint32_t>(world.rank());
+      EXPECT_EQ(members, (std::vector<std::uint32_t>{0, 1, 4, 5, 6, 7}));
+    }
+  });
+  EXPECT_EQ(stats.failed_ranks, (std::vector<std::uint32_t>{2, 3}));
+}
+
+TEST(FaultInjection, CrashAtVirtualTime) {
+  FaultPlan plan;
+  plan.kill_at_time(1, 5.0);
+  BspEngine engine(opts(2, plan));
+  auto stats = engine.run([&](Comm& c) {
+    try {
+      for (int i = 0; i < 100; ++i) {
+        c.add_compute(1e9);  // ~1s of modeled compute per step
+        c.barrier();
+      }
+      FAIL() << "rank " << c.rank() << " missed the failure";
+    } catch (const RankFailedError&) {
+      EXPECT_EQ(c.rank(), 0u);
+    }
+  });
+  ASSERT_EQ(stats.failed_ranks, std::vector<std::uint32_t>{1});
+  // The rank died at the first communication event at/after the trigger
+  // time, so its final clock is just past it — not way past.
+  EXPECT_GE(stats.clocks[1], 5.0);
+  EXPECT_LT(stats.clocks[1], 8.0);
+}
+
+TEST(FaultInjection, CrashScopedToStage) {
+  FaultPlan plan;
+  plan.kill_in_stage(2, "second", 1);
+  BspEngine engine(opts(4, plan));
+  auto stats = engine.run([&](Comm& c) {
+    try {
+      c.set_stage("first");
+      c.barrier();
+      c.barrier();
+      c.set_stage("second");
+      c.barrier();  // stage event 0: everyone passes
+      c.barrier();  // stage event 1: rank 2 dies entering
+      FAIL() << "rank " << c.rank() << " missed the failure";
+    } catch (const RankFailedError&) {
+    }
+  });
+  ASSERT_EQ(stats.failed_ranks, std::vector<std::uint32_t>{2});
+  // The fatal event is still counted: two events in stage "second".
+  EXPECT_EQ(stats.traces[2].at("second").comm_events, 2u);
+  EXPECT_EQ(stats.traces[2].at("first").comm_events, 2u);
+}
+
+TEST(FaultInjection, StragglerStallsCollectivePeers) {
+  auto program = [](Comm& c) {
+    c.add_compute(1e9);
+    c.barrier();
+  };
+  BspEngine clean(opts(4));
+  const double base = clean.run(program).makespan();
+  FaultPlan plan;
+  plan.slow_rank(2, 8.0);
+  BspEngine slow(opts(4, plan));
+  auto stats = slow.run(program);
+  // The barrier makes every rank wait for the inflated one.
+  for (double clock : stats.clocks) EXPECT_GT(clock, 4.0 * base);
+}
+
+TEST(FaultInjection, MessageDropRemovesPackets) {
+  FaultPlan plan;
+  plan.drop_message(0, /*at_exchange=*/1);
+  BspEngine engine(opts(2, plan));
+  engine.run([&](Comm& c) {
+    for (int round = 0; round < 3; ++round) {
+      std::vector<Comm::Packet> out(1);
+      out[0].peer = 1 - c.rank();
+      out[0].data.assign(4, std::byte{0xAB});
+      auto in = c.exchange(std::move(out));
+      if (c.rank() == 1 && round == 1) {
+        EXPECT_TRUE(in.empty());  // rank 0's second send was dropped
+      } else {
+        ASSERT_EQ(in.size(), 1u);
+        EXPECT_EQ(in[0].data.size(), 4u);
+      }
+    }
+  });
+}
+
+TEST(FaultInjection, MessageCorruptionIsDeterministic) {
+  FaultPlan plan;
+  plan.corrupt_message(0, /*at_exchange=*/0, /*peer=*/1);
+  const std::vector<std::byte> sent(16, std::byte{0x5A});
+  auto run_once = [&]() {
+    BspEngine engine(opts(2, plan));
+    std::vector<std::byte> received;
+    engine.run([&](Comm& c) {
+      std::vector<Comm::Packet> out;
+      if (c.rank() == 0) {
+        out.resize(1);
+        out[0].peer = 1;
+        out[0].data = sent;
+      }
+      auto in = c.exchange(std::move(out));
+      if (c.rank() == 1) {
+        ASSERT_EQ(in.size(), 1u);
+        received = in[0].data;
+      }
+    });
+    return received;
+  };
+  auto first = run_once();
+  auto second = run_once();
+  ASSERT_EQ(first.size(), sent.size());
+  EXPECT_NE(first, sent);      // the payload really was tampered with
+  EXPECT_EQ(first, second);    // ... deterministically
+}
+
+TEST(FaultInjection, FaultedRunsReproduceBitForBit) {
+  FaultPlan plan;
+  plan.kill_at_event(1, 3).slow_rank(3, 2.5, 0.001).drop_message(2, 1);
+  auto run_once = [&]() {
+    BspEngine engine(opts(4, plan));
+    return engine.run([](Comm& c) {
+      try {
+        for (int i = 0; i < 6; ++i) {
+          c.add_compute(1000.0 * (c.rank() + 1));
+          std::vector<Comm::Packet> out(1);
+          out[0].peer = (c.rank() + 1) % c.nranks();
+          out[0].data.assign(8, std::byte{1});
+          c.exchange(std::move(out));
+        }
+      } catch (const RankFailedError&) {
+      }
+    });
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a.failed_ranks, b.failed_ranks);
+  EXPECT_EQ(a.clocks, b.clocks);  // exact double equality
+}
+
+TEST(FaultInjection, AllRanksDeadThrowsOutOfRun) {
+  FaultPlan plan;
+  plan.kill_at_event(0, 0).kill_at_event(1, 0);
+  BspEngine engine(opts(2, plan));
+  EXPECT_THROW(engine.run([](Comm& c) { c.barrier(); }), RankFailedError);
+}
+
+TEST(FaultInjection, DeadlockDiagnosticNamesRankKindAndSeq) {
+  BspEngine engine(opts(2));
+  try {
+    engine.run([](Comm& c) {
+      c.barrier();
+      if (c.rank() == 1) c.barrier();  // mismatched: rank 0 is done
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("barrier"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("group 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("seq 1"), std::string::npos) << msg;
+  }
+}
+
+TEST(FaultInjection, ExchangeRejectsOutOfRangePeer) {
+  BspEngine engine(opts(2));
+  try {
+    engine.run([](Comm& c) {
+      c.set_stage("halo");
+      std::vector<Comm::Packet> out;
+      if (c.rank() == 0) {
+        out.resize(1);
+        out[0].peer = 7;  // communicator only has 2 ranks
+      }
+      c.exchange(std::move(out));
+    });
+    FAIL() << "expected CommUsageError";
+  } catch (const CommUsageError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("peer 7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("halo"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2 rank(s)"), std::string::npos) << msg;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: ScalaPart shrink-and-recover
+// ---------------------------------------------------------------------------
+
+class ScalaPartFault : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ScalaPartFault, RecoversFromCrashInEveryStage) {
+  const std::uint32_t P = GetParam();
+  auto g = graph::gen::delaunay(3000, 1).graph;
+  core::ScalaPartOptions opt;
+  opt.nranks = P;
+  const auto clean = core::scalapart_partition(g, opt);
+  ASSERT_TRUE(clean.recovery.failed_ranks.empty());
+  // A recovered run completes on P/2 ranks, and the cut varies with the
+  // rank count by design (per-stage seeds derive from P, as in the
+  // paper), so the fault-free quality reference spans both rank counts.
+  auto hopt = opt;
+  hopt.nranks = P / 2;
+  const auto clean_half = core::scalapart_partition(g, hopt);
+
+  // Aim one crash at each pipeline stage. "partition" covers both the
+  // geometric cut (its first events) and the strip refinement (its last
+  // quarter of events) — locate the late kill from the fault-free trace.
+  const auto part_events = clean.stats.traces[1].at("partition").comm_events;
+  ASSERT_GT(part_events, 4u);
+  struct Case {
+    const char* label;
+    FaultPlan plan;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"coarsen", FaultPlan{}.kill_in_stage(1, "coarsen", 1)});
+  cases.push_back({"embed", FaultPlan{}.kill_in_stage(1, "embed", 5)});
+  cases.push_back({"cut", FaultPlan{}.kill_in_stage(1, "partition", 0)});
+  cases.push_back({"refine", FaultPlan{}.kill_in_stage(
+                                 1, "partition", 3 * part_events / 4)});
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(std::string("crash in ") + c.label + " at P=" +
+                 std::to_string(P));
+    auto fopt = opt;
+    fopt.faults = c.plan;
+    const auto r = core::scalapart_partition(g, fopt);
+
+    // The run completed via shrink-and-recover on half the ranks.
+    EXPECT_EQ(r.recovery.failed_ranks, std::vector<std::uint32_t>{1});
+    EXPECT_GE(r.recovery.recoveries, 1u);
+    EXPECT_EQ(r.recovery.final_active_ranks, P / 2);
+    EXPECT_GT(r.recovery.recover_seconds, 0.0);
+    EXPECT_GT(r.recovery.checkpoint_messages + r.recovery.recover_messages,
+              0u);
+
+    // ... and still produced a valid balanced partition with a cut close
+    // to the fault-free one.
+    EXPECT_EQ(r.part.side.size(), g.num_vertices());
+    EXPECT_GT(r.report.cut, 0);
+    EXPECT_LE(r.report.imbalance, 0.06);
+    const auto dev_vs = [&](const core::ScalaPartResult& ref) {
+      return std::abs(static_cast<double>(r.report.cut) -
+                      static_cast<double>(ref.report.cut)) /
+             static_cast<double>(ref.report.cut);
+    };
+    const double dev = std::min(dev_vs(clean), dev_vs(clean_half));
+    EXPECT_LE(dev, 0.10) << "cut " << r.report.cut << " vs fault-free "
+                         << clean.report.cut << " (P) / "
+                         << clean_half.report.cut << " (P/2)";
+
+    // Same plan + seed => identical failure, recovery, and result.
+    const auto r2 = core::scalapart_partition(g, fopt);
+    EXPECT_EQ(r.report.cut, r2.report.cut);
+    EXPECT_EQ(r.part.side, r2.part.side);
+    EXPECT_EQ(r.stats.clocks, r2.stats.clocks);
+    EXPECT_EQ(r.stats.failed_ranks, r2.stats.failed_ranks);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ScalaPartFault,
+                         ::testing::Values(8u, 32u));
+
+TEST(ScalaPartFault, CrashWithoutRecoveryPropagates) {
+  auto g = graph::gen::delaunay(800, 3).graph;
+  core::ScalaPartOptions opt;
+  opt.nranks = 8;
+  opt.faults.kill_in_stage(1, "embed", 3);
+  opt.recover_on_failure = false;
+  EXPECT_THROW(core::scalapart_partition(g, opt), RankFailedError);
+}
+
+TEST(ScalaPartFault, StragglerChangesClockNotResult) {
+  auto g = graph::gen::delaunay(1000, 2).graph;
+  core::ScalaPartOptions opt;
+  opt.nranks = 8;
+  const auto clean = core::scalapart_partition(g, opt);
+  auto sopt = opt;
+  sopt.faults.slow_rank(3, 6.0);
+  const auto slow = core::scalapart_partition(g, sopt);
+  // A slow node never changes the answer, only the modeled time.
+  EXPECT_EQ(slow.report.cut, clean.report.cut);
+  EXPECT_EQ(slow.part.side, clean.part.side);
+  EXPECT_GT(slow.stats.makespan(), 1.5 * clean.stats.makespan());
+}
+
+}  // namespace
+}  // namespace sp

@@ -1,0 +1,27 @@
+// SP_ANALYSIS_CHECK: runs a validator as a pipeline checkpoint when the
+// build enables SP_ANALYSIS (cmake -DSP_ANALYSIS=ON, the default for
+// development builds); compiles away to nothing when it is off, so
+// production and benchmark builds pay zero overhead.
+//
+// Usage, at a stage boundary:
+//   SP_ANALYSIS_CHECK("coarsen/hierarchy", analysis::validate_hierarchy(h));
+// A non-empty violation list raises analysis::InvariantViolation naming
+// the checkpoint and every violation.
+#pragma once
+
+#include "analysis/invariants.hpp"
+
+#ifdef SP_ANALYSIS
+#define SP_ANALYSIS_CHECK(checkpoint, call)                            \
+  do {                                                                 \
+    ::sp::analysis::Violations sp_analysis_violations_ = (call);       \
+    if (!sp_analysis_violations_.empty()) {                            \
+      ::sp::analysis::fail_checkpoint((checkpoint),                    \
+                                      sp_analysis_violations_);        \
+    }                                                                  \
+  } while (0)
+#else
+#define SP_ANALYSIS_CHECK(checkpoint, call) \
+  do {                                      \
+  } while (0)
+#endif

@@ -67,6 +67,10 @@ struct CollState {
   /// RankFailedError; the last observer destroys the state.
   bool poisoned = false;
   std::uint32_t poison_pickups = 0;
+  /// Call signature of the first rank to reach this rendezvous; every
+  /// later arrival is validated against it (the collective-matching lint).
+  analysis::CollSignature sig;
+  bool has_sig = false;
 };
 
 class EngineImpl {
@@ -88,6 +92,9 @@ class EngineImpl {
     comm_events_.assign(opt_.nranks, 0);
     stage_events_.assign(opt_.nranks, 0);
     exchange_counts_.assign(opt_.nranks, 0);
+    last_sig_.assign(opt_.nranks, analysis::CollSignature{});
+    issued_.clear();
+    touched_groups_.clear();
     states_.clear();
     group_registry_.clear();
     next_group_id_ = 1;
@@ -110,13 +117,22 @@ class EngineImpl {
       makecontext(&fibers_[r].ctx, &EngineImpl::trampoline_, 0);
     }
 
-    // Round-robin scheduler with deadlock detection: if a full cycle makes
+    // Cooperative scheduler with deadlock detection: if a full sweep makes
     // no progress (no rank advanced any rendezvous or finished), the SPMD
-    // program has mismatched collectives.
+    // program has mismatched collectives. The per-sweep resume order is
+    // configurable (Options::schedule); any order is semantically
+    // equivalent for a correct SPMD program, which is exactly what the
+    // determinism auditor verifies by varying it.
+    std::vector<std::uint32_t> order(opt_.nranks);
+    for (std::uint32_t r = 0; r < opt_.nranks; ++r) {
+      order[r] = opt_.schedule == Schedule::kReversed ? opt_.nranks - 1 - r : r;
+    }
+    Rng sched_rng(hash64(opt_.schedule_seed ^ 0x5C4EDu));
     std::uint32_t remaining = opt_.nranks;
     while (remaining > 0) {
+      if (opt_.schedule == Schedule::kSeededShuffle) sched_rng.shuffle(order);
       std::uint64_t activity_before = activity_;
-      for (std::uint32_t r = 0; r < opt_.nranks; ++r) {
+      for (std::uint32_t r : order) {
         if (finished_[r]) continue;
         if (blocked_on_[r] != nullptr && !rendezvous_ready_(r)) continue;
         current_rank_ = r;
@@ -142,6 +158,15 @@ class EngineImpl {
     }
     SP_ASSERT_MSG(states_.empty(), "collective state leaked (pickup mismatch)");
 
+    // Finalize-time signature audit: on a clean run every member of every
+    // touched group must have issued the same number of collectives on it.
+    // A mismatch here escaped the match-time and deadlock checks, so it
+    // indicates an engine-level accounting bug — report it loudly.
+    if (failed_order_.empty()) {
+      std::string audit = finalize_report_();
+      if (!audit.empty()) throw SpmdDivergenceError(audit);
+    }
+
     if (!failed_order_.empty() &&
         failed_order_.size() == static_cast<std::size_t>(opt_.nranks)) {
       // Every rank was killed: nobody is left to have produced a result.
@@ -153,6 +178,7 @@ class EngineImpl {
     stats.traces = traces_;
     stats.wall_seconds = wall.seconds();
     stats.failed_ranks = failed_order_;
+    stats.schedule = opt_.schedule;
     return stats;
   }
 
@@ -177,8 +203,60 @@ class EngineImpl {
              std::to_string(st->group_id) + ", collective seq " +
              std::to_string(st->seq) + " (" + std::to_string(st->arrived) +
              "/" + std::to_string(st->expected) + " ranks arrived)";
+      // The blocked rank's own pending signature names the user call site
+      // it is stuck at — the half of the divergence each rank can see.
+      if (last_sig_[r].site.line != 0) {
+        msg += ", issued at " + last_sig_[r].site.str();
+      }
     }
     return msg;
+  }
+
+  /// Records the arriving rank's signature (for deadlock reports and the
+  /// finalize audit) and validates it against the rendezvous's first
+  /// arrival. Throws SpmdDivergenceError on the first divergence. Called
+  /// before any rendezvous state is mutated so a divergent arrival leaves
+  /// the state intact for its correctly-matched peers.
+  void check_and_record(CollState& st, const analysis::CollSignature& sig) {
+    last_sig_[sig.world_rank] = sig;
+    if (!st.is_shrink) {
+      touched_groups_.try_emplace(st.group_id, st.group);
+      ++issued_[st.group_id][sig.world_rank];
+    }
+    if (!st.has_sig) {
+      st.sig = sig;
+      st.has_sig = true;
+      return;
+    }
+    std::string mismatch = analysis::match_signatures(st.sig, sig);
+    if (!mismatch.empty()) {
+      throw SpmdDivergenceError("SPMD divergence: " + mismatch);
+    }
+  }
+
+  /// Finalize-time stream audit (see run()). Returns "" when clean.
+  std::string finalize_report_() const {
+    for (const auto& [gid, counts] : issued_) {
+      const GroupInfo& group = *touched_groups_.at(gid);
+      std::uint32_t lo_rank = 0, hi_rank = 0;
+      std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+      for (std::uint32_t m : group.members) {
+        auto it = counts.find(m);
+        const std::uint64_t c = it == counts.end() ? 0 : it->second;
+        if (c < lo) { lo = c; lo_rank = m; }
+        if (c > hi) { hi = c; hi_rank = m; }
+      }
+      if (lo != hi) {
+        return "SPMD divergence at finalize: group " + std::to_string(gid) +
+               " members issued unequal collective counts (world rank " +
+               std::to_string(lo_rank) + ": " + std::to_string(lo) +
+               ", world rank " + std::to_string(hi_rank) + ": " +
+               std::to_string(hi) + "); last signature of rank " +
+               std::to_string(hi_rank) + ": " +
+               last_sig_[hi_rank].describe();
+      }
+    }
+    return {};
   }
 
   // ---- Called from fibers ----
@@ -439,6 +517,12 @@ class EngineImpl {
   std::vector<std::uint64_t> comm_events_;    // lifetime comm events per rank
   std::vector<std::uint64_t> stage_events_;   // comm events since set_stage
   std::vector<std::uint64_t> exchange_counts_;  // exchange calls per rank
+  /// Most recent call signature per world rank (deadlock diagnostics and
+  /// the finalize audit).
+  std::vector<analysis::CollSignature> last_sig_;
+  /// Collectives issued per (group id, world rank), and the groups seen.
+  std::map<std::uint64_t, std::map<std::uint32_t, std::uint64_t>> issued_;
+  std::map<std::uint64_t, std::shared_ptr<GroupInfo>> touched_groups_;
   std::vector<CollState*> blocked_on_ =
       std::vector<CollState*>(1, nullptr);  // resized in run()
 
@@ -493,14 +577,34 @@ void Comm::add_compute(double units) {
 
 double Comm::clock() const { return engine_->clock(world_rank_); }
 
-void Comm::barrier() {
-  collective_(CollKind::kBarrier, {}, 0, nullptr);
+void Comm::barrier(std::source_location loc) {
+  collective_(CollKind::kBarrier, {}, 0, nullptr, nullptr, 0, loc);
 }
+
+namespace {
+analysis::CollOp to_coll_op(Comm::CollKind kind) {
+  switch (kind) {
+    case Comm::CollKind::kBarrier:
+      return analysis::CollOp::kBarrier;
+    case Comm::CollKind::kAllReduce:
+      return analysis::CollOp::kAllReduce;
+    case Comm::CollKind::kAllGather:
+      return analysis::CollOp::kAllGather;
+    case Comm::CollKind::kGather:
+      return analysis::CollOp::kGather;
+    case Comm::CollKind::kBroadcast:
+      return analysis::CollOp::kBroadcast;
+  }
+  return analysis::CollOp::kBarrier;
+}
+}  // namespace
 
 std::vector<std::byte> Comm::collective_(CollKind kind,
                                          std::vector<std::byte> payload,
                                          std::uint32_t root, Combiner combiner,
-                                         std::vector<std::size_t>* counts) {
+                                         std::vector<std::size_t>* counts,
+                                         std::uint32_t elem_width,
+                                         const std::source_location& loc) {
   engine_->on_comm_event(world_rank_);
   if (engine_->any_failed_in(*group_)) {
     // ULFM-style failure propagation: touching a communicator with a dead
@@ -511,6 +615,21 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
     throw RankFailedError(engine_->all_failed());
   }
   detail::CollState& st = engine_->state_for(group_, seq_);
+  {
+    analysis::CollSignature sig;
+    sig.op = to_coll_op(kind);
+    sig.group_id = group_->id;
+    sig.seq = seq_;
+    sig.root = root;
+    sig.elem_width = elem_width;
+    sig.elem_count = elem_width != 0 ? payload.size() / elem_width : 0;
+    sig.payload_bytes = payload.size();
+    sig.world_rank = world_rank_;
+    sig.group_rank = group_rank_;
+    sig.site = analysis::CallSite::from(loc);
+    sig.stage = engine_->stage_of(world_rank_);
+    engine_->check_and_record(st, sig);
+  }
   const std::uint64_t my_seq = seq_++;
   st.kind = kind;
   st.root = root;
@@ -599,7 +718,8 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
   return my_result;
 }
 
-std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing) {
+std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
+                                         std::source_location loc) {
   // Validate peers before touching any engine state: a bad destination
   // must not corrupt the rendezvous it would have joined.
   for (const Packet& p : outgoing) {
@@ -619,6 +739,18 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing) {
   }
   engine_->apply_message_faults(world_rank_, outgoing);
   detail::CollState& st = engine_->state_for(group_, seq_);
+  {
+    analysis::CollSignature sig;
+    sig.op = analysis::CollOp::kExchange;
+    sig.group_id = group_->id;
+    sig.seq = seq_;
+    sig.world_rank = world_rank_;
+    sig.group_rank = group_rank_;
+    for (const Packet& p : outgoing) sig.payload_bytes += p.data.size();
+    sig.site = analysis::CallSite::from(loc);
+    sig.stage = engine_->stage_of(world_rank_);
+    engine_->check_and_record(st, sig);
+  }
   const std::uint64_t my_seq = seq_++;
   st.is_exchange = true;
 
@@ -660,13 +792,16 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing) {
   return inbox;
 }
 
-Comm Comm::split(std::uint32_t color, std::uint32_t key) {
-  // Gather (color, key, world rank) triples from the whole group.
+Comm Comm::split(std::uint32_t color, std::uint32_t key,
+                 std::source_location loc) {
+  // Gather (color, key, world rank) triples from the whole group. The
+  // user's split call site is forwarded so divergence reports name it,
+  // not this internal allgather.
   struct Entry {
     std::uint32_t color, key, world_rank;
   };
   Entry mine{color, key, world_rank_};
-  auto all = allgatherv(std::span<const Entry>(&mine, 1));
+  auto all = allgatherv(std::span<const Entry>(&mine, 1), nullptr, loc);
 
   std::vector<Entry> members;
   for (const Entry& e : all) {
@@ -688,7 +823,7 @@ Comm Comm::split(std::uint32_t color, std::uint32_t key) {
   return Comm(engine_, std::move(group), my_index, world_rank_);
 }
 
-Comm Comm::shrink() {
+Comm Comm::shrink(std::source_location loc) {
   // Shrink rendezvous are keyed off the engine-global failure count, not
   // this comm's seq_ counter: survivors reach shrink() having consumed
   // different numbers of sequence slots (some threw at entry, some were
@@ -704,6 +839,17 @@ Comm Comm::shrink() {
     detail::CollState& st = engine_->state_for(
         group_, key, static_cast<std::uint32_t>(live.size()));
     st.is_shrink = true;
+    {
+      analysis::CollSignature sig;
+      sig.op = analysis::CollOp::kShrink;
+      sig.group_id = group_->id;
+      sig.seq = key;
+      sig.world_rank = world_rank_;
+      sig.group_rank = group_rank_;
+      sig.site = analysis::CallSite::from(loc);
+      sig.stage = engine_->stage_of(world_rank_);
+      engine_->check_and_record(st, sig);
+    }
     st.max_clock = std::max(st.max_clock, engine_->clock(world_rank_));
     ++st.arrived;
     engine_->bump_activity();
@@ -814,6 +960,48 @@ StageCost RunStats::stage_sum(const std::string& stage) const {
     if (it != trace.end()) sum += it->second;
   }
   return sum;
+}
+
+const char* schedule_name(Schedule s) {
+  switch (s) {
+    case Schedule::kRoundRobin:
+      return "round-robin";
+    case Schedule::kReversed:
+      return "reversed";
+    case Schedule::kSeededShuffle:
+      return "seeded-shuffle";
+  }
+  return "?";
+}
+
+namespace {
+std::uint64_t mix_in(std::uint64_t h, std::uint64_t v) {
+  return hash64(h ^ (v + 0x9E3779B97F4A7C15ull));
+}
+std::uint64_t mix_double(std::uint64_t h, double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return mix_in(h, bits);
+}
+}  // namespace
+
+std::uint64_t RunStats::fingerprint() const {
+  std::uint64_t h = mix_in(0x5CA1AB1Eu, clocks.size());
+  for (double c : clocks) h = mix_double(h, c);
+  for (const auto& trace : traces) {
+    h = mix_in(h, trace.size());
+    for (const auto& [stage, cost] : trace) {
+      for (char ch : stage) h = mix_in(h, static_cast<std::uint8_t>(ch));
+      h = mix_double(h, cost.compute_seconds);
+      h = mix_double(h, cost.comm_seconds);
+      h = mix_in(h, cost.messages);
+      h = mix_in(h, cost.bytes_sent);
+      h = mix_in(h, cost.collectives);
+      h = mix_in(h, cost.comm_events);
+    }
+  }
+  for (std::uint32_t r : failed_ranks) h = mix_in(h, r);
+  return h;
 }
 
 std::vector<std::string> RunStats::stages() const {

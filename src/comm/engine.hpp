@@ -22,10 +22,12 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <source_location>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "analysis/signature.hpp"
 #include "comm/cost_model.hpp"
 #include "comm/fault_plan.hpp"
 #include "comm/trace.hpp"
@@ -58,6 +60,18 @@ class CommUsageError : public std::logic_error {
   explicit CommUsageError(const std::string& msg) : std::logic_error(msg) {}
 };
 
+/// Raised when the cross-rank collective-matching lint detects divergent
+/// SPMD call streams: two ranks met at the same rendezvous (communicator
+/// group + sequence number) with incompatible operations — different
+/// collective kinds, roots, element widths, or allreduce payload shapes.
+/// The message names both ranks, both call sites (file:line via
+/// std::source_location), both stages, and the mismatching attribute.
+/// Subclasses CommUsageError so existing misuse handlers keep working.
+class SpmdDivergenceError : public CommUsageError {
+ public:
+  explicit SpmdDivergenceError(const std::string& msg) : CommUsageError(msg) {}
+};
+
 /// A rank's endpoint within one process group. Obtained from
 /// BspEngine::run (world communicator) or Comm::split. Each Comm carries
 /// its own collective sequence counter: all members of a group must issue
@@ -84,39 +98,53 @@ class Comm {
   double clock() const;
 
   // ---- Collectives (all members must call; trivially-copyable T) ----
+  //
+  // Every operation captures its user call site via a defaulted
+  // std::source_location parameter: the engine records a per-rank call
+  // signature (kind, group, sequence number, element width, payload
+  // shape, stage, call site) and cross-checks it against the other ranks
+  // at rendezvous time, so a divergent SPMD program raises
+  // SpmdDivergenceError naming both call sites instead of deadlocking.
 
-  void barrier();
+  void barrier(std::source_location loc = std::source_location::current());
 
   template <typename T>
-  T allreduce(const T& value, ReduceOp op) {
-    auto result = allreduce_vec(std::span<const T>(&value, 1), op);
+  T allreduce(const T& value, ReduceOp op,
+              std::source_location loc = std::source_location::current()) {
+    auto result = allreduce_vec(std::span<const T>(&value, 1), op, loc);
     return result[0];
   }
 
   /// Element-wise reduction of equal-length vectors.
   template <typename T>
-  std::vector<T> allreduce_vec(std::span<const T> values, ReduceOp op) {
+  std::vector<T> allreduce_vec(
+      std::span<const T> values, ReduceOp op,
+      std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
     auto combined = collective_(CollKind::kAllReduce, as_bytes_(values),
-                                /*root=*/0, make_combiner_<T>(op));
+                                /*root=*/0, make_combiner_<T>(op),
+                                /*counts=*/nullptr, sizeof(T), loc);
     return from_bytes_<T>(combined);
   }
 
   /// Everyone contributes one value; everyone receives all P values in
   /// group-rank order.
   template <typename T>
-  std::vector<T> allgather(const T& value) {
-    return allgatherv(std::span<const T>(&value, 1));
+  std::vector<T> allgather(
+      const T& value,
+      std::source_location loc = std::source_location::current()) {
+    return allgatherv(std::span<const T>(&value, 1), nullptr, loc);
   }
 
   /// Variable-size contributions, concatenated in group-rank order.
   /// `counts` (optional out) receives each rank's element count.
   template <typename T>
-  std::vector<T> allgatherv(std::span<const T> values,
-                            std::vector<std::size_t>* counts = nullptr) {
+  std::vector<T> allgatherv(
+      std::span<const T> values, std::vector<std::size_t>* counts = nullptr,
+      std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
     auto combined = collective_(CollKind::kAllGather, as_bytes_(values),
-                                /*root=*/0, nullptr, counts);
+                                /*root=*/0, nullptr, counts, sizeof(T), loc);
     if (counts) {
       for (auto& c : *counts) c /= sizeof(T);
     }
@@ -125,11 +153,13 @@ class Comm {
 
   /// Root receives the concatenation; others receive empty.
   template <typename T>
-  std::vector<T> gatherv(std::span<const T> values, std::uint32_t root,
-                         std::vector<std::size_t>* counts = nullptr) {
+  std::vector<T> gatherv(
+      std::span<const T> values, std::uint32_t root,
+      std::vector<std::size_t>* counts = nullptr,
+      std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
     auto combined = collective_(CollKind::kGather, as_bytes_(values), root,
-                                nullptr, counts);
+                                nullptr, counts, sizeof(T), loc);
     if (counts) {
       for (auto& c : *counts) c /= sizeof(T);
     }
@@ -139,18 +169,21 @@ class Comm {
 
   /// Root's data reaches everyone.
   template <typename T>
-  std::vector<T> broadcast_vec(std::span<const T> values, std::uint32_t root) {
+  std::vector<T> broadcast_vec(
+      std::span<const T> values, std::uint32_t root,
+      std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
     std::span<const T> mine =
         rank() == root ? values : std::span<const T>{};
-    auto combined =
-        collective_(CollKind::kBroadcast, as_bytes_(mine), root, nullptr);
+    auto combined = collective_(CollKind::kBroadcast, as_bytes_(mine), root,
+                                nullptr, /*counts=*/nullptr, sizeof(T), loc);
     return from_bytes_<T>(combined);
   }
 
   template <typename T>
-  T broadcast(const T& value, std::uint32_t root) {
-    auto v = broadcast_vec(std::span<const T>(&value, 1), root);
+  T broadcast(const T& value, std::uint32_t root,
+              std::source_location loc = std::source_location::current()) {
+    auto v = broadcast_vec(std::span<const T>(&value, 1), root, loc);
     return v[0];
   }
 
@@ -164,12 +197,15 @@ class Comm {
   /// Sends each packet to its peer; returns the packets addressed to this
   /// rank (sorted by source, then send order). All group members must call
   /// (possibly with empty outgoing). This is the halo-exchange primitive.
-  std::vector<Packet> exchange(std::vector<Packet> outgoing);
+  std::vector<Packet> exchange(
+      std::vector<Packet> outgoing,
+      std::source_location loc = std::source_location::current());
 
   /// Typed convenience wrapper over exchange.
   template <typename T>
   std::vector<std::pair<std::uint32_t, std::vector<T>>> exchange_typed(
-      const std::vector<std::pair<std::uint32_t, std::vector<T>>>& outgoing) {
+      const std::vector<std::pair<std::uint32_t, std::vector<T>>>& outgoing,
+      std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
     std::vector<Packet> raw;
     raw.reserve(outgoing.size());
@@ -179,7 +215,7 @@ class Comm {
       p.data = as_bytes_(std::span<const T>(values));
       raw.push_back(std::move(p));
     }
-    auto in = exchange(std::move(raw));
+    auto in = exchange(std::move(raw), loc);
     std::vector<std::pair<std::uint32_t, std::vector<T>>> out;
     out.reserve(in.size());
     for (auto& p : in) out.emplace_back(p.peer, from_bytes_<T>(p.data));
@@ -191,7 +227,8 @@ class Comm {
   /// Collective: partitions the group by `color`; members of each color
   /// form a new group ordered by (key, world rank). Returns this rank's
   /// new communicator.
-  Comm split(std::uint32_t color, std::uint32_t key);
+  Comm split(std::uint32_t color, std::uint32_t key,
+             std::source_location loc = std::source_location::current());
 
   /// Collective among the *survivors* of this group: returns a new
   /// communicator containing exactly the non-failed members, in the old
@@ -201,7 +238,7 @@ class Comm {
   /// flight makes the shrink itself restart transparently. Call once per
   /// observed failure (after catching RankFailedError); the traced cost
   /// is that of a small allgather over the survivors.
-  Comm shrink();
+  Comm shrink(std::source_location loc = std::source_location::current());
 
   /// Implementation detail, public only so the engine's rendezvous state
   /// can name it; not part of the user API.
@@ -215,11 +252,15 @@ class Comm {
   Comm(detail::EngineImpl* engine, std::shared_ptr<detail::GroupInfo> group,
        std::uint32_t group_rank, std::uint32_t world_rank);
 
-  /// Type-erased collective core (defined in engine.cpp).
+  /// Type-erased collective core (defined in engine.cpp). `elem_width` is
+  /// sizeof(T) at the typed call site (0 = untyped), recorded into the
+  /// call signature the matching lint validates across ranks.
   std::vector<std::byte> collective_(CollKind kind,
                                      std::vector<std::byte> payload,
                                      std::uint32_t root, Combiner combiner,
-                                     std::vector<std::size_t>* counts = nullptr);
+                                     std::vector<std::size_t>* counts,
+                                     std::uint32_t elem_width,
+                                     const std::source_location& loc);
 
   template <typename T>
   static std::vector<std::byte> as_bytes_(std::span<const T> values) {
@@ -280,6 +321,12 @@ class BspEngine {
     std::size_t stack_bytes = 256u << 10;
     /// Deterministic faults to inject (empty = fault-free run).
     FaultPlan faults;
+    /// Fiber resume order. A correct SPMD program produces bit-identical
+    /// results under every schedule; the determinism auditor
+    /// (analysis/determinism.hpp) exploits this to flag ordering bugs.
+    Schedule schedule = Schedule::kRoundRobin;
+    /// Seed for Schedule::kSeededShuffle (ignored otherwise).
+    std::uint64_t schedule_seed = 0x5EEDu;
   };
 
   explicit BspEngine(Options options);

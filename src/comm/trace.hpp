@@ -13,6 +13,19 @@
 
 namespace sp::comm {
 
+/// Fiber resume order used by the BSP scheduler. Any schedule yields the
+/// same results for a correct SPMD program (collectives canonicalize by
+/// group rank); the determinism auditor (sp::analysis) runs a program
+/// under several schedules and flags any divergence, which indicates a
+/// shared-state ordering bug.
+enum class Schedule : std::uint8_t {
+  kRoundRobin,     // ascending rank order (the historical default)
+  kReversed,       // descending rank order
+  kSeededShuffle,  // fresh seeded permutation every scheduler sweep
+};
+
+const char* schedule_name(Schedule s);
+
 struct StageCost {
   double compute_seconds = 0.0;
   double comm_seconds = 0.0;
@@ -49,8 +62,16 @@ struct RunStats {
   /// World ranks killed by the FaultPlan, in order of death. Empty on a
   /// fault-free run. A listed rank's clock/trace stop at its death.
   std::vector<std::uint32_t> failed_ranks;
+  /// Fiber resume order the run used (see Schedule).
+  Schedule schedule = Schedule::kRoundRobin;
 
   double makespan() const;
+  /// Order-independent digest of everything deterministic about the run:
+  /// clocks, per-stage costs, and failed ranks — deliberately excluding
+  /// wall_seconds and the schedule itself. Two runs of a schedule-correct
+  /// program under different schedules produce equal fingerprints; the
+  /// determinism auditor diffs these.
+  std::uint64_t fingerprint() const;
   /// Max-over-ranks cost of one stage (the modeled time that stage adds to
   /// the critical path, assuming stage boundaries synchronize).
   StageCost stage_max(const std::string& stage) const;

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 
+#include "analysis/pipeline_check.hpp"
 #include "coarsen/hierarchy.hpp"
 #include "coarsen/parallel_matching.hpp"
 #include "comm/engine.hpp"
@@ -123,6 +124,19 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
   hopt.rounds_per_level = opt.hierarchy_rounds;
   hopt.seed = opt.seed;
   coarsen::Hierarchy hierarchy = coarsen::Hierarchy::build(g, hopt);
+  // Checkpoint: the coarsening hierarchy (every level's CSR, weight
+  // conservation, exact cross-edge aggregation) and each level's halo
+  // structure under the rank count that will process it. Validated once
+  // here, not per rank inside the SPMD program.
+  SP_ANALYSIS_CHECK("coarsen/hierarchy", analysis::validate_hierarchy(hierarchy));
+#ifdef SP_ANALYSIS
+  for (std::size_t level = 0; level + 1 < hierarchy.num_levels(); ++level) {
+    SP_ANALYSIS_CHECK("coarsen/distributed",
+                      analysis::validate_distributed_graph(
+                          hierarchy.graph_at(level),
+                          p_at_level(opt.nranks, level)));
+  }
+#endif
   embed::EmbedWorkspace workspace(hierarchy);
 
   embed::LatticeEmbedOptions embed_opt = opt.embed;
@@ -150,6 +164,8 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
   eng_opt.nranks = opt.nranks;
   eng_opt.model = opt.cost_model;
   eng_opt.faults = opt.faults;
+  eng_opt.schedule = opt.schedule;
+  eng_opt.schedule_seed = opt.schedule_seed;
   comm::BspEngine engine(eng_opt);
 
   auto stats = engine.run([&](comm::Comm& world0) {
@@ -212,6 +228,11 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
         world.set_stage("embed");
         embed::RankEmbedding emb = embed::lattice_embed(
             world, workspace, embed_opt, tolerate ? &embed_ckpt : nullptr);
+        // Checkpoint: each rank's slice of the embedding (alignment,
+        // finiteness, owned/ghost disjointness) before partitioning
+        // consumes it.
+        SP_ANALYSIS_CHECK("embed/rank_embedding",
+                          analysis::validate_rank_embedding(emb));
 
         // ---- Parallel geometric partitioning + strip refinement. ----
         world.set_stage("partition");
@@ -247,6 +268,15 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
   result.report = evaluate(g, result.part);
   SP_ASSERT_MSG(result.report.cut == cut,
                 "distributed cut disagrees with sequential evaluation");
+  // Checkpoints: the gathered embedding and the refined partition
+  // (coverage, balance, boundary/cut accounting). The imbalance bound is
+  // structural sanity, not the quality target: tiny coarse graphs may
+  // legitimately sit far from the epsilon the refiner aims for.
+  SP_ANALYSIS_CHECK("embed/final",
+                    analysis::validate_embedding(
+                        std::span<const geom::Vec2>(coords), n));
+  SP_ANALYSIS_CHECK("partition/final",
+                    analysis::validate_partition(g, result.part, 0.35));
   result.stages = breakdown_from(stats);
   result.modeled_seconds = result.stages.total();
   result.partition_only_seconds = result.stages.partition_seconds;
@@ -287,6 +317,8 @@ ScalaPartResult sp_pg7nl_partition(const CsrGraph& g,
   eng_opt.nranks = opt.nranks;
   eng_opt.model = opt.cost_model;
   eng_opt.faults = opt.faults;
+  eng_opt.schedule = opt.schedule;
+  eng_opt.schedule_seed = opt.schedule_seed;
   comm::BspEngine engine(eng_opt);
 
   auto stats = engine.run([&](comm::Comm& world) {
@@ -303,6 +335,8 @@ ScalaPartResult sp_pg7nl_partition(const CsrGraph& g,
   for (VertexId v = 0; v < n; ++v) result.part[v] = side[v];
   result.report = evaluate(g, result.part);
   SP_ASSERT(result.report.cut == cut);
+  SP_ANALYSIS_CHECK("partition/final",
+                    analysis::validate_partition(g, result.part, 0.35));
   result.stages = breakdown_from(stats);
   result.modeled_seconds = result.stages.partition_seconds;
   result.partition_only_seconds = result.stages.partition_seconds;

@@ -52,6 +52,13 @@ struct ScalaPartOptions {
 
   std::uint64_t seed = 42;
 
+  /// Fiber resume order of the BSP engine. ScalaPart is schedule-correct:
+  /// every schedule yields a bit-identical partition and trace (the
+  /// determinism auditor in sp::analysis verifies this), so this knob
+  /// exists for auditing, not tuning.
+  comm::Schedule schedule = comm::Schedule::kRoundRobin;
+  std::uint64_t schedule_seed = 0x5EEDu;
+
   /// Deterministic faults injected into the BSP run (empty = fault-free).
   /// The same plan + seed reproduces the identical failure, recovery,
   /// trace, and partition bit-for-bit.

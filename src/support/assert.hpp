@@ -27,9 +27,9 @@ namespace sp {
     if (!(expr)) ::sp::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
   } while (0)
 
-#define SP_ASSERT_MSG(expr, msg)                                  \
-  do {                                                            \
-    if (!(expr)) ::sp::assert_fail(#expr, __FILE__, __LINE__, msg); \
+#define SP_ASSERT_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) ::sp::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
   } while (0)
 
 #ifdef SP_ENABLE_DEBUG_ASSERTS

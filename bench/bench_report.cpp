@@ -1,0 +1,97 @@
+#include "bench_report.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/report.hpp"
+
+namespace sp::bench {
+
+BenchReport::BenchReport(std::string name, const BenchConfig& cfg)
+    : name_(std::move(name)), out_(cfg.out), root_(obs::JsonValue::object()) {
+  root_["bench"] = name_;
+  root_["schema_version"] = 1;
+  obs::JsonValue& c = root_["config"];
+  c["scale"] = cfg.scale;
+  c["seed"] = static_cast<unsigned long long>(cfg.seed);
+  c["pmax"] = cfg.pmax;
+  root_["rows"] = obs::JsonValue::array();
+  root_["runs"] = obs::JsonValue::array();
+}
+
+obs::JsonValue& BenchReport::add_row() {
+  obs::JsonValue& rows = root_["rows"];
+  rows.push(obs::JsonValue::object());
+  return rows.back();
+}
+
+obs::JsonValue& BenchReport::add_run(const std::string& label,
+                                     const core::ScalaPartResult& r,
+                                     const obs::Recorder* rec) {
+  obs::JsonValue run = obs::JsonValue::object();
+  run["label"] = label;
+  run["modeled_seconds"] = r.modeled_seconds;
+  run["partition_only_seconds"] = r.partition_only_seconds;
+  run["cut"] = static_cast<long long>(r.report.cut);
+  run["imbalance"] = r.report.imbalance;
+  run["strip_size"] = static_cast<unsigned long long>(r.strip_size);
+  obs::JsonValue& st = run["stages"];
+  st["coarsen_seconds"] = r.stages.coarsen_seconds;
+  st["embed_seconds"] = r.stages.embed_seconds;
+  st["partition_seconds"] = r.stages.partition_seconds;
+  st["embed_comm_seconds"] = r.stages.embed_comm_seconds;
+  st["embed_compute_seconds"] = r.stages.embed_compute_seconds;
+  run["report"] = obs::analyze(r.stats, rec).to_json();
+  obs::JsonValue& rc = run["recovery"];
+  obs::JsonValue failed = obs::JsonValue::array();
+  for (std::uint32_t f : r.recovery.failed_ranks) failed.push(f);
+  rc["failed_ranks"] = std::move(failed);
+  rc["recoveries"] = r.recovery.recoveries;
+  rc["final_active_ranks"] = r.recovery.final_active_ranks;
+  rc["checkpoint_seconds"] = r.recovery.checkpoint_seconds;
+  rc["recover_seconds"] = r.recovery.recover_seconds;
+  rc["checkpoint_messages"] =
+      static_cast<unsigned long long>(r.recovery.checkpoint_messages);
+  rc["recover_messages"] =
+      static_cast<unsigned long long>(r.recovery.recover_messages);
+  obs::JsonValue& runs = root_["runs"];
+  runs.push(std::move(run));
+  return runs.back();
+}
+
+void BenchReport::attach_metrics(const obs::Recorder& rec) {
+  root_["metrics"] = rec.metrics().to_json();
+}
+
+void BenchReport::add_artifact(const std::string& key,
+                               const std::string& path) {
+  root_["artifacts"][key] = path;
+}
+
+std::string BenchReport::path() const {
+  if (out_.empty()) return "";
+  if (out_.size() > 5 && out_.compare(out_.size() - 5, 5, ".json") == 0) {
+    return out_;  // --out named a file directly
+  }
+  return out_ + "/BENCH_" + name_ + ".json";
+}
+
+bool BenchReport::write() const {
+  const std::string p = path();
+  if (p.empty()) return true;  // --out not given: table-only run
+  std::ofstream f(p, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot write %s\n", p.c_str());
+    return false;
+  }
+  const std::string body = root_.dump();
+  f.write(body.data(), static_cast<std::streamsize>(body.size()));
+  f << '\n';
+  if (!f) return false;
+  std::printf("\n[bench] wrote %s\n", p.c_str());
+  return true;
+}
+
+}  // namespace sp::bench

@@ -1,0 +1,64 @@
+// Machine-readable benchmark output. Every bench binary prints its table
+// as before; with --out=DIR it additionally writes BENCH_<name>.json so
+// CI (and plots) can consume the same numbers without screen-scraping.
+//
+// Schema (checked by tools/check_bench_json.py):
+//   { "bench": str, "schema_version": 1,
+//     "config": {"scale","seed","pmax"},
+//     "rows": [flat objects, one per printed table line],
+//     "runs": [{"label", "modeled_seconds", "cut", "stages": {...},
+//               "report": <obs::Report::to_json()>, "recovery": {...}}],
+//     "metrics": {...}?,          // MetricsRegistry snapshot (optional)
+//     "artifacts": {...}? }       // paths of trace files written alongside
+#pragma once
+
+#include <string>
+
+#include "bench_util.hpp"
+#include "obs/json.hpp"
+
+namespace sp::obs {
+class Recorder;
+}
+
+namespace sp::bench {
+
+class BenchReport {
+ public:
+  /// `name` names the output file (BENCH_<name>.json); cfg carries the
+  /// --out destination and the config block.
+  BenchReport(std::string name, const BenchConfig& cfg);
+
+  /// Appends an empty object to "rows"; fill it via row["key"] = value.
+  obs::JsonValue& add_row();
+
+  /// Attaches a full pipeline run: stage breakdown, cut quality, the
+  /// critical-path report (obs::analyze), and fault-recovery accounting
+  /// (failed ranks + recovery events), making e.g. bench/fault_recovery
+  /// machine-readable. `rec` (optional) adds the per-level decomposition.
+  obs::JsonValue& add_run(const std::string& label,
+                          const core::ScalaPartResult& r,
+                          const obs::Recorder* rec = nullptr);
+
+  /// Metrics snapshot from a recorder, under "metrics".
+  void attach_metrics(const obs::Recorder& rec);
+
+  /// Records the path of a trace file written alongside the report.
+  void add_artifact(const std::string& key, const std::string& path);
+
+  obs::JsonValue& root() { return root_; }
+
+  /// Output path, or "" when --out was not given.
+  std::string path() const;
+
+  /// Writes BENCH_<name>.json; no-op (returning true) without --out.
+  /// Prints the path on success. Call once at the end of main.
+  bool write() const;
+
+ private:
+  std::string name_;
+  std::string out_;
+  obs::JsonValue root_;
+};
+
+}  // namespace sp::bench

@@ -4,6 +4,7 @@
 
 #include "comm/engine.hpp"
 #include "graph/distributed_graph.hpp"
+#include "obs/stage_names.hpp"
 #include "partition/parallel_rcb.hpp"
 
 namespace sp::bench {
@@ -72,13 +73,13 @@ MethodTimes measure_times(const TimedGraph& tg, std::uint32_t p,
     comm::BspEngine engine(eopt);
     const auto& gg = g;
     auto stats = engine.run([&](comm::Comm& c) {
-      c.set_stage("rcb");
+      c.set_stage(obs::stages::kRcb);
       graph::LocalView view(gg.graph, c.rank(), c.nranks());
       partition::ParallelRcbOptions ropt;
       ropt.seed = cfg.seed;
       partition::parallel_rcb(c, view, gg.coords, ropt);
     });
-    out.rcb = stats.stage_max("rcb").total();
+    out.rcb = stats.stage_max(obs::stages::kRcb).total();
   }
   return out;
 }

@@ -5,6 +5,10 @@
 //               1.0 to approach the paper's 21M — runtime scales linearly)
 //   --seed=N    master seed
 //   --pmax=P    largest rank count in sweeps (default 1024)
+//   --out=DIR   additionally write machine-readable BENCH_<name>.json
+//               (see bench_report.hpp; DIR may also be a .json file path)
+//   --trace=DIR write Chrome-trace + JSONL artifacts of the instrumented
+//               run (binaries that do a dedicated traced run only)
 // and prints the paper's reported numbers next to the measured ones.
 #pragma once
 
@@ -27,12 +31,18 @@ struct BenchConfig {
   double scale = 0.002;
   std::uint64_t seed = 1;
   std::uint32_t pmax = 1024;
+  /// Destination of BENCH_<name>.json ("" = table output only).
+  std::string out;
+  /// Destination directory of trace artifacts ("" = no trace files).
+  std::string trace;
 
   static BenchConfig from_options(const Options& opt) {
     BenchConfig cfg;
     cfg.scale = opt.get_double("scale", cfg.scale);
     cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
     cfg.pmax = static_cast<std::uint32_t>(opt.get_int("pmax", 1024));
+    cfg.out = opt.get("out", "");
+    cfg.trace = opt.get("trace", "");
     return cfg;
   }
 };

@@ -4,12 +4,15 @@
 // makespan) and reports the recovered run's makespan, the overhead
 // relative to the fault-free run, the fault-tolerance message counts,
 // and the cut of the recovered partition next to the fault-free one.
+#include "bench_report.hpp"
 #include "bench_util.hpp"
+#include "obs/recorder.hpp"
 
 int main(int argc, char** argv) {
   using namespace sp;
   Options opts(argc, argv);
   auto cfg = bench::BenchConfig::from_options(opts);
+  bench::BenchReport rep("fault_recovery", cfg);
   const char* name = "delaunay_n20";
   auto g = bench::build_one(cfg, name);
 
@@ -30,11 +33,27 @@ int main(int argc, char** argv) {
     std::printf("%5u %6s %11s %9s %6u %9s %9s %10s %8s\n", p, "none",
                 bench::time_str(clean).c_str(), "1.00x", p, "-", "-",
                 with_commas(base.report.cut).c_str(), "-");
+    rep.add_run("clean_p" + std::to_string(p), base);
 
     for (double f : {0.25, 0.5, 0.75}) {
       auto opt = base_opt;
       opt.faults.kill_at_time(1, f * clean);
-      const auto r = core::scalapart_partition(g.graph, opt);
+      // Record the faulted run: its JSON carries failed_ranks, the
+      // recovery event counts, and the shrink-and-recover marks/metrics.
+      obs::Recorder rec;
+      core::ScalaPartResult r;
+      {
+        obs::ScopedRecording on(rec);
+        r = core::scalapart_partition(g.graph, opt);
+      }
+      {
+        char label[64];
+        std::snprintf(label, sizeof label, "kill_rank1_p%u_f%.2f", p, f);
+        auto& run = rep.add_run(label, r, &rec);
+        run["fire_fraction"] = f;
+        run["overhead_vs_clean"] = r.stats.makespan() / clean;
+        run["cut_clean"] = static_cast<long long>(base.report.cut);
+      }
       if (r.recovery.failed_ranks.empty()) {
         // Rank 1's own clock never reached the trigger (it idles past
         // its active levels); nothing to recover.
@@ -68,5 +87,5 @@ int main(int argc, char** argv) {
       "the last\nlevel-boundary checkpoint on the surviving power-of-two "
       "rank set) and the\nrecovered cut stays within ~10%% of the "
       "fault-free one.\n");
-  return 0;
+  return rep.write() ? 0 : 1;
 }

@@ -3,12 +3,14 @@
 // is much slower at small P (embedding cost), becomes competitive around
 // P=64 and is the fastest multilevel-quality scheme at 256-1024, closing
 // in on RCB.
+#include "bench_report.hpp"
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace sp;
   Options opts(argc, argv);
   auto cfg = bench::BenchConfig::from_options(opts);
+  bench::BenchReport rep("fig3_total_times", cfg);
   auto ps = bench::p_sweep(cfg.pmax);
 
   bench::print_header("Figure 3: total modeled execution time over all 9 "
@@ -34,10 +36,17 @@ int main(int argc, char** argv) {
                 bench::time_str(ps_t).c_str(), bench::time_str(pm_t).c_str(),
                 bench::time_str(sp_t).c_str(), bench::time_str(rcb_t).c_str(),
                 ps_t / sp_t);
+    auto& row = rep.add_row();
+    row["p"] = p;
+    row["ptscotch_seconds"] = ps_t;
+    row["parmetis_seconds"] = pm_t;
+    row["scalapart_seconds"] = sp_t;
+    row["rcb_seconds"] = rcb_t;
+    row["speedup_vs_ptscotch"] = ps_t / sp_t;
   }
   std::printf("\nPaper reference points at P=1024: ParMetis uses 23.75%% of "
               "Pt-Scotch's time,\nScalaPart 6.17%%; ScalaPart approaches RCB. "
               "Expect the SP/PtScotch column to\ncross 1.0 around P=64 and "
               "grow to ~16x at P=1024.\n");
-  return 0;
+  return rep.write() ? 0 : 1;
 }

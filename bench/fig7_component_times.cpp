@@ -1,12 +1,16 @@
 // Figure 7: ScalaPart component times (coarsening / embedding /
 // partitioning) as fractions of the total, across P. Paper: embedding is
 // by far the largest fraction at every P.
+#include "bench_report.hpp"
 #include "bench_util.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
 
 int main(int argc, char** argv) {
   using namespace sp;
   Options opts(argc, argv);
   auto cfg = bench::BenchConfig::from_options(opts);
+  bench::BenchReport rep("fig7_component_times", cfg);
   auto ps = bench::p_sweep(cfg.pmax);
 
   bench::print_header("Figure 7: ScalaPart component times over all 9 "
@@ -28,8 +32,41 @@ int main(int argc, char** argv) {
     std::printf("%6u %12s | %8.1f%% %8.1f%% %8.1f%%\n", p,
                 bench::time_str(total).c_str(), 100.0 * coarsen / total,
                 100.0 * embed / total, 100.0 * part / total);
+    auto& row = rep.add_row();
+    row["p"] = p;
+    row["total_seconds"] = total;
+    row["coarsen_seconds"] = coarsen;
+    row["embed_seconds"] = embed;
+    row["partition_seconds"] = part;
   }
   std::printf("\nExpected shape (paper): embedding dominates (>70%%) at "
               "every P.\n");
-  return 0;
+
+  // One dedicated instrumented run (a fresh recorder must wrap exactly
+  // one BSP run — virtual clocks restart per run): 16 ranks on the first
+  // suite graph, feeding the critical-path report, the metrics snapshot,
+  // and (with --trace=DIR) Perfetto-loadable artifacts.
+  {
+    const std::uint32_t p = std::min(16u, cfg.pmax);
+    obs::Recorder rec;
+    core::ScalaPartResult traced;
+    {
+      obs::ScopedRecording on(rec);
+      traced =
+          core::scalapart_partition(suite[0].graph, bench::sp_options(cfg, p));
+    }
+    auto& run = rep.add_run(
+        "scalapart_" + suite[0].name + "_p" + std::to_string(p), traced, &rec);
+    (void)run;
+    rep.attach_metrics(rec);
+    if (!cfg.trace.empty()) {
+      const std::string chrome = cfg.trace + "/trace_fig7_p16.json";
+      const std::string jsonl = cfg.trace + "/trace_fig7_p16.jsonl";
+      if (obs::write_chrome_trace(rec, chrome)) {
+        rep.add_artifact("chrome_trace", chrome);
+      }
+      if (obs::write_jsonl(rec, jsonl)) rep.add_artifact("jsonl", jsonl);
+    }
+  }
+  return rep.write() ? 0 : 1;
 }

@@ -3,12 +3,15 @@
 // but flattens between 256 and 1024 (fewer smoothing iterations are
 // effectively needed at high P; here: the compute shrinks per rank while
 // block-staleness bounds the collective count).
+#include "bench_report.hpp"
 #include "bench_util.hpp"
+#include "obs/recorder.hpp"
 
 int main(int argc, char** argv) {
   using namespace sp;
   Options opts(argc, argv);
   auto cfg = bench::BenchConfig::from_options(opts);
+  bench::BenchReport rep("fig8_embed_composition", cfg);
   auto ps = bench::p_sweep(cfg.pmax);
 
   bench::print_header("Figure 8: embedding time composition over all 9 "
@@ -35,8 +38,32 @@ int main(int argc, char** argv) {
                 100.0 * comm_s / total,
                 static_cast<unsigned long long>(msgs),
                 static_cast<unsigned long long>(colls));
+    auto& row = rep.add_row();
+    row["p"] = p;
+    row["embed_total_seconds"] = total;
+    row["embed_compute_seconds"] = compute;
+    row["embed_comm_seconds"] = comm_s;
+    row["messages"] = static_cast<unsigned long long>(msgs);
+    row["collectives"] = static_cast<unsigned long long>(colls);
   }
   std::printf("\nExpected shape (paper): communication fraction rises with P "
               "and flattens\nbetween 256 and 1024.\n");
-  return 0;
+
+  // One instrumented 16-rank run on the first suite graph: the metrics
+  // snapshot carries the ghost-exchange volume (embed/ghost_msgs,
+  // embed/ghost_bytes) behind the comm column above.
+  {
+    const std::uint32_t p = std::min(16u, cfg.pmax);
+    obs::Recorder rec;
+    core::ScalaPartResult traced;
+    {
+      obs::ScopedRecording on(rec);
+      traced =
+          core::scalapart_partition(suite[0].graph, bench::sp_options(cfg, p));
+    }
+    rep.add_run("scalapart_" + suite[0].name + "_p" + std::to_string(p),
+                traced, &rec);
+    rep.attach_metrics(rec);
+  }
+  return rep.write() ? 0 : 1;
 }

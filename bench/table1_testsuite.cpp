@@ -1,6 +1,7 @@
 // Table 1: the test suite of graphs. Prints the paper's (N, M) next to the
 // synthetic analogues' sizes at the configured scale, plus structural
 // sanity data (degrees, components).
+#include "bench_report.hpp"
 #include "bench_util.hpp"
 #include "graph/partition.hpp"
 
@@ -8,6 +9,7 @@ int main(int argc, char** argv) {
   using namespace sp;
   Options opts(argc, argv);
   auto cfg = bench::BenchConfig::from_options(opts);
+  bench::BenchReport rep("table1_testsuite", cfg);
 
   bench::print_header(
       "Table 1: test suite of graphs (paper sizes vs synthetic analogues "
@@ -28,9 +30,17 @@ int main(int argc, char** argv) {
                 with_commas(g.graph.num_vertices()).c_str(),
                 with_commas(static_cast<long long>(g.graph.num_arcs())).c_str(),
                 g.graph.average_degree(), comps);
+    auto& row = rep.add_row();
+    row["graph"] = entry.name;
+    row["paper_n_millions"] = entry.paper_n_millions;
+    row["paper_m_millions"] = entry.paper_m_millions;
+    row["n"] = static_cast<unsigned long long>(g.graph.num_vertices());
+    row["arcs"] = static_cast<unsigned long long>(g.graph.num_arcs());
+    row["avg_degree"] = g.graph.average_degree();
+    row["components"] = comps;
   }
   bench::print_rule();
   std::printf("M counts directed arcs (2x undirected edges), the Table 1 "
               "convention.\n");
-  return 0;
+  return rep.write() ? 0 : 1;
 }

@@ -84,6 +84,7 @@ class EngineImpl {
     program_ = &program;
     clocks_.assign(opt_.nranks, 0.0);
     traces_.assign(opt_.nranks, RankTrace{});
+    totals_.assign(opt_.nranks, CostSnapshot{});
     stages_.assign(opt_.nranks, "main");
     finished_.assign(opt_.nranks, false);
     exceptions_.assign(opt_.nranks, nullptr);
@@ -272,6 +273,9 @@ class EngineImpl {
         units * opt_.model.seconds_per_unit * fault_time_scale_(world_rank);
     clocks_[world_rank] += seconds;
     traces_[world_rank][stages_[world_rank]].compute_seconds += seconds;
+#ifdef SP_OBS
+    totals_[world_rank].compute_seconds += seconds;
+#endif
   }
 
   void set_stage(std::uint32_t world_rank, const std::string& stage) {
@@ -434,6 +438,17 @@ class EngineImpl {
     cost.bytes_sent += bytes;
     if (is_collective) ++cost.collectives;
     clocks_[world_rank] += seconds;
+#ifdef SP_OBS
+    CostSnapshot& tot = totals_[world_rank];
+    tot.comm_seconds += seconds;
+    tot.messages += messages;
+    tot.bytes_sent += bytes;
+    if (is_collective) ++tot.collectives;
+#endif
+  }
+
+  const CostSnapshot& snapshot(std::uint32_t world_rank) const {
+    return totals_[world_rank];
   }
 
   void set_clock(std::uint32_t world_rank, double value) {
@@ -509,6 +524,7 @@ class EngineImpl {
 
   std::vector<double> clocks_;
   std::vector<RankTrace> traces_;
+  std::vector<CostSnapshot> totals_;  // cumulative per world rank (SP_OBS)
   std::vector<std::string> stages_;
   std::vector<bool> finished_;
   std::vector<std::exception_ptr> exceptions_;
@@ -545,6 +561,23 @@ thread_local EngineImpl* EngineImpl::current_engine_ = nullptr;
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
+// Observability sink (see obs_hook.hpp). Single-threaded runtime: a plain
+// global is sufficient, and the engine only reads it under SP_OBS.
+// ---------------------------------------------------------------------------
+
+namespace {
+ObsSink* g_obs_sink = nullptr;
+}  // namespace
+
+ObsSink* obs_sink() { return g_obs_sink; }
+
+ObsSink* set_obs_sink(ObsSink* sink) {
+  ObsSink* prev = g_obs_sink;
+  g_obs_sink = sink;
+  return prev;
+}
+
+// ---------------------------------------------------------------------------
 // Comm implementation
 // ---------------------------------------------------------------------------
 
@@ -577,6 +610,14 @@ void Comm::add_compute(double units) {
 
 double Comm::clock() const { return engine_->clock(world_rank_); }
 
+CostSnapshot Comm::cost_snapshot() const {
+#ifdef SP_OBS
+  return engine_->snapshot(world_rank_);
+#else
+  return {};
+#endif
+}
+
 void Comm::barrier(std::source_location loc) {
   collective_(CollKind::kBarrier, {}, 0, nullptr, nullptr, 0, loc);
 }
@@ -606,6 +647,9 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
                                          std::uint32_t elem_width,
                                          const std::source_location& loc) {
   engine_->on_comm_event(world_rank_);
+#ifdef SP_OBS
+  const double obs_t_begin = engine_->clock(world_rank_);
+#endif
   if (engine_->any_failed_in(*group_)) {
     // ULFM-style failure propagation: touching a communicator with a dead
     // member raises immediately. Consume the sequence number so survivors
@@ -703,6 +747,22 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
   }
   engine_->set_clock(world_rank_, st.max_clock);
   engine_->charge_comm(world_rank_, seconds, msgs, bytes, /*is_collective=*/true);
+#ifdef SP_OBS
+  if (ObsSink* sink = obs_sink()) {
+    CommOpEvent ev;
+    ev.world_rank = world_rank_;
+    ev.op = coll_kind_name(kind);
+    ev.stage = &engine_->stage_of(world_rank_);
+    ev.group = group_->id;
+    ev.seq = my_seq;
+    ev.t_begin = obs_t_begin;
+    ev.t_end = engine_->clock(world_rank_);
+    ev.messages = msgs;
+    ev.bytes = bytes;
+    ev.is_collective = true;
+    sink->on_comm_op(ev);
+  }
+#endif
 
   std::vector<std::byte> my_result;
   if (kind == CollKind::kGather) {
@@ -733,6 +793,9 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
     }
   }
   engine_->on_comm_event(world_rank_);
+#ifdef SP_OBS
+  const double obs_t_begin = engine_->clock(world_rank_);
+#endif
   if (engine_->any_failed_in(*group_)) {
     ++seq_;  // keep survivors' sequence numbers aligned (see collective_)
     throw RankFailedError(engine_->all_failed());
@@ -785,6 +848,22 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
   engine_->set_clock(world_rank_, st.max_clock);
   engine_->charge_comm(world_rank_, seconds, msgs_out, bytes_out,
                        /*is_collective=*/false);
+#ifdef SP_OBS
+  if (ObsSink* sink = obs_sink()) {
+    CommOpEvent ev;
+    ev.world_rank = world_rank_;
+    ev.op = "exchange";
+    ev.stage = &engine_->stage_of(world_rank_);
+    ev.group = group_->id;
+    ev.seq = my_seq;
+    ev.t_begin = obs_t_begin;
+    ev.t_end = engine_->clock(world_rank_);
+    ev.messages = msgs_out;
+    ev.bytes = bytes_out;
+    ev.is_collective = false;
+    sink->on_comm_op(ev);
+  }
+#endif
 
   if (++st.pickups == st.expected) {
     engine_->erase_state(*group_, my_seq);
@@ -834,6 +913,9 @@ Comm Comm::shrink(std::source_location loc) {
   constexpr std::uint64_t kShrinkBase = 1ull << 62;
   for (;;) {
     engine_->on_comm_event(world_rank_);  // a rank may die entering shrink
+#ifdef SP_OBS
+    const double obs_t_begin = engine_->clock(world_rank_);
+#endif
     const std::uint64_t key = kShrinkBase + engine_->failed_count();
     std::vector<std::uint32_t> live = engine_->live_members(*group_);
     detail::CollState& st = engine_->state_for(
@@ -882,6 +964,22 @@ Comm Comm::shrink(std::source_location loc) {
                          static_cast<std::uint64_t>(log_p),
                          static_cast<std::uint64_t>(bytes),
                          /*is_collective=*/true);
+#ifdef SP_OBS
+    if (ObsSink* sink = obs_sink()) {
+      CommOpEvent ev;
+      ev.world_rank = world_rank_;
+      ev.op = "shrink";
+      ev.stage = &engine_->stage_of(world_rank_);
+      ev.group = group_->id;
+      ev.seq = key;
+      ev.t_begin = obs_t_begin;
+      ev.t_end = engine_->clock(world_rank_);
+      ev.messages = static_cast<std::uint64_t>(log_p);
+      ev.bytes = static_cast<std::uint64_t>(bytes);
+      ev.is_collective = true;
+      sink->on_comm_op(ev);
+    }
+#endif
 
     auto group = std::make_shared<detail::GroupInfo>();
     group->id = engine_->group_id_for_split(group_->id, key, 0);

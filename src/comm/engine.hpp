@@ -30,6 +30,7 @@
 #include "analysis/signature.hpp"
 #include "comm/cost_model.hpp"
 #include "comm/fault_plan.hpp"
+#include "comm/obs_hook.hpp"
 #include "comm/trace.hpp"
 #include "support/assert.hpp"
 
@@ -96,6 +97,11 @@ class Comm {
 
   /// Current virtual clock, seconds.
   double clock() const;
+
+  /// Cumulative modeled cost of this rank so far (all stages). Used by
+  /// obs::Span to attribute comm/compute deltas to spans; returns zeros
+  /// when the build has SP_OBS off (the totals are not maintained then).
+  CostSnapshot cost_snapshot() const;
 
   // ---- Collectives (all members must call; trivially-copyable T) ----
   //

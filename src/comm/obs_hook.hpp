@@ -1,0 +1,61 @@
+// Observability hook surface of the BSP engine.
+//
+// sp::obs (src/obs/) wants to see every completed communication operation
+// — which collective, on which group, at what modeled time — but sp_comm
+// must not depend on sp_obs. The inversion lives here: the engine calls a
+// process-global ObsSink (installed by obs::ScopedRecording) through this
+// tiny interface, and every engine-side call is compiled out when the
+// build has SP_OBS off, so the hook costs nothing in production builds.
+//
+// The runtime is single-threaded by design (fibers on one OS thread), so
+// a plain global sink pointer is safe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sp::comm {
+
+/// Cumulative modeled cost of one rank since the start of its run,
+/// readable mid-run via Comm::cost_snapshot(). obs::Span diffs two of
+/// these to attribute comm/compute to the span. Aggregates across all
+/// stages (unlike StageCost, which buckets by stage).
+struct CostSnapshot {
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t collectives = 0;
+};
+
+/// One completed communication operation, as the engine saw it. `t_begin`
+/// is the rank's clock when it entered the call (so t_end - t_begin
+/// includes time spent waiting for the slowest group member — the BSP
+/// synchronization cost a per-op trace is for).
+struct CommOpEvent {
+  std::uint32_t world_rank = 0;
+  const char* op = "";                 // "allreduce", "exchange", "shrink", ...
+  const std::string* stage = nullptr;  // rank's pipeline stage at the call
+  std::uint64_t group = 0;             // communicator group id
+  std::uint64_t seq = 0;               // collective sequence number (superstep)
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  std::uint64_t messages = 0;          // messages this rank sent
+  std::uint64_t bytes = 0;             // payload bytes this rank sent
+  bool is_collective = false;          // false for exchange supersteps
+};
+
+class ObsSink {
+ public:
+  virtual ~ObsSink() = default;
+  virtual void on_comm_op(const CommOpEvent& ev) = 0;
+};
+
+/// Currently installed sink (nullptr = none). Defined in engine.cpp.
+ObsSink* obs_sink();
+
+/// Installs `sink` (nullptr uninstalls); returns the previous one so
+/// scoped installers can nest.
+ObsSink* set_obs_sink(ObsSink* sink);
+
+}  // namespace sp::comm

@@ -8,6 +8,7 @@
 #include "coarsen/parallel_matching.hpp"
 #include "comm/engine.hpp"
 #include "graph/distributed_graph.hpp"
+#include "obs/span.hpp"
 #include "support/assert.hpp"
 
 namespace sp::core {
@@ -25,9 +26,9 @@ std::uint32_t p_at_level(std::uint32_t P, std::size_t level) {
 
 StageBreakdown breakdown_from(const comm::RunStats& stats) {
   StageBreakdown b;
-  auto coarsen = stats.stage_max("coarsen");
-  auto embed = stats.stage_max("embed");
-  auto part = stats.stage_max("partition");
+  auto coarsen = stats.stage_max(obs::stages::kCoarsen);
+  auto embed = stats.stage_max(obs::stages::kEmbed);
+  auto part = stats.stage_max(obs::stages::kPartition);
   b.coarsen_seconds = coarsen.total();
   b.embed_seconds = embed.total();
   b.partition_seconds = part.total();
@@ -170,12 +171,18 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
 
   auto stats = engine.run([&](comm::Comm& world0) {
     comm::Comm world = world0;
+    // Root of the rank's span tree; spans reference the `world` variable
+    // (not its current value), so they survive shrink/split reassignment
+    // — world_rank and the clock source never change.
+    obs::Span pipeline_span(world, "scalapart", "pipeline");
     bool need_recover = false;
     for (;;) {
       try {
         if (need_recover) {
           // ---- Shrink-and-recover (traced under stage "recover"). ----
-          world.set_stage("recover");
+          world.set_stage(obs::stages::kRecover);
+          obs::Span recover_span(world, obs::stages::kRecover, "stage");
+          obs::mark(world, "shrink-and-recover", "fault");
           world = world.shrink();
           // lattice_embed needs a power-of-two rank count: the largest
           // power-of-two prefix of the survivors keeps computing; the
@@ -186,6 +193,8 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
           if (world.rank() == 0) {
             ++recoveries;
             final_active = p2;
+            obs::count(world, "fault/recoveries");
+            obs::gauge(world, "fault/active_ranks", p2);
           }
           comm::Comm active_comm =
               world.split(active ? 0u : 1u, world.rank());
@@ -196,38 +205,61 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
         const std::uint32_t P = world.nranks();
 
         // ---- Coarsening: distributed heavy-edge matching per level. ----
-        world.set_stage("coarsen");
-        for (std::size_t level = coarsen_ckpt;
-             level + 1 < hierarchy.num_levels(); ++level) {
-          const std::uint32_t pl = p_at_level(P, level);
-          const bool active = world.rank() < pl;
-          comm::Comm sub = world.split(active ? 0u : 1u, world.rank());
-          // This split completing means every rank finished the previous
-          // level; a retry never needs to re-run levels below here. (The
-          // coarse hierarchy itself is shared read-only, so the coarsen
-          // checkpoint is just this index.)
-          if (world.rank() == 0) coarsen_ckpt = level;
-          if (!active) continue;
-          const CsrGraph& level_graph = hierarchy.graph_at(level);
-          graph::LocalView view(level_graph, sub.rank(), pl);
-          coarsen::distributed_matching(sub, view, opt.matching_rounds,
-                                        opt.seed + level);
-          // The retained-level step contracts twice (intermediate halved
-          // graph plus its matching); charge the intermediate round's
-          // compute, whose communication profile mirrors the first at
-          // half the volume.
-          double arcs_local = 0;
-          for (VertexId v = 0; v < view.num_local(); ++v) {
-            arcs_local += static_cast<double>(view.neighbors(v).size());
+        world.set_stage(obs::stages::kCoarsen);
+        {
+          obs::Span stage_span(world, obs::stages::kCoarsen, "stage");
+          for (std::size_t level = coarsen_ckpt;
+               level + 1 < hierarchy.num_levels(); ++level) {
+            obs::Span level_span(world, obs::stages::kCoarsen, "level",
+                                 static_cast<std::int32_t>(level));
+            const std::uint32_t pl = p_at_level(P, level);
+            const bool active = world.rank() < pl;
+            comm::Comm sub = world.split(active ? 0u : 1u, world.rank());
+            // This split completing means every rank finished the previous
+            // level; a retry never needs to re-run levels below here. (The
+            // coarse hierarchy itself is shared read-only, so the coarsen
+            // checkpoint is just this index.)
+            if (world.rank() == 0) coarsen_ckpt = level;
+            if (!active) continue;
+            const CsrGraph& level_graph = hierarchy.graph_at(level);
+            graph::LocalView view(level_graph, sub.rank(), pl);
+            auto match = coarsen::distributed_matching(
+                sub, view, opt.matching_rounds, opt.seed + level);
+            if (obs::active()) {
+              // Match rate per level: matched/vertex counters, ratio at
+              // query time (keeps increments integral, hence sums exact).
+              double matched = 0.0;
+              for (VertexId v = 0; v < view.num_local(); ++v) {
+                if (match.partner[v] != view.to_global(v)) matched += 1.0;
+              }
+              const std::string lvl = std::to_string(level);
+              obs::count(sub, "coarsen/matched.L" + lvl, matched);
+              obs::count(sub, "coarsen/vertices.L" + lvl,
+                         static_cast<double>(view.num_local()));
+              obs::count(sub, "coarsen/rounds.L" + lvl,
+                         static_cast<double>(match.rounds_used));
+            }
+            // The retained-level step contracts twice (intermediate halved
+            // graph plus its matching); charge the intermediate round's
+            // compute, whose communication profile mirrors the first at
+            // half the volume.
+            double arcs_local = 0;
+            for (VertexId v = 0; v < view.num_local(); ++v) {
+              arcs_local += static_cast<double>(view.neighbors(v).size());
+            }
+            sub.add_compute(arcs_local * 4.0 /*contract*/ +
+                            arcs_local * 1.5 /*intermediate matching+contract*/);
           }
-          sub.add_compute(arcs_local * 4.0 /*contract*/ +
-                          arcs_local * 1.5 /*intermediate matching+contract*/);
         }
 
         // ---- Multilevel fixed-lattice embedding. ----
-        world.set_stage("embed");
-        embed::RankEmbedding emb = embed::lattice_embed(
-            world, workspace, embed_opt, tolerate ? &embed_ckpt : nullptr);
+        world.set_stage(obs::stages::kEmbed);
+        embed::RankEmbedding emb;
+        {
+          obs::Span stage_span(world, obs::stages::kEmbed, "stage");
+          emb = embed::lattice_embed(world, workspace, embed_opt,
+                                     tolerate ? &embed_ckpt : nullptr);
+        }
         // Checkpoint: each rank's slice of the embedding (alignment,
         // finiteness, owned/ghost disjointness) before partitioning
         // consumes it.
@@ -235,22 +267,29 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
                           analysis::validate_rank_embedding(emb));
 
         // ---- Parallel geometric partitioning + strip refinement. ----
-        world.set_stage("partition");
-        auto gmt = partition::parallel_gmt(world, g, emb, gmt_opt);
+        world.set_stage(obs::stages::kPartition);
+        partition::ParallelGmtResult gmt;
+        {
+          obs::Span stage_span(world, obs::stages::kPartition, "stage");
+          gmt = partition::parallel_gmt(world, g, emb, gmt_opt);
+        }
         for (std::size_t i = 0; i < emb.owned.size(); ++i) {
           side[emb.owned[i]] = gmt.side[i];
         }
 
         // ---- Result collection (not part of the timed pipeline). ----
-        world.set_stage("output");
-        auto gathered = embed::gather_embedding(world, emb, n);
-        if (world.rank() == 0) {
-          coords = std::move(gathered);
-          cut = gmt.cut;
-          strip_size = gmt.strip_size;
-          completed = true;
+        world.set_stage(obs::stages::kOutput);
+        {
+          obs::Span stage_span(world, obs::stages::kOutput, "stage");
+          auto gathered = embed::gather_embedding(world, emb, n);
+          if (world.rank() == 0) {
+            coords = std::move(gathered);
+            cut = gmt.cut;
+            strip_size = gmt.strip_size;
+            completed = true;
+          }
+          world.barrier();
         }
-        world.barrier();
         return;
       } catch (const comm::RankFailedError&) {
         if (!opt.recover_on_failure) throw;
@@ -283,10 +322,14 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
   result.recovery.failed_ranks = stats.failed_ranks;
   result.recovery.recoveries = recoveries;
   result.recovery.final_active_ranks = final_active;
-  result.recovery.checkpoint_seconds = stats.stage_max("checkpoint").total();
-  result.recovery.recover_seconds = stats.stage_max("recover").total();
-  result.recovery.checkpoint_messages = stats.stage_sum("checkpoint").messages;
-  result.recovery.recover_messages = stats.stage_sum("recover").messages;
+  result.recovery.checkpoint_seconds =
+      stats.stage_max(obs::stages::kCheckpoint).total();
+  result.recovery.recover_seconds =
+      stats.stage_max(obs::stages::kRecover).total();
+  result.recovery.checkpoint_messages =
+      stats.stage_sum(obs::stages::kCheckpoint).messages;
+  result.recovery.recover_messages =
+      stats.stage_sum(obs::stages::kRecover).messages;
   result.stats = std::move(stats);
   result.embedding = std::move(coords);
   result.strip_size = strip_size;
@@ -322,7 +365,9 @@ ScalaPartResult sp_pg7nl_partition(const CsrGraph& g,
   comm::BspEngine engine(eng_opt);
 
   auto stats = engine.run([&](comm::Comm& world) {
-    world.set_stage("partition");
+    obs::Span pipeline_span(world, "sp-pg7nl", "pipeline");
+    world.set_stage(obs::stages::kPartition);
+    obs::Span stage_span(world, obs::stages::kPartition, "stage");
     embed::RankEmbedding emb = embedding_from_coords(world, g, coords);
     auto gmt = partition::parallel_gmt(world, g, emb, gmt_opt);
     for (std::size_t i = 0; i < emb.owned.size(); ++i) {

@@ -9,6 +9,7 @@
 #include "geometry/quadtree.hpp"
 
 #include "embed/force_model.hpp"
+#include "obs/span.hpp"
 #include "support/assert.hpp"
 #include "support/random.hpp"
 
@@ -215,6 +216,13 @@ void refresh_all_ghosts(comm::Comm& sub, LevelLocal& local) {
     }
     out.emplace_back(dest, std::move(payload));
   }
+  if (obs::active()) {
+    std::size_t sent = 0;
+    for (const auto& [dest, payload] : out) sent += payload.size();
+    obs::count(sub, "embed/ghost_msgs", static_cast<double>(out.size()));
+    obs::count(sub, "embed/ghost_bytes",
+               static_cast<double>(sent * sizeof(CoordMsg)));
+  }
   auto in = sub.exchange_typed(out);
   for (const auto& [src, payload] : in) {
     (void)src;
@@ -314,6 +322,14 @@ void smooth_level(comm::Comm& sub, LevelLocal& local, const CsrGraph& g,
         }
         far_out.emplace_back(dest, std::move(payload));
       }
+      if (obs::active()) {
+        std::size_t sent = 0;
+        for (const auto& [dest, payload] : far_out) sent += payload.size();
+        obs::count(sub, "embed/ghost_msgs",
+                   static_cast<double>(far_out.size()));
+        obs::count(sub, "embed/ghost_bytes",
+                   static_cast<double>(sent * sizeof(CoordMsg)));
+      }
       auto far_in = sub.exchange_typed(far_out);
       double far_work = 0;
       for (const auto& [src, payload] : far_in) {
@@ -340,6 +356,13 @@ void smooth_level(comm::Comm& sub, LevelLocal& local, const CsrGraph& g,
           payload.push_back({local.owned[i], local.pos[i][0], local.pos[i][1]});
         }
         out.emplace_back(dest, std::move(payload));
+      }
+      if (obs::active()) {
+        std::size_t sent = 0;
+        for (const auto& [dest, payload] : out) sent += payload.size();
+        obs::count(sub, "embed/ghost_msgs", static_cast<double>(out.size()));
+        obs::count(sub, "embed/ghost_bytes",
+                   static_cast<double>(sent * sizeof(CoordMsg)));
       }
       auto in = sub.exchange_typed(out);
       for (const auto& [src, payload] : in) {
@@ -442,7 +465,8 @@ void smooth_level(comm::Comm& sub, LevelLocal& local, const CsrGraph& g,
 void write_checkpoint(comm::Comm& sub, const LevelLocal& local, VertexId n,
                       EmbedCheckpoint& ckpt) {
   const std::string prev = sub.stage();
-  sub.set_stage("checkpoint");
+  sub.set_stage(obs::stages::kCheckpoint);
+  obs::Span span(sub, obs::stages::kCheckpoint, "fault");
   std::vector<CoordMsg> out;
   out.reserve(local.owned.size());
   for (std::size_t i = 0; i < local.owned.size(); ++i) {
@@ -457,6 +481,7 @@ void write_checkpoint(comm::Comm& sub, const LevelLocal& local, VertexId n,
     ckpt.level = local.level;
     ckpt.box = local.box;
     ckpt.valid = true;
+    obs::count(sub, "fault/checkpoints");
   }
   sub.add_compute(static_cast<double>(all.size()));
   sub.set_stage(prev);
@@ -472,7 +497,8 @@ LevelLocal restore_level(comm::Comm& sub, const EmbedCheckpoint& ckpt,
                          std::uint32_t cols, const CsrGraph& g,
                          std::vector<std::uint32_t>& owner) {
   const std::string prev = sub.stage();
-  sub.set_stage("recover");
+  sub.set_stage(obs::stages::kRecover);
+  obs::Span span(sub, obs::stages::kRecover, "fault");
   LevelLocal init;
   init.level = lvl;
   init.pl = pl;
@@ -552,6 +578,8 @@ RankEmbedding lattice_embed(comm::Comm& world, EmbedWorkspace& workspace,
     const CsrGraph& g = hierarchy.graph_at(lvl);
 
     if (active) {
+      obs::Span level_span(sub, obs::stages::kEmbed, "level",
+                           static_cast<std::int32_t>(lvl));
       auto [rows, cols] = grid_shape(pl);
       if (resume && lvl == start_level) {
         // ---- Resume: rebuild this (already-smoothed) level from the

@@ -1,0 +1,208 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace sp::obs {
+
+namespace {
+
+constexpr double kMicros = 1e6;  // modeled seconds -> trace microseconds
+
+void append_common(std::string& out, std::uint32_t rank, const Event& ev) {
+  out += "\"name\":";
+  JsonValue::append_escaped(out, ev.name);
+  out += ",\"cat\":";
+  JsonValue::append_escaped(out, ev.cat);
+  out += ",\"pid\":0,\"tid\":";
+  out += std::to_string(rank);
+  out += ",\"ts\":";
+  JsonValue::append_double(out, ev.t * kMicros);
+}
+
+void append_chrome_event(std::string& out, std::uint32_t rank,
+                         const Event& ev) {
+  out += '{';
+  switch (ev.kind) {
+    case EventKind::kBegin:
+      append_common(out, rank, ev);
+      out += ",\"ph\":\"B\"";
+      if (ev.level >= 0) {
+        out += ",\"args\":{\"level\":" + std::to_string(ev.level) + '}';
+      }
+      break;
+    case EventKind::kEnd:
+      append_common(out, rank, ev);
+      out += ",\"ph\":\"E\",\"args\":{\"compute_us\":";
+      JsonValue::append_double(out, ev.compute_seconds * kMicros);
+      out += ",\"comm_us\":";
+      JsonValue::append_double(out, ev.comm_seconds * kMicros);
+      out += ",\"messages\":" + std::to_string(ev.messages);
+      out += ",\"bytes\":" + std::to_string(ev.bytes);
+      out += '}';
+      break;
+    case EventKind::kComplete:
+      append_common(out, rank, ev);
+      out += ",\"ph\":\"X\",\"dur\":";
+      JsonValue::append_double(out, ev.dur * kMicros);
+      out += ",\"args\":{\"superstep\":" + std::to_string(ev.superstep);
+      out += ",\"messages\":" + std::to_string(ev.messages);
+      out += ",\"bytes\":" + std::to_string(ev.bytes);
+      out += '}';
+      break;
+    case EventKind::kInstant:
+      append_common(out, rank, ev);
+      out += ",\"ph\":\"i\",\"s\":\"t\"";
+      break;
+  }
+  out += '}';
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+std::string chrome_trace_string(const Recorder& rec,
+                                std::string_view process_name) {
+  std::string out = "{\"traceEvents\":[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":";
+  JsonValue::append_escaped(out, process_name);
+  out += "}}";
+  for (std::uint32_t r = 0; r < rec.num_lanes(); ++r) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+           std::to_string(r) + ",\"args\":{\"name\":\"rank " +
+           std::to_string(r) + "\"}}";
+  }
+  for (std::uint32_t r = 0; r < rec.num_lanes(); ++r) {
+    for (const Event& ev : rec.lane(r)) {
+      out += ",\n";
+      append_chrome_event(out, r, ev);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const Recorder& rec, const std::string& path,
+                        std::string_view process_name) {
+  return write_file(path, chrome_trace_string(rec, process_name));
+}
+
+std::string jsonl_string(const Recorder& rec) {
+  std::string out;
+  for (std::uint32_t r = 0; r < rec.num_lanes(); ++r) {
+    for (const Event& ev : rec.lane(r)) {
+      out += "{\"rank\":" + std::to_string(r) + ",\"ph\":\"";
+      switch (ev.kind) {
+        case EventKind::kBegin:
+          out += 'B';
+          break;
+        case EventKind::kEnd:
+          out += 'E';
+          break;
+        case EventKind::kComplete:
+          out += 'X';
+          break;
+        case EventKind::kInstant:
+          out += 'i';
+          break;
+      }
+      out += "\",\"name\":";
+      JsonValue::append_escaped(out, ev.name);
+      out += ",\"cat\":";
+      JsonValue::append_escaped(out, ev.cat);
+      if (ev.level >= 0) {
+        out += ",\"level\":" + std::to_string(ev.level);
+      }
+      if (ev.superstep >= 0) {
+        out += ",\"superstep\":" + std::to_string(ev.superstep);
+      }
+      out += ",\"t\":";
+      JsonValue::append_double(out, ev.t);
+      if (ev.kind == EventKind::kEnd || ev.kind == EventKind::kComplete) {
+        out += ",\"dur\":";
+        JsonValue::append_double(out, ev.dur);
+        out += ",\"compute\":";
+        JsonValue::append_double(out, ev.compute_seconds);
+        out += ",\"comm\":";
+        JsonValue::append_double(out, ev.comm_seconds);
+        out += ",\"messages\":" + std::to_string(ev.messages);
+        out += ",\"bytes\":" + std::to_string(ev.bytes);
+      }
+      out += "}\n";
+    }
+  }
+  return out;
+}
+
+bool write_jsonl(const Recorder& rec, const std::string& path) {
+  return write_file(path, jsonl_string(rec));
+}
+
+std::vector<std::string> validate_lanes(const Recorder& rec) {
+  std::vector<std::string> violations;
+  auto flag = [&](std::uint32_t rank, std::size_t i, const std::string& what) {
+    violations.push_back("rank " + std::to_string(rank) + " event " +
+                         std::to_string(i) + ": " + what);
+  };
+  for (std::uint32_t r = 0; r < rec.num_lanes(); ++r) {
+    const auto& lane = rec.lane(r);
+    std::vector<std::size_t> stack;  // indices of open Begin events
+    double watermark = 0.0;          // latest time the lane has reached
+    for (std::size_t i = 0; i < lane.size(); ++i) {
+      const Event& ev = lane[i];
+      const double slack = 1e-12 + 1e-9 * std::abs(watermark);
+      if (ev.t + slack < watermark) {
+        flag(r, i, "timestamp regressed (" + std::to_string(ev.t) + " < " +
+                       std::to_string(watermark) + ")");
+      }
+      watermark = std::max(watermark, ev.t);
+      switch (ev.kind) {
+        case EventKind::kBegin:
+          stack.push_back(i);
+          break;
+        case EventKind::kEnd: {
+          if (stack.empty()) {
+            flag(r, i, "End with no open span");
+            break;
+          }
+          const Event& begin = lane[stack.back()];
+          stack.pop_back();
+          if (begin.name != ev.name) {
+            flag(r, i, "End '" + ev.name + "' closes Begin '" + begin.name +
+                           "'");
+          }
+          if (ev.t + slack < begin.t) {
+            flag(r, i, "span '" + ev.name + "' ends before it begins");
+          }
+          break;
+        }
+        case EventKind::kComplete:
+          if (ev.dur < 0.0) {
+            flag(r, i, "complete event '" + ev.name + "' has negative dur");
+          }
+          watermark = std::max(watermark, ev.t + ev.dur);
+          break;
+        case EventKind::kInstant:
+          break;
+      }
+    }
+    if (!stack.empty()) {
+      flag(r, lane.size(),
+           std::to_string(stack.size()) + " span(s) left open");
+    }
+  }
+  return violations;
+}
+
+}  // namespace sp::obs

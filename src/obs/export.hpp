@@ -1,0 +1,41 @@
+// Trace exporters for a Recorder's event lanes.
+//
+// Two formats:
+//  - Chrome trace-event JSON ("{\"traceEvents\":[...]}"): open in
+//    https://ui.perfetto.dev (or chrome://tracing). One timeline lane per
+//    rank (pid 0, tid = world rank, named "rank N"); spans are B/E pairs,
+//    engine comm ops are X complete events with superstep/bytes args.
+//    Timestamps are the modeled clock in microseconds.
+//  - Compact JSONL: one event per line, lanes serialized in rank order.
+//    Because lane contents are schedule-independent (see recorder.hpp),
+//    this file is bit-identical across the three fiber Schedules — the
+//    golden-trace property tests/test_obs.cpp locks in.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/recorder.hpp"
+
+namespace sp::obs {
+
+std::string chrome_trace_string(const Recorder& rec,
+                                std::string_view process_name = "scalapart");
+
+/// Writes chrome_trace_string to `path`; false on I/O failure.
+bool write_chrome_trace(const Recorder& rec, const std::string& path,
+                        std::string_view process_name = "scalapart");
+
+std::string jsonl_string(const Recorder& rec);
+
+bool write_jsonl(const Recorder& rec, const std::string& path);
+
+/// Structural validation of the recorded lanes: per lane, timestamps must
+/// be non-decreasing in record order, every End must match an open Begin,
+/// no span may remain open, and complete events must not extend past
+/// their successor's start. Returns human-readable violations (empty =
+/// valid). Used by the trace tests and callable from bench harnesses.
+std::vector<std::string> validate_lanes(const Recorder& rec);
+
+}  // namespace sp::obs

@@ -1,0 +1,154 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/assert.hpp"
+
+namespace sp::obs {
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  SP_ASSERT_MSG(kind_ == Kind::kObject, "JsonValue: [] on a non-object");
+  for (auto& [k, v] : obj_) {
+    if (k == key) return v;
+  }
+  obj_.emplace_back(std::string(key), JsonValue{});
+  return obj_.back().second;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::push(JsonValue v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  SP_ASSERT_MSG(kind_ == Kind::kArray, "JsonValue: push on a non-array");
+  arr_.push_back(std::move(v));
+}
+
+JsonValue& JsonValue::back() {
+  SP_ASSERT_MSG(kind_ == Kind::kArray && !arr_.empty(),
+                "JsonValue: back on an empty or non-array value");
+  return arr_.back();
+}
+
+std::size_t JsonValue::size() const {
+  switch (kind_) {
+    case Kind::kArray:
+      return arr_.size();
+    case Kind::kObject:
+      return obj_.size();
+    default:
+      return 0;
+  }
+}
+
+void JsonValue::append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void JsonValue::append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void JsonValue::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += int_ != 0 ? "true" : "false";
+      break;
+    case Kind::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Kind::kUint: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(int_));
+      out += buf;
+      break;
+    }
+    case Kind::kDouble:
+      append_double(out, dbl_);
+      break;
+    case Kind::kString:
+      append_escaped(out, str_);
+      break;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        v.dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        append_escaped(out, k);
+        out += ':';
+        v.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+}  // namespace sp::obs

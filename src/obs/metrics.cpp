@@ -1,0 +1,144 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace sp::obs {
+
+namespace {
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+}  // namespace
+
+int MetricsRegistry::bucket_of(double v) {
+  if (v == 0.0 || !std::isfinite(v)) return 0;
+  const double a = std::abs(v);
+  int b = a >= 1.0 ? 1 + static_cast<int>(std::floor(std::log2(a))) : 1;
+  return v < 0.0 ? -b : b;
+}
+
+MetricsRegistry::Metric& MetricsRegistry::metric_(std::string_view name,
+                                                  Kind kind) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    it = metrics_.emplace(std::string(name), Metric{}).first;
+    it->second.kind = kind;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint32_t lane, double v) {
+  metric_(name, Kind::kCounter).lanes[lane].value += v;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, std::uint32_t lane,
+                                double v) {
+  metric_(name, Kind::kGauge).lanes[lane].value = v;
+}
+
+void MetricsRegistry::observe(std::string_view name, std::uint32_t lane,
+                              double v) {
+  Hist& h = metric_(name, Kind::kHistogram).lanes[lane].hist;
+  if (h.count == 0) {
+    h.min = v;
+    h.max = v;
+  } else {
+    h.min = std::min(h.min, v);
+    h.max = std::max(h.max, v);
+  }
+  ++h.count;
+  h.sum += v;
+  ++h.buckets[bucket_of(v)];
+}
+
+std::map<std::string, double> MetricsRegistry::flatten() const {
+  std::map<std::string, double> out;
+  for (const auto& [name, m] : metrics_) {
+    switch (m.kind) {
+      case Kind::kCounter: {
+        double sum = 0.0;
+        for (const auto& [lane, slot] : m.lanes) sum += slot.value;
+        out[name] = sum;
+        break;
+      }
+      case Kind::kGauge: {
+        double best = 0.0;
+        bool first = true;
+        for (const auto& [lane, slot] : m.lanes) {
+          best = first ? slot.value : std::max(best, slot.value);
+          first = false;
+        }
+        out[name] = best;
+        break;
+      }
+      case Kind::kHistogram: {
+        std::uint64_t count = 0;
+        double sum = 0.0, mn = 0.0, mx = 0.0;
+        bool first = true;
+        for (const auto& [lane, slot] : m.lanes) {
+          const Hist& h = slot.hist;
+          if (h.count == 0) continue;
+          mn = first ? h.min : std::min(mn, h.min);
+          mx = first ? h.max : std::max(mx, h.max);
+          first = false;
+          count += h.count;
+          sum += h.sum;
+        }
+        out[name + ".count"] = static_cast<double>(count);
+        out[name + ".sum"] = sum;
+        out[name + ".min"] = mn;
+        out[name + ".max"] = mx;
+        out[name + ".mean"] = count > 0 ? sum / static_cast<double>(count) : 0.0;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  JsonValue root = JsonValue::object();
+  // The flat view first: what dashboards and the perf trajectory consume.
+  JsonValue& flat = root["flat"];
+  flat = JsonValue::object();
+  for (const auto& [name, value] : flatten()) flat[name] = value;
+
+  JsonValue& detail = root["detail"];
+  detail = JsonValue::object();
+  for (const auto& [name, m] : metrics_) {
+    JsonValue entry = JsonValue::object();
+    entry["kind"] = kind_name(static_cast<int>(m.kind));
+    JsonValue lanes = JsonValue::object();
+    for (const auto& [lane, slot] : m.lanes) {
+      std::string key =
+          lane == kHostLane ? std::string("host") : std::to_string(lane);
+      if (m.kind == Kind::kHistogram) {
+        JsonValue h = JsonValue::object();
+        h["count"] = slot.hist.count;
+        h["sum"] = slot.hist.sum;
+        h["min"] = slot.hist.min;
+        h["max"] = slot.hist.max;
+        JsonValue buckets = JsonValue::object();
+        for (const auto& [b, c] : slot.hist.buckets) {
+          buckets[std::to_string(b)] = c;
+        }
+        h["log2_buckets"] = std::move(buckets);
+        lanes[key] = std::move(h);
+      } else {
+        lanes[key] = slot.value;
+      }
+    }
+    entry["lanes"] = std::move(lanes);
+    detail[name] = std::move(entry);
+  }
+  return root;
+}
+
+}  // namespace sp::obs

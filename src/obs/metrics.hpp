@@ -1,0 +1,77 @@
+// Metrics registry: counters, gauges, and histograms, stored per lane.
+//
+// Determinism contract: metrics must be bit-identical across fiber
+// schedules. Storage is therefore keyed (name, lane) where a lane is a
+// world rank (or kHostLane for host-side code outside any rank, e.g. the
+// sequential FM refiner) — a rank's increments happen in its program
+// order regardless of how fibers interleave, and cross-lane aggregation
+// happens only at query time, in lane order. Keep wired increments
+// integer-valued where possible so double sums are exact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace sp::obs {
+
+class MetricsRegistry {
+ public:
+  /// Lane id for host-side (non-rank) code.
+  static constexpr std::uint32_t kHostLane = 0xFFFFFFFFu;
+
+  /// Counter: accumulates v (default 1) into (name, lane).
+  void add(std::string_view name, std::uint32_t lane, double v = 1.0);
+
+  /// Gauge: last-write-wins per (name, lane).
+  void set_gauge(std::string_view name, std::uint32_t lane, double v);
+
+  /// Histogram: records one observation (count/sum/min/max plus sign-aware
+  /// log2 bucket counts, so e.g. an FM gain distribution keeps its shape).
+  void observe(std::string_view name, std::uint32_t lane, double v);
+
+  /// Flat name -> value view: counters sum over lanes, gauges take the max
+  /// over lanes, histograms expand to name.count/.sum/.min/.max/.mean.
+  std::map<std::string, double> flatten() const;
+
+  /// Full structured dump: per-metric kind, per-lane values, histogram
+  /// buckets. Deterministic (ordered maps throughout).
+  JsonValue to_json() const;
+
+  bool empty() const { return metrics_.empty(); }
+  void clear() { metrics_.clear(); }
+
+  /// Bucket index for histogram observations: 0 for v == 0, then
+  /// ±(1 + floor(log2 |v|)) keyed by sign. Exposed for tests.
+  static int bucket_of(double v);
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Hist {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::map<int, std::uint64_t> buckets;
+  };
+
+  struct LaneSlot {
+    double value = 0.0;  // counter accumulator or gauge value
+    Hist hist;           // histogram state (kHistogram only)
+  };
+
+  struct Metric {
+    Kind kind = Kind::kCounter;
+    std::map<std::uint32_t, LaneSlot> lanes;
+  };
+
+  Metric& metric_(std::string_view name, Kind kind);
+
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+}  // namespace sp::obs

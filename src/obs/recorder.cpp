@@ -1,0 +1,109 @@
+#include "obs/recorder.hpp"
+
+#include <string>
+
+namespace sp::obs {
+
+Recorder* Recorder::current_ = nullptr;
+
+void Recorder::ensure_lane_(std::uint32_t rank) {
+  if (rank >= lanes_.size()) {
+    lanes_.resize(rank + 1);
+    open_.resize(rank + 1);
+  }
+}
+
+void Recorder::span_begin(std::uint32_t rank, std::string_view name,
+                          std::string_view cat, std::int32_t level, double t,
+                          const comm::CostSnapshot& at) {
+  ensure_lane_(rank);
+  Event ev;
+  ev.kind = EventKind::kBegin;
+  ev.name.assign(name);
+  ev.cat.assign(cat);
+  ev.level = level;
+  ev.t = t;
+  open_[rank].push_back(
+      {at, static_cast<std::uint32_t>(lanes_[rank].size())});
+  lanes_[rank].push_back(std::move(ev));
+}
+
+void Recorder::span_end(std::uint32_t rank, double t,
+                        const comm::CostSnapshot& at) {
+  if (rank >= open_.size() || open_[rank].empty()) return;
+  const OpenSpan open = open_[rank].back();
+  open_[rank].pop_back();
+  const Event& begin = lanes_[rank][open.begin_index];
+  Event ev;
+  ev.kind = EventKind::kEnd;
+  ev.name = begin.name;
+  ev.cat = begin.cat;
+  ev.level = begin.level;
+  ev.t = t;
+  ev.dur = t - begin.t;
+  ev.compute_seconds = at.compute_seconds - open.at.compute_seconds;
+  ev.comm_seconds = at.comm_seconds - open.at.comm_seconds;
+  ev.messages = at.messages - open.at.messages;
+  ev.bytes = at.bytes_sent - open.at.bytes_sent;
+  lanes_[rank].push_back(std::move(ev));
+}
+
+void Recorder::instant(std::uint32_t rank, std::string_view name,
+                       std::string_view cat, double t) {
+  ensure_lane_(rank);
+  Event ev;
+  ev.kind = EventKind::kInstant;
+  ev.name.assign(name);
+  ev.cat.assign(cat);
+  ev.t = t;
+  lanes_[rank].push_back(std::move(ev));
+}
+
+void Recorder::on_comm_op(const comm::CommOpEvent& op) {
+  ensure_lane_(op.world_rank);
+  Event ev;
+  ev.kind = EventKind::kComplete;
+  ev.name = op.op;
+  ev.cat = "comm";
+  ev.superstep = static_cast<std::int64_t>(op.seq);
+  ev.t = op.t_begin;
+  ev.dur = op.t_end - op.t_begin;
+  ev.messages = op.messages;
+  ev.bytes = op.bytes;
+  lanes_[op.world_rank].push_back(std::move(ev));
+
+  metrics_.add("comm/messages", op.world_rank,
+               static_cast<double>(op.messages));
+  metrics_.add("comm/bytes", op.world_rank, static_cast<double>(op.bytes));
+  metrics_.add(std::string("comm/ops.") + op.op, op.world_rank, 1.0);
+}
+
+std::size_t Recorder::total_events() const {
+  std::size_t n = 0;
+  for (const auto& lane : lanes_) n += lane.size();
+  return n;
+}
+
+std::size_t Recorder::open_spans() const {
+  std::size_t n = 0;
+  for (const auto& stack : open_) n += stack.size();
+  return n;
+}
+
+void Recorder::clear() {
+  lanes_.clear();
+  open_.clear();
+  metrics_.clear();
+}
+
+ScopedRecording::ScopedRecording(Recorder& rec)
+    : prev_(Recorder::current_), prev_sink_(comm::set_obs_sink(&rec)) {
+  Recorder::current_ = &rec;
+}
+
+ScopedRecording::~ScopedRecording() {
+  Recorder::current_ = prev_;
+  comm::set_obs_sink(prev_sink_);
+}
+
+}  // namespace sp::obs

@@ -1,0 +1,105 @@
+// Recorder: collects span events, engine comm-op events, and metrics for
+// one run (or one scope of runs).
+//
+// Installation is scoped: `obs::Recorder rec; obs::ScopedRecording on(rec);`
+// makes `rec` both Recorder::current() (where obs::Span and the metric
+// helpers report) and the engine's ObsSink (comm/obs_hook.hpp). With no
+// recorder installed every instrumentation site is a cheap null check;
+// with SP_OBS off the sites do not exist at all.
+//
+// Events land in per-rank lanes in program order, never interleaved
+// across ranks — which is why the serialized output is bit-identical
+// under every fiber Schedule (the scheduler permutes rank interleaving,
+// not any single rank's program order).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "comm/obs_hook.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace sp::obs {
+
+class Recorder : public comm::ObsSink {
+ public:
+  Recorder() = default;
+
+  /// The recorder installed by the innermost live ScopedRecording
+  /// (nullptr = observation off).
+  static Recorder* current() { return current_; }
+
+  // ---- Span interface (used by obs::Span; callable directly) ----
+
+  void span_begin(std::uint32_t rank, std::string_view name,
+                  std::string_view cat, std::int32_t level, double t,
+                  const comm::CostSnapshot& at);
+  /// Closes the innermost open span of `rank` (no-op if none), stamping
+  /// the end event with the span's name/cat/level, its duration, and the
+  /// comm/compute deltas since its begin.
+  void span_end(std::uint32_t rank, double t, const comm::CostSnapshot& at);
+  void instant(std::uint32_t rank, std::string_view name, std::string_view cat,
+               double t);
+
+  // ---- Engine sink ----
+
+  /// Records a kComplete comm event and feeds the comm metrics
+  /// (comm/messages, comm/bytes, comm/ops.<op>).
+  void on_comm_op(const comm::CommOpEvent& ev) override;
+
+  // ---- Metrics ----
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  // ---- Introspection (exporters, report, tests) ----
+
+  /// Number of lanes touched so far (== highest rank seen + 1).
+  std::uint32_t num_lanes() const {
+    return static_cast<std::uint32_t>(lanes_.size());
+  }
+  const std::vector<Event>& lane(std::uint32_t rank) const {
+    return lanes_[rank];
+  }
+  std::size_t total_events() const;
+  /// Open (unclosed) spans across all lanes — 0 once every Span
+  /// destructed.
+  std::size_t open_spans() const;
+
+  void clear();
+
+ private:
+  friend class ScopedRecording;
+
+  struct OpenSpan {
+    comm::CostSnapshot at;      // snapshot at begin
+    std::uint32_t begin_index;  // index of the kBegin event in the lane
+  };
+
+  void ensure_lane_(std::uint32_t rank);
+
+  static Recorder* current_;
+
+  std::vector<std::vector<Event>> lanes_;
+  std::vector<std::vector<OpenSpan>> open_;  // per-lane span stack
+  MetricsRegistry metrics_;
+};
+
+/// RAII installer: `rec` becomes Recorder::current() and the engine's
+/// comm-op sink for this scope; the previous pair is restored on exit
+/// (nesting works).
+class ScopedRecording {
+ public:
+  explicit ScopedRecording(Recorder& rec);
+  ~ScopedRecording();
+  ScopedRecording(const ScopedRecording&) = delete;
+  ScopedRecording& operator=(const ScopedRecording&) = delete;
+
+ private:
+  Recorder* prev_;
+  comm::ObsSink* prev_sink_;
+};
+
+}  // namespace sp::obs

@@ -1,0 +1,153 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "obs/recorder.hpp"
+
+namespace sp::obs {
+
+Report analyze(const comm::RunStats& stats, const Recorder* rec) {
+  Report rep;
+  rep.failed_ranks = stats.failed_ranks;
+
+  // Critical rank: the one whose final clock is the makespan.
+  for (std::uint32_t r = 0; r < stats.clocks.size(); ++r) {
+    if (stats.clocks[r] > rep.makespan) {
+      rep.makespan = stats.clocks[r];
+      rep.critical_rank = r;
+    }
+  }
+
+  // Its dominant stage names the critical path.
+  if (rep.critical_rank < stats.traces.size()) {
+    for (const auto& [stage, cost] : stats.traces[rep.critical_rank]) {
+      if (cost.total() > rep.critical_stage_seconds) {
+        rep.critical_stage_seconds = cost.total();
+        rep.critical_stage = stage;
+      }
+    }
+  }
+
+  // Per-stage imbalance over participating ranks.
+  for (const std::string& stage : stats.stages()) {
+    StageSummary s;
+    s.stage = stage;
+    double sum = 0.0;
+    for (std::uint32_t r = 0; r < stats.traces.size(); ++r) {
+      auto it = stats.traces[r].find(stage);
+      if (it == stats.traces[r].end()) continue;
+      const double total = it->second.total();
+      sum += total;
+      ++s.participants;
+      if (total > s.max_seconds) {
+        s.max_seconds = total;
+        s.critical_rank = r;
+        s.comm_seconds = it->second.comm_seconds;
+        s.compute_seconds = it->second.compute_seconds;
+      }
+    }
+    if (s.participants == 0) continue;
+    s.mean_seconds = sum / static_cast<double>(s.participants);
+    s.imbalance =
+        s.mean_seconds > 0.0 ? s.max_seconds / s.mean_seconds : 1.0;
+    rep.stages.push_back(std::move(s));
+  }
+  std::sort(rep.stages.begin(), rep.stages.end(),
+            [](const StageSummary& a, const StageSummary& b) {
+              if (a.max_seconds != b.max_seconds) {
+                return a.max_seconds > b.max_seconds;
+              }
+              return a.stage < b.stage;  // deterministic tie-break
+            });
+
+  // Per-level split from the recorder's "level" spans: for each level,
+  // the rank with the longest span (End events carry dur + cost deltas).
+  if (rec != nullptr) {
+    std::map<std::pair<std::string, std::int32_t>, LevelSummary> levels;
+    for (std::uint32_t r = 0; r < rec->num_lanes(); ++r) {
+      for (const Event& ev : rec->lane(r)) {
+        if (ev.kind != EventKind::kEnd || ev.cat != "level" || ev.level < 0) {
+          continue;
+        }
+        auto [it, first] =
+            levels.try_emplace(std::make_pair(ev.name, ev.level));
+        LevelSummary& l = it->second;
+        l.name = ev.name;
+        l.level = ev.level;
+        // Strict > keeps the lowest rank on ties (lanes scan in rank
+        // order), which keeps the report schedule-independent.
+        if (first || ev.dur > l.max_seconds) {
+          l.max_seconds = ev.dur;
+          l.critical_rank = r;
+          l.compute_seconds = ev.compute_seconds;
+          l.comm_seconds = ev.comm_seconds;
+        }
+      }
+    }
+    for (auto& [key, l] : levels) rep.levels.push_back(std::move(l));
+  }
+
+  return rep;
+}
+
+JsonValue Report::to_json() const {
+  JsonValue root = JsonValue::object();
+  root["makespan_seconds"] = makespan;
+  root["critical_rank"] = critical_rank;
+  root["critical_stage"] = critical_stage;
+  root["critical_stage_seconds"] = critical_stage_seconds;
+  JsonValue stage_arr = JsonValue::array();
+  for (const StageSummary& s : stages) {
+    JsonValue e = JsonValue::object();
+    e["stage"] = s.stage;
+    e["critical_rank"] = s.critical_rank;
+    e["max_seconds"] = s.max_seconds;
+    e["mean_seconds"] = s.mean_seconds;
+    e["imbalance"] = s.imbalance;
+    e["comm_seconds"] = s.comm_seconds;
+    e["compute_seconds"] = s.compute_seconds;
+    e["participants"] = s.participants;
+    stage_arr.push(std::move(e));
+  }
+  root["stages"] = std::move(stage_arr);
+  JsonValue level_arr = JsonValue::array();
+  for (const LevelSummary& l : levels) {
+    JsonValue e = JsonValue::object();
+    e["name"] = l.name;
+    e["level"] = l.level;
+    e["critical_rank"] = l.critical_rank;
+    e["max_seconds"] = l.max_seconds;
+    e["compute_seconds"] = l.compute_seconds;
+    e["comm_seconds"] = l.comm_seconds;
+    level_arr.push(std::move(e));
+  }
+  root["levels"] = std::move(level_arr);
+  JsonValue failed = JsonValue::array();
+  for (std::uint32_t r : failed_ranks) failed.push(r);
+  root["failed_ranks"] = std::move(failed);
+  return root;
+}
+
+std::string Report::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "critical path: rank %u, stage '%s' (%.3g of %.3g modeled s)",
+                critical_rank, critical_stage.c_str(),
+                critical_stage_seconds, makespan);
+  std::string out = buf;
+  for (const StageSummary& s : stages) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n  %-10s max %.3gs (rank %u) mean %.3gs imbalance %.2f "
+                  "comm %.0f%%",
+                  s.stage.c_str(), s.max_seconds, s.critical_rank,
+                  s.mean_seconds, s.imbalance,
+                  s.max_seconds > 0.0 ? 100.0 * s.comm_seconds / s.max_seconds
+                                      : 0.0);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sp::obs

@@ -1,0 +1,62 @@
+// Post-run analysis: where did the modeled time go?
+//
+// obs::analyze turns a RunStats (plus, optionally, a Recorder's level
+// spans) into the Fig. 7/8-style decomposition, programmatically:
+//  - the critical path: the rank whose final clock *is* the makespan, and
+//    the stage that dominates that rank's time (the stage that bounds
+//    `max over ranks`, assuming stage boundaries synchronize — the same
+//    assumption RunStats::stage_max documents);
+//  - per-stage load imbalance: max/mean of per-rank stage totals over the
+//    ranks that participated in the stage;
+//  - per-level comm/compute split, from the Recorder's "level" spans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/trace.hpp"
+#include "obs/json.hpp"
+
+namespace sp::obs {
+
+class Recorder;
+
+struct StageSummary {
+  std::string stage;
+  std::uint32_t critical_rank = 0;  // rank attaining max_seconds
+  double max_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double imbalance = 1.0;  // max / mean over participating ranks
+  double comm_seconds = 0.0;     // of the critical rank
+  double compute_seconds = 0.0;  // of the critical rank
+  std::uint32_t participants = 0;
+};
+
+struct LevelSummary {
+  std::string name;  // span family ("coarsen", "embed", ...)
+  std::int32_t level = -1;
+  std::uint32_t critical_rank = 0;  // rank with the longest level span
+  double max_seconds = 0.0;         // that rank's span duration
+  double compute_seconds = 0.0;     // of the critical rank
+  double comm_seconds = 0.0;
+};
+
+struct Report {
+  double makespan = 0.0;
+  std::uint32_t critical_rank = 0;  // argmax final clock
+  std::string critical_stage;       // that rank's dominant stage
+  double critical_stage_seconds = 0.0;
+  std::vector<StageSummary> stages;  // descending max_seconds
+  std::vector<LevelSummary> levels;  // empty without a Recorder
+  std::vector<std::uint32_t> failed_ranks;
+
+  JsonValue to_json() const;
+  /// Short human-readable rendering (one line per stage).
+  std::string summary() const;
+};
+
+/// `rec` (optional) supplies the per-level decomposition.
+Report analyze(const comm::RunStats& stats, const Recorder* rec = nullptr);
+
+}  // namespace sp::obs

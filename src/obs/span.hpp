@@ -1,0 +1,149 @@
+// obs::Span — RAII span tracing on the modeled clock — and the one-line
+// metric helpers. The entire surface compiles away when SP_OBS is off:
+// every function body is empty, so call sites cost nothing and partitions
+// are byte-identical in both build modes (observation never charges the
+// virtual clock either way).
+//
+// Usage (comm is any Comm-like object: world or a split sub-communicator):
+//
+//   obs::Span stage(world, obs::stages::kCoarsen, "stage");
+//   for (level ...) {
+//     obs::Span s(world, "level", "level", static_cast<int>(level));
+//     ...
+//   }                                  // nests: pipeline > stage > level
+//
+//   obs::count(sub, "embed/ghost_bytes", bytes);   // per-rank counter
+//   obs::observe("refine/fm_gain", gain);          // host-lane histogram
+//
+// Spans attach the rank's comm/compute deltas (via Comm::cost_snapshot)
+// to their end event. Nesting correctness is structural: spans are scoped
+// objects, and scope exit is LIFO even when a fiber unwinds on
+// RankFailedError/fault-plan death — a killed rank's lane still closes
+// every span it opened.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/recorder.hpp"
+#include "obs/stage_names.hpp"
+
+namespace sp::obs {
+
+/// Anything spans can be tagged from: a Comm or a Comm-like test double.
+template <typename T>
+concept Observable = requires(const T& c) {
+  { c.world_rank() } -> std::convertible_to<std::uint32_t>;
+  { c.clock() } -> std::convertible_to<double>;
+};
+
+#ifdef SP_OBS
+
+/// True when a Recorder is installed — use to gate instrumentation whose
+/// *inputs* cost something to compute (e.g. building a per-level metric
+/// name or scanning an array to count matches).
+inline bool active() { return Recorder::current() != nullptr; }
+
+template <Observable CommT>
+class Span {
+ public:
+  Span(CommT& comm, std::string_view name, std::string_view cat = "span",
+       std::int32_t level = -1)
+      : rec_(Recorder::current()), comm_(&comm) {
+    if (rec_ == nullptr) return;
+    rec_->span_begin(comm.world_rank(), name, cat, level, comm.clock(),
+                     comm.cost_snapshot());
+  }
+  ~Span() {
+    if (rec_ == nullptr) return;
+    rec_->span_end(comm_->world_rank(), comm_->clock(),
+                   comm_->cost_snapshot());
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Recorder* rec_;
+  CommT* comm_;
+};
+
+/// Point event in the rank's lane (e.g. "recovery started").
+template <Observable CommT>
+inline void mark(CommT& comm, std::string_view name,
+                 std::string_view cat = "mark") {
+  if (Recorder* r = Recorder::current()) {
+    r->instant(comm.world_rank(), name, cat, comm.clock());
+  }
+}
+
+template <Observable CommT>
+inline void count(CommT& comm, std::string_view name, double v = 1.0) {
+  if (Recorder* r = Recorder::current()) {
+    r->metrics().add(name, comm.world_rank(), v);
+  }
+}
+
+inline void count(std::string_view name, double v = 1.0) {
+  if (Recorder* r = Recorder::current()) {
+    r->metrics().add(name, MetricsRegistry::kHostLane, v);
+  }
+}
+
+template <Observable CommT>
+inline void gauge(CommT& comm, std::string_view name, double v) {
+  if (Recorder* r = Recorder::current()) {
+    r->metrics().set_gauge(name, comm.world_rank(), v);
+  }
+}
+
+inline void gauge(std::string_view name, double v) {
+  if (Recorder* r = Recorder::current()) {
+    r->metrics().set_gauge(name, MetricsRegistry::kHostLane, v);
+  }
+}
+
+template <Observable CommT>
+inline void observe(CommT& comm, std::string_view name, double v) {
+  if (Recorder* r = Recorder::current()) {
+    r->metrics().observe(name, comm.world_rank(), v);
+  }
+}
+
+inline void observe(std::string_view name, double v) {
+  if (Recorder* r = Recorder::current()) {
+    r->metrics().observe(name, MetricsRegistry::kHostLane, v);
+  }
+}
+
+#else  // !SP_OBS — the whole surface is a no-op the optimizer deletes.
+
+constexpr bool active() { return false; }
+
+template <Observable CommT>
+class Span {
+ public:
+  Span(CommT&, std::string_view, std::string_view = "span",
+       std::int32_t = -1) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+template <Observable CommT>
+inline void mark(CommT&, std::string_view, std::string_view = "mark") {}
+
+template <Observable CommT>
+inline void count(CommT&, std::string_view, double = 1.0) {}
+inline void count(std::string_view, double = 1.0) {}
+
+template <Observable CommT>
+inline void gauge(CommT&, std::string_view, double) {}
+inline void gauge(std::string_view, double) {}
+
+template <Observable CommT>
+inline void observe(CommT&, std::string_view, double) {}
+inline void observe(std::string_view, double) {}
+
+#endif  // SP_OBS
+
+}  // namespace sp::obs

@@ -1,0 +1,27 @@
+// Canonical pipeline stage names.
+//
+// The same strings tag Comm stages (StageCost buckets), obs::Span trace
+// lanes, and the bench tables, so a lane in a Perfetto trace, a row in a
+// fig7 table, and a StageCost key all line up by construction instead of
+// by convention. Header-only and dependency-free: usable from any layer.
+#pragma once
+
+namespace sp::obs::stages {
+
+inline constexpr const char* kMain = "main";  // engine default before set_stage
+inline constexpr const char* kCoarsen = "coarsen";
+inline constexpr const char* kEmbed = "embed";
+inline constexpr const char* kPartition = "partition";
+inline constexpr const char* kOutput = "output";  // result gather (untimed)
+inline constexpr const char* kRecover = "recover";
+inline constexpr const char* kCheckpoint = "checkpoint";
+inline constexpr const char* kRcb = "rcb";  // parallel RCB baseline runs
+
+/// The timed ScalaPart pipeline stages, execution order (the Fig. 7
+/// decomposition). kOutput/kRecover/kCheckpoint are deliberately absent:
+/// output is untimed, the fault-tolerance stages are overhead reported
+/// separately.
+inline constexpr const char* kPipelineStages[] = {kCoarsen, kEmbed,
+                                                  kPartition};
+
+}  // namespace sp::obs::stages

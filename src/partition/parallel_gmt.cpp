@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "geometry/sphere.hpp"
+#include "obs/span.hpp"
 #include "refine/fm.hpp"
 #include "support/assert.hpp"
 #include "support/random.hpp"
@@ -226,6 +227,8 @@ ParallelGmtResult parallel_gmt(comm::Comm& comm, const CsrGraph& g,
   }
   result.cut_before_refine = static_cast<Weight>(std::llround(best_cut));
   result.cut = result.cut_before_refine;
+  obs::gauge(comm, "partition/tries", static_cast<double>(tries));
+  obs::gauge(comm, "partition/cut_before_refine", best_cut);
   for (std::size_t i = 0; i < n_local; ++i) {
     result.side[i] = s[best_t][i] > threshold[best_t] ? 1 : 0;
   }
@@ -365,6 +368,10 @@ ParallelGmtResult parallel_gmt(comm::Comm& comm, const CsrGraph& g,
   // The strip FM delta is exact only for edges inside the shipped collar;
   // recompute the true cut with one halo exchange + reduction.
   result.cut = distributed_cut(comm, g, emb, result.side);
+  obs::gauge(comm, "partition/strip_size",
+             static_cast<double>(result.strip_size));
+  obs::gauge(comm, "partition/strip_flips", static_cast<double>(flips.size()));
+  obs::gauge(comm, "partition/cut", static_cast<double>(result.cut));
   return result;
 }
 

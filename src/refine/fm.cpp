@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/span.hpp"
 #include "support/assert.hpp"
 
 namespace sp::refine {
@@ -152,6 +153,7 @@ FmResult fm_refine(const CsrGraph& g, Bipartition& part, const FmOptions& opt,
       Weight w0_after, w1_after;
     };
     std::vector<MoveRecord> log;
+    const Weight pass_start_cut = cur_cut;
     Weight best_cut = cur_cut;
     bool start_feasible = feasible(w0, w1);
     std::size_t best_prefix = 0;
@@ -236,6 +238,18 @@ FmResult fm_refine(const CsrGraph& g, Bipartition& part, const FmOptions& opt,
     for (std::size_t i = log.size(); i > best_prefix; --i) {
       VertexId v = log[i - 1].v;
       part[v] = static_cast<std::uint8_t>(1 - part[v]);
+    }
+    if (obs::active()) {
+      // Gain distribution over the moves that survive rollback: the cut
+      // delta between consecutive log entries.
+      Weight prev_cut = pass_start_cut;
+      for (std::size_t i = 0; i < best_prefix; ++i) {
+        obs::observe("refine/fm_gain",
+                     static_cast<double>(prev_cut - log[i].cut_after));
+        prev_cut = log[i].cut_after;
+      }
+      obs::count("refine/fm_moves", static_cast<double>(best_prefix));
+      obs::count("refine/fm_passes");
     }
     if (best_prefix > 0) {
       cur_cut = log[best_prefix - 1].cut_after;

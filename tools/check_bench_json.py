@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Schema check for the machine-readable bench reports (BENCH_*.json).
+
+Usage: check_bench_json.py FILE [FILE...]
+
+Validates the structure bench/bench_report.hpp documents: required
+top-level keys, the config block, flat row objects, and — for files that
+attach full runs — the stage breakdown, the critical-path report, and the
+recovery block. Exits nonzero with a per-file error list on violation, so
+CI fails loudly when a bench binary and this schema drift apart.
+"""
+import json
+import sys
+
+REQUIRED_TOP = ["bench", "schema_version", "config", "rows", "runs"]
+REQUIRED_CONFIG = ["scale", "seed", "pmax"]
+REQUIRED_RUN = [
+    "label",
+    "modeled_seconds",
+    "cut",
+    "stages",
+    "report",
+    "recovery",
+]
+REQUIRED_STAGES = [
+    "coarsen_seconds",
+    "embed_seconds",
+    "partition_seconds",
+]
+REQUIRED_REPORT = [
+    "makespan_seconds",
+    "critical_rank",
+    "critical_stage",
+    "stages",
+    "failed_ranks",
+]
+REQUIRED_STAGE_SUMMARY = [
+    "stage",
+    "critical_rank",
+    "max_seconds",
+    "mean_seconds",
+    "imbalance",
+    "participants",
+]
+REQUIRED_RECOVERY = [
+    "failed_ranks",
+    "recoveries",
+    "final_active_ranks",
+    "checkpoint_seconds",
+    "recover_seconds",
+    "checkpoint_messages",
+    "recover_messages",
+]
+
+
+def require(errors, obj, keys, where):
+    for key in keys:
+        if key not in obj:
+            errors.append(f"{where}: missing key '{key}'")
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"unreadable: {e}"]
+
+    require(errors, doc, REQUIRED_TOP, "top level")
+    if errors:
+        return errors
+
+    if not isinstance(doc["schema_version"], int):
+        errors.append("schema_version must be an integer")
+    require(errors, doc["config"], REQUIRED_CONFIG, "config")
+
+    if not isinstance(doc["rows"], list):
+        errors.append("rows must be an array")
+    else:
+        for i, row in enumerate(doc["rows"]):
+            if not isinstance(row, dict):
+                errors.append(f"rows[{i}] must be an object")
+
+    if not isinstance(doc["runs"], list):
+        errors.append("runs must be an array")
+        return errors
+    for i, run in enumerate(doc["runs"]):
+        where = f"runs[{i}]"
+        if not isinstance(run, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        require(errors, run, REQUIRED_RUN, where)
+        if "stages" in run:
+            require(errors, run["stages"], REQUIRED_STAGES, f"{where}.stages")
+        if "report" in run:
+            rep = run["report"]
+            require(errors, rep, REQUIRED_REPORT, f"{where}.report")
+            for j, s in enumerate(rep.get("stages", [])):
+                require(errors, s, REQUIRED_STAGE_SUMMARY,
+                        f"{where}.report.stages[{j}]")
+                if s.get("imbalance", 1.0) < 1.0 - 1e-9:
+                    errors.append(
+                        f"{where}.report.stages[{j}]: imbalance "
+                        f"{s['imbalance']} < 1 (max/mean cannot be)")
+        if "recovery" in run:
+            rec = run["recovery"]
+            require(errors, rec, REQUIRED_RECOVERY, f"{where}.recovery")
+            failed = rec.get("failed_ranks", [])
+            if rec.get("recoveries", 0) > 0 and not failed:
+                errors.append(
+                    f"{where}.recovery: recoveries > 0 but failed_ranks "
+                    "empty")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            print(f"FAIL {path}")
+            for e in errors:
+                print(f"  - {e}")
+        else:
+            print(f"OK   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

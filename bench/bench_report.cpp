@@ -17,6 +17,8 @@ BenchReport::BenchReport(std::string name, const BenchConfig& cfg)
   c["scale"] = cfg.scale;
   c["seed"] = static_cast<unsigned long long>(cfg.seed);
   c["pmax"] = cfg.pmax;
+  c["backend"] = exec::backend_name(cfg.backend);
+  c["threads"] = cfg.threads;
   root_["rows"] = obs::JsonValue::array();
   root_["runs"] = obs::JsonValue::array();
 }
@@ -37,6 +39,9 @@ obs::JsonValue& BenchReport::add_run(const std::string& label,
   run["cut"] = static_cast<long long>(r.report.cut);
   run["imbalance"] = r.report.imbalance;
   run["strip_size"] = static_cast<unsigned long long>(r.strip_size);
+  run["wall_ms"] = r.stats.wall_seconds * 1e3;
+  run["backend"] = exec::backend_name(r.stats.backend);
+  run["threads"] = r.stats.threads;
   obs::JsonValue& st = run["stages"];
   st["coarsen_seconds"] = r.stages.coarsen_seconds;
   st["embed_seconds"] = r.stages.embed_seconds;

@@ -26,6 +26,8 @@ core::ScalaPartOptions sp_options(const BenchConfig& cfg, std::uint32_t p) {
   core::ScalaPartOptions opt;
   opt.nranks = p;
   opt.seed = cfg.seed * 1000003ull + 17;
+  opt.backend = cfg.backend;
+  opt.threads = cfg.threads;
   return opt;
 }
 
@@ -70,6 +72,8 @@ MethodTimes measure_times(const TimedGraph& tg, std::uint32_t p,
   {
     comm::BspEngine::Options eopt;
     eopt.nranks = p;
+    eopt.backend = cfg.backend;
+    eopt.threads = cfg.threads;
     comm::BspEngine engine(eopt);
     const auto& gg = g;
     auto stats = engine.run([&](comm::Comm& c) {
@@ -92,6 +96,14 @@ void print_header(const std::string& title) {
 
 void print_rule() {
   std::printf("----------------------------------------------------------------\n");
+}
+
+void print_clocks(const comm::RunStats& stats) {
+  std::printf("clocks: modeled %s | wall %s on %s backend (%u thread%s)\n",
+              time_str(stats.makespan()).c_str(),
+              time_str(stats.wall_seconds).c_str(),
+              exec::backend_name(stats.backend), stats.threads,
+              stats.threads == 1 ? "" : "s");
 }
 
 std::string time_str(double seconds) {

@@ -9,6 +9,9 @@
 //               (see bench_report.hpp; DIR may also be a .json file path)
 //   --trace=DIR write Chrome-trace + JSONL artifacts of the instrumented
 //               run (binaries that do a dedicated traced run only)
+//   --backend=fiber|threads   execution backend for the BSP runs (results
+//               are bit-identical; only wall time changes)
+//   --threads=N worker-thread cap for --backend=threads (0 = all cores)
 // and prints the paper's reported numbers next to the measured ones.
 #pragma once
 
@@ -35,6 +38,11 @@ struct BenchConfig {
   std::string out;
   /// Destination directory of trace artifacts ("" = no trace files).
   std::string trace;
+  /// Execution backend for the BSP runs (modeled results are
+  /// bit-identical across backends; wall time is what changes).
+  exec::Backend backend = exec::Backend::kFiber;
+  /// Worker-thread cap for the threads backend; 0 = hw_concurrency.
+  std::uint32_t threads = 0;
 
   static BenchConfig from_options(const Options& opt) {
     BenchConfig cfg;
@@ -43,6 +51,8 @@ struct BenchConfig {
     cfg.pmax = static_cast<std::uint32_t>(opt.get_int("pmax", 1024));
     cfg.out = opt.get("out", "");
     cfg.trace = opt.get("trace", "");
+    cfg.backend = exec::parse_backend(opt.get("backend", "fiber"));
+    cfg.threads = static_cast<std::uint32_t>(opt.get_int("threads", 0));
     return cfg;
   }
 };
@@ -96,6 +106,11 @@ MethodTimes measure_times(const TimedGraph& tg, std::uint32_t p,
 /// Pretty horizontal rule + header helpers.
 void print_header(const std::string& title);
 void print_rule();
+
+/// One-line summary of both clocks of a run: the modeled virtual makespan
+/// (what the paper's figures report) and the actual host time on the
+/// backend that executed it.
+void print_clocks(const comm::RunStats& stats);
 
 /// "x.xx" with fixed decimals, or scientific for small values.
 std::string time_str(double seconds);

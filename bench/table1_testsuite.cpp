@@ -1,9 +1,17 @@
 // Table 1: the test suite of graphs. Prints the paper's (N, M) next to the
 // synthetic analogues' sizes at the configured scale, plus structural
-// sanity data (degrees, components).
+// sanity data (degrees, components) — then runs the full ScalaPart
+// pipeline on every graph, on the fiber backend and (when
+// --backend=threads) the multithreaded backend, to record the
+// modeled-vs-wall clock pair per graph. The partitions are bit-identical
+// across backends (asserted here), so the wall-time ratio is a pure
+// executor speedup measurement.
+#include <algorithm>
+
 #include "bench_report.hpp"
 #include "bench_util.hpp"
 #include "graph/partition.hpp"
+#include "support/assert.hpp"
 
 int main(int argc, char** argv) {
   using namespace sp;
@@ -20,6 +28,7 @@ int main(int argc, char** argv) {
   bench::print_rule();
 
   const auto& suite = core::paper_suite();
+  std::vector<graph::gen::GeneratedGraph> graphs;
   for (const auto& entry : suite) {
     auto g = core::make_suite_graph(entry.name, cfg.scale, cfg.seed);
     graph::VertexId comps = 0;
@@ -38,9 +47,70 @@ int main(int argc, char** argv) {
     row["arcs"] = static_cast<unsigned long long>(g.graph.num_arcs());
     row["avg_degree"] = g.graph.average_degree();
     row["components"] = comps;
+    graphs.push_back(std::move(g));
   }
   bench::print_rule();
   std::printf("M counts directed arcs (2x undirected edges), the Table 1 "
               "convention.\n");
+
+  // ---- Pipeline pass: modeled clock vs wall clock per graph. ----
+  const std::uint32_t p = std::min<std::uint32_t>(8, cfg.pmax);
+  const bool compare = cfg.backend == exec::Backend::kThreads;
+  bench::print_header(
+      "ScalaPart pipeline at P=" + std::to_string(p) + " (" +
+      std::string(exec::backend_name(cfg.backend)) +
+      (compare ? " vs fiber backend, bit-identical partitions)"
+               : " backend)"));
+  std::printf("%-18s %10s %8s %12s %12s %8s\n", "graph", "modeled", "cut",
+              "wall fiber", compare ? "wall thread" : "wall", "speedup");
+  bench::print_rule();
+
+  double sum_fiber = 0.0, sum_backend = 0.0;
+  core::ScalaPartResult last;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& g = graphs[i];
+    auto opt = bench::sp_options(cfg, p);
+    opt.backend = exec::Backend::kFiber;
+    auto fiber = core::scalapart_partition(g.graph, opt);
+
+    core::ScalaPartResult run = fiber;
+    if (compare) {
+      opt.backend = cfg.backend;
+      opt.threads = cfg.threads;
+      run = core::scalapart_partition(g.graph, opt);
+      SP_ASSERT_MSG(run.part.side == fiber.part.side &&
+                        run.stats.fingerprint() == fiber.stats.fingerprint(),
+                    "backend divergence: threads run differs from fiber");
+    }
+    const double wall_f = fiber.stats.wall_seconds;
+    const double wall_b = run.stats.wall_seconds;
+    const double speedup = wall_b > 0.0 ? wall_f / wall_b : 0.0;
+    sum_fiber += wall_f;
+    sum_backend += wall_b;
+    std::printf("%-18s %10s %8lld %12s %12s %7.2fx\n", suite[i].name.c_str(),
+                bench::time_str(run.modeled_seconds).c_str(),
+                static_cast<long long>(run.report.cut),
+                bench::time_str(wall_f).c_str(),
+                bench::time_str(wall_b).c_str(), speedup);
+    auto& row = rep.add_row();
+    row["graph"] = suite[i].name;
+    row["p"] = p;
+    row["modeled_seconds"] = run.modeled_seconds;
+    row["cut"] = static_cast<long long>(run.report.cut);
+    row["wall_ms_fiber"] = wall_f * 1e3;
+    row["wall_ms"] = wall_b * 1e3;
+    row["speedup"] = speedup;
+    last = std::move(run);
+  }
+  bench::print_rule();
+  if (compare && sum_backend > 0.0) {
+    std::printf("total wall: fiber %s, threads %s -> %.2fx speedup\n",
+                bench::time_str(sum_fiber).c_str(),
+                bench::time_str(sum_backend).c_str(),
+                sum_fiber / sum_backend);
+  }
+  bench::print_clocks(last.stats);
+  rep.add_run("pipeline_" + suite.back().name + "_p" + std::to_string(p),
+              last, nullptr);
   return rep.write() ? 0 : 1;
 }

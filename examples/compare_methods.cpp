@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "core/scalapart.hpp"
+#include "exec/executor.hpp"
 #include "core/testsuite.hpp"
 #include "partition/geometric_mesh.hpp"
 #include "partition/multilevel_kl.hpp"
@@ -62,6 +63,8 @@ int main(int argc, char** argv) {
     core::ScalaPartOptions opt;
     opt.nranks = p;
     opt.seed = seed;
+    opt.backend = exec::parse_backend(opts.get("backend", "fiber"));
+    opt.threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
     auto r = core::scalapart_partition(g.graph, opt);
     row("ScalaPart P=" + std::to_string(p), r.report.cut, r.report.imbalance,
         timer.seconds());

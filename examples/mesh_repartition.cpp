@@ -12,6 +12,7 @@
 
 #include "comm/engine.hpp"
 #include "core/scalapart.hpp"
+#include "exec/executor.hpp"
 #include "graph/distributed_graph.hpp"
 #include "graph/generators.hpp"
 #include "partition/parallel_rcb.hpp"
@@ -55,6 +56,8 @@ int main(int argc, char** argv) {
 
     core::ScalaPartOptions opt;
     opt.nranks = p;
+    opt.backend = exec::parse_backend(opts.get("backend", "fiber"));
+    opt.threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
     auto ppg = core::sp_pg7nl_partition(mesh.graph, mesh.coords, opt);
 
     std::printf("%6u | %10.3fms %10s | %10.3fms %10s\n", p,

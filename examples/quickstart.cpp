@@ -3,6 +3,7 @@
 //   ./quickstart                      # demo mesh, 16 simulated ranks
 //   ./quickstart --graph=in.graph    # your own METIS-format graph
 //   ./quickstart --p=64 --seed=3
+//   ./quickstart --backend=threads --threads=8   # run ranks in parallel
 //
 // ScalaPart needs no coordinates: it coarsens the graph, imparts
 // coordinates through the multilevel fixed-lattice force embedding, and
@@ -10,6 +11,7 @@
 #include <cstdio>
 
 #include "core/scalapart.hpp"
+#include "exec/executor.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_io.hpp"
 #include "support/options.hpp"
@@ -35,6 +37,8 @@ int main(int argc, char** argv) {
   core::ScalaPartOptions opt;
   opt.nranks = static_cast<std::uint32_t>(opts.get_int("p", 16));
   opt.seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  opt.backend = exec::parse_backend(opts.get("backend", "fiber"));
+  opt.threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
 
   auto result = core::scalapart_partition(g, opt);
 
@@ -50,6 +54,12 @@ int main(int argc, char** argv) {
               result.modeled_seconds, result.stages.coarsen_seconds,
               result.stages.embed_seconds, result.stages.partition_seconds);
   std::printf("  strip refined : %zu vertices\n", result.strip_size);
+  // Wall time varies run to run (unlike everything above, which is
+  // bit-identical across backends) — CI byte-diffs strip this line.
+  std::printf("  wall time     : %.4fs on %s backend (%u threads)\n",
+              result.stats.wall_seconds,
+              exec::backend_name(result.stats.backend),
+              result.stats.threads);
 
   if (opts.has("out")) {
     // Write the partition as one side id per line.

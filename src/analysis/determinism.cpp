@@ -77,4 +77,72 @@ DeterminismReport audit_determinism(
                            schedules);
 }
 
+std::string BackendPoint::label() const {
+  if (backend == exec::Backend::kFiber) {
+    return std::string("fiber/") + comm::schedule_name(schedule);
+  }
+  return "threads/T=" + std::to_string(threads);
+}
+
+std::vector<BackendPoint> default_backend_points() {
+  std::vector<BackendPoint> points = {
+      {exec::Backend::kFiber, comm::Schedule::kRoundRobin, 0, 0},
+      {exec::Backend::kFiber, comm::Schedule::kReversed, 0, 0},
+  };
+  if (exec::threads_backend_available()) {
+    points.push_back({exec::Backend::kThreads, comm::Schedule::kRoundRobin,
+                      0, 2});
+    points.push_back({exec::Backend::kThreads, comm::Schedule::kRoundRobin,
+                      0, 8});
+  }
+  return points;
+}
+
+DeterminismReport audit_backends(comm::BspEngine::Options base,
+                                 const ProgramFactory& make_program,
+                                 const ResultFingerprint& result_fingerprint,
+                                 std::span<const BackendPoint> points) {
+  DeterminismReport report;
+  for (const BackendPoint& point : points) {
+    base.backend = point.backend;
+    base.schedule = point.schedule;
+    base.schedule_seed = point.schedule_seed;
+    base.threads = point.threads;
+    comm::BspEngine engine(base);
+    auto program = make_program();
+    comm::RunStats stats = engine.run(program);
+    report.trace_fingerprints.push_back(stats.fingerprint());
+    report.result_fingerprints.push_back(
+        result_fingerprint ? result_fingerprint() : 0);
+    ++report.schedules_run;
+
+    const std::size_t i = report.trace_fingerprints.size() - 1;
+    if (i == 0) continue;
+    const std::string vs = point.label() + " vs " + points[0].label();
+    if (report.trace_fingerprints[i] != report.trace_fingerprints[0]) {
+      report.deterministic = false;
+      report.divergences.push_back(
+          "trace fingerprints differ (" + vs + "): " +
+          std::to_string(report.trace_fingerprints[i]) + " vs " +
+          std::to_string(report.trace_fingerprints[0]));
+    }
+    if (report.result_fingerprints[i] != report.result_fingerprints[0]) {
+      report.deterministic = false;
+      report.divergences.push_back(
+          "result fingerprints differ (" + vs + "): " +
+          std::to_string(report.result_fingerprints[i]) + " vs " +
+          std::to_string(report.result_fingerprints[0]));
+    }
+  }
+  return report;
+}
+
+DeterminismReport audit_backends(comm::BspEngine::Options base,
+                                 const ProgramFactory& make_program,
+                                 const ResultFingerprint& result_fingerprint) {
+  auto points = default_backend_points();
+  return audit_backends(std::move(base), make_program, result_fingerprint,
+                        points);
+}
+
 }  // namespace sp::analysis

@@ -68,6 +68,37 @@ DeterminismReport audit_determinism(comm::BspEngine::Options base,
                                     const ProgramFactory& make_program,
                                     const ResultFingerprint& result_fingerprint = nullptr);
 
+/// One execution configuration for the cross-backend audit: a backend
+/// plus its relevant knob (resume schedule for kFiber, worker-thread cap
+/// for kThreads).
+struct BackendPoint {
+  exec::Backend backend = exec::Backend::kFiber;
+  comm::Schedule schedule = comm::Schedule::kRoundRobin;  // kFiber only
+  std::uint64_t schedule_seed = 0;                        // kSeededShuffle only
+  std::uint32_t threads = 0;                              // kThreads only
+  std::string label() const;
+};
+
+/// The default cross-backend audit set: two fiber schedules plus — when
+/// the build has the threads backend — thread counts 2 and 8. Real-thread
+/// points exercise interleavings no fiber schedule can produce, so this
+/// audit subsumes the schedule sweep as a shared-state race detector.
+std::vector<BackendPoint> default_backend_points();
+
+/// Runs `make_program()` once per execution configuration and diffs
+/// RunStats and result fingerprints against the first point's — the
+/// cross-backend analogue of audit_determinism. A divergence means
+/// ordering or interleaving leaked into results: a shared-state bug.
+DeterminismReport audit_backends(comm::BspEngine::Options base,
+                                 const ProgramFactory& make_program,
+                                 const ResultFingerprint& result_fingerprint,
+                                 std::span<const BackendPoint> points);
+
+/// Convenience overload using default_backend_points().
+DeterminismReport audit_backends(comm::BspEngine::Options base,
+                                 const ProgramFactory& make_program,
+                                 const ResultFingerprint& result_fingerprint = nullptr);
+
 /// Order-sensitive hash of arbitrary bytes (for result fingerprints).
 std::uint64_t fingerprint_bytes(const void* data, std::size_t size);
 

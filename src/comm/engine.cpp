@@ -1,14 +1,14 @@
 #include "comm/engine.hpp"
 
-#include <ucontext.h>
-
 #include <algorithm>
 #include <cmath>
 #include <exception>
 #include <map>
+#include <set>
 #include <string>
 #include <tuple>
 
+#include "exec/executor.hpp"
 #include "support/random.hpp"
 #include "support/timer.hpp"
 
@@ -33,7 +33,7 @@ bool contains_rank(const std::vector<std::uint32_t>& members,
 }
 }  // namespace
 
-/// Thrown into a fiber to unwind it when the fault plan kills its rank.
+/// Thrown into a rank to unwind it when the fault plan kills it.
 /// Deliberately not derived from std::exception so that user-level
 /// `catch (std::exception&)` recovery code cannot swallow it; only a
 /// blanket `catch (...)` without rethrow would (don't do that in SPMD
@@ -42,7 +42,10 @@ struct RankKilled {};
 
 /// One collective (or exchange) rendezvous: keyed by (group id, sequence
 /// number), created by the first arriving member, combined by the last,
-/// destroyed after the last pickup.
+/// destroyed after the last pickup. All access happens under the
+/// executor's engine lock (a no-op for the fiber backend), and the
+/// combine folds contributions in group-rank order — which is why results
+/// are bit-identical regardless of arrival order, schedule, or backend.
 struct CollState {
   std::uint32_t expected = 0;
   std::uint32_t arrived = 0;
@@ -77,7 +80,16 @@ class EngineImpl {
  public:
   explicit EngineImpl(BspEngine::Options options) : opt_(options) {
     SP_ASSERT(opt_.nranks >= 1);
+    exec::ExecOptions eo;
+    eo.backend = opt_.backend;
+    eo.threads = opt_.threads;
+    eo.stack_bytes = opt_.stack_bytes;
+    eo.schedule = opt_.schedule;
+    eo.schedule_seed = opt_.schedule_seed;
+    exec_ = exec::Executor::make(eo);
   }
+
+  exec::Executor& executor() { return *exec_; }
 
   RunStats run(const std::function<void(Comm&)>& program) {
     WallTimer wall;
@@ -98,61 +110,28 @@ class EngineImpl {
     touched_groups_.clear();
     states_.clear();
     group_registry_.clear();
-    next_group_id_ = 1;
+    group_ids_used_.clear();
 
     world_ = std::make_shared<GroupInfo>();
     world_->id = 0;
     world_->members.resize(opt_.nranks);
     for (std::uint32_t r = 0; r < opt_.nranks; ++r) world_->members[r] = r;
 
-    // Set up one fiber per rank (stacks are reused across run() calls).
-    if (fibers_.size() != opt_.nranks) fibers_ = std::vector<FiberData>(opt_.nranks);
-    for (std::uint32_t r = 0; r < opt_.nranks; ++r) {
-      // Default-initialized (not zeroed): at P=1024 zeroing the stacks
-      // would cost more than entire runs.
-      if (!fibers_[r].stack) fibers_[r].stack.reset(new char[opt_.stack_bytes]);
-      SP_ASSERT(getcontext(&fibers_[r].ctx) == 0);
-      fibers_[r].ctx.uc_stack.ss_sp = fibers_[r].stack.get();
-      fibers_[r].ctx.uc_stack.ss_size = opt_.stack_bytes;
-      fibers_[r].ctx.uc_link = &scheduler_ctx_;
-      makecontext(&fibers_[r].ctx, &EngineImpl::trampoline_, 0);
-    }
-
-    // Cooperative scheduler with deadlock detection: if a full sweep makes
-    // no progress (no rank advanced any rendezvous or finished), the SPMD
-    // program has mismatched collectives. The per-sweep resume order is
-    // configurable (Options::schedule); any order is semantically
-    // equivalent for a correct SPMD program, which is exactly what the
-    // determinism auditor verifies by varying it.
-    std::vector<std::uint32_t> order(opt_.nranks);
-    for (std::uint32_t r = 0; r < opt_.nranks; ++r) {
-      order[r] = opt_.schedule == Schedule::kReversed ? opt_.nranks - 1 - r : r;
-    }
-    Rng sched_rng(hash64(opt_.schedule_seed ^ 0x5C4EDu));
-    std::uint32_t remaining = opt_.nranks;
-    while (remaining > 0) {
-      if (opt_.schedule == Schedule::kSeededShuffle) sched_rng.shuffle(order);
-      std::uint64_t activity_before = activity_;
-      for (std::uint32_t r : order) {
-        if (finished_[r]) continue;
-        if (blocked_on_[r] != nullptr && !rendezvous_ready_(r)) continue;
-        current_rank_ = r;
-        current_engine_ = this;
-        SP_ASSERT(swapcontext(&scheduler_ctx_, &fibers_[r].ctx) == 0);
-        if (finished_[r]) {
-          --remaining;
-          ++activity_;
-        }
+    // The executor runs the rank bodies — as fibers resumed in Schedule
+    // order, or as real threads. When no rank can make progress (a full
+    // fiber sweep resumes nobody / every rank thread is parked on a false
+    // predicate) it asks this handler what to surface: a rank that threw
+    // leaves its peers stuck at a rendezvous, so prefer the recorded
+    // original exception (returned via exceptions_ below) over the
+    // induced deadlock.
+    exec_->set_stall_handler([this]() -> std::exception_ptr {
+      for (auto& ex : exceptions_) {
+        if (ex) return nullptr;  // the post-run rethrow surfaces it
       }
-      if (activity_ == activity_before && remaining > 0) {
-        // A rank that threw leaves its peers stuck at a rendezvous; surface
-        // the original exception rather than the induced deadlock.
-        for (auto& ex : exceptions_) {
-          if (ex) std::rethrow_exception(ex);
-        }
-        throw DeadlockError(deadlock_report_());
-      }
-    }
+      return std::make_exception_ptr(DeadlockError(deadlock_report_()));
+    });
+    exec_->run(opt_.nranks,
+               [this](std::uint32_t rank) { rank_main_(rank); });
 
     for (auto& ex : exceptions_) {
       if (ex) std::rethrow_exception(ex);
@@ -180,11 +159,16 @@ class EngineImpl {
     stats.wall_seconds = wall.seconds();
     stats.failed_ranks = failed_order_;
     stats.schedule = opt_.schedule;
+    stats.backend = opt_.backend;
+    stats.threads = exec_->concurrency();
     return stats;
   }
 
   /// Per-rank description of what everyone is stuck in: the diagnostic a
   /// mismatched-collective SPMD bug deserves instead of a bare assert.
+  /// Called from the stall handler with the engine lock held (every
+  /// unfinished rank is parked, so its stage/signature writes
+  /// happened-before the lock acquisition that preceded its park).
   std::string deadlock_report_() const {
     std::string msg =
         "BSP deadlock: mismatched collective calls across ranks; no rank "
@@ -260,13 +244,17 @@ class EngineImpl {
     return {};
   }
 
-  // ---- Called from fibers ----
-
-  void yield_() {
-    std::uint32_t r = current_rank_;
-    SP_ASSERT(swapcontext(&fibers_[r].ctx, &scheduler_ctx_) == 0);
-    current_engine_ = this;  // restored for safety after resume
-  }
+  // ---- Called from rank bodies ----
+  //
+  // Locking discipline: everything touching cross-rank rendezvous state
+  // (states_, failed_, group_registry_, issued_, last_sig_) runs under
+  // the executor's engine lock — Comm::collective_/exchange/shrink hold
+  // it for their whole rendezvous, releasing it only while parked inside
+  // block_until. Purely per-rank accounting (clocks_[r], traces_[r],
+  // stages_[r], totals_[r], event counters of rank r) is only ever
+  // touched by rank r itself and needs no lock; post-mortem readers
+  // (deadlock_report_, run()'s stats copy) are ordered after those writes
+  // by the park/join that precedes them.
 
   void add_compute(std::uint32_t world_rank, double units) {
     double seconds =
@@ -310,35 +298,44 @@ class EngineImpl {
       it->second.group = group;
       it->second.group_id = group->id;
       it->second.seq = seq;
-      ++activity_;
     }
     return it->second;
   }
 
   void erase_state(const GroupInfo& group, std::uint64_t seq) {
     states_.erase(std::make_pair(group.id, seq));
-    ++activity_;
   }
 
-  void bump_activity() { ++activity_; }
+  /// Arrival bookkeeping done; wake parked peers if this arrival completed
+  /// the rendezvous (their predicates just flipped).
+  void notify_arrival(const CollState& st) {
+    if (st.arrived >= st.expected || st.poisoned) exec_->notify();
+  }
 
-  /// Block the current fiber until `state` has all arrivals (returns
+  /// Parks the calling rank until `state` has all arrivals (returns
   /// false) or the rendezvous is poisoned by a member's death (returns
   /// true; the caller must observe via observe_poison and raise).
-  bool wait_all_arrived(CollState& state) {
-    while (state.arrived < state.expected && !state.poisoned) {
-      blocked_on_[current_rank_] = &state;
-      yield_();
+  bool wait_all_arrived(std::uint32_t rank, CollState& state) {
+    if (state.arrived < state.expected && !state.poisoned) {
+      blocked_on_[rank] = &state;
+      const exec::Executor::ReadyFn ready = [&state] {
+        return state.poisoned || state.arrived >= state.expected;
+      };
+      exec_->block_until(rank, ready);
+      blocked_on_[rank] = nullptr;
     }
-    blocked_on_[current_rank_] = nullptr;
     return state.poisoned;
   }
 
   /// Bookkeeping for a rank observing a poisoned rendezvous: the last
   /// arrived rank to observe destroys the state (no further arrivals can
-  /// happen — entry checks turn later callers away).
+  /// happen — entry checks turn later callers away). Deliberately does
+  /// NOT synchronize the observer's clock to the partial arrivals'
+  /// max_clock: that max depends on which subset had arrived when the
+  /// victim died — under real threads, on interleaving — and failure
+  /// observation must stay deterministic. The observer's own clock is
+  /// its (deterministic) failure-detection time.
   void observe_poison(CollState& state) {
-    clocks_[current_rank_] = std::max(clocks_[current_rank_], state.max_clock);
     if (++state.poison_pickups == state.arrived) {
       erase_state(*state.group, state.seq);
     }
@@ -348,7 +345,7 @@ class EngineImpl {
 
   /// Every collective/exchange entry is one communication event: counts
   /// it (per lifetime, per stage, per trace) and fires any due crash
-  /// trigger by unwinding the current fiber with RankKilled.
+  /// trigger by unwinding the calling rank with RankKilled.
   void on_comm_event(std::uint32_t world_rank) {
     const std::uint64_t life_idx = comm_events_[world_rank]++;
     const std::uint64_t stage_idx = stage_events_[world_rank]++;
@@ -360,7 +357,7 @@ class EngineImpl {
       const std::uint64_t idx = c.stage.empty() ? life_idx : stage_idx;
       if (idx < c.after_events) continue;
       if (c.at_time >= 0.0 && clocks_[world_rank] < c.at_time) continue;
-      kill_current_rank_();
+      kill_rank_(world_rank);
     }
   }
 
@@ -417,13 +414,26 @@ class EngineImpl {
   }
 
   /// Deterministic group id for a split, agreed between members without
-  /// extra communication: first member to ask registers it.
+  /// extra communication: content-addressed as a hash of (parent group,
+  /// split sequence number, color), so every member — and every run,
+  /// under any schedule, backend, or thread interleaving — computes the
+  /// same id without relying on who asks first. Call with the engine
+  /// lock held (the registry is shared).
   std::uint64_t group_id_for_split(std::uint64_t parent_id, std::uint64_t seq,
                                    std::uint32_t color) {
     auto key = std::make_tuple(parent_id, seq, color);
     auto it = group_registry_.find(key);
     if (it != group_registry_.end()) return it->second;
-    std::uint64_t id = next_group_id_++;
+    std::uint64_t id = hash64(hash64(parent_id ^ 0x9E3779B97F4A7C15ull) ^
+                              hash64(seq + 0xBF58476D1CE4E5B9ull) ^
+                              (color + 0x94D049BB133111EBull));
+    if (id == 0) id = 1;  // 0 names the world group
+    // A collision would fuse two distinct communicators' rendezvous
+    // streams. With 64-bit ids over a handful of groups this is
+    // astronomically unlikely — and, because ids are pure functions of
+    // the key, it would fire identically in every run (no flakiness).
+    SP_ASSERT_MSG(group_ids_used_.insert(id).second,
+                  "group id hash collision");
     group_registry_.emplace(key, id);
     return id;
   }
@@ -456,16 +466,6 @@ class EngineImpl {
   }
 
  private:
-  struct FiberData {
-    ucontext_t ctx;
-    std::unique_ptr<char[]> stack;
-  };
-
-  bool rendezvous_ready_(std::uint32_t rank) const {
-    const CollState* st = blocked_on_[rank];
-    return st->poisoned || st->arrived >= st->expected;
-  }
-
   /// Straggler model: the product of all active slowdown factors for a
   /// rank, applied to every virtual-clock charge.
   double fault_time_scale_(std::uint32_t world_rank) const {
@@ -479,10 +479,10 @@ class EngineImpl {
     return f;
   }
 
-  /// Fail-stop: marks the current rank dead, poisons every rendezvous
-  /// that can no longer complete, and unwinds the fiber.
-  [[noreturn]] void kill_current_rank_() {
-    const std::uint32_t r = current_rank_;
+  /// Fail-stop: marks the rank dead, poisons every rendezvous that can no
+  /// longer complete, wakes parked peers to observe, and unwinds the
+  /// caller. Requires the engine lock (all callers hold it).
+  [[noreturn]] void kill_rank_(std::uint32_t r) {
     failed_[r] = true;
     failed_order_.push_back(r);
     for (auto& [key, st] : states_) {
@@ -495,32 +495,30 @@ class EngineImpl {
         st.poisoned = true;
       }
     }
-    ++activity_;
+    exec_->notify();
     throw RankKilled{};
   }
 
-  static void trampoline_() {
-    EngineImpl* engine = current_engine_;
-    std::uint32_t rank = engine->current_rank_;
+  void rank_main_(std::uint32_t rank) {
     try {
-      Comm comm(engine, engine->world_, rank, rank);
-      (*engine->program_)(comm);
+      Comm comm(this, world_, rank, rank);
+      (*program_)(comm);
     } catch (const RankKilled&) {
-      // Fault-plan crash: the death is already recorded; the fiber just
+      // Fault-plan crash: the death is already recorded; the rank just
       // retires without surfacing an exception.
+    } catch (const exec::RunAborted&) {
+      // The run is being torn down (a peer stalled or threw); retire
+      // quietly — whatever caused the abort is surfaced elsewhere.
     } catch (...) {
-      engine->exceptions_[rank] = std::current_exception();
+      exceptions_[rank] = std::current_exception();
     }
-    engine->finished_[rank] = true;
-    // uc_link returns to the scheduler.
+    exec::ExecLock guard(*exec_);
+    finished_[rank] = true;
   }
 
   BspEngine::Options opt_;
+  std::unique_ptr<exec::Executor> exec_;
   const std::function<void(Comm&)>* program_ = nullptr;
-  std::vector<FiberData> fibers_;
-  ucontext_t scheduler_ctx_{};
-  std::uint32_t current_rank_ = 0;
-  static thread_local EngineImpl* current_engine_;
 
   std::vector<double> clocks_;
   std::vector<RankTrace> traces_;
@@ -546,23 +544,21 @@ class EngineImpl {
   std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>,
            std::uint64_t>
       group_registry_;
-  std::uint64_t next_group_id_ = 1;
+  std::set<std::uint64_t> group_ids_used_;
   std::shared_ptr<GroupInfo> world_;
-  std::uint64_t activity_ = 0;
 
  public:
-  std::vector<CollState*> blocked_init_;  // unused; keeps layout simple
   void resize_blocked() { blocked_on_.assign(opt_.nranks, nullptr); }
   friend class ::sp::comm::BspEngine;
 };
 
-thread_local EngineImpl* EngineImpl::current_engine_ = nullptr;
-
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
-// Observability sink (see obs_hook.hpp). Single-threaded runtime: a plain
-// global is sufficient, and the engine only reads it under SP_OBS.
+// Observability sink (see obs_hook.hpp). Installed by the host before a
+// run and read (never written) by rank bodies, so a plain global pointer
+// is safe on both backends; the sink object itself synchronizes its
+// mutations (obs::Recorder locks internally).
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -646,6 +642,9 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
                                          std::vector<std::size_t>* counts,
                                          std::uint32_t elem_width,
                                          const std::source_location& loc) {
+  // The engine lock spans the whole rendezvous (released only while
+  // parked in wait_all_arrived); RAII so every throw path unlocks.
+  exec::ExecLock guard(engine_->executor());
   engine_->on_comm_event(world_rank_);
 #ifdef SP_OBS
   const double obs_t_begin = engine_->clock(world_rank_);
@@ -680,13 +679,15 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
   st.contribs[group_rank_] = std::move(payload);
   st.max_clock = std::max(st.max_clock, engine_->clock(world_rank_));
   ++st.arrived;
-  engine_->bump_activity();
-  if (engine_->wait_all_arrived(st)) {
+  engine_->notify_arrival(st);
+  if (engine_->wait_all_arrived(world_rank_, st)) {
     engine_->observe_poison(st);
     throw RankFailedError(engine_->all_failed());
   }
 
-  // Last-to-observe combines exactly once.
+  // Last-to-observe combines exactly once — in group-rank order, never
+  // arrival order, so the fold shape (a left comb over ranks 0..P-1) is
+  // fixed and results are bit-identical on every backend.
   if (!st.combined) {
     st.combined = true;
     st.contrib_sizes.resize(st.expected);
@@ -792,6 +793,7 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
           std::to_string(nranks()) + " rank(s)");
     }
   }
+  exec::ExecLock guard(engine_->executor());
   engine_->on_comm_event(world_rank_);
 #ifdef SP_OBS
   const double obs_t_begin = engine_->clock(world_rank_);
@@ -827,14 +829,17 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
   }
   st.max_clock = std::max(st.max_clock, engine_->clock(world_rank_));
   ++st.arrived;
-  engine_->bump_activity();
-  if (engine_->wait_all_arrived(st)) {
+  engine_->notify_arrival(st);
+  if (engine_->wait_all_arrived(world_rank_, st)) {
     engine_->observe_poison(st);
     throw RankFailedError(engine_->all_failed());
   }
 
   std::vector<Packet> inbox = std::move(st.inboxes[group_rank_]);
-  // Stable: preserves each source's send order.
+  // Stable sort by source: inbox contents arrive in (arbitrary) peer
+  // arrival order, but the sort keys them by source rank while
+  // preserving each source's send order — the received sequence is a
+  // pure function of what was sent, not of scheduling.
   std::stable_sort(inbox.begin(), inbox.end(),
                    [](const Packet& a, const Packet& b) { return a.peer < b.peer; });
 
@@ -892,7 +897,10 @@ Comm Comm::split(std::uint32_t color, std::uint32_t key,
   });
 
   auto group = std::make_shared<detail::GroupInfo>();
-  group->id = engine_->group_id_for_split(group_->id, seq_, color);
+  {
+    exec::ExecLock guard(engine_->executor());
+    group->id = engine_->group_id_for_split(group_->id, seq_, color);
+  }
   group->members.reserve(members.size());
   std::uint32_t my_index = 0;
   for (std::uint32_t i = 0; i < members.size(); ++i) {
@@ -912,6 +920,7 @@ Comm Comm::shrink(std::source_location loc) {
   // the ordinary seq_ range.
   constexpr std::uint64_t kShrinkBase = 1ull << 62;
   for (;;) {
+    exec::ExecLock guard(engine_->executor());
     engine_->on_comm_event(world_rank_);  // a rank may die entering shrink
 #ifdef SP_OBS
     const double obs_t_begin = engine_->clock(world_rank_);
@@ -934,8 +943,8 @@ Comm Comm::shrink(std::source_location loc) {
     }
     st.max_clock = std::max(st.max_clock, engine_->clock(world_rank_));
     ++st.arrived;
-    engine_->bump_activity();
-    if (engine_->wait_all_arrived(st)) {
+    engine_->notify_arrival(st);
+    if (engine_->wait_all_arrived(world_rank_, st)) {
       // Another rank died while this shrink was in flight: restart. The
       // new failure count yields a fresh key, so all survivors converge
       // on the same retry rendezvous.
@@ -1098,7 +1107,12 @@ std::uint64_t RunStats::fingerprint() const {
       h = mix_in(h, cost.comm_events);
     }
   }
-  for (std::uint32_t r : failed_ranks) h = mix_in(h, r);
+  // The failure *set* is deterministic; the death order of multiple
+  // same-run crashes is not under the threads backend (see trace.hpp) —
+  // hash the sorted set so fingerprints agree across backends.
+  std::vector<std::uint32_t> failed_sorted = failed_ranks;
+  std::sort(failed_sorted.begin(), failed_sorted.end());
+  for (std::uint32_t r : failed_sorted) h = mix_in(h, r);
   return h;
 }
 

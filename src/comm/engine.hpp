@@ -1,11 +1,13 @@
 // Deterministic SPMD message-passing runtime.
 //
-// BspEngine runs P "ranks" as cooperatively-scheduled fibers on one OS
-// thread. Ranks communicate only through the Comm API (MPI-flavoured
-// collectives, bulk point-to-point supersteps, communicator splitting), so
-// the algorithms written against it have exactly the communication
-// structure of a real MPI implementation — while execution stays
-// single-threaded, deterministic, and runnable at P = 1024 on a laptop.
+// BspEngine runs P "ranks" on a pluggable execution backend (sp::exec):
+// the default fiber backend cooperatively schedules all ranks on one OS
+// thread; the threads backend runs each rank on its own thread, throttled
+// to T runnable at a time. Ranks communicate only through the Comm API
+// (MPI-flavoured collectives, bulk point-to-point supersteps, communicator
+// splitting), so the algorithms written against it have exactly the
+// communication structure of a real MPI implementation — runnable at
+// P = 1024 on a laptop, and genuinely parallel when asked to be.
 //
 // Every operation is charged to a per-rank *virtual clock* using the
 // CostModel (t_s / t_w / compute rate): this clock, not wall time, is what
@@ -13,8 +15,11 @@
 // a collective completes at (max arrival clock among the group) + op cost,
 // which matches the cost accounting in the paper's Section 3.1.
 //
-// Determinism: fibers are resumed round-robin, there is no preemption and
-// no real concurrency, so traces and results are bit-reproducible.
+// Determinism holds on both backends: every rendezvous combines its
+// contributions in fixed group-rank order under the engine lock, group
+// ids are content-addressed, and nothing order-dependent leaks into
+// results — so traces, clocks, and partitions are bit-identical across
+// schedules, backends, and thread counts (DESIGN.md §7 has the argument).
 #pragma once
 
 #include <cstddef>
@@ -322,6 +327,12 @@ class BspEngine {
   struct Options {
     std::uint32_t nranks = 4;
     CostModel model = CostModel::nehalem_qdr();
+    /// Execution backend: kFiber (deterministic cooperative scheduler,
+    /// the default) or kThreads (one thread per rank, `threads` runnable
+    /// at a time). Results are bit-identical across backends.
+    exec::Backend backend = exec::Backend::kFiber;
+    /// Worker-thread cap for the threads backend; 0 = hw_concurrency.
+    std::uint32_t threads = 0;
     /// Fiber stack size. Algorithms here recurse shallowly; 1 MiB is ample
     /// and keeps P=1024 within 1 GiB of (lazily mapped) stack.
     std::size_t stack_bytes = 256u << 10;

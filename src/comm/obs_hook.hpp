@@ -7,8 +7,11 @@
 // tiny interface, and every engine-side call is compiled out when the
 // build has SP_OBS off, so the hook costs nothing in production builds.
 //
-// The runtime is single-threaded by design (fibers on one OS thread), so
-// a plain global sink pointer is safe.
+// Threading: the sink is installed before a run and uninstalled after it,
+// never swapped mid-run, so the global pointer itself needs no lock. The
+// engine invokes on_comm_op under its engine lock (calls are serialized on
+// both backends); the sink object synchronizes any other entry points of
+// its own (obs::Recorder locks internally for user-code spans).
 #pragma once
 
 #include <cstdint>

@@ -11,18 +11,17 @@
 #include <string>
 #include <vector>
 
+#include "exec/executor.hpp"
+
 namespace sp::comm {
 
-/// Fiber resume order used by the BSP scheduler. Any schedule yields the
-/// same results for a correct SPMD program (collectives canonicalize by
-/// group rank); the determinism auditor (sp::analysis) runs a program
-/// under several schedules and flags any divergence, which indicates a
-/// shared-state ordering bug.
-enum class Schedule : std::uint8_t {
-  kRoundRobin,     // ascending rank order (the historical default)
-  kReversed,       // descending rank order
-  kSeededShuffle,  // fresh seeded permutation every scheduler sweep
-};
+/// Fiber resume order used by the BSP scheduler (now owned by the
+/// execution subsystem; aliased here so existing code keeps writing
+/// comm::Schedule). Any schedule yields the same results for a correct
+/// SPMD program (collectives canonicalize by group rank); the determinism
+/// auditor (sp::analysis) runs a program under several schedules and
+/// flags any divergence, which indicates a shared-state ordering bug.
+using Schedule = exec::Schedule;
 
 const char* schedule_name(Schedule s);
 
@@ -61,9 +60,18 @@ struct RunStats {
   double wall_seconds = 0.0;  // actual host time (diagnostic only)
   /// World ranks killed by the FaultPlan, in order of death. Empty on a
   /// fault-free run. A listed rank's clock/trace stop at its death.
+  /// Under the threads backend the *order* of multiple same-run deaths
+  /// may vary with thread interleaving (each crash fires at its own
+  /// deterministic point; only their relative observation order races),
+  /// which is why fingerprint() hashes the sorted set.
   std::vector<std::uint32_t> failed_ranks;
   /// Fiber resume order the run used (see Schedule).
   Schedule schedule = Schedule::kRoundRobin;
+  /// Execution backend that produced the run, and the worker-thread cap
+  /// it ran under (1 for the fiber backend). Diagnostic, like
+  /// wall_seconds: excluded from fingerprint().
+  exec::Backend backend = exec::Backend::kFiber;
+  std::uint32_t threads = 1;
 
   double makespan() const;
   /// Order-independent digest of everything deterministic about the run:

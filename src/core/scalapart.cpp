@@ -167,6 +167,8 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
   eng_opt.faults = opt.faults;
   eng_opt.schedule = opt.schedule;
   eng_opt.schedule_seed = opt.schedule_seed;
+  eng_opt.backend = opt.backend;
+  eng_opt.threads = opt.threads;
   comm::BspEngine engine(eng_opt);
 
   auto stats = engine.run([&](comm::Comm& world0) {
@@ -362,6 +364,8 @@ ScalaPartResult sp_pg7nl_partition(const CsrGraph& g,
   eng_opt.faults = opt.faults;
   eng_opt.schedule = opt.schedule;
   eng_opt.schedule_seed = opt.schedule_seed;
+  eng_opt.backend = opt.backend;
+  eng_opt.threads = opt.threads;
   comm::BspEngine engine(eng_opt);
 
   auto stats = engine.run([&](comm::Comm& world) {

@@ -52,6 +52,14 @@ struct ScalaPartOptions {
 
   std::uint64_t seed = 42;
 
+  /// Execution backend for the BSP engine: kFiber (default, one OS
+  /// thread) or kThreads (one thread per rank, `threads` runnable at a
+  /// time). The partition, trace, and modeled clocks are bit-identical
+  /// across backends and thread counts; only wall time changes.
+  exec::Backend backend = exec::Backend::kFiber;
+  /// Worker-thread cap for the threads backend; 0 = hw_concurrency.
+  std::uint32_t threads = 0;
+
   /// Fiber resume order of the BSP engine. ScalaPart is schedule-correct:
   /// every schedule yields a bit-identical partition and trace (the
   /// determinism auditor in sp::analysis verifies this), so this knob

@@ -1,0 +1,15 @@
+// Internal: backend constructors for Executor::make. Not installed API.
+#pragma once
+
+#include <memory>
+
+#include "exec/executor.hpp"
+
+namespace sp::exec::detail {
+
+std::unique_ptr<Executor> make_fiber_executor(const ExecOptions& options);
+#ifdef SP_EXEC_THREADS
+std::unique_ptr<Executor> make_thread_executor(const ExecOptions& options);
+#endif
+
+}  // namespace sp::exec::detail

@@ -1,0 +1,51 @@
+#include "exec/executor.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "exec/backends.hpp"
+
+namespace sp::exec {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kFiber:
+      return "fiber";
+    case Backend::kThreads:
+      return "threads";
+  }
+  return "?";
+}
+
+Backend parse_backend(std::string_view name) {
+  if (name == "fiber") return Backend::kFiber;
+  if (name == "threads") return Backend::kThreads;
+  throw std::invalid_argument("unknown execution backend '" +
+                              std::string(name) +
+                              "' (expected 'fiber' or 'threads')");
+}
+
+bool threads_backend_available() {
+#ifdef SP_EXEC_THREADS
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<Executor> Executor::make(const ExecOptions& options) {
+  switch (options.backend) {
+    case Backend::kFiber:
+      return detail::make_fiber_executor(options);
+    case Backend::kThreads:
+#ifdef SP_EXEC_THREADS
+      return detail::make_thread_executor(options);
+#else
+      throw std::runtime_error(
+          "threads backend disabled at build time (SP_EXEC_THREADS=OFF)");
+#endif
+  }
+  throw std::invalid_argument("unknown execution backend");
+}
+
+}  // namespace sp::exec

@@ -1,0 +1,135 @@
+// Pluggable execution substrate for the SPMD runtime.
+//
+// An Executor runs R rank bodies to completion and provides the four
+// primitives the BSP engine's rendezvous logic needs:
+//
+//   lock()/unlock()  one engine-wide critical section guarding all
+//                    cross-rank rendezvous state;
+//   block_until()    park the calling rank until a predicate over that
+//                    state becomes true (the lock is released while
+//                    parked and re-held on return);
+//   notify()         wake parked ranks after mutating rendezvous state;
+//   stall handler    invoked when no rank can make progress (mismatched
+//                    collectives) to produce the error to surface.
+//
+// Two backends implement this contract:
+//
+//   kFiber    the deterministic cooperative scheduler: all ranks are
+//             ucontext fibers on one OS thread, resumed in a configurable
+//             Schedule order. lock()/unlock() are no-ops (there is no
+//             concurrency); block_until() switches to the scheduler.
+//
+//   kThreads  one OS thread per rank, throttled to T runnable ranks
+//             (ExecOptions::threads; 0 = hw_concurrency). The engine
+//             lock is a real mutex, block_until() waits on a condvar and
+//             releases its run slot while parked, so T slots always go to
+//             ranks that can run. Results are bit-identical to the fiber
+//             backend because all rendezvous combining happens in fixed
+//             group-rank order under the engine lock — thread
+//             interleaving can only change *when* state mutates, never
+//             the order contributions are folded in.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "exec/schedule.hpp"
+
+namespace sp::exec {
+
+enum class Backend : std::uint8_t {
+  kFiber,    // deterministic single-thread fiber scheduler
+  kThreads,  // one thread per rank, T runnable at a time
+};
+
+const char* backend_name(Backend b);
+
+/// Parses "fiber" / "threads". Throws std::invalid_argument on anything
+/// else (including "threads" in a build with SP_EXEC_THREADS off — the
+/// factory would reject it later anyway; parse keeps the error close to
+/// the flag).
+Backend parse_backend(std::string_view name);
+
+/// True when this build can construct the kThreads backend.
+bool threads_backend_available();
+
+struct ExecOptions {
+  Backend backend = Backend::kFiber;
+  /// Worker-thread cap for kThreads (number of simultaneously runnable
+  /// ranks); 0 = std::thread::hardware_concurrency(). Ignored by kFiber.
+  std::uint32_t threads = 0;
+  /// Per-rank fiber stack size (kFiber only).
+  std::size_t stack_bytes = 256u << 10;
+  /// Fiber resume order + shuffle seed (kFiber only).
+  Schedule schedule = Schedule::kRoundRobin;
+  std::uint64_t schedule_seed = 0x5EEDu;
+};
+
+/// Thrown through rank bodies to unwind them quietly when the run is
+/// aborting (a peer hit a stall or fatal error and every parked rank must
+/// retire so the executor can join). Deliberately not a std::exception:
+/// user-level catch(std::exception&) must not swallow it. The engine's
+/// rank wrapper catches it and records nothing.
+struct RunAborted {};
+
+class Executor {
+ public:
+  using RankBody = std::function<void(std::uint32_t rank)>;
+  using ReadyFn = std::function<bool()>;
+  /// Called (with the engine lock held) when no unfinished rank can make
+  /// progress. Returns the exception to surface from run(), or nullptr if
+  /// per-rank exceptions already recorded elsewhere explain the stall (the
+  /// run then just aborts and the caller re-raises its own).
+  using StallHandler = std::function<std::exception_ptr()>;
+
+  virtual ~Executor() = default;
+
+  /// Runs body(rank) for ranks [0, nranks) to completion. The body must
+  /// not let exceptions escape (the engine records them per rank). May be
+  /// called repeatedly. Throws what the stall handler returned if the run
+  /// stalled.
+  virtual void run(std::uint32_t nranks, const RankBody& body) = 0;
+
+  /// Parks rank `rank` (the caller) until ready() returns true. Must be
+  /// called with the engine lock held; the predicate is evaluated with it
+  /// held, and it is re-held when this returns. Throws RunAborted if the
+  /// run aborts while parked. The ReadyFn reference must outlive the call
+  /// (the executor stores a pointer, no copy).
+  virtual void block_until(std::uint32_t rank, const ReadyFn& ready) = 0;
+
+  /// Wakes parked ranks to re-evaluate their predicates. Call with the
+  /// engine lock held after a mutation that can complete a rendezvous
+  /// (last arrival, poisoning).
+  virtual void notify() = 0;
+
+  /// Engine-wide critical section. No-op for kFiber.
+  virtual void lock() = 0;
+  virtual void unlock() = 0;
+
+  virtual Backend backend() const = 0;
+  /// Ranks that can execute simultaneously (1 for kFiber).
+  virtual std::uint32_t concurrency() const = 0;
+
+  virtual void set_stall_handler(StallHandler handler) = 0;
+
+  /// Builds the configured backend. Throws std::runtime_error for
+  /// kThreads when the build has SP_EXEC_THREADS off.
+  static std::unique_ptr<Executor> make(const ExecOptions& options);
+};
+
+/// RAII engine lock.
+class ExecLock {
+ public:
+  explicit ExecLock(Executor& ex) : ex_(ex) { ex_.lock(); }
+  ~ExecLock() { ex_.unlock(); }
+  ExecLock(const ExecLock&) = delete;
+  ExecLock& operator=(const ExecLock&) = delete;
+
+ private:
+  Executor& ex_;
+};
+
+}  // namespace sp::exec

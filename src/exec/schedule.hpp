@@ -1,0 +1,24 @@
+// Rank resume order used by the deterministic (fiber) executor.
+//
+// Lives in sp::exec (not sp::comm) because the scheduler that consumes it
+// is an executor concern; comm/trace.hpp aliases it back into sp::comm so
+// existing code keeps writing comm::Schedule.
+#pragma once
+
+#include <cstdint>
+
+namespace sp::exec {
+
+/// Resume order of the fiber executor's cooperative sweep. Any schedule
+/// yields the same results for a correct SPMD program (collectives
+/// canonicalize by group rank); the determinism auditor (sp::analysis)
+/// runs a program under several schedules and flags any divergence, which
+/// indicates a shared-state ordering bug. The thread executor ignores it
+/// (real preemption subsumes every schedule).
+enum class Schedule : std::uint8_t {
+  kRoundRobin,     // ascending rank order (the historical default)
+  kReversed,       // descending rank order
+  kSeededShuffle,  // fresh seeded permutation every scheduler sweep
+};
+
+}  // namespace sp::exec

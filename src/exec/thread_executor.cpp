@@ -1,0 +1,159 @@
+// The multithreaded backend: one OS thread per rank, throttled so at most
+// T ranks are runnable at once (T = ExecOptions::threads, default
+// hw_concurrency). A rank that parks in block_until releases its run slot
+// before sleeping and re-acquires one after its predicate holds, so the T
+// slots always go to ranks that can actually run — the throttle can never
+// deadlock the rendezvous protocol.
+//
+// One mutex (the engine lock) guards all cross-rank rendezvous state; a
+// single condvar carries all three wait conditions (predicate flips, free
+// run slots, abort). That is deliberately coarse: the engine's critical
+// sections are short (arrival bookkeeping and payload splicing), while
+// all real work — the partitioner's compute between collectives — runs
+// outside the lock, in parallel.
+//
+// Stall detection mirrors the fiber sweep: when every unfinished rank is
+// parked on a false predicate, no predicate can ever flip (only running
+// ranks mutate rendezvous state), so the run has stalled. The last rank
+// to park (or finish) detects this, obtains the error to surface from the
+// stall handler, and aborts the run; every parked rank unwinds with
+// RunAborted so the executor can join its threads.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/backends.hpp"
+#include "support/assert.hpp"
+
+namespace sp::exec::detail {
+
+namespace {
+
+class ThreadExecutor final : public Executor {
+ public:
+  explicit ThreadExecutor(const ExecOptions& options) {
+    slots_ = options.threads != 0 ? options.threads
+                                  : std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  void run(std::uint32_t nranks, const RankBody& body) override {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      preds_.assign(nranks, nullptr);
+      aborting_ = false;
+      run_error_ = nullptr;
+      active_ = nranks;
+      sleeping_ = 0;
+      slots_in_use_ = 0;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(nranks);
+    for (std::uint32_t r = 0; r < nranks; ++r) {
+      threads.emplace_back([this, &body, r] { rank_thread_(body, r); });
+    }
+    for (std::thread& t : threads) t.join();
+    if (run_error_) std::rethrow_exception(run_error_);
+  }
+
+  void block_until(std::uint32_t rank, const ReadyFn& ready) override {
+    // The caller holds mu_ via lock(); adopt it for the waits and hand it
+    // back (still held) on every exit path, including the throw — the
+    // caller's ExecLock releases it during unwinding.
+    if (ready()) return;
+    std::unique_lock<std::mutex> l(mu_, std::adopt_lock);
+    preds_[rank] = &ready;
+    release_slot_();
+    ++sleeping_;
+    while (true) {
+      if (aborting_) {
+        --sleeping_;
+        preds_[rank] = nullptr;
+        // Re-take slot accounting so the thread epilogue's release
+        // balances; the throttle no longer matters mid-abort.
+        ++slots_in_use_;
+        l.release();
+        throw RunAborted{};
+      }
+      if (ready()) break;
+      maybe_stall_();
+      if (aborting_) continue;  // loop back into the abort branch
+      cv_.wait(l);
+    }
+    --sleeping_;
+    preds_[rank] = nullptr;
+    while (slots_in_use_ >= slots_ && !aborting_) cv_.wait(l);
+    ++slots_in_use_;  // on abort: oversubscribe, the next park unwinds
+    l.release();
+  }
+
+  void notify() override { cv_.notify_all(); }
+
+  void lock() override { mu_.lock(); }
+  void unlock() override { mu_.unlock(); }
+
+  Backend backend() const override { return Backend::kThreads; }
+  std::uint32_t concurrency() const override { return slots_; }
+
+  void set_stall_handler(StallHandler handler) override {
+    stall_ = std::move(handler);
+  }
+
+ private:
+  void rank_thread_(const RankBody& body, std::uint32_t rank) {
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      while (slots_in_use_ >= slots_ && !aborting_) cv_.wait(l);
+      ++slots_in_use_;
+    }
+    body(rank);  // the engine's rank wrapper lets nothing escape
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      release_slot_();
+      --active_;
+      // A finishing rank can strand its peers (e.g. it threw out of a
+      // collective its group is still parked in) — re-check for stall.
+      maybe_stall_();
+      cv_.notify_all();
+    }
+  }
+
+  void release_slot_() {
+    SP_ASSERT(slots_in_use_ > 0);
+    --slots_in_use_;
+    cv_.notify_all();
+  }
+
+  /// With mu_ held: declares a stall when every unfinished rank is parked
+  /// on a false predicate. Ranks waiting for a run slot never block this
+  /// (they hold no predicate and will run once a parking rank frees its
+  /// slot), so detection fires exactly when no progress is possible.
+  void maybe_stall_() {
+    if (aborting_ || active_ == 0 || sleeping_ < active_) return;
+    for (const ReadyFn* p : preds_) {
+      if (p != nullptr && (*p)()) return;  // a wake is already in flight
+    }
+    run_error_ = stall_ ? stall_() : nullptr;
+    aborting_ = true;
+    cv_.notify_all();
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint32_t slots_ = 1;          // T: max simultaneously runnable ranks
+  std::uint32_t slots_in_use_ = 0;   // guarded by mu_
+  std::uint32_t active_ = 0;         // started and unfinished ranks
+  std::uint32_t sleeping_ = 0;       // parked in block_until
+  std::vector<const ReadyFn*> preds_;
+  bool aborting_ = false;
+  std::exception_ptr run_error_;
+  StallHandler stall_;
+};
+
+}  // namespace
+
+std::unique_ptr<Executor> make_thread_executor(const ExecOptions& options) {
+  return std::make_unique<ThreadExecutor>(options);
+}
+
+}  // namespace sp::exec::detail

@@ -35,16 +35,19 @@ MetricsRegistry::Metric& MetricsRegistry::metric_(std::string_view name,
 }
 
 void MetricsRegistry::add(std::string_view name, std::uint32_t lane, double v) {
+  std::lock_guard<std::mutex> hold(mu_);
   metric_(name, Kind::kCounter).lanes[lane].value += v;
 }
 
 void MetricsRegistry::set_gauge(std::string_view name, std::uint32_t lane,
                                 double v) {
+  std::lock_guard<std::mutex> hold(mu_);
   metric_(name, Kind::kGauge).lanes[lane].value = v;
 }
 
 void MetricsRegistry::observe(std::string_view name, std::uint32_t lane,
                               double v) {
+  std::lock_guard<std::mutex> hold(mu_);
   Hist& h = metric_(name, Kind::kHistogram).lanes[lane].hist;
   if (h.count == 0) {
     h.min = v;
@@ -59,6 +62,7 @@ void MetricsRegistry::observe(std::string_view name, std::uint32_t lane,
 }
 
 std::map<std::string, double> MetricsRegistry::flatten() const {
+  std::lock_guard<std::mutex> hold(mu_);
   std::map<std::string, double> out;
   for (const auto& [name, m] : metrics_) {
     switch (m.kind) {

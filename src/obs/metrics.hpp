@@ -7,10 +7,17 @@
 // order regardless of how fibers interleave, and cross-lane aggregation
 // happens only at query time, in lane order. Keep wired increments
 // integer-valued where possible so double sums are exact.
+//
+// The same keying makes metrics bit-identical across execution backends:
+// each lane's updates happen in its rank's program order. An internal
+// mutex serializes the shared map when ranks are real threads; each
+// recording call locks independently (no cross-metric atomicity, which
+// nothing here needs).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -41,8 +48,14 @@ class MetricsRegistry {
   /// buckets. Deterministic (ordered maps throughout).
   JsonValue to_json() const;
 
-  bool empty() const { return metrics_.empty(); }
-  void clear() { metrics_.clear(); }
+  bool empty() const {
+    std::lock_guard<std::mutex> hold(mu_);
+    return metrics_.empty();
+  }
+  void clear() {
+    std::lock_guard<std::mutex> hold(mu_);
+    metrics_.clear();
+  }
 
   /// Bucket index for histogram observations: 0 for v == 0, then
   /// ±(1 + floor(log2 |v|)) keyed by sign. Exposed for tests.
@@ -71,6 +84,7 @@ class MetricsRegistry {
 
   Metric& metric_(std::string_view name, Kind kind);
 
+  mutable std::mutex mu_;
   std::map<std::string, Metric, std::less<>> metrics_;
 };
 

@@ -16,6 +16,8 @@ void Recorder::ensure_lane_(std::uint32_t rank) {
 void Recorder::span_begin(std::uint32_t rank, std::string_view name,
                           std::string_view cat, std::int32_t level, double t,
                           const comm::CostSnapshot& at) {
+  const auto wall_now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> hold(mu_);
   ensure_lane_(rank);
   Event ev;
   ev.kind = EventKind::kBegin;
@@ -24,12 +26,14 @@ void Recorder::span_begin(std::uint32_t rank, std::string_view name,
   ev.level = level;
   ev.t = t;
   open_[rank].push_back(
-      {at, static_cast<std::uint32_t>(lanes_[rank].size())});
+      {at, static_cast<std::uint32_t>(lanes_[rank].size()), wall_now});
   lanes_[rank].push_back(std::move(ev));
 }
 
 void Recorder::span_end(std::uint32_t rank, double t,
                         const comm::CostSnapshot& at) {
+  const auto wall_now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> hold(mu_);
   if (rank >= open_.size() || open_[rank].empty()) return;
   const OpenSpan open = open_[rank].back();
   open_[rank].pop_back();
@@ -45,11 +49,14 @@ void Recorder::span_end(std::uint32_t rank, double t,
   ev.comm_seconds = at.comm_seconds - open.at.comm_seconds;
   ev.messages = at.messages - open.at.messages;
   ev.bytes = at.bytes_sent - open.at.bytes_sent;
+  ev.wall_dur =
+      std::chrono::duration<double>(wall_now - open.wall_begin).count();
   lanes_[rank].push_back(std::move(ev));
 }
 
 void Recorder::instant(std::uint32_t rank, std::string_view name,
                        std::string_view cat, double t) {
+  std::lock_guard<std::mutex> hold(mu_);
   ensure_lane_(rank);
   Event ev;
   ev.kind = EventKind::kInstant;
@@ -60,6 +67,7 @@ void Recorder::instant(std::uint32_t rank, std::string_view name,
 }
 
 void Recorder::on_comm_op(const comm::CommOpEvent& op) {
+  std::lock_guard<std::mutex> hold(mu_);
   ensure_lane_(op.world_rank);
   Event ev;
   ev.kind = EventKind::kComplete;
@@ -91,6 +99,7 @@ std::size_t Recorder::open_spans() const {
 }
 
 void Recorder::clear() {
+  std::lock_guard<std::mutex> hold(mu_);
   lanes_.clear();
   open_.clear();
   metrics_.clear();

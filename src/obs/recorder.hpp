@@ -10,10 +10,15 @@
 // Events land in per-rank lanes in program order, never interleaved
 // across ranks — which is why the serialized output is bit-identical
 // under every fiber Schedule (the scheduler permutes rank interleaving,
-// not any single rank's program order).
+// not any single rank's program order). The same holds under the threads
+// backend: an internal mutex serializes lane bookkeeping, but each lane
+// still fills strictly in its own rank's program order, so recorded
+// streams (and everything exported from them) match the fiber run's.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -57,6 +62,8 @@ class Recorder : public comm::ObsSink {
   // ---- Introspection (exporters, report, tests) ----
 
   /// Number of lanes touched so far (== highest rank seen + 1).
+  /// Introspection accessors are meant for after the run (exporters,
+  /// report, tests) — they read without the internal lock.
   std::uint32_t num_lanes() const {
     return static_cast<std::uint32_t>(lanes_.size());
   }
@@ -76,12 +83,17 @@ class Recorder : public comm::ObsSink {
   struct OpenSpan {
     comm::CostSnapshot at;      // snapshot at begin
     std::uint32_t begin_index;  // index of the kBegin event in the lane
+    std::chrono::steady_clock::time_point wall_begin;
   };
 
   void ensure_lane_(std::uint32_t rank);
 
   static Recorder* current_;
 
+  /// Serializes lane/stack bookkeeping when ranks are real threads (the
+  /// lane vectors themselves resize, so even distinct-rank writers touch
+  /// shared structure). Uncontended in fiber runs.
+  std::mutex mu_;
   std::vector<std::vector<Event>> lanes_;
   std::vector<std::vector<OpenSpan>> open_;  // per-lane span stack
   MetricsRegistry metrics_;

@@ -11,6 +11,9 @@ namespace sp::obs {
 Report analyze(const comm::RunStats& stats, const Recorder* rec) {
   Report rep;
   rep.failed_ranks = stats.failed_ranks;
+  rep.wall_seconds = stats.wall_seconds;
+  rep.backend = exec::backend_name(stats.backend);
+  rep.threads = stats.threads;
 
   // Critical rank: the one whose final clock is the makespan.
   for (std::uint32_t r = 0; r < stats.clocks.size(); ++r) {
@@ -127,6 +130,9 @@ JsonValue Report::to_json() const {
   JsonValue failed = JsonValue::array();
   for (std::uint32_t r : failed_ranks) failed.push(r);
   root["failed_ranks"] = std::move(failed);
+  root["wall_seconds"] = wall_seconds;
+  root["backend"] = backend;
+  root["threads"] = threads;
   return root;
 }
 
@@ -137,6 +143,12 @@ std::string Report::summary() const {
                 critical_rank, critical_stage.c_str(),
                 critical_stage_seconds, makespan);
   std::string out = buf;
+  if (wall_seconds > 0.0 && !backend.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n  wall: %.3gs on %s backend (%u thread%s)", wall_seconds,
+                  backend.c_str(), threads, threads == 1 ? "" : "s");
+    out += buf;
+  }
   for (const StageSummary& s : stages) {
     std::snprintf(buf, sizeof(buf),
                   "\n  %-10s max %.3gs (rank %u) mean %.3gs imbalance %.2f "

@@ -50,6 +50,13 @@ struct Report {
   std::vector<StageSummary> stages;  // descending max_seconds
   std::vector<LevelSummary> levels;  // empty without a Recorder
   std::vector<std::uint32_t> failed_ranks;
+  /// Actual host time of the run and the backend that produced it (from
+  /// RunStats). makespan/wall_seconds is the modeled-vs-actual ratio:
+  /// comparing it across backends measures the real speedup the threads
+  /// backend buys on the same bit-identical run.
+  double wall_seconds = 0.0;
+  std::string backend;  // "fiber" or "threads"
+  std::uint32_t threads = 1;
 
   JsonValue to_json() const;
   /// Short human-readable rendering (one line per stage).

@@ -13,15 +13,18 @@ import json
 import sys
 
 REQUIRED_TOP = ["bench", "schema_version", "config", "rows", "runs"]
-REQUIRED_CONFIG = ["scale", "seed", "pmax"]
+REQUIRED_CONFIG = ["scale", "seed", "pmax", "backend", "threads"]
 REQUIRED_RUN = [
     "label",
     "modeled_seconds",
     "cut",
+    "wall_ms",
+    "backend",
     "stages",
     "report",
     "recovery",
 ]
+VALID_BACKENDS = {"fiber", "threads"}
 REQUIRED_STAGES = [
     "coarsen_seconds",
     "embed_seconds",
@@ -33,6 +36,8 @@ REQUIRED_REPORT = [
     "critical_stage",
     "stages",
     "failed_ranks",
+    "wall_seconds",
+    "backend",
 ]
 REQUIRED_STAGE_SUMMARY = [
     "stage",
@@ -74,6 +79,9 @@ def check_file(path):
     if not isinstance(doc["schema_version"], int):
         errors.append("schema_version must be an integer")
     require(errors, doc["config"], REQUIRED_CONFIG, "config")
+    backend = doc["config"].get("backend")
+    if backend is not None and backend not in VALID_BACKENDS:
+        errors.append(f"config: backend '{backend}' not in {sorted(VALID_BACKENDS)}")
 
     if not isinstance(doc["rows"], list):
         errors.append("rows must be an array")
@@ -91,11 +99,29 @@ def check_file(path):
             errors.append(f"{where} must be an object")
             continue
         require(errors, run, REQUIRED_RUN, where)
+        wall_ms = run.get("wall_ms")
+        if wall_ms is not None and (
+                not isinstance(wall_ms, (int, float)) or wall_ms < 0):
+            errors.append(f"{where}: wall_ms must be a non-negative number")
+        if "backend" in run and run["backend"] not in VALID_BACKENDS:
+            errors.append(
+                f"{where}: backend '{run['backend']}' not in "
+                f"{sorted(VALID_BACKENDS)}")
         if "stages" in run:
             require(errors, run["stages"], REQUIRED_STAGES, f"{where}.stages")
         if "report" in run:
             rep = run["report"]
             require(errors, rep, REQUIRED_REPORT, f"{where}.report")
+            wall_s = rep.get("wall_seconds")
+            if wall_s is not None and (
+                    not isinstance(wall_s, (int, float)) or wall_s < 0):
+                errors.append(
+                    f"{where}.report: wall_seconds must be a non-negative "
+                    "number")
+            if "backend" in rep and rep["backend"] not in VALID_BACKENDS:
+                errors.append(
+                    f"{where}.report: backend '{rep['backend']}' not in "
+                    f"{sorted(VALID_BACKENDS)}")
             for j, s in enumerate(rep.get("stages", [])):
                 require(errors, s, REQUIRED_STAGE_SUMMARY,
                         f"{where}.report.stages[{j}]")

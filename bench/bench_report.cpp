@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "analysis/determinism.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
@@ -19,6 +20,7 @@ BenchReport::BenchReport(std::string name, const BenchConfig& cfg)
   c["pmax"] = cfg.pmax;
   c["backend"] = exec::backend_name(cfg.backend);
   c["threads"] = cfg.threads;
+  c["reps"] = cfg.reps;
   root_["rows"] = obs::JsonValue::array();
   root_["runs"] = obs::JsonValue::array();
 }
@@ -29,12 +31,22 @@ obs::JsonValue& BenchReport::add_row() {
   return rows.back();
 }
 
+std::string partition_fingerprint_hex(const graph::Bipartition& part) {
+  const std::uint64_t fp = analysis::fingerprint_bytes(
+      part.side.data(), part.side.size() * sizeof(part.side[0]));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return std::string(buf);
+}
+
 obs::JsonValue& BenchReport::add_run(const std::string& label,
                                      const core::ScalaPartResult& r,
                                      const obs::Recorder* rec) {
   obs::JsonValue run = obs::JsonValue::object();
   run["label"] = label;
   run["modeled_seconds"] = r.modeled_seconds;
+  run["part_fp"] = partition_fingerprint_hex(r.part);
   run["partition_only_seconds"] = r.partition_only_seconds;
   run["cut"] = static_cast<long long>(r.report.cut);
   run["imbalance"] = r.report.imbalance;

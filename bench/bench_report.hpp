@@ -23,6 +23,11 @@ class Recorder;
 
 namespace sp::bench {
 
+/// 16-hex-digit order-sensitive digest of a bipartition's side vector.
+/// Rows/runs carry it so tools/bench_gate.py can assert byte-identical
+/// partitions between a baseline and a candidate report.
+std::string partition_fingerprint_hex(const graph::Bipartition& part);
+
 class BenchReport {
  public:
   /// `name` names the output file (BENCH_<name>.json); cfg carries the

@@ -12,9 +12,14 @@
 //   --backend=fiber|threads   execution backend for the BSP runs (results
 //               are bit-identical; only wall time changes)
 //   --threads=N worker-thread cap for --backend=threads (0 = all cores)
+//   --reps=N    repetitions of each timed run; reported walls are the
+//               median of N (default 1). Modeled clocks, cuts, and
+//               partition fingerprints are asserted identical across reps
+//               — only wall time is noisy.
 // and prints the paper's reported numbers next to the measured ones.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -43,6 +48,8 @@ struct BenchConfig {
   exec::Backend backend = exec::Backend::kFiber;
   /// Worker-thread cap for the threads backend; 0 = hw_concurrency.
   std::uint32_t threads = 0;
+  /// Repetitions per timed run; walls report the median of `reps`.
+  std::uint32_t reps = 1;
 
   static BenchConfig from_options(const Options& opt) {
     BenchConfig cfg;
@@ -53,6 +60,8 @@ struct BenchConfig {
     cfg.trace = opt.get("trace", "");
     cfg.backend = exec::parse_backend(opt.get("backend", "fiber"));
     cfg.threads = static_cast<std::uint32_t>(opt.get_int("threads", 0));
+    cfg.reps = static_cast<std::uint32_t>(
+        std::max<long long>(1, opt.get_int("reps", 1)));
     return cfg;
   }
 };

@@ -71,19 +71,40 @@ int main(int argc, char** argv) {
     const auto& g = graphs[i];
     auto opt = bench::sp_options(cfg, p);
     opt.backend = exec::Backend::kFiber;
-    auto fiber = core::scalapart_partition(g.graph, opt);
 
+    // --reps=N: rerun each configuration N times and report median walls
+    // (tools/bench_gate.py consumes them); everything modeled — clocks,
+    // traces, the partition itself — must be bit-identical across reps.
+    std::vector<double> walls_f, walls_b;
+    core::ScalaPartResult fiber;
+    for (std::uint32_t rep = 0; rep < cfg.reps; ++rep) {
+      auto f = core::scalapart_partition(g.graph, opt);
+      walls_f.push_back(f.stats.wall_seconds);
+      if (rep == 0) {
+        fiber = std::move(f);
+      } else {
+        SP_ASSERT_MSG(f.part.side == fiber.part.side &&
+                          f.stats.fingerprint() == fiber.stats.fingerprint(),
+                      "rep divergence: fiber rerun differs");
+      }
+    }
     core::ScalaPartResult run = fiber;
+    walls_b = walls_f;
     if (compare) {
       opt.backend = cfg.backend;
       opt.threads = cfg.threads;
-      run = core::scalapart_partition(g.graph, opt);
-      SP_ASSERT_MSG(run.part.side == fiber.part.side &&
-                        run.stats.fingerprint() == fiber.stats.fingerprint(),
-                    "backend divergence: threads run differs from fiber");
+      walls_b.clear();
+      for (std::uint32_t rep = 0; rep < cfg.reps; ++rep) {
+        auto t = core::scalapart_partition(g.graph, opt);
+        walls_b.push_back(t.stats.wall_seconds);
+        SP_ASSERT_MSG(t.part.side == fiber.part.side &&
+                          t.stats.fingerprint() == fiber.stats.fingerprint(),
+                      "backend divergence: threads run differs from fiber");
+        run = std::move(t);
+      }
     }
-    const double wall_f = fiber.stats.wall_seconds;
-    const double wall_b = run.stats.wall_seconds;
+    const double wall_f = percentile(walls_f, 0.5);
+    const double wall_b = percentile(walls_b, 0.5);
     const double speedup = wall_b > 0.0 ? wall_f / wall_b : 0.0;
     sum_fiber += wall_f;
     sum_backend += wall_b;
@@ -100,6 +121,7 @@ int main(int argc, char** argv) {
     row["wall_ms_fiber"] = wall_f * 1e3;
     row["wall_ms"] = wall_b * 1e3;
     row["speedup"] = speedup;
+    row["part_fp"] = bench::partition_fingerprint_hex(run.part);
     last = std::move(run);
   }
   bench::print_rule();

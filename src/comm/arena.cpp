@@ -1,0 +1,25 @@
+#include "comm/arena.hpp"
+
+#include <utility>
+
+namespace sp::comm {
+
+std::vector<std::byte> BufferArena::acquire(std::size_t size) {
+  ++stats_.acquires;
+  if (!free_.empty()) {
+    ++stats_.hits;
+    std::vector<std::byte> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.resize(size);
+    return buf;
+  }
+  return std::vector<std::byte>(size);
+}
+
+void BufferArena::release(std::vector<std::byte>&& buf) {
+  if (buf.capacity() == 0 || free_.size() >= kMaxPooled) return;
+  ++stats_.released;
+  free_.push_back(std::move(buf));
+}
+
+}  // namespace sp::comm

@@ -1,0 +1,67 @@
+// Per-rank buffer arena for the BSP engine's exchange mailboxes.
+//
+// Every exchange superstep used to malloc a fresh byte buffer per message
+// (serialisation in exchange_typed, packing in the engine, unpacking at the
+// receiver) and free it one superstep later. The arena is a LIFO free list
+// of byte vectors: acquire() pops a recycled buffer when one is available,
+// release() returns one. After the first few supersteps of a level the
+// working set stabilises and steady-state supersteps allocate nothing.
+//
+// Ownership/threading: the engine keeps one arena per world rank. A rank
+// only ever touches its *own* arena — senders acquire from their arena,
+// and a buffer that travels to another rank is released into the
+// receiver's arena — so arenas are thread-confined on the threads backend
+// and need no locking (TSan-clean by construction).
+//
+// The arena is bookkeeping only: it never touches modeled clocks, traces,
+// or fingerprints. Its stats feed RunStats::comm_counters and the
+// "comm/arena_*" obs counters, which are diagnostic (like wall_seconds).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sp::comm {
+
+class BufferArena {
+ public:
+  struct Stats {
+    std::uint64_t acquires = 0;  // total acquire() calls
+    std::uint64_t hits = 0;      // served from the free list
+    std::uint64_t released = 0;  // buffers returned for reuse
+
+    double hit_rate() const {
+      return acquires == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(acquires);
+    }
+  };
+
+  /// Returns a buffer resized to `size` bytes (contents unspecified —
+  /// callers overwrite). Reuses the most recently released buffer when
+  /// the free list is non-empty.
+  std::vector<std::byte> acquire(std::size_t size);
+
+  /// Returns a buffer for reuse. Beyond kMaxPooled buffers the arena
+  /// lets go of the memory instead of hoarding it.
+  void release(std::vector<std::byte>&& buf);
+
+  const Stats& stats() const { return stats_; }
+  std::size_t pooled() const { return free_.size(); }
+
+  /// Starts a fresh stats epoch (per-run counters) without dropping the
+  /// pooled buffers.
+  void reset_stats() { stats_ = Stats{}; }
+
+  /// Drops every pooled buffer (tests; memory pressure).
+  void clear() { free_.clear(); }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 256;
+
+  std::vector<std::vector<std::byte>> free_;
+  Stats stats_;
+};
+
+}  // namespace sp::comm

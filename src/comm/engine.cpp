@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <tuple>
 
+#include "comm/arena.hpp"
 #include "exec/executor.hpp"
 #include "support/random.hpp"
 #include "support/timer.hpp"
@@ -30,6 +34,34 @@ bool contains_rank(const std::vector<std::uint32_t>& members,
                    std::uint32_t world_rank) {
   return std::find(members.begin(), members.end(), world_rank) !=
          members.end();
+}
+}  // namespace
+
+/// One sender's contribution to a destination mailbox. In coalesced mode
+/// (BspEngine::Options::coalesce_exchanges, the default) all of a
+/// sender's packets to one destination collapse into a single `packed`
+/// entry framed as repeated [u64 payload length][payload bytes] — one
+/// message per peer, so the LogP accounting charges one t_s startup per
+/// destination. A lone packet travels unpacked, buffer moved end to end
+/// with zero copies.
+struct InboxEntry {
+  std::uint32_t src = 0;  // sender's group rank
+  bool packed = false;
+  std::vector<std::byte> data;
+};
+
+namespace {
+/// Appends one [u64 length][payload] frame to a packed buffer.
+void append_frame(std::vector<std::byte>& buf,
+                  const std::vector<std::byte>& payload) {
+  const std::uint64_t len = payload.size();
+  const std::size_t off = buf.size();
+  buf.resize(off + sizeof(len) + payload.size());
+  std::memcpy(buf.data() + off, &len, sizeof(len));
+  if (!payload.empty()) {
+    std::memcpy(buf.data() + off + sizeof(len), payload.data(),
+                payload.size());
+  }
 }
 }  // namespace
 
@@ -59,7 +91,7 @@ struct CollState {
   std::vector<std::size_t> contrib_sizes;
   // Exchange-specific:
   bool is_exchange = false;
-  std::vector<std::vector<Comm::Packet>> inboxes;    // by group rank
+  std::vector<std::vector<InboxEntry>> inboxes;      // by destination rank
   // Identity + fault bookkeeping (for poisoning and diagnostics):
   std::shared_ptr<GroupInfo> group;
   std::uint64_t group_id = 0;
@@ -80,6 +112,14 @@ class EngineImpl {
  public:
   explicit EngineImpl(BspEngine::Options options) : opt_(options) {
     SP_ASSERT(opt_.nranks >= 1);
+    // SP_COMM_NO_COALESCE=1 forces the legacy one-mailbox-entry-per-packet
+    // path: the differential tests diff it against the coalesced default.
+    const char* env = std::getenv("SP_COMM_NO_COALESCE");
+    coalesce_ = opt_.coalesce_exchanges &&
+                !(env != nullptr && env[0] != '\0' &&
+                  std::string_view(env) != "0");
+    arenas_ = std::vector<BufferArena>(opt_.nranks);
+    coalesced_batches_.assign(opt_.nranks, 0);
     exec::ExecOptions eo;
     eo.backend = opt_.backend;
     eo.threads = opt_.threads;
@@ -105,6 +145,8 @@ class EngineImpl {
     comm_events_.assign(opt_.nranks, 0);
     stage_events_.assign(opt_.nranks, 0);
     exchange_counts_.assign(opt_.nranks, 0);
+    for (BufferArena& a : arenas_) a.reset_stats();  // pooled buffers persist
+    std::fill(coalesced_batches_.begin(), coalesced_batches_.end(), 0);
     last_sig_.assign(opt_.nranks, analysis::CollSignature{});
     issued_.clear();
     touched_groups_.clear();
@@ -161,6 +203,18 @@ class EngineImpl {
     stats.schedule = opt_.schedule;
     stats.backend = opt_.backend;
     stats.threads = exec_->concurrency();
+    for (std::uint32_t r = 0; r < opt_.nranks; ++r) {
+      const BufferArena::Stats& a = arenas_[r].stats();
+      stats.comm_counters.coalesced_batches += coalesced_batches_[r];
+      stats.comm_counters.arena_acquires += a.acquires;
+      stats.comm_counters.arena_hits += a.hits;
+      stats.comm_counters.arena_released += a.released;
+#ifdef SP_OBS
+      if (ObsSink* sink = obs_sink()) {
+        sink->on_comm_counters(r, coalesced_batches_[r], a.acquires, a.hits);
+      }
+#endif
+    }
     return stats;
   }
 
@@ -465,6 +519,18 @@ class EngineImpl {
     clocks_[world_rank] = value;
   }
 
+  bool coalesce() const { return coalesce_; }
+
+  /// Rank `world_rank`'s buffer arena. Thread-confined: only rank
+  /// `world_rank` may call this (senders acquire from their own arena;
+  /// a buffer that travelled to another rank is released into the
+  /// *receiver's* arena), so no lock is needed on any backend.
+  BufferArena& arena(std::uint32_t world_rank) { return arenas_[world_rank]; }
+
+  void add_coalesced_batches(std::uint32_t world_rank, std::uint64_t n) {
+    coalesced_batches_[world_rank] += n;
+  }
+
  private:
   /// Straggler model: the product of all active slowdown factors for a
   /// rank, applied to every virtual-clock charge.
@@ -531,6 +597,9 @@ class EngineImpl {
   std::vector<std::uint64_t> comm_events_;    // lifetime comm events per rank
   std::vector<std::uint64_t> stage_events_;   // comm events since set_stage
   std::vector<std::uint64_t> exchange_counts_;  // exchange calls per rank
+  bool coalesce_ = true;  // exchange coalescing (Options + SP_COMM_NO_COALESCE)
+  std::vector<BufferArena> arenas_;  // by world rank; see arena() for ownership
+  std::vector<std::uint64_t> coalesced_batches_;  // packed messages per rank
   /// Most recent call signature per world rank (deadlock diagnostics and
   /// the finalize audit).
   std::vector<analysis::CollSignature> last_sig_;
@@ -779,6 +848,16 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
   return my_result;
 }
 
+std::vector<std::byte> Comm::pack_bytes_(const void* src, std::size_t bytes) {
+  std::vector<std::byte> buf = engine_->arena(world_rank_).acquire(bytes);
+  if (bytes != 0) std::memcpy(buf.data(), src, bytes);
+  return buf;
+}
+
+void Comm::recycle_(std::vector<std::byte>&& data) {
+  engine_->arena(world_rank_).release(std::move(data));
+}
+
 std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
                                          std::source_location loc) {
   // Validate peers before touching any engine state: a bad destination
@@ -819,13 +898,47 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
   const std::uint64_t my_seq = seq_++;
   st.is_exchange = true;
 
+  // Deliver into the per-destination mailboxes. Coalesced mode batches
+  // everything this rank sends to one destination into a single packed
+  // message, so msgs_out counts *distinct destinations* — one t_s startup
+  // per peer (DESIGN.md §3a). Legacy mode keeps one entry per packet.
+  // Either way the whole loop runs under the engine lock, so this rank's
+  // entries are consecutive in each mailbox (box.back() is ours iff we
+  // already delivered to that destination this superstep).
   std::uint64_t bytes_out = 0;
-  std::uint64_t msgs_out = outgoing.size();
-  for (auto& p : outgoing) {
-    bytes_out += p.data.size();
-    std::uint32_t dest = p.peer;
-    p.peer = group_rank_;  // rewritten to the source for the receiver
-    st.inboxes[dest].push_back(std::move(p));
+  std::uint64_t msgs_out = 0;
+  if (!engine_->coalesce()) {
+    msgs_out = outgoing.size();
+    for (auto& p : outgoing) {
+      bytes_out += p.data.size();
+      st.inboxes[p.peer].push_back(
+          detail::InboxEntry{group_rank_, false, std::move(p.data)});
+    }
+  } else {
+    BufferArena& arena = engine_->arena(world_rank_);
+    std::uint64_t batches = 0;
+    for (auto& p : outgoing) {
+      bytes_out += p.data.size();
+      auto& box = st.inboxes[p.peer];
+      if (box.empty() || box.back().src != group_rank_) {
+        ++msgs_out;  // first packet to this destination: moves through as-is
+        box.push_back(
+            detail::InboxEntry{group_rank_, false, std::move(p.data)});
+        continue;
+      }
+      detail::InboxEntry& e = box.back();
+      if (!e.packed) {
+        std::vector<std::byte> first = std::move(e.data);
+        e.data = arena.acquire(0);
+        detail::append_frame(e.data, first);
+        arena.release(std::move(first));
+        e.packed = true;
+        ++batches;
+      }
+      detail::append_frame(e.data, p.data);
+      arena.release(std::move(p.data));
+    }
+    if (batches != 0) engine_->add_coalesced_batches(world_rank_, batches);
   }
   st.max_clock = std::max(st.max_clock, engine_->clock(world_rank_));
   ++st.arrived;
@@ -835,20 +948,51 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
     throw RankFailedError(engine_->all_failed());
   }
 
-  std::vector<Packet> inbox = std::move(st.inboxes[group_rank_]);
-  // Stable sort by source: inbox contents arrive in (arbitrary) peer
+  std::vector<detail::InboxEntry> entries = std::move(st.inboxes[group_rank_]);
+  // Stable sort by source: mailbox contents arrive in (arbitrary) peer
   // arrival order, but the sort keys them by source rank while
   // preserving each source's send order — the received sequence is a
-  // pure function of what was sent, not of scheduling.
-  std::stable_sort(inbox.begin(), inbox.end(),
-                   [](const Packet& a, const Packet& b) { return a.peer < b.peer; });
+  // pure function of what was sent, not of scheduling. (A packed entry
+  // already holds one source's packets in send order.)
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const detail::InboxEntry& a, const detail::InboxEntry& b) {
+                     return a.src < b.src;
+                   });
 
+  // msgs_in mirrors msgs_out's accounting: received *messages*, i.e.
+  // mailbox entries — per-peer batches when coalescing, packets otherwise.
+  const std::uint64_t msgs_in = entries.size();
+  std::vector<Packet> inbox;
+  inbox.reserve(entries.size());
   std::uint64_t bytes_in = 0;
-  for (const auto& p : inbox) bytes_in += p.data.size();
+  for (auto& e : entries) {
+    if (!e.packed) {
+      bytes_in += e.data.size();
+      inbox.push_back(Packet{e.src, std::move(e.data)});
+      continue;
+    }
+    // Unpack one batch into per-packet buffers from this rank's arena;
+    // only payload bytes (not frame headers) reach the cost model, so
+    // bytes_in matches the legacy path exactly.
+    BufferArena& arena = engine_->arena(world_rank_);
+    std::size_t off = 0;
+    while (off < e.data.size()) {
+      std::uint64_t len = 0;
+      std::memcpy(&len, e.data.data() + off, sizeof(len));
+      off += sizeof(len);
+      std::vector<std::byte> buf =
+          arena.acquire(static_cast<std::size_t>(len));
+      if (len != 0) std::memcpy(buf.data(), e.data.data() + off, len);
+      off += static_cast<std::size_t>(len);
+      bytes_in += len;
+      inbox.push_back(Packet{e.src, std::move(buf)});
+    }
+    arena.release(std::move(e.data));
+  }
   const CostModel& model = engine_->model();
   double seconds =
       model.ts * static_cast<double>(std::max<std::uint64_t>(
-                     {msgs_out, inbox.size(), 1})) +
+                     {msgs_out, msgs_in, 1})) +
       model.tw * static_cast<double>(std::max(bytes_out, bytes_in));
   engine_->set_clock(world_rank_, st.max_clock);
   engine_->charge_comm(world_rank_, seconds, msgs_out, bytes_out,

@@ -212,7 +212,9 @@ class Comm {
       std::vector<Packet> outgoing,
       std::source_location loc = std::source_location::current());
 
-  /// Typed convenience wrapper over exchange.
+  /// Typed convenience wrapper over exchange. Serialisation buffers come
+  /// from this rank's BufferArena and received buffers are recycled into
+  /// it after conversion, so steady-state supersteps allocate nothing.
   template <typename T>
   std::vector<std::pair<std::uint32_t, std::vector<T>>> exchange_typed(
       const std::vector<std::pair<std::uint32_t, std::vector<T>>>& outgoing,
@@ -223,14 +225,24 @@ class Comm {
     for (const auto& [peer, values] : outgoing) {
       Packet p;
       p.peer = peer;
-      p.data = as_bytes_(std::span<const T>(values));
+      p.data = pack_bytes_(values.data(), values.size() * sizeof(T));
       raw.push_back(std::move(p));
     }
     auto in = exchange(std::move(raw), loc);
     std::vector<std::pair<std::uint32_t, std::vector<T>>> out;
     out.reserve(in.size());
-    for (auto& p : in) out.emplace_back(p.peer, from_bytes_<T>(p.data));
+    for (auto& p : in) {
+      out.emplace_back(p.peer, from_bytes_<T>(p.data));
+      recycle_(std::move(p.data));
+    }
     return out;
+  }
+
+  /// Returns an inbox buffer (from exchange) to this rank's arena for
+  /// reuse by later supersteps. Optional — dropping the buffer is always
+  /// correct — but recycling keeps steady-state supersteps allocation-free.
+  void recycle_buffer(std::vector<std::byte>&& data) {
+    recycle_(std::move(data));
   }
 
   // ---- Communicator management ----
@@ -272,6 +284,14 @@ class Comm {
                                      std::vector<std::size_t>* counts,
                                      std::uint32_t elem_width,
                                      const std::source_location& loc);
+
+  /// Copies `bytes` bytes from `src` into a buffer acquired from this
+  /// rank's arena (defined in engine.cpp; arenas are thread-confined so
+  /// this needs no lock).
+  std::vector<std::byte> pack_bytes_(const void* src, std::size_t bytes);
+
+  /// Releases a buffer into this rank's arena.
+  void recycle_(std::vector<std::byte>&& data);
 
   template <typename T>
   static std::vector<std::byte> as_bytes_(std::span<const T> values) {
@@ -344,6 +364,14 @@ class BspEngine {
     Schedule schedule = Schedule::kRoundRobin;
     /// Seed for Schedule::kSeededShuffle (ignored otherwise).
     std::uint64_t schedule_seed = 0x5EEDu;
+    /// Coalesce per-superstep exchange packets into one packed message per
+    /// destination peer (DESIGN.md §3a). The LogP accounting then charges
+    /// one t_s startup per distinct peer — which is numerically identical
+    /// to per-packet accounting for every library call site (they all send
+    /// at most one packet per peer), so clocks, traces, and partitions are
+    /// bit-identical with coalescing on or off. The env var
+    /// SP_COMM_NO_COALESCE=1 forces the legacy path (differential tests).
+    bool coalesce_exchanges = true;
   };
 
   explicit BspEngine(Options options);

@@ -52,6 +52,21 @@ class ObsSink {
  public:
   virtual ~ObsSink() = default;
   virtual void on_comm_op(const CommOpEvent& ev) = 0;
+
+  /// End-of-run mailbox/allocator counters for one rank: packed messages
+  /// formed by exchange coalescing plus that rank's arena stats. Default
+  /// no-op; deliberately NOT part of CommOpEvent so per-op trace events —
+  /// and the JSONL they serialize to — stay byte-identical whether
+  /// coalescing is on or off (the differential tests rely on that).
+  virtual void on_comm_counters(std::uint32_t world_rank,
+                                std::uint64_t coalesced_batches,
+                                std::uint64_t arena_acquires,
+                                std::uint64_t arena_hits) {
+    (void)world_rank;
+    (void)coalesced_batches;
+    (void)arena_acquires;
+    (void)arena_hits;
+  }
 };
 
 /// Currently installed sink (nullptr = none). Defined in engine.cpp.

@@ -52,6 +52,25 @@ struct StageCost {
 /// One rank's trace: stage -> accumulated cost.
 using RankTrace = std::map<std::string, StageCost>;
 
+/// Run-wide mailbox/allocator counters, summed over ranks (DESIGN.md §3a).
+/// Diagnostic like wall_seconds: excluded from RunStats::fingerprint(),
+/// and legitimately different between the coalesced and legacy
+/// (SP_COMM_NO_COALESCE=1) paths even though clocks/traces are identical.
+struct CommRunCounters {
+  /// Packed multi-packet messages formed by exchange coalescing (0 when
+  /// coalescing is off or no call site sent >1 packet to one peer).
+  std::uint64_t coalesced_batches = 0;
+  std::uint64_t arena_acquires = 0;  // buffer requests served by the arenas
+  std::uint64_t arena_hits = 0;      // ... served without allocating
+  std::uint64_t arena_released = 0;  // buffers returned for reuse
+
+  double arena_hit_rate() const {
+    return arena_acquires == 0 ? 0.0
+                               : static_cast<double>(arena_hits) /
+                                     static_cast<double>(arena_acquires);
+  }
+};
+
 /// Result of a BspEngine::run.
 struct RunStats {
   /// Final virtual clock per rank; modeled parallel makespan is max().
@@ -72,6 +91,9 @@ struct RunStats {
   /// wall_seconds: excluded from fingerprint().
   exec::Backend backend = exec::Backend::kFiber;
   std::uint32_t threads = 1;
+  /// Mailbox coalescing / buffer-arena totals for the run (diagnostic,
+  /// excluded from fingerprint()).
+  CommRunCounters comm_counters;
 
   double makespan() const;
   /// Order-independent digest of everything deterministic about the run:

@@ -109,7 +109,11 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
   const VertexId n = g.num_vertices();
   ScalaPartResult result;
   result.part = Bipartition(n);
-  if (n < 2) {
+  if (n <= 2) {
+    // n == 2: the only balanced bipartition (also the optimal one); the
+    // full pipeline would collapse both vertices onto one embedding point
+    // and trip the balance invariant.
+    if (n == 2) result.part.side[1] = 1;
     result.report = evaluate(g, result.part);
     return result;
   }
@@ -347,7 +351,8 @@ ScalaPartResult sp_pg7nl_partition(const CsrGraph& g,
   const VertexId n = g.num_vertices();
   ScalaPartResult result;
   result.part = Bipartition(n);
-  if (n < 2) {
+  if (n <= 2) {
+    if (n == 2) result.part.side[1] = 1;  // the only balanced bipartition
     result.report = evaluate(g, result.part);
     return result;
   }

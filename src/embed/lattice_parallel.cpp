@@ -236,6 +236,17 @@ void refresh_all_ghosts(comm::Comm& sub, LevelLocal& local) {
 }
 
 /// One level's fixed-lattice smoothing.
+///
+/// Hot-loop layout: coordinates are kept in structure-of-arrays form
+/// (px/py for owned vertices, gx/gy for ghosts) and the adjacency is
+/// pre-resolved into index references, so the force loop is a branch-light
+/// gather over flat double arrays followed by a separate accumulate pass.
+/// Ghost coordinates are clamped into the L1-nearest neighbouring
+/// sub-domain once per *update* instead of once per edge read —
+/// clamp_to_neighbor is a pure function of the ghost position, so the
+/// hoisted value is bit-identical. local.pos / local.ghost_pos remain the
+/// canonical (exact, unclamped) stores: ghost_pos is updated in place and
+/// pos is written back when the level finishes.
 void smooth_level(comm::Comm& sub, LevelLocal& local, const CsrGraph& g,
                   const LatticeEmbedOptions& opt, std::uint32_t iterations,
                   double initial_step_factor, double final_step_fraction) {
@@ -279,6 +290,96 @@ void smooth_level(comm::Comm& sub, LevelLocal& local, const CsrGraph& g,
 
   std::vector<Vec2> force(local.owned.size());
 
+  const auto owned_n = static_cast<std::uint32_t>(local.owned.size());
+  const auto ghost_n = static_cast<std::uint32_t>(local.ghost_ids.size());
+
+  // SoA coordinate mirrors. gx/gy hold the *clamped* ghost positions the
+  // force loop reads; an unreceived ghost clamps its zero-initialised
+  // placeholder, exactly as the old per-edge clamp did.
+  std::vector<double> px(owned_n), py(owned_n);
+  for (std::uint32_t i = 0; i < owned_n; ++i) {
+    px[i] = local.pos[i][0];
+    py[i] = local.pos[i][1];
+  }
+  std::vector<double> gx(ghost_n), gy(ghost_n);
+  for (std::uint32_t j = 0; j < ghost_n; ++j) {
+    Vec2 c = lattice.clamp_to_neighbor(my_row, my_col, local.ghost_pos[j]);
+    gx[j] = c[0];
+    gy[j] = c[1];
+  }
+
+  // Adjacency resolved once per level: each slot names an owned index or
+  // (tagged) a ghost index, with the edge weight widened alongside.
+  constexpr std::uint32_t kGhostBit = 0x80000000u;
+  std::vector<std::uint32_t> nbr_off(owned_n + 1, 0);
+  for (std::uint32_t i = 0; i < owned_n; ++i) {
+    nbr_off[i + 1] =
+        nbr_off[i] + static_cast<std::uint32_t>(g.neighbors(local.owned[i]).size());
+  }
+  std::vector<std::uint32_t> nbr_ref(nbr_off[owned_n]);
+  std::vector<double> nbr_w(nbr_off[owned_n]);
+  std::uint32_t max_deg = 0;
+  for (std::uint32_t i = 0; i < owned_n; ++i) {
+    auto nbrs = g.neighbors(local.owned[i]);
+    auto ws = g.edge_weights_of(local.owned[i]);
+    max_deg = std::max(max_deg, static_cast<std::uint32_t>(nbrs.size()));
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      VertexId u = nbrs[k];
+      std::uint32_t ref;
+      auto it_own = local.local_idx.find(u);
+      if (it_own != local.local_idx.end()) {
+        ref = it_own->second;
+      } else {
+        auto it_g = local.ghost_idx.find(u);
+        SP_ASSERT(it_g != local.ghost_idx.end());
+        ref = it_g->second | kGhostBit;
+      }
+      nbr_ref[nbr_off[i] + k] = ref;
+      nbr_w[nbr_off[i] + k] = static_cast<double>(ws[k]);
+    }
+  }
+  std::vector<double> ux(max_deg), uy(max_deg);  // gather scratch
+
+  // A ghost update stores the exact position and the clamped SoA mirror.
+  auto apply_ghost = [&](const CoordMsg& msg) {
+    auto it_g = local.ghost_idx.find(msg.id);
+    if (it_g == local.ghost_idx.end()) return;
+    local.ghost_pos[it_g->second] = geom::vec2(msg.x, msg.y);
+    Vec2 c = lattice.clamp_to_neighbor(my_row, my_col,
+                                       local.ghost_pos[it_g->second]);
+    gx[it_g->second] = c[0];
+    gy[it_g->second] = c[1];
+  };
+
+  // Outgoing payload buffers persist across iterations (steady-state
+  // supersteps refill them without allocating).
+  std::vector<std::pair<std::uint32_t, std::vector<CoordMsg>>> near_out(
+      local.near_sends.size());
+  for (std::size_t k = 0; k < local.near_sends.size(); ++k) {
+    near_out[k].first = local.near_sends[k].first;
+    near_out[k].second.reserve(local.near_sends[k].second.size());
+  }
+  std::vector<std::pair<std::uint32_t, std::vector<CoordMsg>>> far_out(
+      local.far_sends.size());
+  for (std::size_t k = 0; k < local.far_sends.size(); ++k) {
+    far_out[k].first = local.far_sends[k].first;
+    far_out[k].second.reserve(local.far_sends[k].second.size());
+  }
+  auto fill_payloads =
+      [&](const std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>>&
+              sends,
+          std::vector<std::pair<std::uint32_t, std::vector<CoordMsg>>>& out) {
+        for (std::size_t k = 0; k < sends.size(); ++k) {
+          auto& payload = out[k].second;
+          payload.clear();
+          for (std::uint32_t i : sends[k].second) {
+            payload.push_back({local.owned[i], px[i], py[i]});
+          }
+        }
+      };
+
+  std::vector<Vec2> tree_pts;  // Vec2 snapshot for the per-iteration tree
+
   for (std::uint32_t it = 0; it < iterations; ++it) {
     const bool refresh = (it % std::max(1u, opt.stale_block)) == 0;
     if (refresh) {
@@ -299,9 +400,9 @@ void smooth_level(comm::Comm& sub, LevelLocal& local, const CsrGraph& g,
       }
       // beta aggregates: allgather (m, m*x, m*y) per cell.
       double agg[3] = {my_mass, 0.0, 0.0};
-      for (std::uint32_t i = 0; i < local.owned.size(); ++i) {
-        agg[1] += mass[i] * local.pos[i][0];
-        agg[2] += mass[i] * local.pos[i][1];
+      for (std::uint32_t i = 0; i < owned_n; ++i) {
+        agg[1] += mass[i] * px[i];
+        agg[2] += mass[i] * py[i];
       }
       auto all = sub.allgatherv(std::span<const double>(agg, 3));
       for (std::uint32_t r = 0; r < local.pl; ++r) {
@@ -312,16 +413,7 @@ void smooth_level(comm::Comm& sub, LevelLocal& local, const CsrGraph& g,
                           : Vec2{};
       }
       // Far-spanning edge endpoints: one targeted exchange per block.
-      std::vector<std::pair<std::uint32_t, std::vector<CoordMsg>>> far_out;
-      far_out.reserve(local.far_sends.size());
-      for (const auto& [dest, locals] : local.far_sends) {
-        std::vector<CoordMsg> payload;
-        payload.reserve(locals.size());
-        for (std::uint32_t i : locals) {
-          payload.push_back({local.owned[i], local.pos[i][0], local.pos[i][1]});
-        }
-        far_out.emplace_back(dest, std::move(payload));
-      }
+      fill_payloads(local.far_sends, far_out);
       if (obs::active()) {
         std::size_t sent = 0;
         for (const auto& [dest, payload] : far_out) sent += payload.size();
@@ -335,44 +427,26 @@ void smooth_level(comm::Comm& sub, LevelLocal& local, const CsrGraph& g,
       for (const auto& [src, payload] : far_in) {
         (void)src;
         far_work += static_cast<double>(payload.size());
-        for (const CoordMsg& msg : payload) {
-          auto it_g = local.ghost_idx.find(msg.id);
-          if (it_g != local.ghost_idx.end()) {
-            local.ghost_pos[it_g->second] = geom::vec2(msg.x, msg.y);
-          }
-        }
+        for (const CoordMsg& msg : payload) apply_ghost(msg);
       }
       sub.add_compute(far_work + static_cast<double>(local.pl));
     }
 
     // Nearest-neighbour boundary exchange (every iteration).
     {
-      std::vector<std::pair<std::uint32_t, std::vector<CoordMsg>>> out;
-      out.reserve(local.near_sends.size());
-      for (const auto& [dest, locals] : local.near_sends) {
-        std::vector<CoordMsg> payload;
-        payload.reserve(locals.size());
-        for (std::uint32_t i : locals) {
-          payload.push_back({local.owned[i], local.pos[i][0], local.pos[i][1]});
-        }
-        out.emplace_back(dest, std::move(payload));
-      }
+      fill_payloads(local.near_sends, near_out);
       if (obs::active()) {
         std::size_t sent = 0;
-        for (const auto& [dest, payload] : out) sent += payload.size();
-        obs::count(sub, "embed/ghost_msgs", static_cast<double>(out.size()));
+        for (const auto& [dest, payload] : near_out) sent += payload.size();
+        obs::count(sub, "embed/ghost_msgs",
+                   static_cast<double>(near_out.size()));
         obs::count(sub, "embed/ghost_bytes",
                    static_cast<double>(sent * sizeof(CoordMsg)));
       }
-      auto in = sub.exchange_typed(out);
+      auto in = sub.exchange_typed(near_out);
       for (const auto& [src, payload] : in) {
         (void)src;
-        for (const CoordMsg& msg : payload) {
-          auto it_g = local.ghost_idx.find(msg.id);
-          if (it_g != local.ghost_idx.end()) {
-            local.ghost_pos[it_g->second] = geom::vec2(msg.x, msg.y);
-          }
-        }
+        for (const CoordMsg& msg : payload) apply_ghost(msg);
       }
     }
 
@@ -387,24 +461,28 @@ void smooth_level(comm::Comm& sub, LevelLocal& local, const CsrGraph& g,
     }
     sub.add_compute(10.0 * static_cast<double>(local.pl));
 
-    const bool use_tree = opt.local_quadtree && local.owned.size() > 1;
+    const bool use_tree = opt.local_quadtree && owned_n > 1;
     std::optional<geom::QuadTree> tree;
     if (use_tree) {
-      tree.emplace(std::span<const Vec2>(local.pos),
+      tree_pts.resize(owned_n);
+      for (std::uint32_t i = 0; i < owned_n; ++i) {
+        tree_pts[i] = geom::vec2(px[i], py[i]);
+      }
+      tree.emplace(std::span<const Vec2>(tree_pts),
                    std::span<const double>(mass));
-      sub.add_compute(4.0 * static_cast<double>(local.owned.size()));
+      sub.add_compute(4.0 * static_cast<double>(owned_n));
     }
-    const double log_owned =
-        std::log2(static_cast<double>(local.owned.size()) + 2.0);
+    const double log_owned = std::log2(static_cast<double>(owned_n) + 2.0);
 
     double arc_work = 0.0;
-    for (std::uint32_t i = 0; i < local.owned.size(); ++i) {
+    for (std::uint32_t i = 0; i < owned_n; ++i) {
       Vec2 f = beta_force * mass[i];
       if (use_tree) {
         // Intra-cell repulsion through a local Barnes-Hut pass: no
-        // communication, O(log owned) per vertex.
-        f += tree->accumulate(
-                 local.pos[i], static_cast<std::int64_t>(i),
+        // communication, O(log owned) per vertex. The statically
+        // dispatched traversal visits nodes in accumulate()'s order.
+        f += tree->accumulate_with(
+                 tree_pts[i], static_cast<std::int64_t>(i),
                  opt.quadtree_theta,
                  [&](const Vec2& delta, double m) {
                    double d = std::max(delta.norm(), 1e-4 * model.K);
@@ -415,45 +493,70 @@ void smooth_level(comm::Comm& sub, LevelLocal& local, const CsrGraph& g,
       } else if (beta_mass[me] > mass[i]) {
         // Own-cell correction (paper eq. 2): repelled from own beta, with
         // the vertex's own mass excluded from the aggregate.
-        f += model.repulsive(local.pos[i], beta_pos[me],
+        f += model.repulsive(geom::vec2(px[i], py[i]), beta_pos[me],
                              beta_mass[me] - mass[i]) *
              mass[i];
       }
-      VertexId v = local.owned[i];
-      auto nbrs = g.neighbors(v);
-      auto ws = g.edge_weights_of(v);
-      arc_work += static_cast<double>(nbrs.size());
-      for (std::size_t k = 0; k < nbrs.size(); ++k) {
-        VertexId u = nbrs[k];
-        Vec2 upos;
-        auto it_own = local.local_idx.find(u);
-        if (it_own != local.local_idx.end()) {
-          upos = local.pos[it_own->second];
+      const std::uint32_t begin = nbr_off[i];
+      const std::uint32_t deg = nbr_off[i + 1] - begin;
+      arc_work += static_cast<double>(deg);
+      // Gather pass: neighbour coordinates (owned exact, ghosts clamped
+      // into the L1-nearest neighbouring sub-domain — the paper's ghost
+      // rule) into dense scratch.
+      for (std::uint32_t k = 0; k < deg; ++k) {
+        std::uint32_t r = nbr_ref[begin + k];
+        if ((r & kGhostBit) != 0) {
+          r &= ~kGhostBit;
+          ux[k] = gx[r];
+          uy[k] = gy[r];
         } else {
-          auto it_g = local.ghost_idx.find(u);
-          SP_ASSERT(it_g != local.ghost_idx.end());
-          // Ghost coordinates are presented clamped into the L1-nearest
-          // neighbouring sub-domain (paper's ghost rule).
-          upos = lattice.clamp_to_neighbor(my_row, my_col,
-                                           local.ghost_pos[it_g->second]);
+          ux[k] = px[r];
+          uy[k] = py[r];
         }
-        f += model.attractive(local.pos[i], upos) * static_cast<double>(ws[k]);
       }
-      force[i] = f;
+      // Accumulate pass: ForceModel::attractive scalarised over the
+      // scratch, summed in edge order (identical operation order to the
+      // Vec2 form; zeroing the contribution below 1e-12 reproduces the
+      // early return).
+      const double xi = px[i];
+      const double yi = py[i];
+      double fx = f[0];
+      double fy = f[1];
+      for (std::uint32_t k = 0; k < deg; ++k) {
+        double dx = ux[k] - xi;
+        double dy = uy[k] - yi;
+        double d = std::sqrt(dx * dx + dy * dy);
+        double s = d / model.K;
+        double cx = dx * s;
+        double cy = dy * s;
+        if (d < 1e-12) {
+          cx = 0.0;
+          cy = 0.0;
+        }
+        fx += cx * nbr_w[begin + k];
+        fy += cy * nbr_w[begin + k];
+      }
+      force[i] = geom::vec2(fx, fy);
     }
     // Apply moves after computing all forces (Jacobi update: owned
     // vertices see each other's previous positions, like ghosts do).
-    for (std::uint32_t i = 0; i < local.owned.size(); ++i) {
+    for (std::uint32_t i = 0; i < owned_n; ++i) {
       Vec2 move = clipped_move(force[i], step);
       block_energy += move.norm();
-      local.pos[i] += move;
+      px[i] += move[0];
+      py[i] += move[1];
     }
     step = std::max(step * in_block_decay, min_step);
     double local_rep_work =
-        use_tree ? 12.0 * static_cast<double>(local.owned.size()) * log_owned
-                 : 10.0 * static_cast<double>(local.owned.size());
+        use_tree ? 12.0 * static_cast<double>(owned_n) * log_owned
+                 : 10.0 * static_cast<double>(owned_n);
     sub.add_compute(8.0 * arc_work + local_rep_work +
-                    4.0 * static_cast<double>(local.owned.size()));
+                    4.0 * static_cast<double>(owned_n));
+  }
+
+  // Sync the canonical AoS store with the final SoA coordinates.
+  for (std::uint32_t i = 0; i < owned_n; ++i) {
+    local.pos[i] = geom::vec2(px[i], py[i]);
   }
 }
 

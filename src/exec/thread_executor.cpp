@@ -87,7 +87,14 @@ class ThreadExecutor final : public Executor {
     l.release();
   }
 
-  void notify() override { cv_.notify_all(); }
+  void notify() override {
+    // Callers hold the engine lock (mu_), so sleeping_ is stable here.
+    // With nobody parked in block_until the broadcast would be pure
+    // syscall overhead — threads waiting for a run slot are woken by
+    // release_slot_, never by notify(). Exchange-heavy programs call
+    // notify() once per rendezvous completion, so the skip is hot.
+    if (sleeping_ != 0) cv_.notify_all();
+  }
 
   void lock() override { mu_.lock(); }
   void unlock() override { mu_.unlock(); }

@@ -43,8 +43,6 @@ void QuadTree::build(std::uint32_t node, std::uint32_t begin, std::uint32_t end,
   n.mass = mass;
   n.center_of_mass = mass > 0.0 ? com / mass : n.box.center();
 
-  // Depth cap guards against coincident points that can never be separated.
-  constexpr std::uint32_t kMaxDepth = 48;
   if (end - begin <= leaf_capacity || depth >= kMaxDepth) return;
 
   const Vec2 mid = n.box.center();
@@ -94,37 +92,7 @@ void QuadTree::build(std::uint32_t node, std::uint32_t begin, std::uint32_t end,
 Vec2 QuadTree::accumulate(
     const Vec2& query, std::int64_t skip, double theta,
     const std::function<Vec2(const Vec2& delta, double mass)>& kernel) const {
-  Vec2 total{};
-  if (nodes_.empty()) return total;
-  std::vector<std::uint32_t> stack = {0};
-  while (!stack.empty()) {
-    const Node& node = nodes_[stack.back()];
-    stack.pop_back();
-    if (node.mass <= 0.0) continue;
-
-    double extent = std::max(node.box.width(), node.box.height());
-    double dist = distance(query, node.center_of_mass);
-    bool is_leaf = node.first_child < 0;
-    if (!is_leaf && extent >= theta * dist) {
-      for (int q = 0; q < 4; ++q) {
-        stack.push_back(static_cast<std::uint32_t>(node.first_child + q));
-      }
-      continue;
-    }
-    if (is_leaf) {
-      for (std::uint32_t i = node.point_begin; i < node.point_end; ++i) {
-        std::uint32_t p = point_index_[i];
-        if (static_cast<std::int64_t>(p) == skip) continue;
-        total += kernel(query - points_[p], masses_[p]);
-      }
-    } else {
-      // Far enough: treat the whole subtree as one aggregate. The skipped
-      // point's contribution is negligible at this distance by the theta
-      // criterion, matching standard Barnes-Hut practice.
-      total += kernel(query - node.center_of_mass, node.mass);
-    }
-  }
-  return total;
+  return accumulate_with(query, skip, theta, kernel);
 }
 
 double QuadTree::total_mass() const {

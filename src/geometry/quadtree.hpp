@@ -34,6 +34,49 @@ class QuadTree {
                   const std::function<Vec2(const Vec2& delta, double mass)>&
                       kernel) const;
 
+  /// Statically-dispatched variant of accumulate() for hot loops: the
+  /// kernel is inlined instead of going through std::function, and the
+  /// traversal stack lives on the C stack. Traversal order — and therefore
+  /// the floating-point accumulation order — is identical to accumulate().
+  template <class Kernel>
+  Vec2 accumulate_with(const Vec2& query, std::int64_t skip, double theta,
+                       Kernel&& kernel) const {
+    Vec2 total{};
+    if (nodes_.empty()) return total;
+    // Nodes split only while deeper than kMaxDepth; each visit pops one
+    // entry and pushes at most four, so 4 * kMaxDepth + 4 bounds the stack.
+    std::uint32_t stack[4 * kMaxDepth + 4];
+    std::uint32_t top = 0;
+    stack[top++] = 0;
+    while (top > 0) {
+      const Node& node = nodes_[stack[--top]];
+      if (node.mass <= 0.0) continue;
+
+      double extent = std::max(node.box.width(), node.box.height());
+      double dist = distance(query, node.center_of_mass);
+      bool is_leaf = node.first_child < 0;
+      if (!is_leaf && extent >= theta * dist) {
+        for (int q = 0; q < 4; ++q) {
+          stack[top++] = static_cast<std::uint32_t>(node.first_child + q);
+        }
+        continue;
+      }
+      if (is_leaf) {
+        for (std::uint32_t i = node.point_begin; i < node.point_end; ++i) {
+          std::uint32_t p = point_index_[i];
+          if (static_cast<std::int64_t>(p) == skip) continue;
+          total += kernel(query - points_[p], masses_[p]);
+        }
+      } else {
+        // Far enough: treat the whole subtree as one aggregate. The skipped
+        // point's contribution is negligible at this distance by the theta
+        // criterion, matching standard Barnes-Hut practice.
+        total += kernel(query - node.center_of_mass, node.mass);
+      }
+    }
+    return total;
+  }
+
   std::size_t num_nodes() const { return nodes_.size(); }
   std::size_t num_points() const { return points_.size(); }
   const Box& bounds() const { return bounds_; }
@@ -42,6 +85,9 @@ class QuadTree {
   double total_mass() const;
 
  private:
+  // Depth cap guards against coincident points that can never be separated.
+  static constexpr std::uint32_t kMaxDepth = 48;
+
   struct Node {
     Box box;
     Vec2 center_of_mass{};

@@ -86,6 +86,19 @@ void Recorder::on_comm_op(const comm::CommOpEvent& op) {
   metrics_.add(std::string("comm/ops.") + op.op, op.world_rank, 1.0);
 }
 
+void Recorder::on_comm_counters(std::uint32_t world_rank,
+                                std::uint64_t coalesced_batches,
+                                std::uint64_t arena_acquires,
+                                std::uint64_t arena_hits) {
+  std::lock_guard<std::mutex> hold(mu_);
+  metrics_.add("comm/coalesced_batches", world_rank,
+               static_cast<double>(coalesced_batches));
+  metrics_.add("comm/arena_acquires", world_rank,
+               static_cast<double>(arena_acquires));
+  metrics_.add("comm/arena_hits", world_rank,
+               static_cast<double>(arena_hits));
+}
+
 std::size_t Recorder::total_events() const {
   std::size_t n = 0;
   for (const auto& lane : lanes_) n += lane.size();

@@ -54,6 +54,15 @@ class Recorder : public comm::ObsSink {
   /// (comm/messages, comm/bytes, comm/ops.<op>).
   void on_comm_op(const comm::CommOpEvent& ev) override;
 
+  /// Feeds the end-of-run mailbox/allocator counters into the metrics
+  /// only (comm/coalesced_batches, comm/arena_acquires, comm/arena_hits)
+  /// — no lane event, so serialized traces stay byte-identical whether
+  /// exchange coalescing is on or off.
+  void on_comm_counters(std::uint32_t world_rank,
+                        std::uint64_t coalesced_batches,
+                        std::uint64_t arena_acquires,
+                        std::uint64_t arena_hits) override;
+
   // ---- Metrics ----
 
   MetricsRegistry& metrics() { return metrics_; }

@@ -1,0 +1,178 @@
+// BufferArena unit tests plus engine-level arena behaviour: reuse across
+// supersteps (steady-state supersteps allocate nothing), the pooling cap,
+// stats epochs, unwind safety under RankFailedError, and a threads-backend
+// T=8 run that TSan must pass (arenas are thread-confined by design).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "comm/arena.hpp"
+#include "comm/engine.hpp"
+#include "comm/fault_plan.hpp"
+
+namespace sp::comm {
+namespace {
+
+TEST(BufferArena, AcquireSizesBufferAndCountsMiss) {
+  BufferArena a;
+  auto buf = a.acquire(48);
+  EXPECT_EQ(buf.size(), 48u);
+  EXPECT_EQ(a.stats().acquires, 1u);
+  EXPECT_EQ(a.stats().hits, 0u);
+  EXPECT_EQ(a.stats().hit_rate(), 0.0);
+}
+
+TEST(BufferArena, ReleaseThenAcquireReusesLifo) {
+  BufferArena a;
+  auto first = a.acquire(16);
+  auto second = a.acquire(64);
+  const std::byte* second_mem = second.data();
+  a.release(std::move(first));
+  a.release(std::move(second));
+  EXPECT_EQ(a.pooled(), 2u);
+
+  // LIFO: the most recently released (64-byte capacity) comes back first,
+  // resized to the requested length without reallocating.
+  auto again = a.acquire(32);
+  EXPECT_EQ(again.size(), 32u);
+  EXPECT_EQ(again.data(), second_mem);
+  EXPECT_EQ(a.stats().hits, 1u);
+  EXPECT_EQ(a.pooled(), 1u);
+}
+
+TEST(BufferArena, ReleaseIgnoresEmptyBuffers) {
+  BufferArena a;
+  a.release(std::vector<std::byte>{});  // capacity 0: nothing to pool
+  EXPECT_EQ(a.pooled(), 0u);
+  EXPECT_EQ(a.stats().released, 0u);
+}
+
+TEST(BufferArena, PoolIsCappedNotUnbounded) {
+  BufferArena a;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::byte> b(8);
+    a.release(std::move(b));
+  }
+  EXPECT_LE(a.pooled(), 256u);
+}
+
+TEST(BufferArena, ResetStatsKeepsPooledBuffers) {
+  BufferArena a;
+  a.release(std::vector<std::byte>(8));
+  auto b = a.acquire(8);
+  a.release(std::move(b));
+  ASSERT_GT(a.stats().acquires, 0u);
+  a.reset_stats();
+  EXPECT_EQ(a.stats().acquires, 0u);
+  EXPECT_EQ(a.stats().hits, 0u);
+  EXPECT_EQ(a.pooled(), 1u);  // memory survives the stats epoch
+  // ... and the surviving buffer still serves hits.
+  a.acquire(4);
+  EXPECT_EQ(a.stats().hits, 1u);
+}
+
+TEST(BufferArena, ClearDropsMemory) {
+  BufferArena a;
+  a.release(std::vector<std::byte>(8));
+  a.release(std::vector<std::byte>(8));
+  a.clear();
+  EXPECT_EQ(a.pooled(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: the mailbox path reuses buffers across supersteps
+// ---------------------------------------------------------------------------
+
+BspEngine::Options opts(std::uint32_t p) {
+  BspEngine::Options o;
+  o.nranks = p;
+  return o;
+}
+
+/// All-to-all typed exchange, `rounds` supersteps.
+void chatter(Comm& c, int rounds) {
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint64_t>>> out;
+    for (std::uint32_t peer = 0; peer < c.nranks(); ++peer) {
+      if (peer == c.rank()) continue;
+      out.emplace_back(peer,
+                       std::vector<std::uint64_t>{c.rank(), std::uint64_t(round)});
+    }
+    auto in = c.exchange_typed<std::uint64_t>(std::move(out));
+    for (const auto& [src, vals] : in) {
+      ASSERT_EQ(vals.size(), 2u);
+      EXPECT_EQ(vals[0], src);
+      EXPECT_EQ(vals[1], std::uint64_t(round));
+    }
+  }
+}
+
+TEST(ArenaEngine, SteadyStateSuperstepsHitTheArena) {
+  BspEngine engine(opts(4));
+  auto stats = engine.run([](Comm& c) { chatter(c, 20); });
+  const auto& cc = stats.comm_counters;
+  ASSERT_GT(cc.arena_acquires, 0u);
+  // Round 1 warms the pool; the other 19 rounds should be (nearly) all
+  // hits. Well over half of all acquires must be served from the pool.
+  EXPECT_GT(cc.arena_hit_rate(), 0.5) << "hits " << cc.arena_hits << " of "
+                                      << cc.arena_acquires;
+  EXPECT_GT(cc.arena_released, 0u);
+}
+
+TEST(ArenaEngine, CountersResetBetweenRunsPoolPersists) {
+  BspEngine engine(opts(4));
+  auto first = engine.run([](Comm& c) { chatter(c, 10); });
+  auto second = engine.run([](Comm& c) { chatter(c, 10); });
+  // Per-run counters restart (second run is not a running total) ...
+  EXPECT_LE(second.comm_counters.arena_acquires,
+            first.comm_counters.arena_acquires);
+  // ... but the pool carries over, so run 2 starts warm: its hit rate is
+  // at least as good as run 1's.
+  EXPECT_GE(second.comm_counters.arena_hit_rate(),
+            first.comm_counters.arena_hit_rate());
+}
+
+TEST(ArenaEngine, RankFailedUnwindIsSafe) {
+  // A crash mid-superstep unwinds ranks with packets in flight. Buffers in
+  // transit are plain vectors, so unwinding frees them (ASan verifies no
+  // leak); the engine must stay usable afterwards.
+  FaultPlan plan;
+  plan.kill_at_event(1, 7);
+  BspEngine::Options o = opts(4);
+  o.faults = plan;
+  BspEngine engine(o);
+  auto stats = engine.run([](Comm& c) {
+    try {
+      chatter(c, 50);
+    } catch (const RankFailedError&) {
+    }
+  });
+  EXPECT_EQ(stats.failed_ranks, std::vector<std::uint32_t>{1});
+  // Counter consistency even on the unwound run: can't hit more than you
+  // acquire, and releases never exceed what was handed out plus inflow.
+  const auto& cc = stats.comm_counters;
+  EXPECT_LE(cc.arena_hits, cc.arena_acquires);
+}
+
+TEST(ArenaEngine, ThreadsBackendEightRanksIsRaceFree) {
+  // Arenas are thread-confined (a rank touches only its own arena), so a
+  // T=8 threads-backend run with heavy all-to-all chatter must be clean
+  // under TSan and produce the same modeled clocks as the fiber backend.
+  BspEngine::Options fiber = opts(8);
+  BspEngine::Options threads = opts(8);
+  threads.backend = exec::Backend::kThreads;
+  threads.threads = 8;
+
+  auto program = [](Comm& c) { chatter(c, 12); };
+  auto f = BspEngine(fiber).run(program);
+  auto t = BspEngine(threads).run(program);
+  EXPECT_EQ(f.clocks, t.clocks);
+  EXPECT_EQ(f.fingerprint(), t.fingerprint());
+  EXPECT_GT(t.comm_counters.arena_hit_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace sp::comm

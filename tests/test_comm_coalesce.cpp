@@ -1,0 +1,275 @@
+// Differential tests for exchange coalescing (DESIGN.md §3a): the packed
+// one-message-per-peer path must be observationally identical to the
+// legacy per-packet path — bit-identical partitions, modeled clocks,
+// trace fingerprints, and JSONL trace exports — across both backends and
+// under fault injection (crash + straggler plans). Also covers the one
+// place the two paths genuinely differ: multiple packets to the same
+// peer, where coalescing must still deliver every payload in order and
+// the coalesced-batch counter must tick.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/determinism.hpp"
+#include "comm/engine.hpp"
+#include "comm/fault_plan.hpp"
+#include "core/scalapart.hpp"
+#include "graph/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
+
+namespace sp {
+namespace {
+
+using comm::BspEngine;
+using comm::Comm;
+using comm::FaultPlan;
+
+// The engine reads SP_COMM_NO_COALESCE once at construction, so flipping
+// the variable between engine builds toggles the path in-process. No
+// engine threads exist while the variable changes hands.
+class ScopedNoCoalesce {
+ public:
+  ScopedNoCoalesce() { ::setenv("SP_COMM_NO_COALESCE", "1", 1); }
+  ~ScopedNoCoalesce() { ::unsetenv("SP_COMM_NO_COALESCE"); }
+};
+
+TEST(CoalesceEnv, OptionAndEnvVarGateThePath) {
+  // Default: on. Option off: off. Env var overrides the option's default.
+  BspEngine::Options o;
+  o.nranks = 2;
+  {
+    BspEngine e(o);
+    auto s = e.run([](Comm& c) { c.barrier(); });
+    (void)s;
+  }
+  o.coalesce_exchanges = false;
+  BspEngine legacy(o);
+  auto program = [](Comm& c) {
+    std::vector<Comm::Packet> out(1);
+    out[0].peer = 1 - c.rank();
+    out[0].data.assign(8, std::byte{0x42});
+    auto in = c.exchange(std::move(out));
+    ASSERT_EQ(in.size(), 1u);
+  };
+  auto ls = legacy.run(program);
+  EXPECT_EQ(ls.comm_counters.coalesced_batches, 0u);
+
+  ScopedNoCoalesce env;
+  o.coalesce_exchanges = true;  // env var must win over the option
+  BspEngine forced(o);
+  auto fs = forced.run(program);
+  EXPECT_EQ(fs.comm_counters.coalesced_batches, 0u);
+  EXPECT_EQ(fs.clocks, ls.clocks);
+}
+
+TEST(CoalesceDifferential, MultiPacketPerPeerDeliversEveryPayloadInOrder) {
+  // The only shape where the two paths do different work: several packets
+  // to the same destination in one superstep. Payload delivery (content,
+  // source, order) must match the legacy path exactly.
+  auto program = [](Comm& c) {
+    for (int round = 0; round < 3; ++round) {
+      std::vector<Comm::Packet> out;
+      const std::uint32_t peer = (c.rank() + 1) % c.nranks();
+      for (int k = 0; k < 4; ++k) {
+        Comm::Packet p;
+        p.peer = peer;
+        p.data.assign(static_cast<std::size_t>(k + 1),
+                      std::byte{static_cast<unsigned char>(16 * round + k)});
+        out.push_back(std::move(p));
+      }
+      // One deliberately empty payload: zero-length frames must survive.
+      Comm::Packet empty;
+      empty.peer = peer;
+      out.push_back(std::move(empty));
+      auto in = c.exchange(std::move(out));
+      ASSERT_EQ(in.size(), 5u);
+      for (int k = 0; k < 4; ++k) {
+        EXPECT_EQ(in[k].peer, (c.rank() + c.nranks() - 1) % c.nranks());
+        ASSERT_EQ(in[k].data.size(), static_cast<std::size_t>(k + 1));
+        EXPECT_EQ(in[k].data[0],
+                  std::byte{static_cast<unsigned char>(16 * round + k)});
+      }
+      EXPECT_TRUE(in[4].data.empty());
+    }
+  };
+
+  BspEngine::Options o;
+  o.nranks = 4;
+  auto coalesced = BspEngine(o).run(program);
+  EXPECT_GT(coalesced.comm_counters.coalesced_batches, 0u);
+
+  o.coalesce_exchanges = false;
+  auto legacy = BspEngine(o).run(program);
+  EXPECT_EQ(legacy.comm_counters.coalesced_batches, 0u);
+  // Payload bytes are charged identically (frame headers are free); only
+  // the per-message startup count differs for this adversarial shape:
+  // 5 packets collapse into 1 message, so the coalesced clocks are LOWER.
+  ASSERT_EQ(coalesced.clocks.size(), legacy.clocks.size());
+  for (std::size_t r = 0; r < legacy.clocks.size(); ++r) {
+    EXPECT_LT(coalesced.clocks[r], legacy.clocks[r]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline differential: coalesced vs legacy must be bit-identical
+// ---------------------------------------------------------------------------
+
+struct PipelineRun {
+  core::ScalaPartResult result;
+  std::string jsonl;
+};
+
+PipelineRun run_pipeline(const graph::CsrGraph& g, exec::Backend backend,
+                         FaultPlan faults) {
+  core::ScalaPartOptions opt;
+  opt.nranks = 8;
+  opt.backend = backend;
+  opt.threads = backend == exec::Backend::kThreads ? 4 : 0;
+  opt.faults = std::move(faults);
+  PipelineRun out;
+  obs::Recorder rec;
+  {
+    obs::ScopedRecording on(rec);
+    out.result = core::scalapart_partition(g, opt);
+  }
+  out.jsonl = obs::jsonl_string(rec);
+  return out;
+}
+
+class CoalescePipeline : public ::testing::TestWithParam<exec::Backend> {};
+
+TEST_P(CoalescePipeline, FaultSuiteBitIdenticalToLegacy) {
+  const exec::Backend backend = GetParam();
+  const auto g = graph::gen::delaunay(1500, 5).graph;
+
+  struct Case {
+    const char* label;
+    FaultPlan plan;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"fault-free", FaultPlan{}});
+  cases.push_back({"crash", FaultPlan{}.kill_in_stage(1, "embed", 4)});
+  cases.push_back({"straggler", FaultPlan{}.slow_rank(3, 5.0)});
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.label);
+    const PipelineRun on = run_pipeline(g, backend, c.plan);
+    PipelineRun off;
+    {
+      ScopedNoCoalesce env;
+      off = run_pipeline(g, backend, c.plan);
+    }
+    // Partition, clocks, trace fingerprint, and the JSONL trace export
+    // must all be byte-for-byte identical between the two paths.
+    EXPECT_EQ(on.result.part.side, off.result.part.side);
+    EXPECT_EQ(on.result.report.cut, off.result.report.cut);
+    EXPECT_EQ(on.result.stats.clocks, off.result.stats.clocks);
+    EXPECT_EQ(on.result.stats.fingerprint(), off.result.stats.fingerprint());
+    EXPECT_EQ(on.result.stats.failed_ranks, off.result.stats.failed_ranks);
+    ASSERT_FALSE(on.jsonl.empty());
+    EXPECT_EQ(on.jsonl, off.jsonl) << "JSONL trace diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, CoalescePipeline,
+                         ::testing::Values(exec::Backend::kFiber,
+                                           exec::Backend::kThreads),
+                         [](const auto& info) {
+                           return std::string(exec::backend_name(info.param));
+                         });
+
+TEST(CoalesceAudit, ExchangeHeavyProgramPassesBackendAudit) {
+  // analysis::audit_backends over the default point set (fiber schedules
+  // plus real-thread points): an exchange-heavy program on the coalesced
+  // path must fingerprint identically everywhere.
+  auto result = std::make_shared<std::vector<std::uint64_t>>();
+  analysis::ProgramFactory factory = [result]() {
+    result->clear();
+    return [result](Comm& c) {
+      std::uint64_t acc = 0;
+      for (int round = 0; round < 6; ++round) {
+        std::vector<std::pair<std::uint32_t, std::vector<std::uint64_t>>> out;
+        for (std::uint32_t peer = 0; peer < c.nranks(); ++peer) {
+          if (peer != c.rank()) {
+            out.emplace_back(
+                peer, std::vector<std::uint64_t>{c.rank() * 31ull + round});
+          }
+        }
+        for (const auto& [src, vals] :
+             c.exchange_typed<std::uint64_t>(out)) {
+          acc = acc * 1099511628211ull + src + vals.at(0);
+        }
+      }
+      auto all = c.allgather<std::uint64_t>(acc);
+      if (c.rank() == 0) *result = all;
+    };
+  };
+  BspEngine::Options o;
+  o.nranks = 8;
+  auto report = analysis::audit_backends(
+      o, factory, [result]() -> std::uint64_t {
+        return analysis::fingerprint_bytes(
+            result->data(), result->size() * sizeof(std::uint64_t));
+      });
+  EXPECT_TRUE(report.deterministic) << report.str();
+}
+
+TEST(CoalesceAudit, PipelineFingerprintAcrossBackendsAndSchedules) {
+  // The acceptance sweep: {fiber, threads} x {round-robin, reversed,
+  // seeded-shuffle} must yield byte-identical partitions (compared via
+  // the same fingerprint the bench gate commits) and trace fingerprints.
+  const auto g = graph::gen::delaunay(1200, 4).graph;
+  struct Point {
+    exec::Backend backend;
+    exec::Schedule schedule;
+  };
+  const std::vector<Point> points = {
+      {exec::Backend::kFiber, exec::Schedule::kRoundRobin},
+      {exec::Backend::kFiber, exec::Schedule::kReversed},
+      {exec::Backend::kFiber, exec::Schedule::kSeededShuffle},
+      {exec::Backend::kThreads, exec::Schedule::kRoundRobin},
+      {exec::Backend::kThreads, exec::Schedule::kReversed},
+      {exec::Backend::kThreads, exec::Schedule::kSeededShuffle},
+  };
+  std::uint64_t part_fp = 0, trace_fp = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    SCOPED_TRACE(std::string(exec::backend_name(points[i].backend)) +
+                 " schedule " + std::to_string(int(points[i].schedule)));
+    core::ScalaPartOptions opt;
+    opt.nranks = 8;
+    opt.backend = points[i].backend;
+    opt.threads = points[i].backend == exec::Backend::kThreads ? 4 : 0;
+    opt.schedule = points[i].schedule;
+    const auto r = core::scalapart_partition(g, opt);
+    const std::uint64_t pf = analysis::fingerprint_bytes(
+        r.part.side.data(), r.part.side.size() * sizeof(r.part.side[0]));
+    const std::uint64_t tf = r.stats.fingerprint();
+    if (i == 0) {
+      part_fp = pf;
+      trace_fp = tf;
+    } else {
+      EXPECT_EQ(pf, part_fp) << "partition fingerprint diverged";
+      EXPECT_EQ(tf, trace_fp) << "trace fingerprint diverged";
+    }
+  }
+}
+
+TEST(CoalescePipeline, CountersAreDiagnosticNotFingerprinted) {
+  // comm_counters must stay out of the fingerprint (like wall_seconds):
+  // the legacy run reports zero coalesced batches yet fingerprints equal.
+  const auto g = graph::gen::delaunay(600, 9).graph;
+  core::ScalaPartOptions opt;
+  opt.nranks = 4;
+  const auto on = core::scalapart_partition(g, opt);
+  EXPECT_GT(on.stats.comm_counters.arena_acquires, 0u);
+  ScopedNoCoalesce env;
+  const auto off = core::scalapart_partition(g, opt);
+  EXPECT_EQ(on.stats.fingerprint(), off.stats.fingerprint());
+}
+
+}  // namespace
+}  // namespace sp

@@ -1,0 +1,72 @@
+// Golden-coordinate audit of the SoA embedding kernel: the rewritten
+// structure-of-arrays force loop must reproduce the coordinates of the
+// original AoS kernel to 1e-12 on three graphs of different character
+// (regular grid, Delaunay mesh, Erdos-Renyi expander). The expectations
+// in golden_embed_coords.hpp were captured from the pre-SoA kernel
+// (hierarchy coarsest_size=64, rounds_per_level=2, seed=3; embed
+// defaults with seed=17; P=4, fiber backend) — any drift here means the
+// optimization changed the math, not just the layout.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "coarsen/hierarchy.hpp"
+#include "comm/engine.hpp"
+#include "embed/lattice_parallel.hpp"
+#include "golden_embed_coords.hpp"
+#include "graph/generators.hpp"
+
+namespace sp::embed {
+namespace {
+
+std::vector<geom::Vec2> embed_p4(const graph::CsrGraph& g) {
+  coarsen::HierarchyOptions hopt;
+  hopt.coarsest_size = 64;
+  hopt.rounds_per_level = 2;
+  hopt.seed = 3;
+  auto hierarchy = coarsen::Hierarchy::build(g, hopt);
+  EmbedWorkspace workspace(hierarchy);
+  LatticeEmbedOptions eopt;
+  eopt.seed = 17;
+  std::vector<geom::Vec2> coords;
+  comm::BspEngine::Options bopt;
+  bopt.nranks = 4;
+  comm::BspEngine engine(bopt);
+  engine.run([&](comm::Comm& world) {
+    world.set_stage("embed");
+    auto emb = lattice_embed(world, workspace, eopt);
+    auto gathered = gather_embedding(world, emb, g.num_vertices());
+    if (world.rank() == 0) coords = std::move(gathered);
+    world.barrier();
+  });
+  return coords;
+}
+
+template <std::size_t N>
+void expect_matches_golden(const std::vector<geom::Vec2>& got,
+                           const double (&want)[N][2]) {
+  ASSERT_EQ(got.size(), N);
+  for (std::size_t v = 0; v < N; ++v) {
+    EXPECT_NEAR(got[v][0], want[v][0], 1e-12) << "vertex " << v << " x";
+    EXPECT_NEAR(got[v][1], want[v][1], 1e-12) << "vertex " << v << " y";
+  }
+}
+
+TEST(EmbedGolden, Grid12x9MatchesAosKernel) {
+  expect_matches_golden(embed_p4(graph::gen::grid2d(12, 9).graph),
+                        golden::kGrid12x9);
+}
+
+TEST(EmbedGolden, Delaunay300MatchesAosKernel) {
+  expect_matches_golden(embed_p4(graph::gen::delaunay(300, 7).graph),
+                        golden::kDelaunay300);
+}
+
+TEST(EmbedGolden, ErdosRenyi150MatchesAosKernel) {
+  expect_matches_golden(embed_p4(graph::gen::erdos_renyi(150, 450, 11).graph),
+                        golden::kErdosRenyi150);
+}
+
+}  // namespace
+}  // namespace sp::embed

@@ -1,0 +1,268 @@
+// Property-based end-to-end sweep: ~200 seeded random graphs through the
+// full ScalaPart pipeline at P in {1, 4, 8}, checked against the
+// sp::analysis invariant validators (CSR, hierarchy, partition,
+// embedding) plus balance/cut sanity. Families: Erdos-Renyi, RMAT-ish
+// power-law, disconnected unions, self-loop/multi-edge stress through
+// GraphBuilder (which must dedupe into a valid CSR), and the n = 0/1/2
+// degenerates. Every graph is a pure function of its seed, so a failure
+// reproduces from the test name alone.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/invariants.hpp"
+#include "coarsen/hierarchy.hpp"
+#include "core/scalapart.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "support/random.hpp"
+
+namespace sp {
+namespace {
+
+using graph::CsrGraph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+// ---------------------------------------------------------------------------
+// Seeded graph families
+// ---------------------------------------------------------------------------
+
+CsrGraph er_graph(std::uint64_t seed) {
+  Rng rng(0xE12D05'0000 + seed);
+  const auto n = static_cast<std::uint32_t>(rng.range(40, 220));
+  const auto m = static_cast<std::uint64_t>(n) *
+                 static_cast<std::uint64_t>(rng.range(2, 4));
+  return graph::gen::erdos_renyi(n, m, seed * 977 + 3).graph;
+}
+
+// RMAT-ish: recursive quadrant sampling over a 2^k x 2^k adjacency grid
+// with the classic skewed (a, b, c, d) mass. Produces duplicate edges and
+// self loops by construction — GraphBuilder must absorb both (duplicates
+// sum their weights, self loops are dropped) and still emit a valid CSR.
+CsrGraph rmat_graph(std::uint64_t seed) {
+  Rng rng(0x52A7'0000 + seed);
+  const std::uint32_t scale = 6 + static_cast<std::uint32_t>(seed % 2);
+  const VertexId n = VertexId{1} << scale;
+  const std::size_t edges = static_cast<std::size_t>(4) * n;
+  GraphBuilder b(n);
+  for (std::size_t e = 0; e < edges; ++e) {
+    VertexId u = 0, v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      // (a, b, c, d) = (0.57, 0.19, 0.19, 0.05)
+      const int quad = r < 0.57 ? 0 : r < 0.76 ? 1 : r < 0.95 ? 2 : 3;
+      u = (u << 1) | static_cast<VertexId>(quad >> 1);
+      v = (v << 1) | static_cast<VertexId>(quad & 1);
+    }
+    if (u != v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+// Disjoint union of 2-4 components (Erdos-Renyi blobs and cycles), the
+// disconnected-input stress for coarsening and the geometric cut.
+CsrGraph disconnected_graph(std::uint64_t seed) {
+  Rng rng(0xD15C'0000 + seed);
+  const int ncomp = static_cast<int>(rng.range(2, 4));
+  std::vector<CsrGraph> parts;
+  VertexId total = 0;
+  for (int c = 0; c < ncomp; ++c) {
+    const auto n = static_cast<std::uint32_t>(rng.range(20, 80));
+    CsrGraph g = rng.chance(0.5)
+                     ? graph::gen::erdos_renyi(n, 3u * n, seed * 31 + c).graph
+                     : graph::gen::cycle(n).graph;
+    total += g.num_vertices();
+    parts.push_back(std::move(g));
+  }
+  GraphBuilder b(total);
+  VertexId base = 0;
+  for (const CsrGraph& g : parts) {
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      const auto nbrs = g.neighbors(u);
+      const auto ws = g.edge_weights_of(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (u < nbrs[i]) b.add_edge(base + u, base + nbrs[i], ws[i]);
+      }
+    }
+    base += g.num_vertices();
+  }
+  return b.build();
+}
+
+// Raw multigraph edge soup: heavy duplication plus self loops, fed to
+// GraphBuilder, which must produce a self-loop-free simple CSR whose
+// duplicate weights are summed.
+CsrGraph multigraph(std::uint64_t seed) {
+  Rng rng(0x3417'0000 + seed);
+  const auto n = static_cast<VertexId>(rng.range(30, 120));
+  GraphBuilder b(n);
+  const std::size_t raw = static_cast<std::size_t>(6) * n;
+  for (std::size_t e = 0; e < raw; ++e) {
+    const auto u = static_cast<VertexId>(rng.below(n));
+    // ~1 in 8 raw edges is a self loop; clustered endpoints force dups.
+    const auto v = rng.chance(0.125)
+                       ? u
+                       : static_cast<VertexId>((u + rng.below(8) + 1) % n);
+    b.add_edge(u, v, static_cast<graph::Weight>(rng.range(1, 3)));
+  }
+  // Guarantee no isolated stretch is *guaranteed* — a spanning cycle keeps
+  // the graph connected so cut > 0 is meaningful for this family.
+  for (VertexId u = 0; u < n; ++u) b.add_edge(u, (u + 1) % n);
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// The property: validators hold end-to-end at every P
+// ---------------------------------------------------------------------------
+
+void expect_clean(const analysis::Violations& v, const std::string& what) {
+  EXPECT_TRUE(v.empty()) << what << ": " << (v.empty() ? "" : v.front())
+                         << " (+" << (v.empty() ? 0 : v.size() - 1)
+                         << " more)";
+}
+
+void check_pipeline(const CsrGraph& g) {
+  expect_clean(analysis::validate_csr(g), "input CSR");
+
+  if (g.num_vertices() >= 2) {
+    coarsen::HierarchyOptions hopt;
+    hopt.coarsest_size = 64;
+    hopt.rounds_per_level = 2;
+    hopt.seed = 3;
+    const auto h = coarsen::Hierarchy::build(g, hopt);
+    expect_clean(analysis::validate_hierarchy(h), "hierarchy");
+  }
+
+  for (std::uint32_t p : {1u, 4u, 8u}) {
+    SCOPED_TRACE("P=" + std::to_string(p));
+    core::ScalaPartOptions opt;
+    opt.nranks = p;
+    const auto r = core::scalapart_partition(g, opt);
+
+    ASSERT_EQ(r.part.side.size(), g.num_vertices());
+    // Bound matches the pipeline's own final checkpoint plus headroom for
+    // weight quantization on these deliberately tiny graphs.
+    expect_clean(analysis::validate_partition(g, r.part, 0.20), "partition");
+    expect_clean(
+        analysis::validate_embedding(r.embedding, g.num_vertices()),
+        "embedding");
+
+    // Cut sanity: the reported cut matches a from-scratch evaluation and
+    // can never exceed the total edge weight.
+    const auto fresh = graph::evaluate(g, r.part);
+    EXPECT_EQ(r.report.cut, fresh.cut);
+    EXPECT_GE(r.report.cut, 0);
+    EXPECT_LE(r.report.cut, g.total_edge_weight());
+    EXPECT_EQ(r.report.side0 + r.report.side1,
+              fresh.side0 + fresh.side1);
+  }
+}
+
+class ErdosRenyiSweep : public ::testing::TestWithParam<std::uint64_t> {};
+class RmatSweep : public ::testing::TestWithParam<std::uint64_t> {};
+class DisconnectedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+class MultigraphSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ErdosRenyiSweep, ValidatorsHoldEndToEnd) {
+  check_pipeline(er_graph(GetParam()));
+}
+TEST_P(RmatSweep, ValidatorsHoldEndToEnd) {
+  check_pipeline(rmat_graph(GetParam()));
+}
+TEST_P(DisconnectedSweep, ValidatorsHoldEndToEnd) {
+  check_pipeline(disconnected_graph(GetParam()));
+}
+TEST_P(MultigraphSweep, ValidatorsHoldEndToEnd) {
+  check_pipeline(multigraph(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ErdosRenyiSweep,
+                         ::testing::Range<std::uint64_t>(0, 60));
+INSTANTIATE_TEST_SUITE_P(Seeds, RmatSweep,
+                         ::testing::Range<std::uint64_t>(0, 48));
+INSTANTIATE_TEST_SUITE_P(Seeds, DisconnectedSweep,
+                         ::testing::Range<std::uint64_t>(0, 48));
+INSTANTIATE_TEST_SUITE_P(Seeds, MultigraphSweep,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+// ---------------------------------------------------------------------------
+// Degenerates: n = 0, 1, 2 must round-trip without tripping anything
+// ---------------------------------------------------------------------------
+
+TEST(PipelineDegenerate, EmptyGraph) {
+  GraphBuilder b(0);
+  const CsrGraph g = b.build();
+  expect_clean(analysis::validate_csr(g), "empty CSR");
+  for (std::uint32_t p : {1u, 4u, 8u}) {
+    core::ScalaPartOptions opt;
+    opt.nranks = p;
+    const auto r = core::scalapart_partition(g, opt);
+    EXPECT_TRUE(r.part.side.empty());
+    EXPECT_EQ(r.report.cut, 0);
+  }
+}
+
+TEST(PipelineDegenerate, SingleVertex) {
+  GraphBuilder b(1);
+  const CsrGraph g = b.build();
+  expect_clean(analysis::validate_csr(g), "1-vertex CSR");
+  for (std::uint32_t p : {1u, 4u, 8u}) {
+    core::ScalaPartOptions opt;
+    opt.nranks = p;
+    const auto r = core::scalapart_partition(g, opt);
+    ASSERT_EQ(r.part.side.size(), 1u);
+    EXPECT_EQ(r.report.cut, 0);
+  }
+}
+
+TEST(PipelineDegenerate, TwoVerticesOneEdge) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const CsrGraph g = b.build();
+  expect_clean(analysis::validate_csr(g), "2-vertex CSR");
+  for (std::uint32_t p : {1u, 4u, 8u}) {
+    SCOPED_TRACE("P=" + std::to_string(p));
+    core::ScalaPartOptions opt;
+    opt.nranks = p;
+    const auto r = core::scalapart_partition(g, opt);
+    ASSERT_EQ(r.part.side.size(), 2u);
+    // The only balanced split: one vertex per side, cutting the edge.
+    EXPECT_NE(r.part.side[0], r.part.side[1]);
+    EXPECT_EQ(r.report.cut, g.total_edge_weight());
+    EXPECT_EQ(r.report.imbalance, 0.0);
+  }
+}
+
+TEST(PipelineDegenerate, TwoIsolatedVertices) {
+  GraphBuilder b(2);
+  const CsrGraph g = b.build();
+  expect_clean(analysis::validate_csr(g), "edgeless CSR");
+  core::ScalaPartOptions opt;
+  opt.nranks = 4;
+  const auto r = core::scalapart_partition(g, opt);
+  ASSERT_EQ(r.part.side.size(), 2u);
+  EXPECT_NE(r.part.side[0], r.part.side[1]);
+  EXPECT_EQ(r.report.cut, 0);
+}
+
+TEST(PipelineDegenerate, SelfLoopsOnlyCollapseToEdgeless) {
+  GraphBuilder b(3);
+  b.add_edge(0, 0);
+  b.add_edge(1, 1);
+  b.add_edge(2, 2);
+  const CsrGraph g = b.build();
+  expect_clean(analysis::validate_csr(g), "self-loop-only CSR");
+  EXPECT_EQ(g.num_edges(), 0u);
+  core::ScalaPartOptions opt;
+  opt.nranks = 4;
+  const auto r = core::scalapart_partition(g, opt);
+  EXPECT_EQ(r.report.cut, 0);
+}
+
+}  // namespace
+}  // namespace sp

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Wall-clock regression gate over BENCH_*.json reports.
+
+Usage:
+  bench_gate.py BASELINE.json CANDIDATE.json [CANDIDATE...]
+                [--noise=0.30] [--min-speedup=X] [--out=comparison.json]
+
+Compares one committed baseline report against one or more freshly
+measured candidate reports of the same bench:
+
+  * Determinism: every row/run present in both must agree exactly on
+    `cut`, `modeled_seconds`, and (when both carry it) the partition
+    fingerprint `part_fp`. These are bit-exact model outputs — any
+    difference is a correctness bug, never noise, so it fails the gate
+    outright.
+  * Wall regression: a candidate `wall_ms` may not exceed the baseline's
+    by more than the noise band (default +30%), per comparable row and
+    in total. Walls are the only field allowed to move.
+  * --min-speedup=X additionally requires the median per-row speedup
+    (baseline wall / candidate wall) to reach X — used to assert an
+    optimization actually landed, not just that nothing regressed.
+
+With several candidates (e.g. 3 repetitions) the per-row candidate wall
+is the median across them, so one noisy rep cannot fail the gate.
+
+Writes a machine-readable comparison (--out) with per-row ratios and the
+verdict, and exits 0 (pass) / 1 (fail) / 2 (usage or unreadable input).
+"""
+import json
+import statistics
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def row_key(row, index):
+    """Identity of a row for baseline/candidate matching."""
+    if "graph" in row:
+        return (str(row["graph"]), row.get("p"))
+    if "p" in row:
+        return ("", row["p"])
+    return ("#", index)
+
+
+def indexed_rows(doc):
+    out = {}
+    for i, row in enumerate(doc.get("rows", [])):
+        out[row_key(row, i)] = row
+    return out
+
+
+def check_exact(errors, key, field, base_val, cand_val):
+    if base_val is None or cand_val is None:
+        return
+    if base_val != cand_val:
+        errors.append(
+            f"row {key}: {field} diverged (baseline {base_val!r}, "
+            f"candidate {cand_val!r}) — deterministic output changed")
+
+
+def compare(base, cands, noise, min_speedup):
+    """Returns (errors, comparison_dict)."""
+    errors = []
+    name = base.get("bench")
+    for c in cands:
+        if c.get("bench") != name:
+            errors.append(
+                f"bench mismatch: baseline '{name}' vs candidate "
+                f"'{c.get('bench')}'")
+    if errors:
+        return errors, {}
+
+    base_rows = indexed_rows(base)
+    cand_rows = [indexed_rows(c) for c in cands]
+
+    comparison = {
+        "bench": name,
+        "noise_band": noise,
+        "min_speedup": min_speedup,
+        "candidates": len(cands),
+        "rows": [],
+    }
+    speedups = []
+    total_base = 0.0
+    total_cand = 0.0
+    for key, brow in base_rows.items():
+        present = [cr[key] for cr in cand_rows if key in cr]
+        if not present:
+            errors.append(f"row {key}: missing from candidate report(s)")
+            continue
+        for crow in present:
+            check_exact(errors, key, "cut", brow.get("cut"), crow.get("cut"))
+            check_exact(errors, key, "modeled_seconds",
+                        brow.get("modeled_seconds"),
+                        crow.get("modeled_seconds"))
+            check_exact(errors, key, "part_fp", brow.get("part_fp"),
+                        crow.get("part_fp"))
+
+        bwall = brow.get("wall_ms")
+        cwalls = [r["wall_ms"] for r in present if "wall_ms" in r]
+        if bwall is None or not cwalls:
+            continue
+        cwall = statistics.median(cwalls)
+        ratio = cwall / bwall if bwall > 0 else float("inf")
+        speedup = bwall / cwall if cwall > 0 else float("inf")
+        speedups.append(speedup)
+        total_base += bwall
+        total_cand += cwall
+        entry = {
+            "row": list(key),
+            "baseline_wall_ms": bwall,
+            "candidate_wall_ms": cwall,
+            "ratio": ratio,
+            "speedup": speedup,
+        }
+        comparison["rows"].append(entry)
+        if ratio > 1.0 + noise:
+            errors.append(
+                f"row {key}: wall regression {bwall:.1f}ms -> {cwall:.1f}ms "
+                f"({ratio:.2f}x > allowed {1.0 + noise:.2f}x)")
+
+    if total_base > 0 and total_cand > total_base * (1.0 + noise):
+        errors.append(
+            f"total wall regression {total_base:.1f}ms -> {total_cand:.1f}ms "
+            f"({total_cand / total_base:.2f}x > allowed {1.0 + noise:.2f}x)")
+    comparison["total_baseline_wall_ms"] = total_base
+    comparison["total_candidate_wall_ms"] = total_cand
+
+    if speedups:
+        med = statistics.median(speedups)
+        comparison["median_speedup"] = med
+        if min_speedup is not None and med < min_speedup:
+            errors.append(
+                f"median speedup {med:.2f}x below required "
+                f"{min_speedup:.2f}x")
+
+    comparison["verdict"] = "pass" if not errors else "fail"
+    comparison["errors"] = errors
+    return errors, comparison
+
+
+def main(argv):
+    noise = 0.30
+    min_speedup = None
+    out = None
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--noise="):
+            noise = float(arg.split("=", 1)[1])
+        elif arg.startswith("--min-speedup="):
+            min_speedup = float(arg.split("=", 1)[1])
+        elif arg.startswith("--out="):
+            out = arg.split("=", 1)[1]
+        elif arg.startswith("--"):
+            print(f"unknown option {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    try:
+        base = load(paths[0])
+        cands = [load(p) for p in paths[1:]]
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"unreadable input: {e}", file=sys.stderr)
+        return 2
+
+    errors, comparison = compare(base, cands, noise, min_speedup)
+    if out and comparison:
+        with open(out, "w", encoding="utf-8") as f:
+            json.dump(comparison, f, indent=2)
+            f.write("\n")
+        print(f"wrote {out}")
+
+    bench = base.get("bench", "?")
+    if errors:
+        print(f"FAIL {bench} ({len(errors)} problem(s)):")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+    med = comparison.get("median_speedup")
+    extra = f", median speedup {med:.2f}x" if med is not None else ""
+    print(f"PASS {bench}: {len(comparison['rows'])} rows within "
+          f"+{noise:.0%} noise band{extra}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

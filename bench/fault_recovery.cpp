@@ -7,6 +7,30 @@
 #include "bench_report.hpp"
 #include "bench_util.hpp"
 #include "obs/recorder.hpp"
+#include "support/assert.hpp"
+
+namespace {
+
+/// --reps=N timed repetitions of one configuration; returns the median
+/// wall (ms) and asserts the modeled outputs are bit-identical across
+/// reps (tools/bench_gate.py gates on the exact fields this feeds).
+double measured_wall_ms(const sp::graph::CsrGraph& g,
+                        const sp::core::ScalaPartOptions& opt,
+                        std::uint32_t reps,
+                        const sp::core::ScalaPartResult& reference) {
+  std::vector<double> walls{reference.stats.wall_seconds};
+  for (std::uint32_t r = 1; r < reps; ++r) {
+    auto rerun = sp::core::scalapart_partition(g, opt);
+    SP_ASSERT_MSG(rerun.part.side == reference.part.side &&
+                      rerun.stats.fingerprint() ==
+                          reference.stats.fingerprint(),
+                  "rep divergence: fault_recovery rerun differs");
+    walls.push_back(rerun.stats.wall_seconds);
+  }
+  return sp::percentile(walls, 0.5) * 1e3;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sp;
@@ -34,6 +58,16 @@ int main(int argc, char** argv) {
                 bench::time_str(clean).c_str(), "1.00x", p, "-", "-",
                 with_commas(base.report.cut).c_str(), "-");
     rep.add_run("clean_p" + std::to_string(p), base);
+    {
+      auto& row = rep.add_row();
+      row["graph"] = name;
+      row["p"] = p;
+      row["label"] = "clean";
+      row["modeled_seconds"] = base.modeled_seconds;
+      row["cut"] = static_cast<long long>(base.report.cut);
+      row["part_fp"] = bench::partition_fingerprint_hex(base.part);
+      row["wall_ms"] = measured_wall_ms(g.graph, base_opt, cfg.reps, base);
+    }
 
     for (double f : {0.25, 0.5, 0.75}) {
       auto opt = base_opt;
@@ -53,6 +87,22 @@ int main(int argc, char** argv) {
         run["fire_fraction"] = f;
         run["overhead_vs_clean"] = r.stats.makespan() / clean;
         run["cut_clean"] = static_cast<long long>(base.report.cut);
+      }
+      {
+        char fl[16];
+        std::snprintf(fl, sizeof fl, "f%.2f", f);
+        auto& row = rep.add_row();
+        row["graph"] = name;
+        row["p"] = p;
+        row["label"] = fl;
+        row["modeled_seconds"] = r.modeled_seconds;
+        row["cut"] = static_cast<long long>(r.report.cut);
+        row["part_fp"] = bench::partition_fingerprint_hex(r.part);
+        row["wall_ms"] = measured_wall_ms(g.graph, opt, cfg.reps, r);
+        row["failed_ranks"] =
+            static_cast<unsigned long long>(r.recovery.failed_ranks.size());
+        row["recoveries"] = r.recovery.recoveries;
+        row["final_active_ranks"] = r.recovery.final_active_ranks;
       }
       if (r.recovery.failed_ranks.empty()) {
         // Rank 1's own clock never reached the trigger (it idles past

@@ -1,0 +1,83 @@
+#include "comm/chaos.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/random.hpp"
+
+namespace sp::comm {
+
+FaultPlan random_fault_plan(std::uint64_t seed, std::uint32_t world_size,
+                            const ChaosOptions& opt) {
+  Rng rng(hash64(seed ^ 0xC4A05ull));
+  FaultPlan plan;
+  plan.seed = hash64(seed ^ 0xFA17ull);
+
+  const std::uint64_t n_crashes = rng.below(opt.max_crashes + 1);
+  for (std::uint64_t i = 0; i < n_crashes; ++i) {
+    const auto rank = static_cast<std::uint32_t>(rng.below(world_size));
+    const std::uint64_t kind = rng.below(opt.stages.empty() ? 2 : 3);
+    switch (kind) {
+      case 0:
+        plan.kill_at_event(rank, rng.below(opt.event_horizon));
+        break;
+      case 1:
+        plan.kill_at_time(rank, rng.uniform() * opt.time_horizon);
+        break;
+      default:
+        plan.kill_in_stage(rank,
+                           opt.stages[static_cast<std::size_t>(
+                               rng.below(opt.stages.size()))],
+                           rng.below(opt.event_horizon / 2 + 1));
+        break;
+    }
+  }
+
+  const std::uint64_t n_stragglers = rng.below(opt.max_stragglers + 1);
+  for (std::uint64_t i = 0; i < n_stragglers; ++i) {
+    const auto rank = static_cast<std::uint32_t>(rng.below(world_size));
+    // Log-uniform in [1.5, 64]: mild stragglers are common, extreme ones
+    // (which only a failure detector can shrink away) still appear.
+    const double factor = 1.5 * std::pow(64.0 / 1.5, rng.uniform());
+    plan.slow_rank(rank, factor, rng.uniform() * opt.time_horizon);
+  }
+  return plan;
+}
+
+std::string describe_fault_plan(const FaultPlan& plan) {
+  std::string out;
+  char buf[128];
+  auto append = [&](const char* s) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  };
+  for (const FaultPlan::Crash& c : plan.crashes) {
+    if (!c.stage.empty()) {
+      std::snprintf(buf, sizeof buf, "crash r%u@%s+%llu", c.rank,
+                    c.stage.c_str(),
+                    static_cast<unsigned long long>(c.after_events));
+    } else if (c.at_time >= 0.0) {
+      std::snprintf(buf, sizeof buf, "crash r%u@t=%.4gs", c.rank, c.at_time);
+    } else {
+      std::snprintf(buf, sizeof buf, "crash r%u@event %llu", c.rank,
+                    static_cast<unsigned long long>(c.after_events));
+    }
+    append(buf);
+  }
+  for (const FaultPlan::Straggler& s : plan.stragglers) {
+    std::snprintf(buf, sizeof buf, "straggler r%u x%.3g from %.4gs", s.rank,
+                  s.factor, s.from_time);
+    append(buf);
+  }
+  for (const FaultPlan::MessageFault& f : plan.message_faults) {
+    std::snprintf(buf, sizeof buf, "%s r%u@exchange %llu",
+                  f.kind == FaultPlan::MessageFault::Kind::kDrop ? "drop"
+                                                                 : "corrupt",
+                  f.rank, static_cast<unsigned long long>(f.at_exchange));
+    append(buf);
+  }
+  if (out.empty()) out = "no faults";
+  return out;
+}
+
+}  // namespace sp::comm

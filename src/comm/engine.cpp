@@ -97,6 +97,13 @@ struct CollState {
   std::uint64_t group_id = 0;
   std::uint64_t seq = 0;
   bool is_shrink = false;
+  /// Failure-detector bookkeeping (only populated when the detector is
+  /// enabled): per-member arrival clocks, the run-once latch for the
+  /// detection pass, and the modeled backoff wait every member charges at
+  /// pickup (identical for all members — computed before any pickup).
+  std::vector<double> arrive_clock;  // by group rank
+  bool detector_done = false;
+  double detector_wait = 0.0;
   /// Set when a group member died before arriving: the rendezvous can
   /// never complete. Blocked members are woken to observe and raise
   /// RankFailedError; the last observer destroys the state.
@@ -112,6 +119,14 @@ class EngineImpl {
  public:
   explicit EngineImpl(BspEngine::Options options) : opt_(options) {
     SP_ASSERT(opt_.nranks >= 1);
+    // Reject malformed fault plans up front (out-of-range ranks, negative
+    // straggler factors) — a bad plan silently never firing is the worst
+    // way to discover a typo in a chaos schedule.
+    opt_.faults.validate(opt_.nranks);
+    if (opt_.detector.enabled() && opt_.detector.backoff_seconds < 0.0) {
+      throw FaultPlanError(
+          "FailureDetectorOptions: backoff_seconds must be >= 0");
+    }
     // SP_COMM_NO_COALESCE=1 forces the legacy one-mailbox-entry-per-packet
     // path: the differential tests diff it against the coalesced default.
     const char* env = std::getenv("SP_COMM_NO_COALESCE");
@@ -145,6 +160,9 @@ class EngineImpl {
     comm_events_.assign(opt_.nranks, 0);
     stage_events_.assign(opt_.nranks, 0);
     exchange_counts_.assign(opt_.nranks, 0);
+    suspicions_.assign(opt_.nranks, 0);
+    doomed_.assign(opt_.nranks, false);
+    detector_stats_ = DetectorStats{};
     for (BufferArena& a : arenas_) a.reset_stats();  // pooled buffers persist
     std::fill(coalesced_batches_.begin(), coalesced_batches_.end(), 0);
     last_sig_.assign(opt_.nranks, analysis::CollSignature{});
@@ -203,6 +221,7 @@ class EngineImpl {
     stats.schedule = opt_.schedule;
     stats.backend = opt_.backend;
     stats.threads = exec_->concurrency();
+    stats.detector = detector_stats_;
     for (std::uint32_t r = 0; r < opt_.nranks; ++r) {
       const BufferArena::Stats& a = arenas_[r].stats();
       stats.comm_counters.coalesced_batches += coalesced_batches_[r];
@@ -393,6 +412,87 @@ class EngineImpl {
     if (++state.poison_pickups == state.arrived) {
       erase_state(*state.group, state.seq);
     }
+  }
+
+  // ---- Failure detector (Options::detector; DESIGN.md §4a) ----
+
+  /// Records the arriving member's virtual clock for the detection pass.
+  /// No-op when the detector is off (keeping the fault-free path — and its
+  /// fingerprints — untouched). Call with the engine lock held.
+  void record_arrival(CollState& st, std::uint32_t group_rank,
+                      std::uint32_t world_rank) {
+    if (!opt_.detector.enabled() || st.is_shrink) return;
+    if (st.arrive_clock.empty()) {
+      st.arrive_clock.assign(st.group->members.size(), 0.0);
+    }
+    st.arrive_clock[group_rank] = clocks_[world_rank];
+  }
+
+  /// Detection pass for one completed rendezvous. Runs once (the first
+  /// member through the wait executes it; detector_done latches), before
+  /// any member picks up, with the engine lock held. A member whose
+  /// arrival lags the earliest arrival by more than the deadline draws a
+  /// suspicion: within the retry budget it costs every member a modeled
+  /// backoff wait (accumulated in detector_wait, charged at pickup);
+  /// beyond the budget the suspect is declared failed and is killed at
+  /// its own pickup (kill_if_doomed). Deterministic because arrival
+  /// clocks are, and a rank's rendezvous detect in its program order —
+  /// thread interleaving cannot reorder one rank's own suspicions.
+  /// Shrink rendezvous are exempt: they are the recovery mechanism, and
+  /// survivors legitimately arrive there at wildly different clocks.
+  void run_detector(CollState& st) {
+    if (!opt_.detector.enabled() || st.is_shrink || st.detector_done) return;
+    st.detector_done = true;
+    const std::vector<std::uint32_t>& members = st.group->members;
+    if (members.size() <= 1 || st.arrive_clock.size() != members.size()) {
+      return;
+    }
+    double first = st.arrive_clock[0];
+    for (double c : st.arrive_clock) first = std::min(first, c);
+    for (std::uint32_t g = 0; g < members.size(); ++g) {
+      const double lag = st.arrive_clock[g] - first;
+      if (lag <= opt_.detector.deadline_seconds) continue;
+      const std::uint32_t w = members[g];
+      if (failed_[w] || doomed_[w]) continue;
+      const std::uint32_t n = ++suspicions_[w];
+      ++detector_stats_.suspicions;
+      const bool escalated = n > opt_.detector.max_retries;
+      if (escalated) {
+        doomed_[w] = true;
+        ++detector_stats_.escalations;
+      } else {
+        ++detector_stats_.retries;
+        st.detector_wait += opt_.detector.backoff_seconds * n;
+      }
+#ifdef SP_OBS
+      if (ObsSink* sink = obs_sink()) {
+        DetectorEvent ev;
+        ev.suspect = w;
+        ev.suspicions = n;
+        ev.lag_seconds = lag;
+        ev.escalated = escalated;
+        sink->on_detector(ev);
+      }
+#endif
+    }
+  }
+
+  /// Charges one member's share of the rendezvous's retry backoff.
+  /// Identical for every member — detector_wait is final before any
+  /// pickup happens — and charged like communication time, so a
+  /// straggler's own retries cost it proportionally more.
+  void charge_detector_wait(std::uint32_t world_rank, const CollState& st) {
+    if (st.detector_wait <= 0.0) return;
+    const double before = clocks_[world_rank];
+    charge_comm(world_rank, st.detector_wait, 0, 0, /*is_collective=*/false);
+    detector_stats_.wait_seconds += clocks_[world_rank] - before;
+  }
+
+  /// Unwinds the calling rank (throwing RankKilled) if the detector
+  /// declared it failed. Called at the rank's own pickup, after the
+  /// rendezvous bookkeeping completed, so no collective state leaks.
+  void kill_if_doomed(std::uint32_t world_rank) {
+    if (doomed_[world_rank] && !failed_[world_rank]) kill_rank_(world_rank);
   }
 
   // ---- Fault injection ----
@@ -597,6 +697,9 @@ class EngineImpl {
   std::vector<std::uint64_t> comm_events_;    // lifetime comm events per rank
   std::vector<std::uint64_t> stage_events_;   // comm events since set_stage
   std::vector<std::uint64_t> exchange_counts_;  // exchange calls per rank
+  std::vector<std::uint32_t> suspicions_;  // detector suspicions, by world rank
+  std::vector<bool> doomed_;  // detector-declared failed; killed at pickup
+  DetectorStats detector_stats_;
   bool coalesce_ = true;  // exchange coalescing (Options + SP_COMM_NO_COALESCE)
   std::vector<BufferArena> arenas_;  // by world rank; see arena() for ownership
   std::vector<std::uint64_t> coalesced_batches_;  // packed messages per rank
@@ -747,12 +850,14 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
   st.root = root;
   st.contribs[group_rank_] = std::move(payload);
   st.max_clock = std::max(st.max_clock, engine_->clock(world_rank_));
+  engine_->record_arrival(st, group_rank_, world_rank_);
   ++st.arrived;
   engine_->notify_arrival(st);
   if (engine_->wait_all_arrived(world_rank_, st)) {
     engine_->observe_poison(st);
     throw RankFailedError(engine_->all_failed());
   }
+  engine_->run_detector(st);
 
   // Last-to-observe combines exactly once — in group-rank order, never
   // arrival order, so the fold shape (a left comb over ranks 0..P-1) is
@@ -817,6 +922,7 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
   }
   engine_->set_clock(world_rank_, st.max_clock);
   engine_->charge_comm(world_rank_, seconds, msgs, bytes, /*is_collective=*/true);
+  engine_->charge_detector_wait(world_rank_, st);
 #ifdef SP_OBS
   if (ObsSink* sink = obs_sink()) {
     CommOpEvent ev;
@@ -845,6 +951,10 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
   if (++st.pickups == st.expected) {
     engine_->erase_state(*group_, my_seq);
   }
+  // Detector escalation fires here — after the rendezvous bookkeeping is
+  // complete (the state cannot leak), from the doomed rank's own context
+  // (only a rank's own fiber/thread may unwind it).
+  engine_->kill_if_doomed(world_rank_);
   return my_result;
 }
 
@@ -941,12 +1051,14 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
     if (batches != 0) engine_->add_coalesced_batches(world_rank_, batches);
   }
   st.max_clock = std::max(st.max_clock, engine_->clock(world_rank_));
+  engine_->record_arrival(st, group_rank_, world_rank_);
   ++st.arrived;
   engine_->notify_arrival(st);
   if (engine_->wait_all_arrived(world_rank_, st)) {
     engine_->observe_poison(st);
     throw RankFailedError(engine_->all_failed());
   }
+  engine_->run_detector(st);
 
   std::vector<detail::InboxEntry> entries = std::move(st.inboxes[group_rank_]);
   // Stable sort by source: mailbox contents arrive in (arbitrary) peer
@@ -997,6 +1109,7 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
   engine_->set_clock(world_rank_, st.max_clock);
   engine_->charge_comm(world_rank_, seconds, msgs_out, bytes_out,
                        /*is_collective=*/false);
+  engine_->charge_detector_wait(world_rank_, st);
 #ifdef SP_OBS
   if (ObsSink* sink = obs_sink()) {
     CommOpEvent ev;
@@ -1017,6 +1130,8 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
   if (++st.pickups == st.expected) {
     engine_->erase_state(*group_, my_seq);
   }
+  // See collective_: escalation unwinds the doomed rank at its own pickup.
+  engine_->kill_if_doomed(world_rank_);
   return inbox;
 }
 

@@ -356,8 +356,16 @@ class BspEngine {
     /// Fiber stack size. Algorithms here recurse shallowly; 1 MiB is ample
     /// and keeps P=1024 within 1 GiB of (lazily mapped) stack.
     std::size_t stack_bytes = 256u << 10;
-    /// Deterministic faults to inject (empty = fault-free run).
+    /// Deterministic faults to inject (empty = fault-free run). Validated
+    /// against `nranks` at engine construction (FaultPlanError on a fault
+    /// that could never fire as written).
     FaultPlan faults;
+    /// Deterministic timeout-based failure detection on the modeled clock
+    /// (off by default; see FailureDetectorOptions). When enabled, every
+    /// completed rendezvous checks member arrival lag against the
+    /// deadline; a suspect that exhausts its retry budget is declared
+    /// failed exactly as a fault-plan crash would be.
+    FailureDetectorOptions detector;
     /// Fiber resume order. A correct SPMD program produces bit-identical
     /// results under every schedule; the determinism auditor
     /// (analysis/determinism.hpp) exploits this to flag ordering bugs.

@@ -29,6 +29,40 @@
 
 namespace sp::comm {
 
+/// Raised for a FaultPlan that can never behave as written: a fault aimed
+/// at a rank outside the world, a non-positive straggler factor, or an
+/// empty stage name handed to kill_in_stage (which would silently turn a
+/// stage-scoped trigger into a lifetime-scoped one). The engine validates
+/// the plan at construction so a misconfigured experiment fails loudly
+/// instead of running fault-free.
+class FaultPlanError : public std::logic_error {
+ public:
+  explicit FaultPlanError(const std::string& msg) : std::logic_error(msg) {}
+};
+
+/// Deterministic failure detector on the modeled clock (all off by
+/// default). When `deadline_seconds` > 0, every completed collective or
+/// exchange rendezvous compares its members' arrival clocks: a member
+/// whose lag behind the earliest arrival exceeds the deadline draws a
+/// *suspicion*. Each suspicion below the retry budget charges the whole
+/// group `backoff_seconds * suspicion-count` of modeled wait (the cost of
+/// re-probing a slow peer); the suspicion that exhausts the budget
+/// escalates — the suspect is declared failed and killed at its next
+/// pickup, after which survivors observe the standard RankFailedError /
+/// shrink path. Arrival clocks are deterministic, so detection is too.
+struct FailureDetectorOptions {
+  /// Maximum tolerated arrival lag (seconds) behind the earliest group
+  /// member before a suspicion is drawn; <= 0 disables the detector.
+  double deadline_seconds = -1.0;
+  /// Suspicions tolerated (with backoff) before escalation to failure.
+  std::uint32_t max_retries = 3;
+  /// Modeled wait charged to the group per retry, scaled linearly by the
+  /// suspect's suspicion count.
+  double backoff_seconds = 0.0;
+
+  bool enabled() const { return deadline_seconds > 0.0; }
+};
+
 struct FaultPlan {
   /// Fail-stop crash of one rank. Trigger fields combine as AND: the
   /// rank dies at the first communication event satisfying all set
@@ -78,6 +112,42 @@ struct FaultPlan {
     return crashes.empty() && stragglers.empty() && message_faults.empty();
   }
 
+  /// Rejects faults that could never fire (or would fire nonsensically)
+  /// in a world of `world_size` ranks. Called by BspEngine at
+  /// construction; throws FaultPlanError naming the offending entry.
+  void validate(std::uint32_t world_size) const {
+    auto bad_rank = [&](const char* what, std::size_t i, std::uint32_t r) {
+      throw FaultPlanError(
+          "FaultPlan: " + std::string(what) + " #" + std::to_string(i) +
+          " targets rank " + std::to_string(r) + ", but the world has only " +
+          std::to_string(world_size) + " rank(s) — it could never fire");
+    };
+    for (std::size_t i = 0; i < crashes.size(); ++i) {
+      if (crashes[i].rank >= world_size) bad_rank("crash", i, crashes[i].rank);
+    }
+    for (std::size_t i = 0; i < stragglers.size(); ++i) {
+      const Straggler& s = stragglers[i];
+      if (s.rank >= world_size) bad_rank("straggler", i, s.rank);
+      if (!(s.factor > 0.0)) {
+        throw FaultPlanError(
+            "FaultPlan: straggler #" + std::to_string(i) + " has factor " +
+            std::to_string(s.factor) +
+            "; slowdown factors must be positive (use > 1 to slow a rank)");
+      }
+    }
+    for (std::size_t i = 0; i < message_faults.size(); ++i) {
+      const MessageFault& f = message_faults[i];
+      if (f.rank >= world_size) bad_rank("message fault", i, f.rank);
+      if (f.peer != kAnyPeer && f.peer >= world_size) {
+        throw FaultPlanError(
+            "FaultPlan: message fault #" + std::to_string(i) +
+            " names peer " + std::to_string(f.peer) +
+            " in a world of " + std::to_string(world_size) +
+            " rank(s) (use FaultPlan::kAnyPeer for all peers)");
+      }
+    }
+  }
+
   // ---- Convenience builders (chainable via repeated calls) ----
 
   FaultPlan& kill_at_event(std::uint32_t rank, std::uint64_t event) {
@@ -89,9 +159,17 @@ struct FaultPlan {
     return *this;
   }
   /// Kill `rank` at its `event`-th communication event after entering
-  /// `stage` (0 = the first event of the stage).
+  /// `stage` (0 = the first event of the stage). An empty stage name is
+  /// rejected here: Crash{} treats "" as "any stage" (a lifetime
+  /// trigger), so passing one would silently build a different trigger
+  /// than the call-site reads.
   FaultPlan& kill_in_stage(std::uint32_t rank, std::string stage,
                            std::uint64_t event = 0) {
+    if (stage.empty()) {
+      throw FaultPlanError(
+          "FaultPlan::kill_in_stage: empty stage name (for a trigger that "
+          "fires in any stage, use kill_at_event)");
+    }
     crashes.push_back({rank, std::move(stage), event, -1.0});
     return *this;
   }

@@ -1,0 +1,96 @@
+#include "comm/frame_io.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "support/random.hpp"
+
+namespace sp::comm {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'P', 'F', 'R', 'A', 'M', 'E', '\0'};
+}  // namespace
+
+std::uint64_t frame_checksum(const void* data, std::size_t len) {
+  // Chained splitmix64 seeded with the length: cheap, deterministic, and
+  // sensitive to byte order and position (unlike a plain sum).
+  std::uint64_t h = hash64(0xF4A3E5ull ^ static_cast<std::uint64_t>(len));
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = hash64(h ^ w);
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t j = 0; i + j < len; ++j) {
+    tail |= static_cast<std::uint64_t>(p[i + j]) << (8 * j);
+  }
+  if (i < len) h = hash64(h ^ tail);
+  return h;
+}
+
+void write_frame_header(std::ostream& out, std::uint32_t flags) {
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kFrameFormatVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
+}
+
+std::uint32_t read_frame_header(std::istream& in) {
+  char magic[8] = {};
+  std::uint32_t version = 0, flags = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&flags), sizeof(flags));
+  if (!in) throw FrameError("frame stream: truncated header");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw FrameError("frame stream: bad magic (not a durable frame file)");
+  }
+  if (version > kFrameFormatVersion) {
+    throw FrameError("frame stream: format version " +
+                     std::to_string(version) +
+                     " is newer than this build supports (" +
+                     std::to_string(kFrameFormatVersion) + ")");
+  }
+  return flags;
+}
+
+void write_frame(std::ostream& out, const void* data, std::size_t len) {
+  const std::uint64_t len64 = len;
+  out.write(reinterpret_cast<const char*>(&len64), sizeof(len64));
+  if (len != 0) out.write(static_cast<const char*>(data),
+                          static_cast<std::streamsize>(len));
+  const std::uint64_t sum = frame_checksum(data, len);
+  out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+}
+
+std::vector<std::byte> read_frame(std::istream& in, std::size_t frame_index,
+                                  std::size_t max_len) {
+  auto fail = [&](const std::string& what) -> void {
+    throw FrameError("frame " + std::to_string(frame_index) + ": " + what);
+  };
+  std::uint64_t len64 = 0;
+  in.read(reinterpret_cast<char*>(&len64), sizeof(len64));
+  if (!in) fail("truncated length word");
+  if (len64 > max_len) {
+    fail("implausible payload length " + std::to_string(len64) +
+         " (corrupted length word?)");
+  }
+  std::vector<std::byte> payload(static_cast<std::size_t>(len64));
+  if (!payload.empty()) {
+    in.read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+    if (!in) fail("truncated payload");
+  }
+  std::uint64_t sum = 0;
+  in.read(reinterpret_cast<char*>(&sum), sizeof(sum));
+  if (!in) fail("truncated checksum");
+  if (sum != frame_checksum(payload.data(), payload.size())) {
+    fail("checksum mismatch (payload corrupted)");
+  }
+  return payload;
+}
+
+}  // namespace sp::comm

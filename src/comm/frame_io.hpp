@@ -1,0 +1,65 @@
+// Versioned, checksummed frame I/O for durable on-disk state.
+//
+// The wire format of the engine's coalesced exchange path (DESIGN.md §3a)
+// frames every logical packet as [u64 length | payload]. Durable
+// checkpoints reuse the same framing with one addition per frame — a
+// trailing 64-bit checksum over the payload — plus a fixed file header
+// carrying a magic number and a format version:
+//
+//   file   := header frame, frame*
+//   frame  := [u64 length][length payload bytes][u64 checksum]
+//   header := "SPFRAME\0" magic (8 bytes) + u32 format version + u32 flags
+//
+// The checksum is a chained splitmix64 over the payload seeded with the
+// length, so truncation, bit-flips, and frame-boundary corruption are all
+// caught at read time with a FrameError naming the frame index — a
+// partially-written or damaged checkpoint is reported, never silently
+// restored. Writers should write to a temporary path and rename() into
+// place so readers only ever see complete files.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sp::comm {
+
+/// Raised on any malformed durable frame stream: bad magic, unsupported
+/// version, truncated frame, or checksum mismatch.
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Current durable frame format version (bump on incompatible change).
+inline constexpr std::uint32_t kFrameFormatVersion = 1;
+
+/// Checksum of a payload as stored in a frame trailer.
+std::uint64_t frame_checksum(const void* data, std::size_t len);
+
+/// Writes the file header (magic + version + flags).
+void write_frame_header(std::ostream& out, std::uint32_t flags = 0);
+
+/// Validates the file header; returns the flags word. Throws FrameError
+/// on bad magic or a version newer than this build understands.
+std::uint32_t read_frame_header(std::istream& in);
+
+/// Appends one [len | payload | checksum] frame.
+void write_frame(std::ostream& out, const void* data, std::size_t len);
+
+inline void write_frame(std::ostream& out,
+                        const std::vector<std::byte>& payload) {
+  write_frame(out, payload.data(), payload.size());
+}
+
+/// Reads the next frame, verifying length and checksum. `frame_index` is
+/// only used to name the frame in error messages. `max_len` bounds the
+/// accepted payload size so a corrupted length word cannot trigger a
+/// multi-gigabyte allocation.
+std::vector<std::byte> read_frame(std::istream& in, std::size_t frame_index,
+                                  std::size_t max_len = std::size_t{1} << 32);
+
+}  // namespace sp::comm

@@ -48,10 +48,25 @@ struct CommOpEvent {
   bool is_collective = false;          // false for exchange supersteps
 };
 
+/// One failure-detector decision: a suspicion drawn against `suspect`
+/// (with its arrival lag), either absorbed as a retry or escalated to a
+/// declared failure. Emitted under the engine lock like on_comm_op.
+struct DetectorEvent {
+  std::uint32_t suspect = 0;   // world rank under suspicion
+  std::uint32_t suspicions = 0;  // cumulative count against this rank
+  double lag_seconds = 0.0;    // arrival lag behind the earliest member
+  bool escalated = false;      // true: declared failed (will be killed)
+};
+
 class ObsSink {
  public:
   virtual ~ObsSink() = default;
   virtual void on_comm_op(const CommOpEvent& ev) = 0;
+
+  /// Failure-detector decision (see DetectorEvent). Default no-op so
+  /// existing sinks keep compiling; obs::Recorder folds these into the
+  /// fault/detector_* metrics.
+  virtual void on_detector(const DetectorEvent& ev) { (void)ev; }
 
   /// End-of-run mailbox/allocator counters for one rank: packed messages
   /// formed by exchange coalescing plus that rank's arena stats. Default

@@ -71,6 +71,21 @@ struct CommRunCounters {
   }
 };
 
+/// Failure-detector accounting for one run (all zeros when the detector
+/// is disabled — the default). Deterministic (arrival clocks are), but
+/// excluded from RunStats::fingerprint() so fingerprints of existing
+/// detector-free baselines are unchanged.
+struct DetectorStats {
+  /// Arrival-lag suspicions drawn across all rendezvous.
+  std::uint64_t suspicions = 0;
+  /// Suspicions absorbed as retries (modeled backoff, no escalation).
+  std::uint64_t retries = 0;
+  /// Suspects declared failed after exhausting the retry budget.
+  std::uint64_t escalations = 0;
+  /// Modeled backoff wait charged, summed over ranks.
+  double wait_seconds = 0.0;
+};
+
 /// Result of a BspEngine::run.
 struct RunStats {
   /// Final virtual clock per rank; modeled parallel makespan is max().
@@ -94,6 +109,9 @@ struct RunStats {
   /// Mailbox coalescing / buffer-arena totals for the run (diagnostic,
   /// excluded from fingerprint()).
   CommRunCounters comm_counters;
+  /// Failure-detector totals (zeros when the detector is off; excluded
+  /// from fingerprint() — see DetectorStats).
+  DetectorStats detector;
 
   double makespan() const;
   /// Order-independent digest of everything deterministic about the run:

@@ -1,0 +1,64 @@
+// Durable pipeline checkpoints: serializing ScalaPart's level-boundary
+// embed checkpoint to disk so a partition can resume after a cold restart
+// (process death, not just in-run rank failure).
+//
+// A checkpoint file carries the identity of the run that wrote it (graph
+// size, seed, rank count) alongside the embedding state (level, box,
+// coordinates, ownership map). Identity is validated on load: resuming a
+// checkpoint against a different graph or configuration is a usage error,
+// not a silent wrong answer. The payload rides in the versioned,
+// checksummed frame container of comm/frame_io.hpp, and writes go through
+// a temp-file-plus-rename so a crash mid-write never leaves a truncated
+// file where a valid one stood.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "embed/lattice_parallel.hpp"
+#include "geometry/box.hpp"
+#include "geometry/vec.hpp"
+
+namespace sp::core {
+
+/// A checkpoint file that cannot be written, read, or reconciled with the
+/// run trying to resume it (wrong graph, wrong seed, corrupted frames —
+/// frame-level corruption arrives wrapped from comm::FrameError).
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error("checkpoint: " + what) {}
+};
+
+/// On-disk image of one embed-level checkpoint plus the identity of the
+/// run that wrote it.
+struct PipelineCheckpoint {
+  // ---- identity ----
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t nranks = 0;
+  // ---- embedding state (mirrors embed::EmbedCheckpoint) ----
+  std::uint64_t level = 0;
+  std::uint32_t pl = 0;  // active rank count that wrote the level
+  geom::Box box;
+  std::vector<geom::Vec2> coords;       // by vertex id at `level`
+  std::vector<std::uint32_t> owner;     // owning rank per vertex at `level`
+
+  embed::EmbedCheckpoint to_embed_checkpoint() const;
+};
+
+/// Canonical checkpoint file path inside a checkpoint directory.
+std::string checkpoint_path(const std::string& dir);
+
+/// Atomically writes `ckpt` to `path` (temp file + rename). Throws
+/// CheckpointError if the file cannot be written.
+void save_checkpoint(const std::string& path, const PipelineCheckpoint& ckpt);
+
+/// Reads and validates a checkpoint file. Throws CheckpointError for a
+/// missing, truncated, corrupted, or internally inconsistent file.
+PipelineCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace sp::core

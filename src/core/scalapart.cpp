@@ -2,11 +2,13 @@
 #include <unordered_map>
 
 #include <algorithm>
+#include <filesystem>
 
 #include "analysis/pipeline_check.hpp"
 #include "coarsen/hierarchy.hpp"
 #include "coarsen/parallel_matching.hpp"
 #include "comm/engine.hpp"
+#include "core/checkpoint.hpp"
 #include "graph/distributed_graph.hpp"
 #include "obs/span.hpp"
 #include "support/assert.hpp"
@@ -100,10 +102,11 @@ embed::RankEmbedding embedding_from_coords(comm::Comm& world,
   return emb;
 }
 
-}  // namespace
-
-ScalaPartResult scalapart_partition(const CsrGraph& g,
-                                    const ScalaPartOptions& opt) {
+/// Pipeline body shared by the fresh-start and cold-resume entry points.
+/// `preloaded`, when non-null, seeds the embed checkpoint from a durable
+/// file so the embedding resumes at the saved level.
+ScalaPartResult scalapart_run(const CsrGraph& g, const ScalaPartOptions& opt,
+                              const PipelineCheckpoint* preloaded) {
   SP_ASSERT_MSG((opt.nranks & (opt.nranks - 1)) == 0,
                 "nranks must be a power of two");
   const VertexId n = g.num_vertices();
@@ -157,34 +160,85 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
   bool completed = false;
 
   // Fault-tolerance shared state. Checkpointing is only worth paying for
-  // when the plan can actually kill a rank.
-  const bool tolerate =
-      opt.recover_on_failure && !opt.faults.crashes.empty();
+  // when something can actually kill a rank (planned crash or an enabled
+  // failure detector) — or when the caller asked for durable checkpoints.
+  const bool may_kill =
+      !opt.faults.crashes.empty() || opt.detector.enabled();
+  const bool tolerate = opt.recover_on_failure && may_kill;
+  const bool durable = !opt.checkpoint_dir.empty();
   std::size_t coarsen_ckpt = 0;  // levels below this index are done
   embed::EmbedCheckpoint embed_ckpt;
   std::uint32_t recoveries = 0;
   std::uint32_t final_active = opt.nranks;
+  std::uint32_t persisted = 0;
+
+  if (preloaded) embed_ckpt = preloaded->to_embed_checkpoint();
+  if (durable) {
+    std::filesystem::create_directories(opt.checkpoint_dir);
+    const std::string path = checkpoint_path(opt.checkpoint_dir);
+    // Called by rank 0 of the active sub-communicator after each
+    // checkpoint gather. Writers are serialized: a new writer can only
+    // take over via a shrink, which the previous writer either joins
+    // (its earlier persist happened-before, by program order through the
+    // engine lock) or died before reaching. Host-side I/O only — no
+    // modeled time.
+    embed_ckpt.persist = [&, path](const embed::EmbedCheckpoint& c) {
+      PipelineCheckpoint pc;
+      pc.num_vertices = n;
+      pc.num_edges = g.num_edges();
+      pc.seed = opt.seed;
+      pc.nranks = opt.nranks;
+      pc.level = c.level;
+      pc.pl = c.pl;
+      pc.box = c.box;
+      pc.coords = c.coords;
+      pc.owner = c.owner;
+      save_checkpoint(path, pc);
+      ++persisted;
+    };
+  }
 
   comm::BspEngine::Options eng_opt;
   eng_opt.nranks = opt.nranks;
   eng_opt.model = opt.cost_model;
   eng_opt.faults = opt.faults;
+  eng_opt.detector = opt.detector;
   eng_opt.schedule = opt.schedule;
   eng_opt.schedule_seed = opt.schedule_seed;
   eng_opt.backend = opt.backend;
   eng_opt.threads = opt.threads;
   comm::BspEngine engine(eng_opt);
 
-  auto stats = engine.run([&](comm::Comm& world0) {
+  auto program = [&](comm::Comm& world0) {
     comm::Comm world = world0;
     // Root of the rank's span tree; spans reference the `world` variable
     // (not its current value), so they survive shrink/split reassignment
     // — world_rank and the clock source never change.
     obs::Span pipeline_span(world, "scalapart", "pipeline");
     bool need_recover = false;
+    // Rank-local recovery count: a shared counter would race under the
+    // threads backend (the budget check runs before the shrink that
+    // would synchronize it). Every survivor participates in every
+    // recovery round, so the local counts agree.
+    std::uint32_t my_recoveries = 0;
+    // Engine-wide failure list as of the last observed RankFailedError
+    // (order of death); carried into RecoveryExhaustedError so callers
+    // see who died even when the budget check aborts before the shrink.
+    std::vector<std::uint32_t> my_failed;
     for (;;) {
       try {
         if (need_recover) {
+          ++my_recoveries;
+          if (opt.max_recoveries != 0 &&
+              my_recoveries > opt.max_recoveries) {
+            RecoveryStats rs;
+            rs.failed_ranks = my_failed;
+            rs.recoveries = my_recoveries - 1;
+            throw RecoveryExhaustedError(
+                "recovery budget (" + std::to_string(opt.max_recoveries) +
+                    ") exceeded",
+                rs);
+          }
           // ---- Shrink-and-recover (traced under stage "recover"). ----
           world.set_stage(obs::stages::kRecover);
           obs::Span recover_span(world, obs::stages::kRecover, "stage");
@@ -263,8 +317,9 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
         embed::RankEmbedding emb;
         {
           obs::Span stage_span(world, obs::stages::kEmbed, "stage");
-          emb = embed::lattice_embed(world, workspace, embed_opt,
-                                     tolerate ? &embed_ckpt : nullptr);
+          emb = embed::lattice_embed(
+              world, workspace, embed_opt,
+              (tolerate || durable || preloaded) ? &embed_ckpt : nullptr);
         }
         // Checkpoint: each rank's slice of the embedding (alignment,
         // finiteness, owned/ghost disjointness) before partitioning
@@ -297,16 +352,53 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
           world.barrier();
         }
         return;
-      } catch (const comm::RankFailedError&) {
+      } catch (const comm::RankFailedError& e) {
         if (!opt.recover_on_failure) throw;
+        my_failed = e.failed_ranks();
         need_recover = true;
       }
     }
-  });
+  };
+
+  comm::RunStats stats;
+  try {
+    stats = engine.run(program);
+  } catch (RecoveryExhaustedError& e) {
+    // Budget exceeded inside a rank body: fill in what the shared slots
+    // know (the thrower could only see its own counters) and re-raise.
+    e.stats.recoveries = std::max(e.stats.recoveries, recoveries);
+    e.stats.final_active_ranks = final_active;
+    e.stats.checkpoints_persisted = persisted;
+    e.stats.resumed_from_disk = preloaded != nullptr;
+    throw;
+  } catch (const comm::RankFailedError& e) {
+    if (!opt.recover_on_failure) throw;
+    // Recovery was on but the engine still surfaced a failure: every
+    // rank died. Structured error, not an unhandled unwind.
+    RecoveryStats rs;
+    rs.failed_ranks = e.failed_ranks();
+    rs.recoveries = recoveries;
+    rs.final_active_ranks = 0;
+    rs.checkpoints_persisted = persisted;
+    rs.resumed_from_disk = preloaded != nullptr;
+    throw RecoveryExhaustedError("all ranks failed", rs);
+  }
 
   if (!completed) {
-    // Every rank that could have finished the pipeline was killed.
-    throw comm::RankFailedError(stats.failed_ranks);
+    // Every rank that could have finished the pipeline was killed (the
+    // actives all died while retired spares let the run end cleanly).
+    if (!opt.recover_on_failure) {
+      throw comm::RankFailedError(stats.failed_ranks);
+    }
+    RecoveryStats rs;
+    rs.failed_ranks = stats.failed_ranks;
+    rs.recoveries = recoveries;
+    rs.final_active_ranks = 0;
+    rs.detector = stats.detector;
+    rs.checkpoints_persisted = persisted;
+    rs.resumed_from_disk = preloaded != nullptr;
+    throw RecoveryExhaustedError("no active rank completed the pipeline",
+                                 rs);
   }
 
   for (VertexId v = 0; v < n; ++v) result.part[v] = side[v];
@@ -336,10 +428,47 @@ ScalaPartResult scalapart_partition(const CsrGraph& g,
       stats.stage_sum(obs::stages::kCheckpoint).messages;
   result.recovery.recover_messages =
       stats.stage_sum(obs::stages::kRecover).messages;
+  result.recovery.detector = stats.detector;
+  result.recovery.checkpoints_persisted = persisted;
+  result.recovery.resumed_from_disk = preloaded != nullptr;
   result.stats = std::move(stats);
   result.embedding = std::move(coords);
   result.strip_size = strip_size;
   return result;
+}
+
+}  // namespace
+
+ScalaPartResult scalapart_partition(const CsrGraph& g,
+                                    const ScalaPartOptions& opt) {
+  return scalapart_run(g, opt, nullptr);
+}
+
+ScalaPartResult resume_from_checkpoint(const CsrGraph& g,
+                                       const ScalaPartOptions& opt) {
+  if (opt.checkpoint_dir.empty()) {
+    throw CheckpointError("resume_from_checkpoint requires checkpoint_dir");
+  }
+  PipelineCheckpoint ckpt =
+      load_checkpoint(checkpoint_path(opt.checkpoint_dir));
+  if (ckpt.num_vertices != g.num_vertices() ||
+      ckpt.num_edges != g.num_edges()) {
+    throw CheckpointError(
+        "checkpoint was written for a different graph (" +
+        std::to_string(ckpt.num_vertices) + " vertices / " +
+        std::to_string(ckpt.num_edges) + " edges; resuming with " +
+        std::to_string(g.num_vertices()) + " / " +
+        std::to_string(g.num_edges()) + ")");
+  }
+  if (ckpt.seed != opt.seed || ckpt.nranks != opt.nranks) {
+    throw CheckpointError(
+        "checkpoint was written under different options (seed " +
+        std::to_string(ckpt.seed) + ", nranks " +
+        std::to_string(ckpt.nranks) + "; resuming with seed " +
+        std::to_string(opt.seed) + ", nranks " +
+        std::to_string(opt.nranks) + ")");
+  }
+  return scalapart_run(g, opt, &ckpt);
 }
 
 ScalaPartResult sp_pg7nl_partition(const CsrGraph& g,

@@ -77,6 +77,23 @@ struct ScalaPartOptions {
   /// completes on the reduced rank set. When false, a crash propagates
   /// out of scalapart_partition as comm::RankFailedError.
   bool recover_on_failure = true;
+  /// Recovery budget: maximum shrink-and-resume rounds before the run
+  /// gives up with RecoveryExhaustedError. 0 = unbounded (recover as
+  /// long as at least one rank survives).
+  std::uint32_t max_recoveries = 0;
+  /// Timeout-based failure detector on the modeled clock (DESIGN.md §4a).
+  /// Disabled by default; when enabled, a rank whose rendezvous arrival
+  /// lags its group by more than the deadline is retried with modeled
+  /// backoff and, past max_retries, declared failed and shrunk away like
+  /// a crash.
+  comm::FailureDetectorOptions detector;
+  /// Directory for durable level-boundary checkpoints (empty = in-memory
+  /// only). When set, every embed checkpoint is additionally serialized
+  /// to <checkpoint_dir>/scalapart.ckpt (versioned, checksummed frames;
+  /// atomic replace), and resume_from_checkpoint() can cold-restart the
+  /// pipeline from it after process death. Durable persistence is
+  /// host-side I/O: it costs no modeled time.
+  std::string checkpoint_dir;
 
   /// Convenience: derive all per-stage seeds from `seed` and `nranks` so
   /// different P values explore different separators (as in the paper,
@@ -117,6 +134,26 @@ struct RecoveryStats {
   /// Messages charged to checkpointing / recovery, summed over ranks.
   std::uint64_t checkpoint_messages = 0;
   std::uint64_t recover_messages = 0;
+  /// Failure-detector totals for the run (zeros when the detector is
+  /// off).
+  comm::DetectorStats detector;
+  /// Durable checkpoints written to checkpoint_dir (0 when in-memory).
+  std::uint32_t checkpoints_persisted = 0;
+  /// True when this run was cold-started from a durable checkpoint.
+  bool resumed_from_disk = false;
+};
+
+/// The pipeline could not complete despite fault tolerance being on: the
+/// recovery budget (ScalaPartOptions::max_recoveries) was exhausted, or
+/// every rank died. Carries the fault-tolerance accounting gathered up to
+/// the failure, so callers can report what was survived before giving up.
+class RecoveryExhaustedError : public std::runtime_error {
+ public:
+  RecoveryExhaustedError(const std::string& what, RecoveryStats stats)
+      : std::runtime_error("recovery exhausted: " + what),
+        stats(std::move(stats)) {}
+
+  RecoveryStats stats;
 };
 
 struct ScalaPartResult {
@@ -140,6 +177,16 @@ struct ScalaPartResult {
 /// Runs the full ScalaPart pipeline on `g`. Deterministic given options.
 ScalaPartResult scalapart_partition(const graph::CsrGraph& g,
                                     const ScalaPartOptions& opt);
+
+/// Cold-restarts the pipeline from the durable checkpoint in
+/// opt.checkpoint_dir (which must be set): coarsening re-runs (it is a
+/// deterministic function of the options), the embedding resumes at the
+/// checkpointed level with its exact ownership map, and the result is
+/// bit-identical to the uninterrupted run of the same options. Throws
+/// CheckpointError (core/checkpoint.hpp) when the file is missing,
+/// corrupt, or was written by a different graph/seed/rank-count.
+ScalaPartResult resume_from_checkpoint(const graph::CsrGraph& g,
+                                       const ScalaPartOptions& opt);
 
 /// Partition-only entry point (SP-PG7-NL): for graphs that already have
 /// coordinates (the use case of Figure 4), skipping coarsening/embedding.

@@ -575,16 +575,28 @@ void write_checkpoint(comm::Comm& sub, const LevelLocal& local, VertexId n,
   for (std::size_t i = 0; i < local.owned.size(); ++i) {
     out.push_back({local.owned[i], local.pos[i][0], local.pos[i][1]});
   }
-  auto all = sub.allgatherv(std::span<const CoordMsg>(out));
+  std::vector<std::size_t> counts;
+  auto all = sub.allgatherv(std::span<const CoordMsg>(out), &counts);
   if (sub.rank() == 0) {
     ckpt.coords.assign(n, Vec2{});
-    for (const CoordMsg& msg : all) {
-      ckpt.coords[msg.id] = geom::vec2(msg.x, msg.y);
+    ckpt.owner.assign(n, 0);
+    // The gather is concatenated in group-rank order, so the counts
+    // vector identifies each message's sender — the ownership map rides
+    // along at zero extra modeled cost.
+    std::size_t at = 0;
+    for (std::uint32_t r = 0; r < counts.size(); ++r) {
+      for (std::size_t i = 0; i < counts[r]; ++i, ++at) {
+        const CoordMsg& msg = all[at];
+        ckpt.coords[msg.id] = geom::vec2(msg.x, msg.y);
+        ckpt.owner[msg.id] = r;
+      }
     }
     ckpt.level = local.level;
+    ckpt.pl = local.pl;
     ckpt.box = local.box;
     ckpt.valid = true;
     obs::count(sub, "fault/checkpoints");
+    if (ckpt.persist) ckpt.persist(ckpt);
   }
   sub.add_compute(static_cast<double>(all.size()));
   sub.set_stage(prev);
@@ -611,6 +623,30 @@ LevelLocal restore_level(comm::Comm& sub, const EmbedCheckpoint& ckpt,
   if (sub.rank() == 0) coords = ckpt.coords;
   coords = sub.broadcast_vec(std::span<const Vec2>(coords), 0);
   SP_ASSERT(coords.size() == g.num_vertices());
+  if (ckpt.pl == pl && ckpt.owner.size() == g.num_vertices()) {
+    // ---- Exact restore (cold restart on the same rank count) ----
+    // The checkpoint's own box and ownership map reproduce the level's
+    // state as projection left it, bit for bit. That exactness matters:
+    // the finer-level grids are sampled stride-wise from each rank's own
+    // children, so any redistribution here would perturb the eventual
+    // partition. The balanced grid is left unbuilt — only smoothing needs
+    // it, and the resumed level is already smoothed.
+    init.box = ckpt.box;
+    // Shared-directory discipline: every entry has exactly one owner, so
+    // each rank writes only its own entries (distinct indices), and the
+    // barrier below publishes the completed directory.
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (ckpt.owner[v] == sub.rank()) {
+        owner[v] = ckpt.owner[v];
+        init.owned.push_back(v);
+        init.pos.push_back(coords[v]);
+      }
+    }
+    sub.add_compute(2.0 * static_cast<double>(coords.size()));
+    sub.barrier();  // owner directory complete
+    sub.set_stage(prev);
+    return init;
+  }
   // Recompute the box from the coordinates (positions drift outside the
   // smoothing-time box) and rebuild a load-balanced grid for the current
   // rank count with the same proportional sampling as projection.
@@ -634,16 +670,21 @@ LevelLocal restore_level(comm::Comm& sub, const EmbedCheckpoint& ckpt,
   }
   init.grid = std::make_shared<geom::BalancedGrid>(
       init.box, rows, cols, std::span<const Vec2>(sample));
-  // Every rank derives the full ownership map deterministically (same
-  // values everywhere, like the coarsest-level initialisation).
+  // Every rank derives the same ownership deterministically, but the
+  // directory is shared — so each rank publishes only its own entries
+  // (distinct indices; every vertex has exactly one owner in [0, pl),
+  // and all of those ranks are active here), and the barrier below
+  // makes the completed directory visible before build_halo reads it.
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    owner[v] = init.grid->cell_index(coords[v]);
-    if (owner[v] == sub.rank()) {
+    const std::uint32_t cell = init.grid->cell_index(coords[v]);
+    if (cell == sub.rank()) {
+      owner[v] = cell;
       init.owned.push_back(v);
       init.pos.push_back(coords[v]);
     }
   }
   sub.add_compute(2.0 * n_level);
+  sub.barrier();  // owner directory complete
   sub.set_stage(prev);
   return init;
 }

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -121,6 +122,21 @@ struct EmbedCheckpoint {
   std::size_t level = 0;           // hierarchy level the coords belong to
   std::vector<geom::Vec2> coords;  // coords for graph_at(level), by vertex id
   geom::Box box;                   // that level's lattice bounding box
+  /// Owning rank per vertex at `level`, and the active rank count that
+  /// wrote it. When a resume runs with the same active rank count
+  /// (pl == this pl), ownership is restored exactly from this map —
+  /// which is what makes a cold restart bit-identical to the
+  /// uninterrupted run (the finer-level grids are sampled from each
+  /// rank's own children, so ownership feeds the partition). After a
+  /// shrink the rank count differs and restore falls back to
+  /// redistributing over the new grid.
+  std::vector<std::uint32_t> owner;
+  std::uint32_t pl = 0;
+  /// Durability hook: called by the writing rank (rank 0 of the active
+  /// sub-communicator) after each checkpoint write, outside the modeled
+  /// clock — host-side persistence costs no virtual time. Null = in
+  /// memory only.
+  std::function<void(const EmbedCheckpoint&)> persist;
 };
 
 /// SPMD entry point: every rank of `world` calls this; returns its slice.

@@ -99,6 +99,14 @@ void Recorder::on_comm_counters(std::uint32_t world_rank,
                static_cast<double>(arena_hits));
 }
 
+void Recorder::on_detector(const comm::DetectorEvent& ev) {
+  std::lock_guard<std::mutex> hold(mu_);
+  metrics_.add("fault/detector_suspicions", ev.suspect, 1.0);
+  metrics_.add(ev.escalated ? "fault/detector_escalations"
+                            : "fault/detector_retries",
+               ev.suspect, 1.0);
+}
+
 std::size_t Recorder::total_events() const {
   std::size_t n = 0;
   for (const auto& lane : lanes_) n += lane.size();

@@ -63,6 +63,11 @@ class Recorder : public comm::ObsSink {
                         std::uint64_t arena_acquires,
                         std::uint64_t arena_hits) override;
 
+  /// Feeds failure-detector decisions into the metrics
+  /// (fault/detector_suspicions, fault/detector_retries,
+  /// fault/detector_escalations), keyed by the suspected rank.
+  void on_detector(const comm::DetectorEvent& ev) override;
+
   // ---- Metrics ----
 
   MetricsRegistry& metrics() { return metrics_; }

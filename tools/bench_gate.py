@@ -37,11 +37,17 @@ def load(path):
 
 
 def row_key(row, index):
-    """Identity of a row for baseline/candidate matching."""
+    """Identity of a row for baseline/candidate matching.
+
+    `label` distinguishes several configurations of the same (graph, p)
+    pair — e.g. bench/fault_recovery emits a clean row plus one row per
+    failure-injection point for each rank count.
+    """
+    label = row.get("label")
     if "graph" in row:
-        return (str(row["graph"]), row.get("p"))
+        return (str(row["graph"]), row.get("p"), label)
     if "p" in row:
-        return ("", row["p"])
+        return ("", row["p"], label)
     return ("#", index)
 
 

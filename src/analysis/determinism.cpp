@@ -39,8 +39,8 @@ DeterminismReport audit_determinism(comm::BspEngine::Options base,
     base.schedule = point.schedule;
     base.schedule_seed = point.seed;
     comm::BspEngine engine(base);
-    auto program = make_program();
-    comm::RunStats stats = engine.run(program);
+    const auto program = make_program();
+    const comm::RunStats stats = engine.run(program);
     report.trace_fingerprints.push_back(stats.fingerprint());
     report.result_fingerprints.push_back(
         result_fingerprint ? result_fingerprint() : 0);
@@ -72,7 +72,7 @@ DeterminismReport audit_determinism(comm::BspEngine::Options base,
 DeterminismReport audit_determinism(
     comm::BspEngine::Options base, const ProgramFactory& make_program,
     const ResultFingerprint& result_fingerprint) {
-  auto schedules = default_schedules();
+  const auto schedules = default_schedules();
   return audit_determinism(std::move(base), make_program, result_fingerprint,
                            schedules);
 }
@@ -109,8 +109,8 @@ DeterminismReport audit_backends(comm::BspEngine::Options base,
     base.schedule_seed = point.schedule_seed;
     base.threads = point.threads;
     comm::BspEngine engine(base);
-    auto program = make_program();
-    comm::RunStats stats = engine.run(program);
+    const auto program = make_program();
+    const comm::RunStats stats = engine.run(program);
     report.trace_fingerprints.push_back(stats.fingerprint());
     report.result_fingerprints.push_back(
         result_fingerprint ? result_fingerprint() : 0);
@@ -140,7 +140,7 @@ DeterminismReport audit_backends(comm::BspEngine::Options base,
 DeterminismReport audit_backends(comm::BspEngine::Options base,
                                  const ProgramFactory& make_program,
                                  const ResultFingerprint& result_fingerprint) {
-  auto points = default_backend_points();
+  const auto points = default_backend_points();
   return audit_backends(std::move(base), make_program, result_fingerprint,
                         points);
 }

@@ -74,8 +74,8 @@ Violations validate_csr(const CsrGraph& g) {
   std::unordered_map<std::uint64_t, Weight> arcs;
   arcs.reserve(adjncy.size());
   for (VertexId u = 0; u < n && out.size() < 16; ++u) {
-    auto nbrs = g.neighbors(u);
-    auto ws = g.edge_weights_of(u);
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.edge_weights_of(u);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const VertexId v = nbrs[i];
       if (v == u) {
@@ -93,18 +93,25 @@ Violations validate_csr(const CsrGraph& g) {
       }
     }
   }
-  for (const auto& [key, w] : arcs) {
-    if (out.size() >= 16) break;
-    const auto u = static_cast<VertexId>(key >> 32);
-    const auto v = static_cast<VertexId>(key & 0xFFFFFFFFu);
-    auto rev = arcs.find(arc_key(v, u));
-    if (rev == arcs.end()) {
-      add(out, "asymmetric edge: " + std::to_string(u) + "->" +
-                   std::to_string(v) + " has no reverse arc");
-    } else if (rev->second != w) {
-      add(out, "edge weight asymmetry on {" + std::to_string(u) + "," +
-                   std::to_string(v) + "}: " + std::to_string(w) + " vs " +
-                   std::to_string(rev->second));
+  // Symmetry pass in CSR order, not map order: which violations make the
+  // 16-entry report must not depend on hash-table iteration.
+  for (VertexId u = 0; u < n && out.size() < 16; ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.edge_weights_of(u);
+    for (std::size_t i = 0; i < nbrs.size() && out.size() < 16; ++i) {
+      const VertexId v = nbrs[i];
+      if (v == u || ws[i] <= 0) continue;  // reported above
+      const auto fwd = arcs.find(arc_key(u, v));
+      if (fwd == arcs.end()) continue;  // truncated first pass
+      const auto rev = arcs.find(arc_key(v, u));
+      if (rev == arcs.end()) {
+        add(out, "asymmetric edge: " + std::to_string(u) + "->" +
+                     std::to_string(v) + " has no reverse arc");
+      } else if (rev->second != fwd->second) {
+        add(out, "edge weight asymmetry on {" + std::to_string(u) + "," +
+                     std::to_string(v) + "}: " + std::to_string(fwd->second) +
+                     " vs " + std::to_string(rev->second));
+      }
     }
   }
   return out;
@@ -151,8 +158,8 @@ Violations validate_hierarchy_level(
   // cut an exact proxy for the fine cut).
   std::unordered_map<std::uint64_t, Weight> expected;
   for (VertexId u = 0; u < nf; ++u) {
-    auto nbrs = fine.neighbors(u);
-    auto ws = fine.edge_weights_of(u);
+    const auto nbrs = fine.neighbors(u);
+    const auto ws = fine.edge_weights_of(u);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const VertexId v = nbrs[i];
       if (v <= u) continue;  // each undirected edge once
@@ -164,13 +171,13 @@ Violations validate_hierarchy_level(
   }
   std::size_t coarse_edges_seen = 0;
   for (VertexId a = 0; a < nc && out.size() < 16; ++a) {
-    auto nbrs = coarse.neighbors(a);
-    auto ws = coarse.edge_weights_of(a);
+    const auto nbrs = coarse.neighbors(a);
+    const auto ws = coarse.edge_weights_of(a);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const VertexId b = nbrs[i];
       if (b <= a) continue;
       ++coarse_edges_seen;
-      auto it = expected.find(arc_key(a, b));
+      const auto it = expected.find(arc_key(a, b));
       if (it == expected.end()) {
         add(out, "coarse edge {" + std::to_string(a) + "," +
                      std::to_string(b) + "} has no fine cross edges");

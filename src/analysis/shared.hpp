@@ -1,0 +1,190 @@
+// Instrumented wrappers for rank-shared memory — the annotation half of
+// the happens-before race auditor (race.hpp, DESIGN.md §8).
+//
+// The BSP engine's ranks share the host's address space, and the library
+// deliberately exploits that for a handful of structures (the embedding
+// owner directories, the result slots rank 0 fills, checkpoint objects).
+// Those accesses are correct only when some rendezvous orders every
+// conflicting pair; this header makes each such access visible to the
+// auditor so the claim is checked, not assumed:
+//
+//   analysis::SharedSpan<std::uint32_t> owner(dir.data(), dir.size(),
+//                                             "embed/owner.L2");
+//   owner.write(sub, v, rank);        // annotated store
+//   std::uint32_t o = owner.read(sub, u);  // annotated load
+//
+//   analysis::shared_store(world, cut, gmt.cut, "core/cut");
+//   level = analysis::shared_load(world, coarsen_ckpt, "core/coarsen_ckpt");
+//   analysis::note_shared_write(sub, ckpt, "embed/checkpoint");  // whole object
+//
+// Each annotation reports (rank, address range, read/write, label, stage,
+// call site) to the RaceSink installed via comm/race_hook.hpp — one
+// pointer null-check when no auditor is installed. With SP_ANALYSIS=OFF
+// every method compiles to the raw access (no sink lookup, no
+// source_location capture survives inlining), so production builds are
+// bit-identical to unannotated code.
+//
+// What to annotate: memory written by one rank and read (or written) by
+// another during a run. Rank-local scratch — including rank-local copies
+// of shared data — should NOT be annotated: it cannot race, and heap
+// addresses of short-lived locals can be recycled across ranks, which
+// would alias unrelated shadow cells. Host-built structures that are
+// immutable for the whole run (the input graph, the hierarchy topology)
+// are also out of scope by convention.
+//
+// Header-only and engine-hook-only: including this from sp_core/sp_embed
+// does not create a link dependency on sp_analysis (the sink symbol lives
+// in sp_comm, which they already link).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <source_location>
+#include <type_traits>
+#include <utility>
+
+#include "comm/engine.hpp"
+#include "comm/race_hook.hpp"
+
+namespace sp::analysis {
+
+#ifdef SP_ANALYSIS
+namespace detail {
+inline void record_access(const comm::Comm& comm, const void* addr,
+                          std::size_t size, bool is_write, const char* label,
+                          const std::source_location& loc) {
+  comm::RaceSink* sink = comm::race_sink();
+  if (sink == nullptr) return;
+  comm::RaceAccess a;
+  a.world_rank = comm.world_rank();
+  // Identity only, never ordering: the auditor keys shadow cells by
+  // address. sp-lint-allow(pointer-order)
+  a.addr = reinterpret_cast<std::uintptr_t>(addr);
+  a.size = size;
+  a.is_write = is_write;
+  a.label = label;
+  a.stage = &comm.stage();
+  a.site = CallSite::from(loc);
+  sink->on_access(a);
+}
+}  // namespace detail
+#endif
+
+/// A non-owning view of a rank-shared array whose element accesses are
+/// reported to the race auditor. Cheap to construct and copy (pointer,
+/// size, label); the label names the structure in race reports.
+template <typename T>
+class SharedSpan {
+ public:
+  SharedSpan() = default;
+  SharedSpan(T* data, std::size_t size, const char* label)
+      : data_(data), size_(size), label_(label) {}
+
+  /// Annotated store of element `i` by the calling rank.
+  void write(const comm::Comm& comm, std::size_t i, const T& value,
+             const std::source_location& loc =
+                 std::source_location::current()) const {
+#ifdef SP_ANALYSIS
+    detail::record_access(comm, data_ + i, sizeof(T), /*is_write=*/true,
+                          label_, loc);
+#else
+    (void)comm;
+    (void)loc;
+#endif
+    data_[i] = value;
+  }
+
+  /// Annotated load of element `i` by the calling rank.
+  T read(const comm::Comm& comm, std::size_t i,
+         const std::source_location& loc =
+             std::source_location::current()) const {
+#ifdef SP_ANALYSIS
+    detail::record_access(comm, data_ + i, sizeof(T), /*is_write=*/false,
+                          label_, loc);
+#else
+    (void)comm;
+    (void)loc;
+#endif
+    return data_[i];
+  }
+
+  std::size_t size() const { return size_; }
+  const char* label() const { return label_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Raw unannotated access — for host-side (outside-the-run) use only.
+  T* raw() const { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  const char* label_ = "";
+};
+
+/// Annotated store to a shared scalar slot: `slot = value`, reported as a
+/// write of the whole object.
+template <typename T>
+void shared_store(const comm::Comm& comm, T& slot,
+                  std::type_identity_t<T> value, const char* label,
+                  const std::source_location& loc =
+                      std::source_location::current()) {
+#ifdef SP_ANALYSIS
+  detail::record_access(comm, &slot, sizeof(T), /*is_write=*/true, label, loc);
+#else
+  (void)comm;
+  (void)loc;
+  (void)label;
+#endif
+  slot = std::move(value);
+}
+
+/// Annotated load of a shared scalar slot.
+template <typename T>
+T shared_load(const comm::Comm& comm, const T& slot, const char* label,
+              const std::source_location& loc =
+                  std::source_location::current()) {
+#ifdef SP_ANALYSIS
+  detail::record_access(comm, &slot, sizeof(T), /*is_write=*/false, label,
+                        loc);
+#else
+  (void)comm;
+  (void)loc;
+  (void)label;
+#endif
+  return slot;
+}
+
+/// Annotates a write to `obj` (the caller performs the actual mutation).
+/// Object-granular: reports the struct's own address range, so two ranks
+/// mutating any part of the same object conflict. Use for checkpoint
+/// structs and other aggregates whose inner buffers reallocate.
+template <typename T>
+void note_shared_write(const comm::Comm& comm, const T& obj, const char* label,
+                       const std::source_location& loc =
+                           std::source_location::current()) {
+#ifdef SP_ANALYSIS
+  detail::record_access(comm, &obj, sizeof(T), /*is_write=*/true, label, loc);
+#else
+  (void)comm;
+  (void)obj;
+  (void)label;
+  (void)loc;
+#endif
+}
+
+/// Annotates a read of `obj` (the caller performs the actual access).
+template <typename T>
+void note_shared_read(const comm::Comm& comm, const T& obj, const char* label,
+                      const std::source_location& loc =
+                          std::source_location::current()) {
+#ifdef SP_ANALYSIS
+  detail::record_access(comm, &obj, sizeof(T), /*is_write=*/false, label, loc);
+#else
+  (void)comm;
+  (void)obj;
+  (void)label;
+  (void)loc;
+#endif
+}
+
+}  // namespace sp::analysis

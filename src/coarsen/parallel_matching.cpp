@@ -131,7 +131,9 @@ DistributedMatchingResult distributed_matching(comm::Comm& comm,
             {p.from, p.to, accepted ? 1u : 0u});
       }
     }
-    // Apply accepted proposals on the owner side.
+    // Apply accepted proposals on the owner side. Each key writes its own
+    // distinct partner slot, so map order cannot leak into the result.
+    // sp-lint-allow(unordered-iter)
     for (const auto& [target, prop] : best_prop) {
       result.partner[view.to_local(target)] = prop.from;
     }

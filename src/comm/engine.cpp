@@ -12,6 +12,7 @@
 #include <tuple>
 
 #include "comm/arena.hpp"
+#include "comm/race_hook.hpp"
 #include "exec/executor.hpp"
 #include "support/random.hpp"
 #include "support/timer.hpp"
@@ -176,6 +177,12 @@ class EngineImpl {
     world_->id = 0;
     world_->members.resize(opt_.nranks);
     for (std::uint32_t r = 0; r < opt_.nranks; ++r) world_->members[r] = r;
+
+#ifdef SP_ANALYSIS
+    // Rank spawn, happens-before-wise: all ranks fork from the host here
+    // with fresh vector clocks (race_hook.hpp).
+    if (RaceSink* rs = race_sink()) rs->on_run_begin(opt_.nranks);
+#endif
 
     // The executor runs the rank bodies — as fibers resumed in Schedule
     // order, or as real threads. When no rank can make progress (a full
@@ -586,8 +593,8 @@ class EngineImpl {
     // streams. With 64-bit ids over a handful of groups this is
     // astronomically unlikely — and, because ids are pure functions of
     // the key, it would fire identically in every run (no flakiness).
-    SP_ASSERT_MSG(group_ids_used_.insert(id).second,
-                  "group id hash collision");
+    const bool id_is_fresh = group_ids_used_.insert(id).second;
+    SP_ASSERT_MSG(id_is_fresh, "group id hash collision");
     group_registry_.emplace(key, id);
     return id;
   }
@@ -651,6 +658,12 @@ class EngineImpl {
   [[noreturn]] void kill_rank_(std::uint32_t r) {
     failed_[r] = true;
     failed_order_.push_back(r);
+#ifdef SP_ANALYSIS
+    // The victim's history is ordered (via the engine lock, on both
+    // backends) before every rendezvous completed after this point; the
+    // sink folds its clock into a fail-join applied at later pickups.
+    if (RaceSink* rs = race_sink()) rs->on_rank_killed(r);
+#endif
     for (auto& [key, st] : states_) {
       // A pending rendezvous expecting the dead rank can never fill up.
       // (The dead rank itself is never mid-rendezvous: crashes fire at
@@ -742,6 +755,24 @@ ObsSink* obs_sink() { return g_obs_sink; }
 ObsSink* set_obs_sink(ObsSink* sink) {
   ObsSink* prev = g_obs_sink;
   g_obs_sink = sink;
+  return prev;
+}
+
+// ---------------------------------------------------------------------------
+// Happens-before sink (see race_hook.hpp). Same install discipline as the
+// ObsSink: the host sets it before a run and clears it after, rank bodies
+// only ever read the pointer; the sink synchronizes internally.
+// ---------------------------------------------------------------------------
+
+namespace {
+RaceSink* g_race_sink = nullptr;
+}  // namespace
+
+RaceSink* race_sink() { return g_race_sink; }
+
+RaceSink* set_race_sink(RaceSink* sink) {
+  RaceSink* prev = g_race_sink;
+  g_race_sink = sink;
   return prev;
 }
 
@@ -852,6 +883,11 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
   st.max_clock = std::max(st.max_clock, engine_->clock(world_rank_));
   engine_->record_arrival(st, group_rank_, world_rank_);
   ++st.arrived;
+#ifdef SP_ANALYSIS
+  if (RaceSink* rs = race_sink()) {
+    rs->on_rendezvous_arrive(world_rank_, group_->id, my_seq);
+  }
+#endif
   engine_->notify_arrival(st);
   if (engine_->wait_all_arrived(world_rank_, st)) {
     engine_->observe_poison(st);
@@ -948,6 +984,13 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
   }
   if (counts) *counts = st.contrib_sizes;
 
+#ifdef SP_ANALYSIS
+  // Pickup: this rank leaves with the join of every member's arrival
+  // clock (all members arrived — wait_all_arrived returned clean).
+  if (RaceSink* rs = race_sink()) {
+    rs->on_rendezvous_pickup(world_rank_, group_->id, my_seq);
+  }
+#endif
   if (++st.pickups == st.expected) {
     engine_->erase_state(*group_, my_seq);
   }
@@ -1053,6 +1096,11 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
   st.max_clock = std::max(st.max_clock, engine_->clock(world_rank_));
   engine_->record_arrival(st, group_rank_, world_rank_);
   ++st.arrived;
+#ifdef SP_ANALYSIS
+  if (RaceSink* rs = race_sink()) {
+    rs->on_rendezvous_arrive(world_rank_, group_->id, my_seq);
+  }
+#endif
   engine_->notify_arrival(st);
   if (engine_->wait_all_arrived(world_rank_, st)) {
     engine_->observe_poison(st);
@@ -1127,6 +1175,11 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
   }
 #endif
 
+#ifdef SP_ANALYSIS
+  if (RaceSink* rs = race_sink()) {
+    rs->on_rendezvous_pickup(world_rank_, group_->id, my_seq);
+  }
+#endif
   if (++st.pickups == st.expected) {
     engine_->erase_state(*group_, my_seq);
   }
@@ -1202,6 +1255,11 @@ Comm Comm::shrink(std::source_location loc) {
     }
     st.max_clock = std::max(st.max_clock, engine_->clock(world_rank_));
     ++st.arrived;
+#ifdef SP_ANALYSIS
+    if (RaceSink* rs = race_sink()) {
+      rs->on_rendezvous_arrive(world_rank_, group_->id, key);
+    }
+#endif
     engine_->notify_arrival(st);
     if (engine_->wait_all_arrived(world_rank_, st)) {
       // Another rank died while this shrink was in flight: restart. The
@@ -1256,6 +1314,13 @@ Comm Comm::shrink(std::source_location loc) {
     for (std::uint32_t i = 0; i < members.size(); ++i) {
       if (members[i] == world_rank_) my_index = i;
     }
+#ifdef SP_ANALYSIS
+    // A completed shrink joins every survivor's clock — this is the edge
+    // that orders a failed attempt's writes before the recovery rerun.
+    if (RaceSink* rs = race_sink()) {
+      rs->on_rendezvous_pickup(world_rank_, group_->id, key);
+    }
+#endif
     if (++st.pickups == st.expected) {
       engine_->erase_state(*group_, key);
     }

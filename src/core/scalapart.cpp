@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "analysis/pipeline_check.hpp"
+#include "analysis/shared.hpp"
 #include "coarsen/hierarchy.hpp"
 #include "coarsen/parallel_matching.hpp"
 #include "comm/engine.hpp"
@@ -152,8 +153,11 @@ ScalaPartResult scalapart_run(const CsrGraph& g, const ScalaPartOptions& opt,
   partition::ParallelGmtOptions gmt_opt = opt.gmt;
   gmt_opt.seed = opt.seed ^ (0x6E0ull * (opt.nranks + 1));
 
-  // Shared result slots (distinct-index writes + barrier discipline).
+  // Shared result slots (distinct-index writes + barrier discipline);
+  // every in-run access goes through the race-audited annotations.
   std::vector<std::uint8_t> side(n, 0);
+  analysis::SharedSpan<std::uint8_t> shared_side(side.data(), side.size(),
+                                                "core/side");
   graph::Weight cut = 0;
   std::size_t strip_size = 0;
   std::vector<geom::Vec2> coords;
@@ -251,8 +255,12 @@ ScalaPartResult scalapart_run(const CsrGraph& g, const ScalaPartOptions& opt,
           while (p2 * 2 <= world.nranks()) p2 *= 2;
           const bool active = world.rank() < p2;
           if (world.rank() == 0) {
-            ++recoveries;
-            final_active = p2;
+            // Successive writers (rank 0 of each shrunken world) are
+            // ordered by the shrink every survivor just joined.
+            analysis::shared_store(world, recoveries, recoveries + 1,
+                                   "core/recoveries");
+            analysis::shared_store(world, final_active, p2,
+                                   "core/final_active");
             obs::count(world, "fault/recoveries");
             obs::gauge(world, "fault/active_ranks", p2);
           }
@@ -268,7 +276,8 @@ ScalaPartResult scalapart_run(const CsrGraph& g, const ScalaPartOptions& opt,
         world.set_stage(obs::stages::kCoarsen);
         {
           obs::Span stage_span(world, obs::stages::kCoarsen, "stage");
-          for (std::size_t level = coarsen_ckpt;
+          for (std::size_t level = analysis::shared_load(world, coarsen_ckpt,
+                                                         "core/coarsen_ckpt");
                level + 1 < hierarchy.num_levels(); ++level) {
             obs::Span level_span(world, obs::stages::kCoarsen, "level",
                                  static_cast<std::int32_t>(level));
@@ -279,7 +288,10 @@ ScalaPartResult scalapart_run(const CsrGraph& g, const ScalaPartOptions& opt,
             // level; a retry never needs to re-run levels below here. (The
             // coarse hierarchy itself is shared read-only, so the coarsen
             // checkpoint is just this index.)
-            if (world.rank() == 0) coarsen_ckpt = level;
+            if (world.rank() == 0) {
+              analysis::shared_store(world, coarsen_ckpt, level,
+                                     "core/coarsen_ckpt");
+            }
             if (!active) continue;
             const CsrGraph& level_graph = hierarchy.graph_at(level);
             graph::LocalView view(level_graph, sub.rank(), pl);
@@ -335,7 +347,8 @@ ScalaPartResult scalapart_run(const CsrGraph& g, const ScalaPartOptions& opt,
           gmt = partition::parallel_gmt(world, g, emb, gmt_opt);
         }
         for (std::size_t i = 0; i < emb.owned.size(); ++i) {
-          side[emb.owned[i]] = gmt.side[i];
+          // Distinct indices: each vertex has exactly one owner.
+          shared_side.write(world, emb.owned[i], gmt.side[i]);
         }
 
         // ---- Result collection (not part of the timed pipeline). ----
@@ -344,10 +357,12 @@ ScalaPartResult scalapart_run(const CsrGraph& g, const ScalaPartOptions& opt,
           obs::Span stage_span(world, obs::stages::kOutput, "stage");
           auto gathered = embed::gather_embedding(world, emb, n);
           if (world.rank() == 0) {
+            analysis::note_shared_write(world, coords, "core/coords");
             coords = std::move(gathered);
-            cut = gmt.cut;
-            strip_size = gmt.strip_size;
-            completed = true;
+            analysis::shared_store(world, cut, gmt.cut, "core/cut");
+            analysis::shared_store(world, strip_size, gmt.strip_size,
+                                   "core/strip_size");
+            analysis::shared_store(world, completed, true, "core/completed");
           }
           world.barrier();
         }
@@ -490,6 +505,8 @@ ScalaPartResult sp_pg7nl_partition(const CsrGraph& g,
   gmt_opt.seed = opt.seed ^ (0x6E0ull * (opt.nranks + 1));
 
   std::vector<std::uint8_t> side(n, 0);
+  analysis::SharedSpan<std::uint8_t> shared_side(side.data(), side.size(),
+                                                "core/side");
   graph::Weight cut = 0;
 
   comm::BspEngine::Options eng_opt;
@@ -509,9 +526,11 @@ ScalaPartResult sp_pg7nl_partition(const CsrGraph& g,
     embed::RankEmbedding emb = embedding_from_coords(world, g, coords);
     auto gmt = partition::parallel_gmt(world, g, emb, gmt_opt);
     for (std::size_t i = 0; i < emb.owned.size(); ++i) {
-      side[emb.owned[i]] = gmt.side[i];
+      shared_side.write(world, emb.owned[i], gmt.side[i]);
     }
-    if (world.rank() == 0) cut = gmt.cut;
+    if (world.rank() == 0) {
+      analysis::shared_store(world, cut, gmt.cut, "core/cut");
+    }
     world.barrier();
   });
 

@@ -39,8 +39,10 @@ EmbedWorkspace::EmbedWorkspace(const coarsen::Hierarchy& hierarchy)
   child_offsets_.resize(levels);
   child_ids_.resize(levels);
   owner_.resize(levels);
+  owner_labels_.resize(levels);
   for (std::size_t level = 0; level < levels; ++level) {
     owner_[level].assign(hierarchy.graph_at(level).num_vertices(), 0);
+    owner_labels_[level] = "embed/owner.L" + std::to_string(level);
   }
   // Children of level-l vertices are level-(l-1) vertices: invert the
   // fine_to_coarse map with a counting sort.
@@ -139,9 +141,13 @@ bool grid_near(std::uint32_t a, std::uint32_t b, std::uint32_t cols) {
 
 /// After `owned`/`pos` and the level owner directory are final, derive
 /// ghost lists and the send plans from the shared graph topology.
-void build_halo(LevelLocal& local, const CsrGraph& g,
-                const std::vector<std::uint32_t>& owner, std::uint32_t my_rank,
-                comm::Comm& sub) {
+/// `owner_of(u)` resolves a vertex's owning rank — an audited read of the
+/// shared directory on most paths, or a plain lookup when the caller
+/// holds a rank-local copy (the coarsest level, where every rank derives
+/// the full map itself).
+template <typename OwnerFn>
+void build_halo(LevelLocal& local, const CsrGraph& g, OwnerFn&& owner_of,
+                std::uint32_t my_rank, comm::Comm& sub) {
   local.local_idx.clear();
   local.local_idx.reserve(local.owned.size());
   for (std::uint32_t i = 0; i < local.owned.size(); ++i) {
@@ -163,7 +169,7 @@ void build_halo(LevelLocal& local, const CsrGraph& g,
     work += static_cast<double>(nbrs.size());
     std::uint32_t last_dest = my_rank;  // cheap consecutive-dup filter
     for (VertexId u : nbrs) {
-      std::uint32_t o = owner[u];
+      std::uint32_t o = owner_of(u);
       if (o == my_rank) continue;
       if (local.ghost_idx.find(u) == local.ghost_idx.end()) {
         local.ghost_idx[u] = static_cast<std::uint32_t>(local.ghost_ids.size());
@@ -578,6 +584,11 @@ void write_checkpoint(comm::Comm& sub, const LevelLocal& local, VertexId n,
   std::vector<std::size_t> counts;
   auto all = sub.allgatherv(std::span<const CoordMsg>(out), &counts);
   if (sub.rank() == 0) {
+    // Single-writer slot: ordered against the other ranks' reads (at
+    // resume entry / restore) by the allgather above and the shrink that
+    // precedes any recovery read. Object-granular annotation — the inner
+    // buffers reallocate, so the struct's own range is the stable name.
+    analysis::note_shared_write(sub, ckpt, "embed/checkpoint");
     ckpt.coords.assign(n, Vec2{});
     ckpt.owner.assign(n, 0);
     // The gather is concatenated in group-rank order, so the counts
@@ -610,7 +621,7 @@ void write_checkpoint(comm::Comm& sub, const LevelLocal& local, VertexId n,
 LevelLocal restore_level(comm::Comm& sub, const EmbedCheckpoint& ckpt,
                          std::size_t lvl, std::uint32_t pl, std::uint32_t rows,
                          std::uint32_t cols, const CsrGraph& g,
-                         std::vector<std::uint32_t>& owner) {
+                         analysis::SharedSpan<std::uint32_t> owner) {
   const std::string prev = sub.stage();
   sub.set_stage(obs::stages::kRecover);
   obs::Span span(sub, obs::stages::kRecover, "fault");
@@ -619,6 +630,10 @@ LevelLocal restore_level(comm::Comm& sub, const EmbedCheckpoint& ckpt,
   init.pl = pl;
   init.rows = rows;
   init.cols = cols;
+  // Every rank reads the checkpoint object below (pl/owner on all ranks,
+  // coords on rank 0); the writer's allgather + the recovery shrink
+  // order those reads after the write.
+  analysis::note_shared_read(sub, ckpt, "embed/checkpoint");
   std::vector<Vec2> coords;
   if (sub.rank() == 0) coords = ckpt.coords;
   coords = sub.broadcast_vec(std::span<const Vec2>(coords), 0);
@@ -637,7 +652,7 @@ LevelLocal restore_level(comm::Comm& sub, const EmbedCheckpoint& ckpt,
     // barrier below publishes the completed directory.
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       if (ckpt.owner[v] == sub.rank()) {
-        owner[v] = ckpt.owner[v];
+        owner.write(sub, v, ckpt.owner[v]);
         init.owned.push_back(v);
         init.pos.push_back(coords[v]);
       }
@@ -678,7 +693,7 @@ LevelLocal restore_level(comm::Comm& sub, const EmbedCheckpoint& ckpt,
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     const std::uint32_t cell = init.grid->cell_index(coords[v]);
     if (cell == sub.rank()) {
-      owner[v] = cell;
+      owner.write(sub, v, cell);
       init.owned.push_back(v);
       init.pos.push_back(coords[v]);
     }
@@ -709,6 +724,10 @@ RankEmbedding lattice_embed(comm::Comm& world, EmbedWorkspace& workspace,
     return shift >= 32 ? 1u : std::max(P >> shift, 1u);
   };
 
+  if (checkpoint != nullptr) {
+    // All ranks inspect the shared checkpoint to agree on resume-vs-fresh.
+    analysis::note_shared_read(world, *checkpoint, "embed/checkpoint");
+  }
   const bool resume = checkpoint && checkpoint->valid;
   SP_ASSERT(!resume || checkpoint->level < levels);
   const std::size_t start_level = resume ? checkpoint->level : coarsest;
@@ -728,9 +747,11 @@ RankEmbedding lattice_embed(comm::Comm& world, EmbedWorkspace& workspace,
       if (resume && lvl == start_level) {
         // ---- Resume: rebuild this (already-smoothed) level from the
         // checkpoint; the finer levels are projected from it as usual. ----
-        local = restore_level(sub, *checkpoint, lvl, pl, rows, cols, g,
-                              workspace.owner(lvl));
-        build_halo(local, g, workspace.owner(lvl), sub.rank(), sub);
+        auto owner = workspace.owner(lvl);
+        local = restore_level(sub, *checkpoint, lvl, pl, rows, cols, g, owner);
+        build_halo(
+            local, g, [&](VertexId u) { return owner.read(sub, u); },
+            sub.rank(), sub);
       } else if (lvl == coarsest) {
         // Deterministic random initial embedding in the unit box; every
         // rank derives the same positions, so ownership needs no
@@ -752,17 +773,24 @@ RankEmbedding lattice_embed(comm::Comm& world, EmbedWorkspace& workspace,
         init.grid = std::make_shared<geom::BalancedGrid>(
             init.box.inflated(1e-6), rows, cols,
             std::span<const Vec2>(all_pos));
-        auto& owner = workspace.owner(lvl);
+        // Every active rank derives the identical full map, so keep it
+        // rank-local: concurrent same-value stores to the shared
+        // directory would still be a write-write race (no happens-before
+        // between them), and nothing reads the coarsest directory after
+        // this block anyway.
+        std::vector<std::uint32_t> coarse_owner(g.num_vertices());
         for (VertexId v = 0; v < g.num_vertices(); ++v) {
-          owner[v] = init.grid->cell_index(all_pos[v]);
-          if (owner[v] == sub.rank()) {
+          coarse_owner[v] = init.grid->cell_index(all_pos[v]);
+          if (coarse_owner[v] == sub.rank()) {
             init.owned.push_back(v);
             init.pos.push_back(all_pos[v]);
           }
         }
         sub.add_compute(static_cast<double>(g.num_vertices()));
         local = std::move(init);
-        build_halo(local, g, owner, sub.rank(), sub);
+        build_halo(
+            local, g, [&](VertexId u) { return coarse_owner[u]; }, sub.rank(),
+            sub);
         smooth_level(sub, local, g, opt, opt.coarsest_iterations,
                      /*initial_step_factor=*/2.0, /*final_step_fraction=*/1e-3);
       } else {
@@ -854,15 +882,17 @@ RankEmbedding lattice_embed(comm::Comm& world, EmbedWorkspace& workspace,
                   [](const CoordMsg& a, const CoordMsg& b) { return a.id < b.id; });
         next.owned.reserve(received.size());
         next.pos.reserve(received.size());
-        auto& owner = workspace.owner(lvl);
+        auto owner = workspace.owner(lvl);
         for (const CoordMsg& msg : received) {
           next.owned.push_back(msg.id);
           next.pos.push_back(geom::vec2(msg.x, msg.y));
-          owner[msg.id] = sub.rank();
+          owner.write(sub, msg.id, sub.rank());
         }
         sub.barrier();  // owner directory complete
         local = std::move(next);
-        build_halo(local, g, owner, sub.rank(), sub);
+        build_halo(
+            local, g, [&](VertexId u) { return owner.read(sub, u); },
+            sub.rank(), sub);
         smooth_level(sub, local, g, opt, opt.smooth_iterations,
                      /*initial_step_factor=*/0.5, /*final_step_fraction=*/0.05);
       }

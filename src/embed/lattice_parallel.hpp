@@ -35,8 +35,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "analysis/shared.hpp"
 #include "coarsen/hierarchy.hpp"
 #include "comm/engine.hpp"
 #include "geometry/box.hpp"
@@ -78,10 +80,14 @@ class EmbedWorkspace {
   std::span<const graph::VertexId> children(std::size_t level,
                                             graph::VertexId v) const;
 
-  /// Owner directory for a level (rank per vertex); written by the owning
-  /// ranks during the run.
-  std::vector<std::uint32_t>& owner(std::size_t level) {
-    return owner_[level];
+  /// Owner directory for a level (rank per vertex). Rank-shared and
+  /// written by the owning ranks during the run (distinct indices, then a
+  /// publish barrier), so access goes through the race-audited span — the
+  /// pre-PR-6 all-ranks-write bug in exactly this structure is what the
+  /// auditor exists to catch.
+  analysis::SharedSpan<std::uint32_t> owner(std::size_t level) {
+    return {owner_[level].data(), owner_[level].size(),
+            owner_labels_[level].c_str()};
   }
 
  private:
@@ -90,6 +96,7 @@ class EmbedWorkspace {
   std::vector<std::vector<graph::VertexId>> child_offsets_;
   std::vector<std::vector<graph::VertexId>> child_ids_;
   std::vector<std::vector<std::uint32_t>> owner_;
+  std::vector<std::string> owner_labels_;  // "embed/owner.L<level>"
 };
 
 /// This rank's slice of the finest-level embedding.

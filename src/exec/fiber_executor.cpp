@@ -71,7 +71,8 @@ class FiberExecutor final : public Executor {
         fibers_[r].tsan_fiber = __tsan_create_fiber(0);
       }
 #endif
-      SP_ASSERT(getcontext(&fibers_[r].ctx) == 0);
+      const int get_rc = getcontext(&fibers_[r].ctx);
+      SP_ASSERT(get_rc == 0);
       fibers_[r].ctx.uc_stack.ss_sp = fibers_[r].stack.get();
       fibers_[r].ctx.uc_stack.ss_size = opt_.stack_bytes;
       fibers_[r].ctx.uc_link = &scheduler_ctx_;
@@ -142,14 +143,16 @@ class FiberExecutor final : public Executor {
 #ifdef SP_EXEC_TSAN
     __tsan_switch_to_fiber(fibers_[r].tsan_fiber, 0);
 #endif
-    SP_ASSERT(swapcontext(&scheduler_ctx_, &fibers_[r].ctx) == 0);
+    const int swap_rc = swapcontext(&scheduler_ctx_, &fibers_[r].ctx);
+    SP_ASSERT(swap_rc == 0);
   }
 
   void switch_to_scheduler_(std::uint32_t r) {
 #ifdef SP_EXEC_TSAN
     __tsan_switch_to_fiber(scheduler_tsan_, 0);
 #endif
-    SP_ASSERT(swapcontext(&fibers_[r].ctx, &scheduler_ctx_) == 0);
+    const int swap_rc = swapcontext(&fibers_[r].ctx, &scheduler_ctx_);
+    SP_ASSERT(swap_rc == 0);
     current_exec_ = this;  // restored for safety after resume
   }
 

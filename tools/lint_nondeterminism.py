@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Nondeterminism-source lint for src/ (CI step; see DESIGN.md §8).
+
+The library's central claim is bit-identical results across backends,
+schedules, and thread counts. That property dies by a thousand cuts:
+one `rand()` call, one wall-clock read feeding a trace, one iteration
+over an unordered container whose order leaks into a fingerprint, one
+comparison of pointer values. This lint bans the cut sites outright:
+
+  rand-call        rand()/srand()/std::random_device — all randomness
+                   must flow through sp::support's seeded Rng.
+  wall-clock       std::chrono clocks, time(), clock_gettime(), ...
+                   outside the sanctioned wall-time plumbing
+                   (support/timer.hpp, obs/recorder.*): wall time may
+                   be *reported*, never *consumed* by an algorithm.
+  unordered-iter   range-for over a std::unordered_{map,set} variable:
+                   iteration order is libstdc++-version- and
+                   seed-dependent; sort the keys first or use std::map.
+  pointer-order    ordering/hashing by pointer value
+                   (reinterpret_cast to [u]intptr_t, std::less<T*>):
+                   allocation addresses differ run to run.
+  assert-side-effect
+                   SP_ASSERT/SP_ASSERT_MSG arguments that mutate state
+                   (++/--/insert/push_back/assignment/...): the macro
+                   family must stay safe to compile out.
+
+A site that is genuinely sanctioned carries the escape hatch on the
+same line or the line above:
+
+    // sp-lint-allow(<rule>): why this one is fine
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+RULES = (
+    "rand-call",
+    "wall-clock",
+    "unordered-iter",
+    "pointer-order",
+    "assert-side-effect",
+)
+
+# Files whose whole purpose is wall-clock plumbing: the timer utility and
+# the observability recorder, which *report* wall time next to the modeled
+# clock but never feed it back into computation.
+WALL_CLOCK_ALLOWED_FILES = (
+    os.path.join("support", "timer.hpp"),
+    os.path.join("obs", "recorder.hpp"),
+    os.path.join("obs", "recorder.cpp"),
+)
+
+SOURCE_EXTS = (".hpp", ".cpp", ".h", ".cc")
+
+ALLOW_RE = re.compile(r"sp-lint-allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+RAND_RE = re.compile(r"(?<![\w:])(?:std::)?(?:rand|srand)\s*\(|std::random_device")
+WALL_RE = re.compile(
+    r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)"
+    r"|(?<![\w:])(?:clock_gettime|gettimeofday|localtime|gmtime)\s*\("
+    r"|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+)
+PTR_ORDER_RE = re.compile(
+    r"reinterpret_cast<\s*(?:std::)?u?intptr_t\s*>|std::less<[^<>]*\*\s*>"
+)
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;)]*?:\s*([^)]+)\)")
+ASSERT_RE = re.compile(r"\b(SP_ASSERT(?:_MSG)?)\s*\(")
+# Mutation shapes inside an assert argument. Assignment is matched as
+# `=` not preceded/followed by the characters that make it a comparison.
+SIDE_EFFECT_RE = re.compile(
+    r"\+\+|--"
+    r"|\.(?:insert|push_back|emplace|emplace_back|erase|pop_back|pop_front"
+    r"|clear|resize|reset|release|swap)\s*\("
+    r"|\b(?:swapcontext|getcontext|setcontext|makecontext)\s*\("
+    r"|(?<![=!<>+\-*/%&|^])=(?![=])"
+)
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Blanks string/char literals and // comments so patterns don't fire
+    on prose. Block comments are handled coarsely (rare in this codebase's
+    line-oriented style)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(lines: list[str], idx: int) -> set[str]:
+    """Rules waived for line `idx` (0-based): an sp-lint-allow on the same
+    line or the line above."""
+    waived: set[str] = set()
+    for j in (idx, idx - 1):
+        if 0 <= j < len(lines):
+            m = ALLOW_RE.search(lines[j])
+            if m:
+                waived.update(r.strip() for r in m.group(1).split(","))
+    return waived
+
+
+def extract_call_args(lines: list[str], row: int, col: int, limit: int = 12):
+    """Returns the balanced-paren argument text of a macro call starting
+    at lines[row][col] == '(' — spans up to `limit` lines."""
+    depth = 0
+    parts = []
+    for r in range(row, min(row + limit, len(lines))):
+        text = strip_comments_and_strings(lines[r])
+        start = col if r == row else 0
+        for i in range(start, len(text)):
+            c = text[i]
+            if c == "(":
+                depth += 1
+                if depth == 1:
+                    continue
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    return "".join(parts)
+            if depth >= 1:
+                parts.append(c)
+    return "".join(parts)  # unbalanced (truncated): lint what we saw
+
+
+def unordered_names(lines: list[str]) -> set[str]:
+    """Names of variables/members declared with an unordered container
+    type anywhere in the file (heuristic, intentionally file-local)."""
+    names: set[str] = set()
+    decl = re.compile(
+        r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{()]*?>\s*"
+        r"(?:&\s*)?([A-Za-z_]\w*)\s*[;={,)]"
+    )
+    for line in lines:
+        for m in decl.finditer(strip_comments_and_strings(line)):
+            names.add(m.group(1))
+    return names
+
+
+def lint_file(path: str, rel: str, findings: list) -> None:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        lines = f.read().splitlines()
+
+    wall_ok = any(rel.endswith(a) for a in WALL_CLOCK_ALLOWED_FILES)
+    unordered = unordered_names(lines)
+
+    def report(idx: int, rule: str, msg: str) -> None:
+        if rule in allowed_rules(lines, idx):
+            return
+        findings.append((rel, idx + 1, rule, msg))
+
+    for idx, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+
+        if RAND_RE.search(line):
+            report(idx, "rand-call",
+                   "libc/std randomness; use the seeded sp Rng "
+                   "(support/random.hpp)")
+        if not wall_ok and WALL_RE.search(line):
+            report(idx, "wall-clock",
+                   "wall-clock read outside support/timer.hpp and "
+                   "obs/recorder.*; algorithms must use the modeled clock")
+        if PTR_ORDER_RE.search(line):
+            report(idx, "pointer-order",
+                   "ordering/hashing by pointer value is run-dependent; "
+                   "order by ids, or annotate identity-only uses")
+        for m in RANGE_FOR_RE.finditer(line):
+            expr = m.group(1).strip()
+            base = re.split(r"[.\->\[(]", expr, 1)[0].strip().lstrip("*&")
+            if base in unordered or "unordered_" in expr:
+                report(idx, "unordered-iter",
+                       f"range-for over unordered container '{expr}'; "
+                       "iteration order is not deterministic — sort keys "
+                       "or use std::map")
+        for m in ASSERT_RE.finditer(line):
+            args = extract_call_args(lines, idx, m.end() - 1)
+            if SIDE_EFFECT_RE.search(args):
+                report(idx, "assert-side-effect",
+                       f"{m.group(1)} argument mutates state; hoist the "
+                       "effect into a named local so the assert stays "
+                       "safe to compile out")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("roots", nargs="*", default=["src"],
+                    help="directories to lint (default: src)")
+    args = ap.parse_args()
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    findings: list = []
+    scanned = 0
+    for root in args.roots or ["src"]:
+        base = root if os.path.isabs(root) else os.path.join(repo, root)
+        if not os.path.isdir(base):
+            print(f"lint_nondeterminism: no such directory: {base}",
+                  file=sys.stderr)
+            return 2
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if not name.endswith(SOURCE_EXTS):
+                    continue
+                path = os.path.join(dirpath, name)
+                lint_file(path, os.path.relpath(path, repo), findings)
+                scanned += 1
+
+    findings.sort()
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if findings:
+        print(f"\nlint_nondeterminism: {len(findings)} finding(s) in "
+              f"{scanned} file(s); waive a sanctioned site with "
+              f"// sp-lint-allow(<rule>)", file=sys.stderr)
+        return 1
+    print(f"lint_nondeterminism: clean ({scanned} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

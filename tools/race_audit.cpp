@@ -1,0 +1,165 @@
+// CI driver for the happens-before race auditor (analysis/race.hpp).
+//
+// Runs the full ScalaPart pipeline — clean, crash-and-recover, and a
+// sweep of seeded chaos cases — with the RaceAuditor installed, and
+// fails (exit 1) if any run reports an unordered conflicting access
+// pair on rank-shared memory. Because the auditor's happens-before
+// relation is built from the rendezvous structure, one deterministic
+// run per configuration covers every legal schedule.
+//
+// Usage:
+//   race_audit [--p=4,16] [--n=600] [--backend=fiber|threads|both]
+//              [--threads=T] [--chaos-seeds=N] [--seed0=S] [--out=FILE]
+//
+// --out writes the combined text report (CI uploads it as an artifact
+// when the job fails).
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/race.hpp"
+#include "core/chaos_harness.hpp"
+#include "core/scalapart.hpp"
+#include "exec/executor.hpp"
+#include "graph/generators.hpp"
+#include "support/options.hpp"
+
+namespace {
+
+std::vector<std::uint32_t> parse_list(const std::string& csv) {
+  std::vector<std::uint32_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    out.push_back(
+        static_cast<std::uint32_t>(std::stoul(csv.substr(pos, comma - pos))));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  Options opts(argc, argv);
+  const auto ps = parse_list(opts.get("p", "4,16"));
+  const std::int64_t n = opts.get_int("n", 600);
+  const std::string backend_arg = opts.get("backend", "both");
+  const std::uint32_t threads =
+      static_cast<std::uint32_t>(opts.get_int("threads", 0));
+  const std::int64_t chaos_seeds = opts.get_int("chaos-seeds", 0);
+  const std::uint64_t seed0 =
+      static_cast<std::uint64_t>(opts.get_int("seed0", 0));
+  const std::string out_path = opts.get("out", "");
+  for (const std::string& key : opts.unused()) {
+    std::fprintf(stderr, "race_audit: unknown option --%s\n", key.c_str());
+    return 2;
+  }
+
+  std::vector<exec::Backend> backends;
+  if (backend_arg == "both") {
+    backends = {exec::Backend::kFiber, exec::Backend::kThreads};
+  } else {
+    backends = {exec::parse_backend(backend_arg)};
+  }
+
+  const auto g =
+      graph::gen::delaunay(static_cast<graph::VertexId>(n), 42).graph;
+
+  std::string report_text;
+  int racy_runs = 0;
+  int total_runs = 0;
+
+  auto record = [&](const std::string& what,
+                    const analysis::RaceReport& report) {
+    ++total_runs;
+    const std::string line =
+        what + ": " +
+        (report.clean()
+             ? "clean (" + std::to_string(report.accesses) + " accesses, " +
+                   std::to_string(report.sync_joins) + " joins)"
+             : std::to_string(report.races.size()) + " race(s)");
+    std::printf("%s\n", line.c_str());
+    report_text += line + "\n";
+    if (!report.clean()) {
+      ++racy_runs;
+      std::printf("%s\n", report.str().c_str());
+      report_text += report.str() + "\n";
+    }
+  };
+
+  for (exec::Backend backend : backends) {
+    const std::string bname =
+        backend == exec::Backend::kFiber ? "fiber" : "threads";
+    for (std::uint32_t p : ps) {
+      core::ScalaPartOptions opt;
+      opt.nranks = p;
+      opt.backend = backend;
+      opt.threads = threads;
+      {
+        analysis::RaceAuditor auditor;
+        {
+          analysis::ScopedRaceAudit guard(auditor);
+          (void)core::scalapart_partition(g, opt);
+        }
+        record("pipeline p=" + std::to_string(p) + " " + bname,
+               auditor.report());
+      }
+      if (p >= 4) {
+        core::ScalaPartOptions fopt = opt;
+        fopt.faults.kill_in_stage(1, "embed", 5);
+        fopt.recover_on_failure = true;
+        analysis::RaceAuditor auditor;
+        {
+          analysis::ScopedRaceAudit guard(auditor);
+          (void)core::scalapart_partition(g, fopt);
+        }
+        record("recovery p=" + std::to_string(p) + " " + bname,
+               auditor.report());
+      }
+    }
+    // Chaos subset: random fault schedules under the auditor. Any legal
+    // outcome (completed or exhausted) must still be race-free.
+    core::ScalaPartOptions copt;
+    copt.nranks = ps.empty() ? 8 : ps.back();
+    copt.backend = backend;
+    copt.threads = threads;
+    for (std::int64_t s = 0; s < chaos_seeds; ++s) {
+      analysis::RaceAuditor auditor;
+      core::ChaosCaseResult r;
+      {
+        analysis::ScopedRaceAudit guard(auditor);
+        r = core::run_chaos_case(g, copt, seed0 + static_cast<std::uint64_t>(s));
+      }
+      if (!r.error.empty()) {
+        const std::string line = "chaos seed " +
+                                 std::to_string(seed0 + s) + " " + bname +
+                                 ": harness error: " + r.error;
+        std::printf("%s\n", line.c_str());
+        report_text += line + "\n";
+        ++racy_runs;  // contract violation fails the audit too
+        ++total_runs;
+        continue;
+      }
+      record("chaos seed " + std::to_string(seed0 + s) + " " + bname +
+                 (r.completed ? " (completed)" : " (exhausted)"),
+             auditor.report());
+    }
+  }
+
+  const std::string summary =
+      "race_audit: " + std::to_string(total_runs - racy_runs) + "/" +
+      std::to_string(total_runs) + " runs clean";
+  std::printf("%s\n", summary.c_str());
+  report_text += summary + "\n";
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << report_text;
+  }
+  return racy_runs == 0 ? 0 : 1;
+}

@@ -42,7 +42,8 @@ std::string partition_fingerprint_hex(const graph::Bipartition& part) {
 
 obs::JsonValue& BenchReport::add_run(const std::string& label,
                                      const core::ScalaPartResult& r,
-                                     const obs::Recorder* rec) {
+                                     const obs::Recorder* rec,
+                                     const obs::flight::FlightRecorder* frec) {
   obs::JsonValue run = obs::JsonValue::object();
   run["label"] = label;
   run["modeled_seconds"] = r.modeled_seconds;
@@ -60,7 +61,7 @@ obs::JsonValue& BenchReport::add_run(const std::string& label,
   st["partition_seconds"] = r.stages.partition_seconds;
   st["embed_comm_seconds"] = r.stages.embed_comm_seconds;
   st["embed_compute_seconds"] = r.stages.embed_compute_seconds;
-  run["report"] = obs::analyze(r.stats, rec).to_json();
+  run["report"] = obs::analyze(r.stats, rec, frec).to_json();
   obs::JsonValue& rc = run["recovery"];
   obs::JsonValue failed = obs::JsonValue::array();
   for (std::uint32_t f : r.recovery.failed_ranks) failed.push(f);

@@ -19,7 +19,10 @@
 
 namespace sp::obs {
 class Recorder;
-}
+namespace flight {
+class FlightRecorder;
+}  // namespace flight
+}  // namespace sp::obs
 
 namespace sp::bench {
 
@@ -40,10 +43,14 @@ class BenchReport {
   /// Attaches a full pipeline run: stage breakdown, cut quality, the
   /// critical-path report (obs::analyze), and fault-recovery accounting
   /// (failed ranks + recovery events), making e.g. bench/fault_recovery
-  /// machine-readable. `rec` (optional) adds the per-level decomposition.
+  /// machine-readable. `rec` (optional) adds the per-level decomposition;
+  /// `frec` (optional) adds the measured per-stage wall-time profile
+  /// ("wall_stages" in the report block — bench_gate ignores it, as it
+  /// ignores wall_ms).
   obs::JsonValue& add_run(const std::string& label,
                           const core::ScalaPartResult& r,
-                          const obs::Recorder* rec = nullptr);
+                          const obs::Recorder* rec = nullptr,
+                          const obs::flight::FlightRecorder* frec = nullptr);
 
   /// Metrics snapshot from a recorder, under "metrics".
   void attach_metrics(const obs::Recorder& rec);

@@ -6,6 +6,7 @@
 #include "bench_report.hpp"
 #include "bench_util.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/recorder.hpp"
 
 int main(int argc, char** argv) {
@@ -63,15 +64,22 @@ int main(int argc, char** argv) {
   {
     const std::uint32_t p = std::min(16u, cfg.pmax);
     obs::Recorder rec;
+    // Own flight recorder for the instrumented run: its stage-wall
+    // profile lands in the report as "wall_stages" (the measured
+    // counterpart of the modeled stage table; meaningful on --backend=
+    // threads, where ranks really run concurrently).
+    obs::flight::FlightRecorder frec(p);
     core::ScalaPartResult traced;
     {
       obs::ScopedRecording on(rec);
+      obs::flight::ScopedFlightRecording fon(frec);
       traced =
           core::scalapart_partition(suite[0].graph, bench::sp_options(cfg, p));
     }
     bench::print_clocks(traced.stats);
     auto& run = rep.add_run(
-        "scalapart_" + suite[0].name + "_p" + std::to_string(p), traced, &rec);
+        "scalapart_" + suite[0].name + "_p" + std::to_string(p), traced, &rec,
+        &frec);
     (void)run;
     rep.attach_metrics(rec);
     if (!cfg.trace.empty()) {

@@ -11,6 +11,7 @@
 #include "geometry/sphere.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
+#include "obs/flight.hpp"
 #include "refine/fm.hpp"
 #include "support/random.hpp"
 
@@ -155,6 +156,44 @@ void BM_BspAllReduce(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 16 * state.range(0));
 }
 BENCHMARK(BM_BspAllReduce)->Arg(16)->Arg(256);
+
+// Flight-recorder overhead: the same collective loop as BM_BspAllReduce
+// with a FlightRecorder installed, so comparing the two (and a run built
+// with SP_OBS=OFF, where the recorder and every emission site are
+// compiled out) measures the steady-state cost of the always-on black
+// box. Each rendezvous appends two records per rank (arrive + comm op);
+// the ring is sized to wrap several times over the run.
+void BM_BspAllReduceFlightRecorded(benchmark::State& state) {
+  comm::BspEngine::Options opt;
+  opt.nranks = static_cast<std::uint32_t>(state.range(0));
+  comm::BspEngine engine(opt);
+  for (auto _ : state) {
+    obs::flight::FlightRecorder frec(opt.nranks);
+    obs::flight::ScopedFlightRecording on(frec);
+    auto stats = engine.run([](comm::Comm& c) {
+      for (int i = 0; i < 16; ++i) {
+        benchmark::DoNotOptimize(c.allreduce<double>(1.0, comm::ReduceOp::kSum));
+      }
+    });
+    benchmark::DoNotOptimize(stats.makespan());
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * state.range(0));
+}
+BENCHMARK(BM_BspAllReduceFlightRecorded)->Arg(16)->Arg(256);
+
+// Raw append cost of the ring (the per-event price every instrumented
+// site pays): one interned-name mark per iteration.
+void BM_FlightRecorderAppend(benchmark::State& state) {
+  obs::flight::FlightRecorder frec(1);
+  double t = 0.0;
+  for (auto _ : state) {
+    frec.mark(0, "bench-mark", "bench", t);
+    t += 1e-9;
+  }
+  benchmark::DoNotOptimize(frec.total_appends(0));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderAppend);
 
 }  // namespace
 

@@ -12,6 +12,7 @@
 #include <tuple>
 
 #include "comm/arena.hpp"
+#include "comm/flight_hook.hpp"
 #include "comm/race_hook.hpp"
 #include "exec/executor.hpp"
 #include "support/random.hpp"
@@ -229,6 +230,10 @@ class EngineImpl {
     stats.backend = opt_.backend;
     stats.threads = exec_->concurrency();
     stats.detector = detector_stats_;
+    stats.parked_wall_seconds.resize(opt_.nranks, 0.0);
+    for (std::uint32_t r = 0; r < opt_.nranks; ++r) {
+      stats.parked_wall_seconds[r] = exec_->parked_wall_seconds(r);
+    }
     for (std::uint32_t r = 0; r < opt_.nranks; ++r) {
       const BufferArena::Stats& a = arenas_[r].stats();
       stats.comm_counters.coalesced_batches += coalesced_batches_[r];
@@ -472,13 +477,17 @@ class EngineImpl {
         st.detector_wait += opt_.detector.backoff_seconds * n;
       }
 #ifdef SP_OBS
-      if (ObsSink* sink = obs_sink()) {
-        DetectorEvent ev;
-        ev.suspect = w;
-        ev.suspicions = n;
-        ev.lag_seconds = lag;
-        ev.escalated = escalated;
-        sink->on_detector(ev);
+      DetectorEvent ev;
+      ev.suspect = w;
+      ev.suspicions = n;
+      ev.lag_seconds = lag;
+      ev.escalated = escalated;
+      if (ObsSink* sink = obs_sink()) sink->on_detector(ev);
+      // The suspect is parked at this rendezvous, so its arrival clock is
+      // its current clock — the time a postmortem should pin the
+      // suspicion to.
+      if (FlightSink* fs = flight_sink()) {
+        fs->on_detector(ev, st.arrive_clock[g]);
       }
 #endif
     }
@@ -664,6 +673,13 @@ class EngineImpl {
     // sink folds its clock into a fail-join applied at later pickups.
     if (RaceSink* rs = race_sink()) rs->on_rank_killed(r);
 #endif
+#ifdef SP_OBS
+    // Terminal record of the victim's flight lane: its death time and
+    // the pipeline stage it died in (what tools/postmortem reports).
+    if (FlightSink* fs = flight_sink()) {
+      fs->on_rank_killed(r, clocks_[r], &stages_[r]);
+    }
+#endif
     for (auto& [key, st] : states_) {
       // A pending rendezvous expecting the dead rank can never fill up.
       // (The dead rank itself is never mid-rendezvous: crashes fire at
@@ -773,6 +789,24 @@ RaceSink* race_sink() { return g_race_sink; }
 RaceSink* set_race_sink(RaceSink* sink) {
   RaceSink* prev = g_race_sink;
   g_race_sink = sink;
+  return prev;
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder sink (see flight_hook.hpp). Same install discipline as
+// the ObsSink; every engine-side emission is SP_OBS-gated, so with obs
+// compiled out the pointer simply stays null and untouched.
+// ---------------------------------------------------------------------------
+
+namespace {
+FlightSink* g_flight_sink = nullptr;
+}  // namespace
+
+FlightSink* flight_sink() { return g_flight_sink; }
+
+FlightSink* set_flight_sink(FlightSink* sink) {
+  FlightSink* prev = g_flight_sink;
+  g_flight_sink = sink;
   return prev;
 }
 
@@ -888,6 +922,14 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
     rs->on_rendezvous_arrive(world_rank_, group_->id, my_seq);
   }
 #endif
+#ifdef SP_OBS
+  // Flight record of the *arrival* (not just the completion): if this
+  // rank never leaves the rendezvous, this is the last thing it did.
+  if (FlightSink* fs = flight_sink()) {
+    fs->on_arrive(world_rank_, group_->id, my_seq, obs_t_begin,
+                  coll_kind_name(kind), &engine_->stage_of(world_rank_));
+  }
+#endif
   engine_->notify_arrival(st);
   if (engine_->wait_all_arrived(world_rank_, st)) {
     engine_->observe_poison(st);
@@ -960,7 +1002,7 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
   engine_->charge_comm(world_rank_, seconds, msgs, bytes, /*is_collective=*/true);
   engine_->charge_detector_wait(world_rank_, st);
 #ifdef SP_OBS
-  if (ObsSink* sink = obs_sink()) {
+  if (obs_sink() != nullptr || flight_sink() != nullptr) {
     CommOpEvent ev;
     ev.world_rank = world_rank_;
     ev.op = coll_kind_name(kind);
@@ -972,7 +1014,8 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
     ev.messages = msgs;
     ev.bytes = bytes;
     ev.is_collective = true;
-    sink->on_comm_op(ev);
+    if (ObsSink* sink = obs_sink()) sink->on_comm_op(ev);
+    if (FlightSink* fs = flight_sink()) fs->on_comm_op(ev);
   }
 #endif
 
@@ -1101,6 +1144,12 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
     rs->on_rendezvous_arrive(world_rank_, group_->id, my_seq);
   }
 #endif
+#ifdef SP_OBS
+  if (FlightSink* fs = flight_sink()) {
+    fs->on_arrive(world_rank_, group_->id, my_seq, obs_t_begin, "exchange",
+                  &engine_->stage_of(world_rank_));
+  }
+#endif
   engine_->notify_arrival(st);
   if (engine_->wait_all_arrived(world_rank_, st)) {
     engine_->observe_poison(st);
@@ -1159,7 +1208,7 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
                        /*is_collective=*/false);
   engine_->charge_detector_wait(world_rank_, st);
 #ifdef SP_OBS
-  if (ObsSink* sink = obs_sink()) {
+  if (obs_sink() != nullptr || flight_sink() != nullptr) {
     CommOpEvent ev;
     ev.world_rank = world_rank_;
     ev.op = "exchange";
@@ -1171,7 +1220,8 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
     ev.messages = msgs_out;
     ev.bytes = bytes_out;
     ev.is_collective = false;
-    sink->on_comm_op(ev);
+    if (ObsSink* sink = obs_sink()) sink->on_comm_op(ev);
+    if (FlightSink* fs = flight_sink()) fs->on_comm_op(ev);
   }
 #endif
 
@@ -1260,6 +1310,12 @@ Comm Comm::shrink(std::source_location loc) {
       rs->on_rendezvous_arrive(world_rank_, group_->id, key);
     }
 #endif
+#ifdef SP_OBS
+    if (FlightSink* fs = flight_sink()) {
+      fs->on_arrive(world_rank_, group_->id, key, obs_t_begin, "shrink",
+                    &engine_->stage_of(world_rank_));
+    }
+#endif
     engine_->notify_arrival(st);
     if (engine_->wait_all_arrived(world_rank_, st)) {
       // Another rank died while this shrink was in flight: restart. The
@@ -1291,7 +1347,7 @@ Comm Comm::shrink(std::source_location loc) {
                          static_cast<std::uint64_t>(bytes),
                          /*is_collective=*/true);
 #ifdef SP_OBS
-    if (ObsSink* sink = obs_sink()) {
+    if (obs_sink() != nullptr || flight_sink() != nullptr) {
       CommOpEvent ev;
       ev.world_rank = world_rank_;
       ev.op = "shrink";
@@ -1303,7 +1359,8 @@ Comm Comm::shrink(std::source_location loc) {
       ev.messages = static_cast<std::uint64_t>(log_p);
       ev.bytes = static_cast<std::uint64_t>(bytes);
       ev.is_collective = true;
-      sink->on_comm_op(ev);
+      if (ObsSink* sink = obs_sink()) sink->on_comm_op(ev);
+      if (FlightSink* fs = flight_sink()) fs->on_comm_op(ev);
     }
 #endif
 

@@ -1,0 +1,68 @@
+// Flight-recorder hook surface of the BSP engine (the black-box analogue
+// of obs_hook.hpp / race_hook.hpp).
+//
+// sp::obs::flight wants a compact, always-on record of the last moments
+// of every rank — comm ops, rendezvous arrivals, kills, detector
+// suspicions — so an abnormal exit can be diagnosed after the fact, but
+// sp_comm must not depend on sp_obs. The inversion lives here: the
+// engine calls a process-global FlightSink through this tiny interface,
+// and every engine-side call is compiled out when the build has SP_OBS
+// off, so the hook costs nothing in production builds.
+// obs::flight::FlightRecorder implements the sink (DESIGN.md §9).
+//
+// Unlike ObsSink — which only sees *completed* operations — the flight
+// sink also sees rendezvous *arrivals*. That asymmetry is the point: a
+// rank that dies or hangs inside a collective never completes it, and
+// the arrival record is exactly what a postmortem needs to say "rank 7
+// entered allreduce seq 42 and never left".
+//
+// Threading: the sink is installed before a run and uninstalled after
+// it, never swapped mid-run, so the global pointer itself needs no
+// lock. The engine emits every event below under its engine lock (calls
+// are serialized on both backends); the sink appends to per-rank lanes,
+// so the emission is single-writer per lane on top of that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "comm/obs_hook.hpp"  // CommOpEvent, DetectorEvent
+
+namespace sp::comm {
+
+class FlightSink {
+ public:
+  virtual ~FlightSink() = default;
+
+  /// A completed communication operation (same payload the ObsSink
+  /// sees). Emitted under the engine lock.
+  virtual void on_comm_op(const CommOpEvent& ev) = 0;
+
+  /// `world_rank` arrived at rendezvous (`group`, `seq`) of operation
+  /// `op` ("allreduce", "exchange", "shrink", ...) at modeled time
+  /// `clock`, while in pipeline stage `stage`. Emitted under the engine
+  /// lock, before the rendezvous completes — this record survives even
+  /// if the rank never leaves the rendezvous.
+  virtual void on_arrive(std::uint32_t world_rank, std::uint64_t group,
+                         std::uint64_t seq, double clock, const char* op,
+                         const std::string* stage) = 0;
+
+  /// `world_rank` was killed (fault plan or failure detector) at modeled
+  /// time `clock` while in pipeline stage `stage`. Emitted under the
+  /// engine lock; this is the terminal record of the rank's lane.
+  virtual void on_rank_killed(std::uint32_t world_rank, double clock,
+                              const std::string* stage) = 0;
+
+  /// One failure-detector decision (same payload the ObsSink sees),
+  /// with the suspect's modeled clock. Emitted under the engine lock.
+  virtual void on_detector(const DetectorEvent& ev, double clock) = 0;
+};
+
+/// Currently installed sink (nullptr = none). Defined in engine.cpp.
+FlightSink* flight_sink();
+
+/// Installs `sink` (nullptr uninstalls); returns the previous one so
+/// scoped installers can nest.
+FlightSink* set_flight_sink(FlightSink* sink);
+
+}  // namespace sp::comm

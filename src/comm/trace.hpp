@@ -112,6 +112,13 @@ struct RunStats {
   /// Failure-detector totals (zeros when the detector is off; excluded
   /// from fingerprint() — see DetectorStats).
   DetectorStats detector;
+  /// Measured wall seconds each rank spent parked in rendezvous waits
+  /// (threads backend only; all zeros under kFiber, where parking is
+  /// cooperative scheduling, not waiting). Diagnostic like wall_seconds:
+  /// excluded from fingerprint(). Holding this against the modeled comm
+  /// times is the end-to-end check the wall-clock stage profiler refines
+  /// per stage.
+  std::vector<double> parked_wall_seconds;
 
   double makespan() const;
   /// Order-independent digest of everything deterministic about the run:

@@ -5,6 +5,7 @@
 #include "analysis/determinism.hpp"
 #include "analysis/invariants.hpp"
 #include "comm/chaos.hpp"
+#include "obs/flight.hpp"
 #include "obs/stage_names.hpp"
 #include "support/random.hpp"
 
@@ -51,6 +52,18 @@ ChaosCaseResult run_chaos_case(const graph::CsrGraph& g,
                         std::to_string(opt.detector.deadline_seconds) +
                         " retries=" + std::to_string(opt.detector.max_retries)
                   : "");
+#ifdef SP_OBS
+  // Own the flight recorder for the whole case: scalapart reuses the
+  // installed recorder, dumps it on its own abnormal exits (budget
+  // exhaustion, total failure), and this harness additionally dumps on
+  // contract violations scalapart cannot see (validator failures,
+  // unexpected exception types). The case seed rides in the metadata so
+  // a dump alone suffices to replay the failure.
+  obs::flight::FlightRecorder flight(opt.nranks);
+  obs::flight::ScopedFlightRecording flight_scope(flight);
+  flight.set_meta("chaos_case_seed", std::to_string(case_seed));
+  flight.set_meta("chaos_plan", out.plan);
+#endif
   try {
     const ScalaPartResult r = scalapart_partition(g, opt);
     out.completed = true;
@@ -76,6 +89,13 @@ ChaosCaseResult run_chaos_case(const graph::CsrGraph& g,
   } catch (...) {
     out.error = "non-standard exception escaped the pipeline";
   }
+#ifdef SP_OBS
+  if (!out.ok() && !flight.dumped()) {
+    obs::flight::dump_abnormal(flight, opt.flight_dir,
+                               "chaos contract violation: " + out.error);
+  }
+  out.dump_path = flight.dump_path();
+#endif
   return out;
 }
 

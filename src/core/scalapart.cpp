@@ -10,7 +10,9 @@
 #include "coarsen/parallel_matching.hpp"
 #include "comm/engine.hpp"
 #include "core/checkpoint.hpp"
+#include "exec/executor.hpp"
 #include "graph/distributed_graph.hpp"
+#include "obs/flight.hpp"
 #include "obs/span.hpp"
 #include "support/assert.hpp"
 
@@ -213,6 +215,48 @@ ScalaPartResult scalapart_run(const CsrGraph& g, const ScalaPartOptions& opt,
   eng_opt.threads = opt.threads;
   comm::BspEngine engine(eng_opt);
 
+#ifdef SP_OBS
+  // Flight recorder (DESIGN.md §9): reuse an enclosing recorder when one
+  // is installed (the chaos harness does this to own the dump), otherwise
+  // install our own for the duration of the run. Recording only *reads*
+  // rank state — partitions, clocks, and fingerprints are bit-identical
+  // with it on or off.
+  std::optional<obs::flight::FlightRecorder> own_flight;
+  std::optional<obs::flight::ScopedFlightRecording> flight_scope;
+  obs::flight::FlightRecorder* flight = obs::flight::FlightRecorder::current();
+  if (flight == nullptr && opt.flight_capacity != 0) {
+    own_flight.emplace(opt.nranks, opt.flight_capacity);
+    flight_scope.emplace(*own_flight);
+    flight = &*own_flight;
+  }
+  if (flight != nullptr) {
+    flight->set_meta("program", "scalapart");
+    flight->set_meta("seed", std::to_string(opt.seed));
+    flight->set_meta("nranks", std::to_string(opt.nranks));
+    flight->set_meta("backend", exec::backend_name(opt.backend));
+    flight->set_meta("threads", std::to_string(opt.threads));
+    flight->set_meta("schedule_seed", std::to_string(opt.schedule_seed));
+    flight->set_meta("fault_crashes", std::to_string(opt.faults.crashes.size()));
+    flight->set_meta("fault_stragglers",
+                     std::to_string(opt.faults.stragglers.size()));
+    flight->set_meta("fault_messages",
+                     std::to_string(opt.faults.message_faults.size()));
+    flight->set_meta("fault_seed", std::to_string(opt.faults.seed));
+    flight->set_meta("detector_deadline",
+                     std::to_string(opt.detector.deadline_seconds));
+    flight->set_meta("recover_on_failure",
+                     opt.recover_on_failure ? "true" : "false");
+    flight->set_meta("max_recoveries", std::to_string(opt.max_recoveries));
+  }
+  auto flight_dump = [&](const std::string& reason) {
+    if (flight != nullptr) {
+      obs::flight::dump_abnormal(*flight, opt.flight_dir, reason);
+    }
+  };
+#else
+  auto flight_dump = [](const std::string&) {};
+#endif
+
   auto program = [&](comm::Comm& world0) {
     comm::Comm world = world0;
     // Root of the rank's span tree; spans reference the `world` variable
@@ -385,9 +429,13 @@ ScalaPartResult scalapart_run(const CsrGraph& g, const ScalaPartOptions& opt,
     e.stats.final_active_ranks = final_active;
     e.stats.checkpoints_persisted = persisted;
     e.stats.resumed_from_disk = preloaded != nullptr;
+    flight_dump("RecoveryExhaustedError: " + std::string(e.what()));
     throw;
   } catch (const comm::RankFailedError& e) {
-    if (!opt.recover_on_failure) throw;
+    if (!opt.recover_on_failure) {
+      flight_dump("RankFailedError: " + std::string(e.what()));
+      throw;
+    }
     // Recovery was on but the engine still surfaced a failure: every
     // rank died. Structured error, not an unhandled unwind.
     RecoveryStats rs;
@@ -396,13 +444,23 @@ ScalaPartResult scalapart_run(const CsrGraph& g, const ScalaPartOptions& opt,
     rs.final_active_ranks = 0;
     rs.checkpoints_persisted = persisted;
     rs.resumed_from_disk = preloaded != nullptr;
+    flight_dump("RecoveryExhaustedError: all ranks failed");
     throw RecoveryExhaustedError("all ranks failed", rs);
+  } catch (const std::exception& e) {
+    // Deadlock diagnostics, SPMD divergence, assertion unwinds — every
+    // abnormal exit leaves a black box behind.
+    flight_dump(e.what());
+    throw;
+  } catch (...) {
+    flight_dump("unknown error");
+    throw;
   }
 
   if (!completed) {
     // Every rank that could have finished the pipeline was killed (the
     // actives all died while retired spares let the run end cleanly).
     if (!opt.recover_on_failure) {
+      flight_dump("RankFailedError: no active rank completed the pipeline");
       throw comm::RankFailedError(stats.failed_ranks);
     }
     RecoveryStats rs;
@@ -412,6 +470,7 @@ ScalaPartResult scalapart_run(const CsrGraph& g, const ScalaPartOptions& opt,
     rs.detector = stats.detector;
     rs.checkpoints_persisted = persisted;
     rs.resumed_from_disk = preloaded != nullptr;
+    flight_dump("RecoveryExhaustedError: no active rank completed the pipeline");
     throw RecoveryExhaustedError("no active rank completed the pipeline",
                                  rs);
   }

@@ -95,6 +95,18 @@ struct ScalaPartOptions {
   /// host-side I/O: it costs no modeled time.
   std::string checkpoint_dir;
 
+  /// Flight recorder (obs::flight, DESIGN.md §9): per-rank ring capacity
+  /// of the always-on black box scalapart_run installs when no recorder
+  /// is active. 0 disables it. Ignored when the build has SP_OBS off or
+  /// when an outer ScopedFlightRecording is already installed (that
+  /// recorder is reused, as the chaos harness does).
+  std::uint32_t flight_capacity = 256;
+  /// Where abnormal exits dump the flight record. Empty = use the
+  /// SP_FLIGHT_DIR environment variable; when that is empty too, no dump
+  /// is written (recording still happens — an enclosing harness may dump
+  /// the recorder itself).
+  std::string flight_dir;
+
   /// Convenience: derive all per-stage seeds from `seed` and `nranks` so
   /// different P values explore different separators (as in the paper,
   /// where cut size varies with P).

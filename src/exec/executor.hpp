@@ -113,6 +113,17 @@ class Executor {
   /// Ranks that can execute simultaneously (1 for kFiber).
   virtual std::uint32_t concurrency() const = 0;
 
+  /// Wall-clock seconds rank `rank` spent parked in block_until during the
+  /// last run() — measured rendezvous-wait time, the executor-level input
+  /// to the obs wall-clock stage profiler. Only the threads backend
+  /// measures it (ranks really block there); kFiber returns 0.0 (parking
+  /// is cooperative scheduling on one thread, not waiting). Diagnostic
+  /// only: never part of any fingerprint or modeled clock.
+  virtual double parked_wall_seconds(std::uint32_t rank) const {
+    (void)rank;
+    return 0.0;
+  }
+
   virtual void set_stall_handler(StallHandler handler) = 0;
 
   /// Builds the configured backend. Throws std::runtime_error for

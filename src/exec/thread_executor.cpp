@@ -18,6 +18,7 @@
 // to park (or finish) detects this, obtains the error to surface from the
 // stall handler, and aborts the run; every parked rank unwinds with
 // RunAborted so the executor can join its threads.
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -41,6 +42,7 @@ class ThreadExecutor final : public Executor {
     {
       std::lock_guard<std::mutex> l(mu_);
       preds_.assign(nranks, nullptr);
+      parked_s_.assign(nranks, 0.0);
       aborting_ = false;
       run_error_ = nullptr;
       active_ = nranks;
@@ -62,6 +64,12 @@ class ThreadExecutor final : public Executor {
     // caller's ExecLock releases it during unwinding.
     if (ready()) return;
     std::unique_lock<std::mutex> l(mu_, std::adopt_lock);
+    // Measured rendezvous wait: wall time from park to return (including
+    // the run-slot wait — both are time the rank was not computing).
+    // Reported to the obs profiler via parked_wall_seconds(); never
+    // consumed by the engine or the modeled clocks.
+    // sp-lint-allow(wall-clock): reported diagnostic, never consumed
+    const auto park_begin = std::chrono::steady_clock::now();
     preds_[rank] = &ready;
     release_slot_();
     ++sleeping_;
@@ -72,6 +80,7 @@ class ThreadExecutor final : public Executor {
         // Re-take slot accounting so the thread epilogue's release
         // balances; the throttle no longer matters mid-abort.
         ++slots_in_use_;
+        charge_park_(rank, park_begin);
         l.release();
         throw RunAborted{};
       }
@@ -84,6 +93,7 @@ class ThreadExecutor final : public Executor {
     preds_[rank] = nullptr;
     while (slots_in_use_ >= slots_ && !aborting_) cv_.wait(l);
     ++slots_in_use_;  // on abort: oversubscribe, the next park unwinds
+    charge_park_(rank, park_begin);
     l.release();
   }
 
@@ -101,6 +111,11 @@ class ThreadExecutor final : public Executor {
 
   Backend backend() const override { return Backend::kThreads; }
   std::uint32_t concurrency() const override { return slots_; }
+
+  double parked_wall_seconds(std::uint32_t rank) const override {
+    // Queried after run() returns (threads joined), so no lock is needed.
+    return rank < parked_s_.size() ? parked_s_[rank] : 0.0;
+  }
 
   void set_stall_handler(StallHandler handler) override {
     stall_ = std::move(handler);
@@ -131,6 +146,15 @@ class ThreadExecutor final : public Executor {
     cv_.notify_all();
   }
 
+  /// With mu_ held: folds one completed park into the rank's wait total.
+  void charge_park_(
+      std::uint32_t rank,
+      std::chrono::steady_clock::time_point begin) {  // sp-lint-allow(wall-clock): diagnostic plumbing
+    // sp-lint-allow(wall-clock): reported diagnostic, never consumed
+    const auto now = std::chrono::steady_clock::now();
+    parked_s_[rank] += std::chrono::duration<double>(now - begin).count();
+  }
+
   /// With mu_ held: declares a stall when every unfinished rank is parked
   /// on a false predicate. Ranks waiting for a run slot never block this
   /// (they hold no predicate and will run once a parking rank frees its
@@ -152,6 +176,7 @@ class ThreadExecutor final : public Executor {
   std::uint32_t active_ = 0;         // started and unfinished ranks
   std::uint32_t sleeping_ = 0;       // parked in block_until
   std::vector<const ReadyFn*> preds_;
+  std::vector<double> parked_s_;     // guarded by mu_ during the run
   bool aborting_ = false;
   std::exception_ptr run_error_;
   StallHandler stall_;

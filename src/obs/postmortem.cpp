@@ -1,0 +1,349 @@
+#include "obs/postmortem.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "comm/frame_io.hpp"
+#include "obs/recorder.hpp"
+
+namespace sp::obs::flight {
+
+namespace {
+
+/// Bounds-checked cursor over one decoded frame payload.
+class Reader {
+ public:
+  Reader(const std::vector<std::byte>& buf, std::size_t frame_index)
+      : buf_(buf), frame_(frame_index) {}
+
+  std::uint32_t u32() {
+    need_(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               std::to_integer<std::uint8_t>(buf_[off_ + i]))
+           << (8 * i);
+    }
+    off_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need_(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               std::to_integer<std::uint8_t>(buf_[off_ + i]))
+           << (8 * i);
+    }
+    off_ += 8;
+    return v;
+  }
+
+  std::string str() {
+    const std::uint32_t len = u32();
+    need_(len);
+    std::string s(len, '\0');
+    for (std::uint32_t i = 0; i < len; ++i) {
+      s[i] = static_cast<char>(std::to_integer<std::uint8_t>(buf_[off_ + i]));
+    }
+    off_ += len;
+    return s;
+  }
+
+  const std::byte* raw(std::size_t n) {
+    need_(n);
+    const std::byte* p = buf_.data() + off_;
+    off_ += n;
+    return p;
+  }
+
+ private:
+  void need_(std::size_t n) {
+    if (off_ + n > buf_.size()) {
+      throw comm::FrameError("flight dump: frame " + std::to_string(frame_) +
+                             " truncated (need " + std::to_string(n) +
+                             " bytes at offset " + std::to_string(off_) + ")");
+    }
+  }
+
+  const std::vector<std::byte>& buf_;
+  std::size_t frame_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace
+
+const std::string& Postmortem::str(std::uint16_t id) const {
+  static const std::string kEmpty;
+  return id < strings.size() ? strings[id] : kEmpty;
+}
+
+std::string Postmortem::meta_value(const std::string& key) const {
+  for (const auto& [k, v] : meta) {
+    if (k == key) return v;
+  }
+  return std::string();
+}
+
+Postmortem Postmortem::read(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw comm::FrameError("flight dump: cannot open " + path);
+  const std::uint32_t flags = comm::read_frame_header(in);
+  if (flags != kDumpFlags) {
+    throw comm::FrameError("flight dump: " + path +
+                           " is not a flight-recorder dump (flags " +
+                           std::to_string(flags) + ")");
+  }
+
+  Postmortem pm;
+  {
+    std::vector<std::byte> buf = comm::read_frame(in, 0);
+    Reader r(buf, 0);
+    pm.format = r.u32();
+    if (pm.format != 1) {
+      throw comm::FrameError("flight dump: unsupported dump format " +
+                             std::to_string(pm.format));
+    }
+    pm.nranks = r.u32();
+    pm.capacity = r.u32();
+    pm.reason = r.str();
+    const std::uint32_t nmeta = r.u32();
+    pm.meta.reserve(nmeta);
+    for (std::uint32_t i = 0; i < nmeta; ++i) {
+      std::string k = r.str();
+      std::string v = r.str();
+      pm.meta.emplace_back(std::move(k), std::move(v));
+    }
+  }
+  {
+    std::vector<std::byte> buf = comm::read_frame(in, 1);
+    Reader r(buf, 1);
+    const std::uint32_t n = r.u32();
+    pm.strings.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) pm.strings.push_back(r.str());
+  }
+  pm.lanes.reserve(pm.nranks);
+  for (std::uint32_t rank = 0; rank < pm.nranks; ++rank) {
+    const std::size_t frame = 2 + rank;
+    std::vector<std::byte> buf = comm::read_frame(in, frame);
+    Reader r(buf, frame);
+    Lane lane;
+    lane.rank = r.u32();
+    lane.total_appends = r.u64();
+    const std::uint32_t n = r.u32();
+    lane.records.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      lane.records.push_back(unpack_record(r.raw(kRecordBytes)));
+    }
+    pm.lanes.push_back(std::move(lane));
+  }
+  return pm;
+}
+
+// ---------------------------------------------------------------------------
+// Diagnosis
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The pipeline stage a lane was last seen in: comm records carry the
+/// engine's stage string; "stage"-category span begins carry it too.
+std::string last_stage(const Postmortem& pm, const Postmortem::Lane& lane) {
+  std::string stage;
+  for (const Record& r : lane.records) {
+    switch (r.kind) {
+      case Kind::kArrive:
+      case Kind::kCommOp:
+      case Kind::kKilled:
+        if (r.aux != 0) stage = pm.str(r.aux);
+        break;
+      case Kind::kSpanBegin:
+        if (pm.str(r.aux) == "stage") stage = pm.str(r.name);
+        break;
+      default:
+        break;
+    }
+  }
+  return stage;
+}
+
+}  // namespace
+
+Diagnosis diagnose(const Postmortem& pm) {
+  Diagnosis d;
+  struct Survivor {
+    std::uint32_t rank;
+    double last_clock;
+    bool has_arrive = false;
+    std::string op;
+    std::uint64_t group = 0;
+    std::uint64_t seq = 0;
+  };
+  std::vector<Survivor> survivors;
+  for (const Postmortem::Lane& lane : pm.lanes) {
+    bool killed = false;
+    for (const Record& r : lane.records) {
+      if (r.kind == Kind::kKilled) {
+        killed = true;
+        std::string stage = pm.str(r.aux);
+        if (stage.empty()) stage = last_stage(pm, lane);
+        d.killed.push_back(Diagnosis::Kill{lane.rank, std::move(stage), r.t});
+      }
+    }
+    if (killed) continue;
+    Survivor s;
+    s.rank = lane.rank;
+    s.last_clock = lane.records.empty() ? 0.0 : lane.records.back().t;
+    for (auto it = lane.records.rbegin(); it != lane.records.rend(); ++it) {
+      if (it->kind == Kind::kArrive) {
+        s.has_arrive = true;
+        s.op = pm.str(it->name);
+        s.group = it->a;
+        s.seq = it->b;
+        break;
+      }
+    }
+    survivors.push_back(std::move(s));
+  }
+
+  if (survivors.size() >= 2) {
+    const Survivor* lag = &survivors[0];
+    double lead = survivors[0].last_clock;
+    for (const Survivor& s : survivors) {
+      if (s.last_clock < lag->last_clock) lag = &s;
+      lead = std::max(lead, s.last_clock);
+    }
+    if (lead > lag->last_clock) {
+      d.has_laggard = true;
+      d.laggard_rank = lag->rank;
+      d.laggard_clock = lag->last_clock;
+      d.leader_clock = lead;
+      for (const Postmortem::Lane& lane : pm.lanes) {
+        if (lane.rank == lag->rank) d.laggard_stage = last_stage(pm, lane);
+      }
+    }
+  }
+
+  // Divergence: majority vote over survivors' last rendezvous identity.
+  std::map<std::tuple<std::string, std::uint64_t, std::uint64_t>,
+           std::uint32_t>
+      votes;
+  for (const Survivor& s : survivors) {
+    if (s.has_arrive) ++votes[{s.op, s.group, s.seq}];
+  }
+  if (!votes.empty()) {
+    auto best = votes.begin();
+    for (auto it = votes.begin(); it != votes.end(); ++it) {
+      if (it->second > best->second) best = it;
+    }
+    d.majority_op = std::get<0>(best->first);
+    d.majority_group = std::get<1>(best->first);
+    d.majority_seq = std::get<2>(best->first);
+    if (votes.size() > 1) {
+      for (const Survivor& s : survivors) {
+        if (s.has_arrive &&
+            std::make_tuple(s.op, s.group, s.seq) != best->first) {
+          d.diverged.push_back(s.rank);
+        }
+      }
+    }
+  }
+  return d;
+}
+
+std::string Diagnosis::summary() const {
+  std::string out;
+  for (const Kill& k : killed) {
+    out += "KILLED rank=" + std::to_string(k.rank) + " stage=" +
+           (k.stage.empty() ? "?" : k.stage) + " t=" + std::to_string(k.t) +
+           "\n";
+  }
+  if (has_laggard) {
+    out += "LAGGARD rank=" + std::to_string(laggard_rank) + " stage=" +
+           (laggard_stage.empty() ? "?" : laggard_stage) +
+           " t=" + std::to_string(laggard_clock) +
+           " behind=" + std::to_string(leader_clock - laggard_clock) + "\n";
+  }
+  for (std::uint32_t r : diverged) {
+    out += "DIVERGED rank=" + std::to_string(r) +
+           " majority_op=" + majority_op +
+           " majority_group=" + std::to_string(majority_group) +
+           " majority_seq=" + std::to_string(majority_seq) + "\n";
+  }
+  if (out.empty()) out = "no anomaly detected\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Timeline reconstruction
+// ---------------------------------------------------------------------------
+
+void reconstruct(const Postmortem& pm, Recorder& rec) {
+  for (const Postmortem::Lane& lane : pm.lanes) {
+    const std::uint32_t rank = lane.rank;
+    std::size_t open_depth = 0;
+    double last_t = 0.0;
+    // Pair comm-op completions with the immediately preceding arrival of
+    // the same rendezvous so the replayed complete event spans the wait.
+    const Record* prev = nullptr;
+    for (const Record& r : lane.records) {
+      last_t = std::max(last_t, r.t);
+      switch (r.kind) {
+        case Kind::kSpanBegin:
+          rec.span_begin(rank, pm.str(r.name), pm.str(r.aux), r.level, r.t,
+                         comm::CostSnapshot{});
+          ++open_depth;
+          break;
+        case Kind::kSpanEnd:
+          // An end whose begin was evicted by the ring has nothing to
+          // close (nesting guarantees the replayed stack is empty then).
+          if (open_depth > 0) {
+            rec.span_end(rank, r.t, comm::CostSnapshot{});
+            --open_depth;
+          }
+          break;
+        case Kind::kMark:
+          rec.instant(rank, pm.str(r.name), pm.str(r.aux), r.t);
+          break;
+        case Kind::kCommOp: {
+          comm::CommOpEvent ev;
+          ev.world_rank = rank;
+          ev.op = pm.str(r.name).c_str();
+          const std::string& stage = pm.str(r.aux);
+          ev.stage = &stage;
+          ev.group = r.a;
+          ev.seq = r.b;
+          ev.t_end = r.t;
+          ev.t_begin = (prev != nullptr && prev->kind == Kind::kArrive &&
+                        prev->a == r.a && prev->b == r.b)
+                           ? prev->t
+                           : r.t;
+          ev.bytes = r.c;
+          rec.on_comm_op(ev);
+          break;
+        }
+        case Kind::kArrive:
+          rec.instant(rank, "arrive:" + pm.str(r.name), "arrive", r.t);
+          break;
+        case Kind::kKilled:
+          // Dead ranks keep their lane, terminated by this event — they
+          // must not vanish from the exported trace.
+          rec.instant(rank, "killed", "fault", r.t);
+          break;
+        case Kind::kDetector:
+          rec.instant(rank, "detector-suspicion", "fault", r.t);
+          break;
+      }
+      prev = &r;
+    }
+    // Close anything still open at the lane's final timestamp so
+    // validate_lanes holds for the reconstruction.
+    for (; open_depth > 0; --open_depth) {
+      rec.span_end(rank, last_t, comm::CostSnapshot{});
+    }
+  }
+}
+
+}  // namespace sp::obs::flight

@@ -1,0 +1,92 @@
+// Postmortem decoding and diagnosis of flight-recorder dumps.
+//
+// A dump (obs::flight::dump) is a SPFRAME file: metadata frame, string
+// table, one frame of Records per rank. This module reads one back
+// (verifying every checksum via comm/frame_io), reconstructs the final
+// per-rank timelines into an obs::Recorder — so the existing Chrome
+// trace / JSONL exporters render them — and diffs rank progress to name
+// the killed, lagging, and diverging ranks and the pipeline stage each
+// was in. tools/postmortem is the CLI wrapper (DESIGN.md §9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/flight.hpp"
+
+namespace sp::obs {
+class Recorder;
+}  // namespace sp::obs
+
+namespace sp::obs::flight {
+
+/// One decoded dump. `strings` is the intern table; Record::name/aux
+/// index into it via str().
+struct Postmortem {
+  std::uint32_t format = 0;
+  std::string reason;
+  std::uint32_t nranks = 0;
+  std::uint32_t capacity = 0;
+  std::vector<std::pair<std::string, std::string>> meta;
+  std::vector<std::string> strings;
+
+  struct Lane {
+    std::uint32_t rank = 0;
+    /// Lifetime appends; records holds the newest min(total, capacity)
+    /// of them, oldest first.
+    std::uint64_t total_appends = 0;
+    std::vector<Record> records;
+  };
+  std::vector<Lane> lanes;
+
+  const std::string& str(std::uint16_t id) const;
+  /// Value of a metadata key ("" when absent).
+  std::string meta_value(const std::string& key) const;
+
+  /// Decodes `path`, verifying the header and every frame checksum.
+  /// Throws comm::FrameError on any corruption or format mismatch.
+  static Postmortem read(const std::string& path);
+};
+
+/// What the rank diff concluded. Every field is derived purely from the
+/// dump, so the diagnosis is reproducible from the artifact alone.
+struct Diagnosis {
+  struct Kill {
+    std::uint32_t rank = 0;
+    std::string stage;  // pipeline stage at death
+    double t = 0.0;     // modeled clock at death
+  };
+  /// Ranks with a terminal kill record, in lane order.
+  std::vector<Kill> killed;
+
+  /// The surviving rank with the smallest final modeled clock (only
+  /// meaningful when at least two ranks survive and clocks differ).
+  bool has_laggard = false;
+  std::uint32_t laggard_rank = 0;
+  double laggard_clock = 0.0;
+  std::string laggard_stage;
+  double leader_clock = 0.0;
+
+  /// Survivors whose last rendezvous (group, seq) differs from the
+  /// majority's — the ranks a mismatched-collective deadlock points at.
+  std::vector<std::uint32_t> diverged;
+  std::string majority_op;
+  std::uint64_t majority_group = 0;
+  std::uint64_t majority_seq = 0;
+
+  std::string summary() const;
+};
+
+Diagnosis diagnose(const Postmortem& pm);
+
+/// Replays the dump's lanes into `rec` so the standard exporters
+/// (chrome_trace_string, jsonl_string) can render the final timelines.
+/// Killed ranks keep their lane, ended by an instant "killed" event of
+/// category "fault"; spans whose begin was evicted by the ring are
+/// dropped; spans still open at the end of a lane are closed at the
+/// lane's last timestamp, so validate_lanes passes on the result.
+void reconstruct(const Postmortem& pm, Recorder& rec);
+
+}  // namespace sp::obs::flight

@@ -8,7 +8,8 @@
 
 namespace sp::obs {
 
-Report analyze(const comm::RunStats& stats, const Recorder* rec) {
+Report analyze(const comm::RunStats& stats, const Recorder* rec,
+               const flight::FlightRecorder* frec) {
   Report rep;
   rep.failed_ranks = stats.failed_ranks;
   rep.wall_seconds = stats.wall_seconds;
@@ -92,6 +93,10 @@ Report analyze(const comm::RunStats& stats, const Recorder* rec) {
     for (auto& [key, l] : levels) rep.levels.push_back(std::move(l));
   }
 
+  // Measured wall time per span key (the stage profiler): min/median/max
+  // imbalance across ranks, to hold against the modeled numbers above.
+  if (frec != nullptr) rep.wall_stages = flight::wall_profile(*frec);
+
   return rep;
 }
 
@@ -127,6 +132,27 @@ JsonValue Report::to_json() const {
     level_arr.push(std::move(e));
   }
   root["levels"] = std::move(level_arr);
+  // Only emitted when a flight recorder fed the analysis: committed
+  // baseline reports without the profiler keep validating unchanged.
+  if (!wall_stages.empty()) {
+    JsonValue wall_arr = JsonValue::array();
+    for (const flight::StageWallStat& w : wall_stages) {
+      JsonValue e = JsonValue::object();
+      e["stage"] = w.name;
+      e["cat"] = w.cat;
+      e["level"] = w.level;
+      e["participants"] = w.participants;
+      e["count"] = w.count;
+      e["wall_min_seconds"] = w.wall_min;
+      e["wall_median_seconds"] = w.wall_median;
+      e["wall_max_seconds"] = w.wall_max;
+      e["wall_mean_seconds"] = w.wall_mean;
+      e["imbalance"] = w.imbalance;
+      e["modeled_max_seconds"] = w.modeled_max;
+      wall_arr.push(std::move(e));
+    }
+    root["wall_stages"] = std::move(wall_arr);
+  }
   JsonValue failed = JsonValue::array();
   for (std::uint32_t r : failed_ranks) failed.push(r);
   root["failed_ranks"] = std::move(failed);

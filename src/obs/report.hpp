@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "comm/trace.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 
 namespace sp::obs {
@@ -49,6 +50,12 @@ struct Report {
   double critical_stage_seconds = 0.0;
   std::vector<StageSummary> stages;  // descending max_seconds
   std::vector<LevelSummary> levels;  // empty without a Recorder
+  /// Measured wall time per span key across ranks (empty without a
+  /// FlightRecorder): the wall-clock counterpart of `stages`, so the
+  /// modeled imbalance can be validated against the measured one —
+  /// meaningful on the threads backend, where ranks really run
+  /// concurrently.
+  std::vector<flight::StageWallStat> wall_stages;
   std::vector<std::uint32_t> failed_ranks;
   /// Actual host time of the run and the backend that produced it (from
   /// RunStats). makespan/wall_seconds is the modeled-vs-actual ratio:
@@ -63,7 +70,9 @@ struct Report {
   std::string summary() const;
 };
 
-/// `rec` (optional) supplies the per-level decomposition.
-Report analyze(const comm::RunStats& stats, const Recorder* rec = nullptr);
+/// `rec` (optional) supplies the per-level decomposition; `frec`
+/// (optional) supplies the measured per-stage wall-time profile.
+Report analyze(const comm::RunStats& stats, const Recorder* rec = nullptr,
+               const flight::FlightRecorder* frec = nullptr);
 
 }  // namespace sp::obs

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "obs/flight.hpp"
 #include "obs/recorder.hpp"
 #include "obs/stage_names.hpp"
 
@@ -50,21 +51,32 @@ class Span {
  public:
   Span(CommT& comm, std::string_view name, std::string_view cat = "span",
        std::int32_t level = -1)
-      : rec_(Recorder::current()), comm_(&comm) {
-    if (rec_ == nullptr) return;
-    rec_->span_begin(comm.world_rank(), name, cat, level, comm.clock(),
-                     comm.cost_snapshot());
+      : rec_(Recorder::current()),
+        frec_(flight::FlightRecorder::current()),
+        comm_(&comm) {
+    if (rec_ != nullptr) {
+      rec_->span_begin(comm.world_rank(), name, cat, level, comm.clock(),
+                       comm.cost_snapshot());
+    }
+    if (frec_ != nullptr) {
+      frec_->span_begin(comm.world_rank(), name, cat, level, comm.clock());
+    }
   }
   ~Span() {
-    if (rec_ == nullptr) return;
-    rec_->span_end(comm_->world_rank(), comm_->clock(),
-                   comm_->cost_snapshot());
+    if (rec_ != nullptr) {
+      rec_->span_end(comm_->world_rank(), comm_->clock(),
+                     comm_->cost_snapshot());
+    }
+    if (frec_ != nullptr) {
+      frec_->span_end(comm_->world_rank(), comm_->clock());
+    }
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
   Recorder* rec_;
+  flight::FlightRecorder* frec_;
   CommT* comm_;
 };
 
@@ -74,6 +86,9 @@ inline void mark(CommT& comm, std::string_view name,
                  std::string_view cat = "mark") {
   if (Recorder* r = Recorder::current()) {
     r->instant(comm.world_rank(), name, cat, comm.clock());
+  }
+  if (flight::FlightRecorder* fr = flight::FlightRecorder::current()) {
+    fr->mark(comm.world_rank(), name, cat, comm.clock());
   }
 }
 

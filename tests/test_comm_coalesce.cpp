@@ -235,7 +235,11 @@ TEST_P(CoalescePipeline, FaultSuiteBitIdenticalToLegacy) {
     EXPECT_EQ(on.result.stats.clocks, off.result.stats.clocks);
     EXPECT_EQ(on.result.stats.fingerprint(), off.result.stats.fingerprint());
     EXPECT_EQ(on.result.stats.failed_ranks, off.result.stats.failed_ranks);
+#ifdef SP_OBS
+    // Without SP_OBS the span/metric surface compiles away, so the trace
+    // is (identically) empty — only assert non-emptiness when it exists.
     ASSERT_FALSE(on.jsonl.empty());
+#endif
     EXPECT_EQ(on.jsonl, off.jsonl) << "JSONL trace diverged";
   }
 }

@@ -10,12 +10,20 @@
 // Usage:
 //   chaos_fuzz [--seeds=N] [--seed0=S] [--n=V] [--p=P]
 //              [--backend=fiber|threads] [--threads=T]
-//              [--replay=SEED] [--verbose]
+//              [--replay=SEED] [--verbose] [--flight-dir=DIR]
+//              [--kill-rank=R --kill-stage=STAGE]
 //
 // The sweep prints one line per failing seed (with the injected plan) and
 // a summary. --replay=SEED reruns one case twice, prints its plan and
 // outcome, and verifies the two runs are bit-for-bit identical — the
-// reproduction workflow for a seed reported by CI.
+// reproduction workflow for a seed reported by CI. When a flight-dump
+// directory is configured (--flight-dir or SP_FLIGHT_DIR), every failing
+// case leaves a postmortem dump and its path is printed with the failure.
+//
+// --kill-rank=R --kill-stage=STAGE is the CI postmortem smoke: it runs
+// one deterministic case with recovery off and a fault plan that kills
+// exactly rank R in stage STAGE, so the abnormal exit writes a dump whose
+// tools/postmortem diagnosis must name that rank and stage.
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -24,6 +32,7 @@
 #include "core/scalapart.hpp"
 #include "exec/executor.hpp"
 #include "graph/generators.hpp"
+#include "obs/flight.hpp"
 #include "support/options.hpp"
 
 int main(int argc, char** argv) {
@@ -39,10 +48,17 @@ int main(int argc, char** argv) {
   const std::uint64_t replay_seed =
       static_cast<std::uint64_t>(opts.get_int("replay", 0));
 
+  const bool kill_mode = opts.has("kill-rank");
+  [[maybe_unused]] const std::uint32_t kill_rank =
+      static_cast<std::uint32_t>(opts.get_int("kill-rank", 0));
+  [[maybe_unused]] const std::string kill_stage =
+      opts.get("kill-stage", "embed");
+
   core::ScalaPartOptions base;
   base.nranks = static_cast<std::uint32_t>(opts.get_int("p", 8));
   base.backend = exec::parse_backend(opts.get("backend", "fiber"));
   base.threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
+  base.flight_dir = opts.get("flight-dir", "");
   for (const std::string& key : opts.unused()) {
     std::fprintf(stderr, "chaos_fuzz: unknown option --%s\n", key.c_str());
     return 2;
@@ -62,6 +78,43 @@ int main(int argc, char** argv) {
            ", failed=" + std::to_string(r.failed_ranks) + ")";
   };
 
+  if (kill_mode) {
+#ifdef SP_OBS
+    core::ScalaPartOptions opt = base;
+    opt.recover_on_failure = false;
+    opt.faults.kill_in_stage(kill_rank, kill_stage);
+    sp::obs::flight::FlightRecorder flight(opt.nranks);
+    sp::obs::flight::ScopedFlightRecording scope(flight);
+    std::string error;
+    try {
+      (void)core::scalapart_partition(g, opt);
+      error = "run completed; the kill trigger never fired";
+    } catch (const comm::RankFailedError&) {
+      // The expected abnormal exit: scalapart dumped the recorder.
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    std::printf("kill-mode: rank=%u stage=%s\n", kill_rank,
+                kill_stage.c_str());
+    if (!error.empty()) {
+      std::printf("  UNEXPECTED: %s\n", error.c_str());
+      return 1;
+    }
+    if (flight.dump_path().empty()) {
+      std::printf("  FAIL: no postmortem dump was written (set --flight-dir "
+                  "or SP_FLIGHT_DIR)\n");
+      return 1;
+    }
+    std::printf("  dump: %s\n", flight.dump_path().c_str());
+    return 0;
+#else
+    std::fprintf(stderr,
+                 "chaos_fuzz: --kill-rank needs an SP_OBS build (the flight "
+                 "recorder is compiled out)\n");
+    return 2;
+#endif
+  }
+
   if (replay) {
     const auto a = core::run_chaos_case(g, base, replay_seed);
     const auto b = core::run_chaos_case(g, base, replay_seed);
@@ -75,6 +128,9 @@ int main(int argc, char** argv) {
                 identical ? "bit-identical" : "DIVERGED",
                 static_cast<unsigned long long>(a.part_fp),
                 static_cast<unsigned long long>(a.stats_fp));
+    if (!a.dump_path.empty()) {
+      std::printf("  dump:    %s\n", a.dump_path.c_str());
+    }
     return (a.ok() && identical) ? 0 : 1;
   }
 
@@ -89,6 +145,9 @@ int main(int argc, char** argv) {
                   r.error.c_str(), static_cast<unsigned long long>(s),
                   base.nranks, static_cast<long long>(n),
                   exec::backend_name(base.backend));
+      if (!r.dump_path.empty()) {
+        std::printf("  dump: %s\n", r.dump_path.c_str());
+      }
     } else if (verbose) {
       std::printf("seed %llu [%s]\n  %s\n",
                   static_cast<unsigned long long>(s), r.plan.c_str(),

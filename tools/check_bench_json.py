@@ -56,6 +56,36 @@ REQUIRED_RECOVERY = [
     "checkpoint_messages",
     "recover_messages",
 ]
+# report.wall_stages: the measured per-stage wall-time profile the flight
+# recorder contributes (obs::flight::wall_profile). Optional — only runs
+# instrumented with a FlightRecorder emit it — but when present every
+# entry must carry the full schema below, and entries of category "stage"
+# must name a canonical pipeline stage (obs/stage_names.hpp), so a typo'd
+# span name cannot silently fork the stage vocabulary.
+REQUIRED_WALL_STAGE = [
+    "stage",
+    "cat",
+    "level",
+    "participants",
+    "count",
+    "wall_min_seconds",
+    "wall_median_seconds",
+    "wall_max_seconds",
+    "wall_mean_seconds",
+    "imbalance",
+    "modeled_max_seconds",
+]
+# Keep in sync with obs/stage_names.hpp.
+CANONICAL_STAGES = {
+    "main",
+    "coarsen",
+    "embed",
+    "partition",
+    "output",
+    "recover",
+    "checkpoint",
+    "rcb",
+}
 
 
 def require(errors, obj, keys, where):
@@ -129,6 +159,26 @@ def check_file(path):
                     errors.append(
                         f"{where}.report.stages[{j}]: imbalance "
                         f"{s['imbalance']} < 1 (max/mean cannot be)")
+            for j, w in enumerate(rep.get("wall_stages", [])):
+                wwhere = f"{where}.report.wall_stages[{j}]"
+                require(errors, w, REQUIRED_WALL_STAGE, wwhere)
+                if (w.get("cat") == "stage"
+                        and w.get("stage") not in CANONICAL_STAGES):
+                    errors.append(
+                        f"{wwhere}: stage '{w.get('stage')}' is not a "
+                        f"canonical pipeline stage "
+                        f"(obs/stage_names.hpp: {sorted(CANONICAL_STAGES)})")
+                lo = w.get("wall_min_seconds", 0)
+                med = w.get("wall_median_seconds", 0)
+                hi = w.get("wall_max_seconds", 0)
+                if not (lo <= med + 1e-12 and med <= hi + 1e-12):
+                    errors.append(
+                        f"{wwhere}: wall min/median/max not ordered "
+                        f"({lo} / {med} / {hi})")
+                if w.get("imbalance", 1.0) < 1.0 - 1e-9:
+                    errors.append(
+                        f"{wwhere}: imbalance {w['imbalance']} < 1 "
+                        "(max/mean cannot be)")
         if "recovery" in run:
             rec = run["recovery"]
             require(errors, rec, REQUIRED_RECOVERY, f"{where}.recovery")

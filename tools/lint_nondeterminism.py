@@ -11,8 +11,9 @@ comparison of pointer values. This lint bans the cut sites outright:
                    must flow through sp::support's seeded Rng.
   wall-clock       std::chrono clocks, time(), clock_gettime(), ...
                    outside the sanctioned wall-time plumbing
-                   (support/timer.hpp, obs/recorder.*): wall time may
-                   be *reported*, never *consumed* by an algorithm.
+                   (support/timer.hpp, obs/recorder.*, obs/flight.*):
+                   wall time may be *reported*, never *consumed* by an
+                   algorithm.
   unordered-iter   range-for over a std::unordered_{map,set} variable:
                    iteration order is libstdc++-version- and
                    seed-dependent; sort the keys first or use std::map.
@@ -47,13 +48,15 @@ RULES = (
     "assert-side-effect",
 )
 
-# Files whose whole purpose is wall-clock plumbing: the timer utility and
-# the observability recorder, which *report* wall time next to the modeled
-# clock but never feed it back into computation.
+# Files whose whole purpose is wall-clock plumbing: the timer utility, the
+# observability recorder, and the flight recorder, which *report* wall
+# time next to the modeled clock but never feed it back into computation.
 WALL_CLOCK_ALLOWED_FILES = (
     os.path.join("support", "timer.hpp"),
     os.path.join("obs", "recorder.hpp"),
     os.path.join("obs", "recorder.cpp"),
+    os.path.join("obs", "flight.hpp"),
+    os.path.join("obs", "flight.cpp"),
 )
 
 SOURCE_EXTS = (".hpp", ".cpp", ".h", ".cc")

@@ -1,0 +1,155 @@
+// Postmortem decoder for flight-recorder dumps (obs::flight, DESIGN.md §9).
+//
+// Usage:
+//   postmortem DUMP.spfr [--tail=N] [--trace=out.json] [--jsonl=out.jsonl]
+//
+// Prints the dump's run metadata, the rank-diff diagnosis (killed /
+// lagging / diverging ranks with the pipeline stage each was in — one
+// greppable line per anomaly), and the last --tail records of every rank
+// (default 8; 0 hides the tails). --trace / --jsonl reconstruct the
+// per-rank timelines into the standard exporters so the final moments of
+// the run open in Perfetto like any live-recorded trace.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "comm/frame_io.hpp"
+#include "obs/export.hpp"
+#include "obs/postmortem.hpp"
+#include "obs/recorder.hpp"
+#include "support/options.hpp"
+
+namespace {
+
+const char* kind_name(sp::obs::flight::Kind k) {
+  using sp::obs::flight::Kind;
+  switch (k) {
+    case Kind::kSpanBegin: return "span-begin";
+    case Kind::kSpanEnd: return "span-end";
+    case Kind::kMark: return "mark";
+    case Kind::kCommOp: return "comm-op";
+    case Kind::kArrive: return "arrive";
+    case Kind::kKilled: return "KILLED";
+    case Kind::kDetector: return "detector";
+  }
+  return "?";
+}
+
+void print_record(const sp::obs::flight::Postmortem& pm,
+                  const sp::obs::flight::Record& r) {
+  using sp::obs::flight::Kind;
+  std::printf("    t=%-12.6g %-10s", r.t, kind_name(r.kind));
+  switch (r.kind) {
+    case Kind::kSpanBegin:
+    case Kind::kSpanEnd:
+      std::printf(" %s/%s", pm.str(r.aux).c_str(), pm.str(r.name).c_str());
+      if (r.level >= 0) std::printf(" L%d", r.level);
+      break;
+    case Kind::kMark:
+      std::printf(" %s/%s", pm.str(r.aux).c_str(), pm.str(r.name).c_str());
+      break;
+    case Kind::kCommOp:
+      std::printf(" %s stage=%s group=%llu seq=%llu bytes=%llu",
+                  pm.str(r.name).c_str(), pm.str(r.aux).c_str(),
+                  static_cast<unsigned long long>(r.a),
+                  static_cast<unsigned long long>(r.b),
+                  static_cast<unsigned long long>(r.c));
+      break;
+    case Kind::kArrive:
+      std::printf(" %s stage=%s group=%llu seq=%llu",
+                  pm.str(r.name).c_str(), pm.str(r.aux).c_str(),
+                  static_cast<unsigned long long>(r.a),
+                  static_cast<unsigned long long>(r.b));
+      break;
+    case Kind::kKilled:
+      std::printf(" stage=%s", pm.str(r.aux).c_str());
+      break;
+    case Kind::kDetector:
+      std::printf(" suspicions=%llu escalated=%llu",
+                  static_cast<unsigned long long>(r.a),
+                  static_cast<unsigned long long>(r.c));
+      break;
+  }
+  std::printf("\n");
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  Options opts(argc, argv);
+  const std::size_t tail = static_cast<std::size_t>(opts.get_int("tail", 8));
+  const std::string trace_path = opts.get("trace", "");
+  const std::string jsonl_path = opts.get("jsonl", "");
+  for (const std::string& key : opts.unused()) {
+    std::fprintf(stderr, "postmortem: unknown option --%s\n", key.c_str());
+    return 2;
+  }
+  if (opts.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: postmortem DUMP.spfr [--tail=N] [--trace=out.json] "
+                 "[--jsonl=out.jsonl]\n");
+    return 2;
+  }
+  const std::string path = opts.positional().front();
+
+  obs::flight::Postmortem pm;
+  try {
+    pm = obs::flight::Postmortem::read(path);
+  } catch (const comm::FrameError& e) {
+    std::fprintf(stderr, "postmortem: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("dump:     %s\n", path.c_str());
+  std::printf("reason:   %s\n", pm.reason.c_str());
+  std::printf("ranks:    %u (ring capacity %u)\n", pm.nranks, pm.capacity);
+  for (const auto& [k, v] : pm.meta) {
+    std::printf("meta:     %s = %s\n", k.c_str(), v.c_str());
+  }
+
+  const obs::flight::Diagnosis d = obs::flight::diagnose(pm);
+  std::printf("\ndiagnosis:\n%s", d.summary().c_str());
+
+  if (tail > 0) {
+    std::printf("\nlast %zu records per rank:\n", tail);
+    for (const auto& lane : pm.lanes) {
+      std::printf("  rank %u (%llu events total, %zu stored):\n", lane.rank,
+                  static_cast<unsigned long long>(lane.total_appends),
+                  lane.records.size());
+      const std::size_t from =
+          lane.records.size() > tail ? lane.records.size() - tail : 0;
+      for (std::size_t i = from; i < lane.records.size(); ++i) {
+        print_record(pm, lane.records[i]);
+      }
+    }
+  }
+
+  if (!trace_path.empty() || !jsonl_path.empty()) {
+    obs::Recorder rec;
+    obs::flight::reconstruct(pm, rec);
+    if (!trace_path.empty()) {
+      if (!write_file(trace_path, obs::chrome_trace_string(rec, "postmortem"))) {
+        std::fprintf(stderr, "postmortem: cannot write %s\n",
+                     trace_path.c_str());
+        return 1;
+      }
+      std::printf("\nchrome trace written: %s\n", trace_path.c_str());
+    }
+    if (!jsonl_path.empty()) {
+      if (!write_file(jsonl_path, obs::jsonl_string(rec))) {
+        std::fprintf(stderr, "postmortem: cannot write %s\n",
+                     jsonl_path.c_str());
+        return 1;
+      }
+      std::printf("jsonl written: %s\n", jsonl_path.c_str());
+    }
+  }
+  return 0;
+}

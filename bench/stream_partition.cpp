@@ -1,0 +1,280 @@
+// Streaming partitioning on the Table 1 suite: single-pass HDRF / DBH /
+// SNE streams against the materialise-then-cut references (MultilevelKL
+// presets, the full ScalaPart pipeline).
+//
+// For every (graph, k, method) the stream is run through the
+// reader->worker->consumer pipeline at 1, 4 and 8 prep workers and the
+// assignment fingerprints are asserted identical — the subsystem's
+// bit-determinism contract, enforced on every bench invocation, not just
+// in the unit tests. Reported walls are the median across the three
+// worker counts (same work, same output; only scheduling differs).
+//
+// Rows (schema-checked by tools/check_bench_json.py, gated by
+// tools/bench_gate.py against the committed baseline):
+//   graph, p (=k), label (method), replication_factor, balance,
+//   edges_per_sec, part_fp   [+ cut for the edge-cut methods]
+// replication_factor / balance / cut / part_fp are deterministic and
+// compared bit-exactly by the gate; edges_per_sec and wall_ms are
+// measured and only noise-banded.
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "graph/quality.hpp"
+#include "partition/multilevel_kl.hpp"
+#include "stream/dbh.hpp"
+#include "stream/hdrf.hpp"
+#include "stream/pipeline.hpp"
+#include "stream/sne.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace sp;
+
+std::vector<std::pair<graph::VertexId, graph::VertexId>> stream_edges(
+    const graph::CsrGraph& g, std::uint64_t seed) {
+  graph::gen::EdgePermutation perm(g, seed);
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> edges;
+  edges.reserve(perm.size());
+  graph::VertexId u = 0;
+  graph::VertexId v = 0;
+  while (perm.next(&u, &v)) edges.emplace_back(u, v);
+  return edges;
+}
+
+std::string fp_hex(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fp));
+  return std::string(buf);
+}
+
+struct StreamMeasurement {
+  stream::StreamRunResult result;
+  double wall_ms = 0.0;       // median across worker counts
+  double edges_per_sec = 0.0;
+};
+
+/// Runs one (partitioner factory, mode) configuration at 1/4/8 workers,
+/// asserts bit-identical assignments, returns the last run + median wall.
+template <typename MakePartitioner>
+StreamMeasurement run_streaming(const graph::CsrGraph& g,
+                                MakePartitioner make, stream::StreamMode mode,
+                                std::uint64_t order_seed,
+                                std::uint64_t num_edges) {
+  StreamMeasurement m;
+  std::vector<double> walls;
+  std::uint64_t fp0 = 0;
+  for (const std::uint32_t workers : {1u, 4u, 8u}) {
+    auto part = make();
+    stream::StreamRunOptions opt;
+    opt.workers = workers;
+    opt.chunk_size = 4096;
+    opt.order_seed = order_seed;
+    WallTimer timer;
+    stream::StreamRunResult res =
+        mode == stream::StreamMode::kEdge
+            ? stream::run_edge_stream(g, *part, opt)
+            : stream::run_vertex_stream(g, *part, opt);
+    walls.push_back(timer.seconds());
+    if (workers == 1) {
+      fp0 = res.fingerprint;
+    } else {
+      SP_ASSERT_MSG(res.fingerprint == fp0,
+                    "stream determinism violation: assignments differ "
+                    "across pipeline worker counts");
+    }
+    m.result = std::move(res);
+  }
+  const double wall = percentile(walls, 0.5);
+  m.wall_ms = wall * 1e3;
+  m.edges_per_sec = wall > 0.0 ? static_cast<double>(num_edges) / wall : 0.0;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sp;
+  Options opts(argc, argv);
+  auto cfg = bench::BenchConfig::from_options(opts);
+  bench::BenchReport rep("stream", cfg);
+
+  const std::uint32_t kbig = std::min<std::uint32_t>(8, std::max(2u, cfg.pmax));
+  std::vector<std::uint32_t> ks = {2};
+  if (kbig != 2) ks.push_back(kbig);
+
+  bench::print_header(
+      "Streaming partitioners (HDRF / DBH / SNE) vs multilevel references "
+      "on the Table 1 suite (scale=" +
+      fixed(cfg.scale, 4) + ")");
+  std::printf("%-18s %3s %-13s %8s %8s %8s %12s\n", "graph", "k", "method",
+              "repl", "balance", "cut", "edges/s");
+  bench::print_rule();
+
+  const auto& suite = core::paper_suite();
+  core::ScalaPartResult last_run;
+  for (const auto& entry : suite) {
+    const auto gg = core::make_suite_graph(entry.name, cfg.scale, cfg.seed);
+    const graph::CsrGraph& g = gg.graph;
+    const std::uint64_t order_seed = cfg.seed + 17;
+    const auto edges = stream_edges(g, order_seed);
+
+    for (const std::uint32_t k : ks) {
+      stream::StreamConfig scfg;
+      scfg.blocks = k;
+      scfg.seed = cfg.seed;
+      scfg.num_vertices_hint = g.num_vertices();
+
+      // --- Edge partitioners (vertex cut): HDRF, DBH. ---
+      struct EdgeMethod {
+        const char* label;
+        bool hdrf;
+      };
+      for (const EdgeMethod em : {EdgeMethod{"hdrf", true},
+                                  EdgeMethod{"dbh", false}}) {
+        auto meas = run_streaming(
+            g,
+            [&]() -> std::unique_ptr<stream::StreamPartitioner> {
+              if (em.hdrf) {
+                return std::make_unique<stream::HdrfPartitioner>(scfg);
+              }
+              return std::make_unique<stream::DbhPartitioner>(scfg);
+            },
+            stream::StreamMode::kEdge, order_seed, edges.size());
+        const auto q = graph::analyze_vertex_cut(
+            g.num_vertices(), edges, meas.result.assignments, k);
+        std::printf("%-18s %3u %-13s %8.3f %8.3f %8s %12s\n",
+                    entry.name.c_str(), k, em.label, q.replication_factor,
+                    q.edge_balance, "-",
+                    with_commas(static_cast<long long>(meas.edges_per_sec))
+                        .c_str());
+        auto& row = rep.add_row();
+        row["graph"] = entry.name;
+        row["p"] = k;
+        row["label"] = std::string(em.label);
+        row["n"] = static_cast<unsigned long long>(g.num_vertices());
+        row["edges"] = static_cast<unsigned long long>(edges.size());
+        row["replication_factor"] = q.replication_factor;
+        row["balance"] = q.edge_balance;
+        row["edges_per_sec"] = meas.edges_per_sec;
+        row["wall_ms"] = meas.wall_ms;
+        row["part_fp"] = fp_hex(meas.result.fingerprint);
+      }
+
+      // --- Vertex partitioner (edge cut): SNE. ---
+      {
+        auto meas = run_streaming(
+            g,
+            [&]() -> std::unique_ptr<stream::StreamPartitioner> {
+              return std::make_unique<stream::SnePartitioner>(scfg);
+            },
+            stream::StreamMode::kVertex, order_seed, edges.size());
+        const auto& assignment = meas.result.assignments;
+        // Per-vertex table (stream emits in stream order; the partitioner
+        // keeps the vertex-indexed view).
+        auto fresh = stream::SnePartitioner(scfg);
+        std::vector<std::uint32_t> by_vertex;
+        {
+          stream::StreamRunOptions o1;
+          o1.order_seed = order_seed;
+          auto r = stream::run_vertex_stream(g, fresh, o1);
+          SP_ASSERT(r.fingerprint == meas.result.fingerprint);
+          by_vertex.assign(fresh.vertex_assignment().begin(),
+                           fresh.vertex_assignment().end());
+        }
+        const auto q = graph::analyze_partition(g, by_vertex, k);
+        std::printf("%-18s %3u %-13s %8.3f %8.3f %8lld %12s\n",
+                    entry.name.c_str(), k, "sne", 1.0, 1.0 + q.imbalance,
+                    static_cast<long long>(q.edge_cut),
+                    with_commas(static_cast<long long>(meas.edges_per_sec))
+                        .c_str());
+        auto& row = rep.add_row();
+        row["graph"] = entry.name;
+        row["p"] = k;
+        row["label"] = std::string("sne");
+        row["n"] = static_cast<unsigned long long>(g.num_vertices());
+        row["edges"] = static_cast<unsigned long long>(edges.size());
+        row["replication_factor"] = 1.0;
+        row["balance"] = 1.0 + q.imbalance;
+        row["cut"] = static_cast<long long>(q.edge_cut);
+        row["edges_per_sec"] = meas.edges_per_sec;
+        row["wall_ms"] = meas.wall_ms;
+        row["part_fp"] = fp_hex(meas.result.fingerprint);
+        SP_ASSERT_MSG(assignment.size() == g.num_vertices(),
+                      "SNE must place every streamed vertex");
+      }
+    }
+
+    // --- References (k=2 bipartitioners over the materialised graph). ---
+    {
+      partition::MultilevelKLOptions mopt;
+      mopt.seed = cfg.seed;
+      WallTimer timer;
+      const auto mres = partition::multilevel_partition(g, mopt);
+      const double wall = timer.seconds();
+      const auto q = graph::analyze_partition(g, mres.part);
+      std::printf("%-18s %3u %-13s %8.3f %8.3f %8lld %12s\n",
+                  entry.name.c_str(), 2u, "multilevel_kl", 1.0,
+                  1.0 + q.imbalance, static_cast<long long>(q.edge_cut),
+                  with_commas(static_cast<long long>(
+                                  wall > 0.0 ? edges.size() / wall : 0.0))
+                      .c_str());
+      auto& row = rep.add_row();
+      row["graph"] = entry.name;
+      row["p"] = 2u;
+      row["label"] = std::string("multilevel_kl");
+      row["n"] = static_cast<unsigned long long>(g.num_vertices());
+      row["edges"] = static_cast<unsigned long long>(edges.size());
+      row["replication_factor"] = 1.0;
+      row["balance"] = 1.0 + q.imbalance;
+      row["cut"] = static_cast<long long>(q.edge_cut);
+      row["edges_per_sec"] =
+          wall > 0.0 ? static_cast<double>(edges.size()) / wall : 0.0;
+      row["wall_ms"] = wall * 1e3;
+      row["part_fp"] = bench::partition_fingerprint_hex(mres.part);
+    }
+    {
+      const std::uint32_t p = std::min<std::uint32_t>(8, cfg.pmax);
+      auto sopt = bench::sp_options(cfg, p);
+      WallTimer timer;
+      auto sres = core::scalapart_partition(g, sopt);
+      const double wall = timer.seconds();
+      const auto q = graph::analyze_partition(g, sres.part);
+      std::printf("%-18s %3u %-13s %8.3f %8.3f %8lld %12s\n",
+                  entry.name.c_str(), 2u, "scalapart", 1.0, 1.0 + q.imbalance,
+                  static_cast<long long>(q.edge_cut),
+                  with_commas(static_cast<long long>(
+                                  wall > 0.0 ? edges.size() / wall : 0.0))
+                      .c_str());
+      auto& row = rep.add_row();
+      row["graph"] = entry.name;
+      row["p"] = 2u;
+      row["label"] = std::string("scalapart");
+      row["n"] = static_cast<unsigned long long>(g.num_vertices());
+      row["edges"] = static_cast<unsigned long long>(edges.size());
+      row["replication_factor"] = 1.0;
+      row["balance"] = 1.0 + q.imbalance;
+      row["cut"] = static_cast<long long>(sres.report.cut);
+      row["edges_per_sec"] =
+          wall > 0.0 ? static_cast<double>(edges.size()) / wall : 0.0;
+      row["wall_ms"] = wall * 1e3;
+      row["part_fp"] = bench::partition_fingerprint_hex(sres.part);
+      last_run = std::move(sres);
+    }
+  }
+  bench::print_rule();
+  std::printf(
+      "repl = replication factor (vertex-cut methods; 1.0 for edge-cut);\n"
+      "balance = max block load / ideal; streams ran at 1/4/8 prep workers\n"
+      "with bit-identical assignments (asserted).\n");
+
+  rep.add_run("scalapart_" + suite.back().name, last_run, nullptr);
+  return rep.write() ? 0 : 1;
+}

@@ -305,4 +305,53 @@ GeneratedGraph complete(std::uint32_t n) {
   return out;
 }
 
+EdgePermutation::EdgePermutation(const CsrGraph& g, std::uint64_t seed) {
+  // Canonical edge list: each undirected edge once, as (min, max). The CSR
+  // stores edges symmetrically, so taking only the u < v direction visits
+  // every edge exactly once; sorting erases any trace of adjacency order.
+  edges_.reserve(g.num_edges());
+  std::vector<Weight> canon_w;
+  canon_w.reserve(g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto nbrs = g.neighbors(u);
+    auto ws = g.edge_weights_of(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) {
+        edges_.emplace_back(u, nbrs[i]);
+        canon_w.push_back(ws[i]);
+      }
+    }
+  }
+  std::vector<std::uint32_t> order(edges_.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return edges_[a] < edges_[b];
+            });
+  Rng rng(seed);
+  rng.shuffle(order);
+  std::vector<std::pair<VertexId, VertexId>> shuffled(edges_.size());
+  weights_.resize(edges_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    shuffled[i] = edges_[order[i]];
+    weights_[i] = canon_w[order[i]];
+  }
+  edges_ = std::move(shuffled);
+}
+
+bool EdgePermutation::next(VertexId* u, VertexId* v, Weight* w) {
+  if (pos_ >= edges_.size()) return false;
+  *u = edges_[pos_].first;
+  *v = edges_[pos_].second;
+  if (w != nullptr) *w = weights_[pos_];
+  ++pos_;
+  return true;
+}
+
+std::vector<VertexId> vertex_permutation(const CsrGraph& g,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  return random_permutation(g.num_vertices(), rng);
+}
+
 }  // namespace sp::graph::gen

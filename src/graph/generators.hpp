@@ -74,4 +74,38 @@ GeneratedGraph cycle(std::uint32_t n);
 /// Complete graph (tests: no good separator exists).
 GeneratedGraph complete(std::uint32_t n);
 
+/// Deterministic seeded permutation of a graph's undirected edges,
+/// consumed one edge at a time — the canonical way to replay any CsrGraph
+/// (or generator output) as a reproducible edge stream.
+///
+/// Each edge is canonicalised to (min(u,v), max(u,v)), the canonical list
+/// is sorted, and the sorted list is Fisher-Yates-shuffled with Rng(seed).
+/// The order therefore depends only on the edge *set* and the seed, never
+/// on CSR construction order: two graphs built from the same edges in any
+/// insertion order stream identically. Self loops cannot occur (CsrGraph
+/// drops them) and duplicates are already merged by GraphBuilder, so each
+/// undirected edge is yielded exactly once.
+class EdgePermutation {
+ public:
+  EdgePermutation(const CsrGraph& g, std::uint64_t seed);
+
+  /// Yields the next edge (with its weight); false when exhausted.
+  bool next(VertexId* u, VertexId* v, Weight* w = nullptr);
+
+  void reset() { pos_ = 0; }
+  std::uint64_t size() const { return edges_.size(); }
+  std::uint64_t position() const { return pos_; }
+
+ private:
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::vector<Weight> weights_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Seeded vertex-visit order for vertex streaming: the identity permutation
+/// of [0, n) shuffled with Rng(seed). Trivially independent of construction
+/// order (it never looks at the adjacency).
+std::vector<VertexId> vertex_permutation(const CsrGraph& g,
+                                         std::uint64_t seed);
+
 }  // namespace sp::graph::gen

@@ -83,4 +83,53 @@ KwayQuality analyze_partition(const CsrGraph& g, const Bipartition& part) {
   return analyze_partition(g, as_kway, 2);
 }
 
+VertexCutQuality analyze_vertex_cut(
+    VertexId num_vertices, std::span<const std::pair<VertexId, VertexId>> edges,
+    std::span<const std::uint32_t> edge_block, std::uint32_t parts) {
+  SP_ASSERT(edges.size() == edge_block.size());
+  SP_ASSERT(parts >= 1);
+  VertexCutQuality q;
+  q.block_edges.assign(parts, 0);
+
+  // Per-vertex replica membership as a dense bitset: words_per_vertex
+  // 64-bit words per vertex, so the scan is O(E + N * parts / 64).
+  const std::size_t words = (parts + 63) / 64;
+  std::vector<std::uint64_t> bits(static_cast<std::size_t>(num_vertices) *
+                                  words);
+  auto add_replica = [&](VertexId v, std::uint32_t b) {
+    std::uint64_t& word = bits[static_cast<std::size_t>(v) * words + b / 64];
+    const std::uint64_t mask = 1ull << (b % 64);
+    if ((word & mask) == 0) {
+      word |= mask;
+      ++q.total_replicas;
+    }
+  };
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto [u, v] = edges[i];
+    const std::uint32_t b = edge_block[i];
+    SP_ASSERT(u < num_vertices && v < num_vertices && b < parts);
+    ++q.block_edges[b];
+    add_replica(u, b);
+    add_replica(v, b);
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    bool covered = false;
+    for (std::size_t w = 0; w < words; ++w) {
+      covered = covered || bits[static_cast<std::size_t>(v) * words + w] != 0;
+    }
+    if (covered) ++q.covered_vertices;
+  }
+  q.max_block_edges =
+      *std::max_element(q.block_edges.begin(), q.block_edges.end());
+  q.replication_factor =
+      q.covered_vertices > 0
+          ? static_cast<double>(q.total_replicas) / q.covered_vertices
+          : 0.0;
+  const double ideal =
+      static_cast<double>(edges.size()) / static_cast<double>(parts);
+  q.edge_balance =
+      ideal > 0.0 ? static_cast<double>(q.max_block_edges) / ideal : 0.0;
+  return q;
+}
+
 }  // namespace sp::graph

@@ -45,4 +45,27 @@ KwayQuality analyze_partition(const CsrGraph& g,
 /// Convenience overload for bipartitions.
 KwayQuality analyze_partition(const CsrGraph& g, const Bipartition& part);
 
+/// Quality of a *vertex cut* — the model the streaming edge partitioners
+/// (sp::stream HDRF/DBH) produce: every edge lives in exactly one of
+/// `parts` blocks and a vertex is replicated into every block that holds
+/// one of its edges. The figure of merit is the replication factor (mean
+/// replicas per non-isolated vertex; 1.0 = no vertex ever cut), with edge
+/// balance as the load constraint (blocks hold edges, not vertices).
+struct VertexCutQuality {
+  /// sum_v |blocks(v)| / #vertices with at least one edge; >= 1.
+  double replication_factor = 0.0;
+  /// max block edge count / (m / parts); >= 1 when m > 0.
+  double edge_balance = 0.0;
+  std::uint64_t total_replicas = 0;
+  std::uint64_t max_block_edges = 0;
+  VertexId covered_vertices = 0;  // vertices with >= 1 incident edge
+  std::vector<std::uint64_t> block_edges;
+};
+
+/// `edges[i]` is assigned to block `edge_block[i]` (< parts). Vertices are
+/// identified by the endpoints; `num_vertices` bounds the id space.
+VertexCutQuality analyze_vertex_cut(
+    VertexId num_vertices, std::span<const std::pair<VertexId, VertexId>> edges,
+    std::span<const std::uint32_t> edge_block, std::uint32_t parts);
+
 }  // namespace sp::graph

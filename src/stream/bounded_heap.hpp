@@ -1,0 +1,84 @@
+// Bounded min-heap of the top-C scored candidates.
+//
+// SNE scores candidate blocks by neighbour count; with large k only a
+// handful of blocks can matter, so candidates flow through a fixed-width
+// min-heap (the heap root is the *worst* kept candidate and is evicted
+// when something better arrives) and the final balance-aware scoring pass
+// touches at most C entries instead of k. Comparison is on (score, tie)
+// pairs so the kept set — and therefore the assignment — is a pure
+// function of the inputs, never of push order: `tie` must be a total
+// order among candidates (sp::stream uses seeded hashes).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace sp::stream {
+
+template <typename PayloadT>
+class BoundedMinHeap {
+ public:
+  struct Entry {
+    double score = 0.0;
+    std::uint64_t tie = 0;
+    PayloadT payload{};
+
+    /// Total order: lower score is "worse"; the tie hash breaks score
+    /// equality both for eviction and for the sorted view.
+    bool worse_than(const Entry& o) const {
+      return score != o.score ? score < o.score : tie > o.tie;
+    }
+  };
+
+  explicit BoundedMinHeap(std::uint32_t capacity) : cap_(capacity) {
+    SP_ASSERT(capacity >= 1);
+    heap_.reserve(capacity);
+  }
+
+  std::uint32_t capacity() const { return cap_; }
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  void clear() { heap_.clear(); }
+
+  /// Inserts unless the heap is full of strictly better entries (then the
+  /// candidate is dropped); evicts the current worst when full.
+  void push(double score, std::uint64_t tie, PayloadT payload) {
+    Entry e{score, tie, std::move(payload)};
+    if (heap_.size() < cap_) {
+      heap_.push_back(std::move(e));
+      std::push_heap(heap_.begin(), heap_.end(), by_better_);
+      return;
+    }
+    if (heap_.front().worse_than(e)) {
+      std::pop_heap(heap_.begin(), heap_.end(), by_better_);
+      heap_.back() = std::move(e);
+      std::push_heap(heap_.begin(), heap_.end(), by_better_);
+    }
+  }
+
+  /// Kept candidates, best first (sorts in place; call once when done).
+  std::span<const Entry> sorted_best_first() {
+    std::sort(heap_.begin(), heap_.end(),
+              [](const Entry& a, const Entry& b) { return b.worse_than(a); });
+    return heap_;
+  }
+
+ private:
+  // std::push_heap with this comparator keeps the *worst* entry at the
+  // root, which is what a bounded top-C filter evicts.
+  static bool better_(const Entry& a, const Entry& b) {
+    return b.worse_than(a);
+  }
+  static constexpr auto by_better_ = [](const Entry& a, const Entry& b) {
+    return better_(a, b);
+  };
+
+  std::uint32_t cap_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace sp::stream

@@ -1,0 +1,87 @@
+// Bounded thread-safe queue: the backpressure channel between the stream
+// pipeline's stages (reader -> workers -> consumer), modeled on the
+// parameter-server "threadsafe limited queue" the PARSA partitioner
+// pipelines chunks through.
+//
+// Capacity is in items (chunks): a fast reader blocks once `capacity`
+// chunks are in flight, which is what bounds pipeline memory. close()
+// is the shutdown edge for both normal end-of-stream and mid-stream
+// failure: pushes start failing immediately, pops drain what is already
+// queued and then return nullopt, and every blocked thread wakes — so a
+// stage that dies can always unwind the whole pipeline without a hang
+// (tests kill the source mid-stream to prove it).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace sp::stream {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : cap_(capacity) {
+    SP_ASSERT(capacity >= 1);
+  }
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full. Returns false (dropping the item) if the queue
+  /// was closed before space appeared.
+  bool push(T&& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return q_.size() < cap_ || closed_; });
+    if (closed_) return false;
+    q_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty and open. Drains queued items after close();
+  /// nullopt only once closed *and* empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return std::nullopt;
+    T item = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Idempotent. Wakes every blocked producer and consumer.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  const std::size_t cap_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+}  // namespace sp::stream

@@ -1,0 +1,111 @@
+// Chunk structs that travel the stream pipeline, and the ChunkPool they
+// recycle through.
+//
+// A chunk is a few thousand stream items plus the worker-stage scratch
+// (precomputed endpoint hashes). Chunks are acquired from the pool by the
+// reader, filled, prepped by a worker, consumed in order by the writer
+// stage, and released back — comm::BufferArena's acquire/release idiom,
+// except this pool is shared across pipeline threads and therefore
+// internally locked (the arena can stay lock-free because engine arenas
+// are rank-confined; pipeline chunks by construction cross threads).
+// Steady-state streaming allocates nothing once the first
+// queue-capacity's worth of chunks exists.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "stream/stream_partitioner.hpp"
+
+namespace sp::stream {
+
+/// A run of edges in stream order. `uhash`/`vhash` inside each StreamEdge
+/// start 0 from the reader and are filled by the prep stage.
+struct EdgeChunk {
+  std::uint64_t index = 0;  // position in the stream (reorder key)
+  std::vector<StreamEdge> edges;
+
+  void reset(std::uint64_t idx) {
+    index = idx;
+    edges.clear();
+  }
+  std::size_t items() const { return edges.size(); }
+};
+
+/// A run of vertices with their adjacency, CSR-style: vertex i of the
+/// chunk owns neighbors[offsets[i] .. offsets[i+1]). The reader fills
+/// only `vertices`; offsets/neighbors are the prep stage's output
+/// (adjacency materialisation is the parallelisable part of vertex
+/// streaming).
+struct VertexChunk {
+  std::uint64_t index = 0;
+  std::vector<VertexId> vertices;
+  std::vector<std::uint32_t> offsets;  // vertices.size() + 1 entries
+  std::vector<VertexId> neighbors;
+
+  void reset(std::uint64_t idx) {
+    index = idx;
+    vertices.clear();
+    offsets.clear();
+    neighbors.clear();
+  }
+  std::size_t items() const { return vertices.size(); }
+};
+
+/// LIFO free list of chunks, shared by the pipeline threads. acquire()
+/// reuses the most recently released chunk (its vectors keep their
+/// capacity); the pool is capped so a stall cannot hoard memory.
+template <typename ChunkT>
+class ChunkPool {
+ public:
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t hits = 0;  // served from the free list
+
+    double hit_rate() const {
+      return acquires == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(acquires);
+    }
+  };
+
+  ChunkT acquire(std::uint64_t index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.acquires;
+    if (!free_.empty()) {
+      ++stats_.hits;
+      ChunkT c = std::move(free_.back());
+      free_.pop_back();
+      c.reset(index);
+      return c;
+    }
+    ChunkT c;
+    c.reset(index);
+    return c;
+  }
+
+  void release(ChunkT&& c) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() < kMaxPooled) free_.push_back(std::move(c));
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  std::size_t pooled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 64;
+
+  mutable std::mutex mu_;
+  std::vector<ChunkT> free_;
+  Stats stats_;
+};
+
+}  // namespace sp::stream

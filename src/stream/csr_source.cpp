@@ -1,0 +1,43 @@
+#include "stream/csr_source.hpp"
+
+namespace sp::stream {
+
+CsrEdgeSource::CsrEdgeSource(const graph::CsrGraph& g,
+                             const SourceOptions& opt)
+    : perm_(g, opt.order_seed), chunk_size_(opt.chunk_size) {}
+
+bool CsrEdgeSource::fill(EdgeChunk& chunk) {
+  VertexId u = 0;
+  VertexId v = 0;
+  while (chunk.edges.size() < chunk_size_ && perm_.next(&u, &v)) {
+    chunk.edges.push_back(StreamEdge{u, v, 0, 0});
+  }
+  return !chunk.edges.empty();
+}
+
+CsrVertexSource::CsrVertexSource(const graph::CsrGraph& g,
+                                 const SourceOptions& opt)
+    : g_(g),
+      order_(graph::gen::vertex_permutation(g, opt.order_seed)),
+      chunk_size_(opt.chunk_size) {}
+
+bool CsrVertexSource::fill(VertexChunk& chunk) {
+  while (chunk.vertices.size() < chunk_size_ && pos_ < order_.size()) {
+    chunk.vertices.push_back(order_[pos_++]);
+  }
+  return !chunk.vertices.empty();
+}
+
+void CsrVertexSource::materialize(VertexChunk& chunk) const {
+  chunk.offsets.clear();
+  chunk.neighbors.clear();
+  chunk.offsets.reserve(chunk.vertices.size() + 1);
+  for (const VertexId v : chunk.vertices) {
+    chunk.offsets.push_back(static_cast<std::uint32_t>(chunk.neighbors.size()));
+    auto nbrs = g_.neighbors(v);
+    chunk.neighbors.insert(chunk.neighbors.end(), nbrs.begin(), nbrs.end());
+  }
+  chunk.offsets.push_back(static_cast<std::uint32_t>(chunk.neighbors.size()));
+}
+
+}  // namespace sp::stream

@@ -1,0 +1,66 @@
+// Streaming adapters over graph::CsrGraph: replay any materialised graph
+// (every generator output, every test graph) as a deterministic edge or
+// vertex stream.
+//
+// Stream order is the graph::gen seeded permutation (EdgePermutation /
+// vertex_permutation), so it is reproducible and independent of CSR
+// construction order — the property the cross-thread bit-identity tests
+// and the committed bench baselines rest on. A source is the pipeline's
+// *reader* stage: fill() is called from the reader thread only.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+#include "stream/chunk.hpp"
+
+namespace sp::stream {
+
+struct SourceOptions {
+  /// Items (edges or vertices) per chunk.
+  std::uint32_t chunk_size = 4096;
+  /// Stream-order seed (independent of the partitioner's placement seed).
+  std::uint64_t order_seed = 1;
+};
+
+class CsrEdgeSource {
+ public:
+  CsrEdgeSource(const graph::CsrGraph& g, const SourceOptions& opt);
+
+  /// Fills `chunk` with the next run of edges; false at end of stream
+  /// (chunk left empty). Reader-thread only.
+  bool fill(EdgeChunk& chunk);
+
+  std::uint64_t total_edges() const { return perm_.size(); }
+
+ private:
+  graph::gen::EdgePermutation perm_;
+  std::uint32_t chunk_size_;
+};
+
+class CsrVertexSource {
+ public:
+  CsrVertexSource(const graph::CsrGraph& g, const SourceOptions& opt);
+
+  /// Reader stage: fills only `chunk.vertices` (next run of the seeded
+  /// vertex permutation); false at end of stream.
+  bool fill(VertexChunk& chunk);
+
+  /// Prep stage: copies each chunk vertex's adjacency out of the CSR into
+  /// the chunk (pure reads on the shared graph — safe from any number of
+  /// worker threads concurrently).
+  void materialize(VertexChunk& chunk) const;
+
+  graph::VertexId total_vertices() const {
+    return static_cast<graph::VertexId>(order_.size());
+  }
+
+ private:
+  const graph::CsrGraph& g_;
+  std::vector<graph::VertexId> order_;
+  std::uint32_t chunk_size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sp::stream

@@ -1,0 +1,34 @@
+#include "stream/dbh.hpp"
+
+#include "support/assert.hpp"
+
+namespace sp::stream {
+
+BlockId DbhPartitioner::assign(const StreamEdge& e) {
+  SP_ASSERT_MSG(!finished(), "assign after finish()");
+  SP_ASSERT_MSG(e.u != e.v, "self loop in edge stream");
+  bump_degree(e.u);
+  bump_degree(e.v);
+  const std::uint32_t du = partial_degree(e.u);
+  const std::uint32_t dv = partial_degree(e.v);
+  const std::uint64_t uh = e.uhash != 0 ? e.uhash : seeded_hash(e.u);
+  const std::uint64_t vh = e.vhash != 0 ? e.vhash : seeded_hash(e.v);
+  // Hash the lower-degree endpoint; a degree tie resolves by the seeded
+  // endpoint hashes (deterministic, evaluation-order-free).
+  std::uint64_t h;
+  if (du < dv) {
+    h = uh;
+  } else if (dv < du) {
+    h = vh;
+  } else {
+    h = uh < vh ? uh : vh;
+  }
+  const BlockId b = static_cast<BlockId>(h % blocks());
+  add_to_block(e.u, b);
+  add_to_block(e.v, b);
+  count_edge(b);
+  count_item();
+  return b;
+}
+
+}  // namespace sp::stream

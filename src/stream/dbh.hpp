@@ -1,0 +1,28 @@
+// DBH — Degree-Based Hashing (Xie et al., NIPS'14): stateless-placement
+// streaming *edge* partitioning.
+//
+// Edge {u,v} is placed by hashing the endpoint with the *smaller* partial
+// degree: hubs (high degree) get replicated across many blocks, low-degree
+// vertices stay whole — the same "cut the hubs" intuition as HDRF but with
+// O(1) placement and no balance feedback. That makes DBH the throughput
+// and simplicity baseline: balance comes only from hash uniformity, and on
+// skewed streams its replication factor trails HDRF's. Placement depends
+// only on (seed, vertex id, partial degrees), so a fixed stream order is
+// bit-reproducible.
+#pragma once
+
+#include "stream/stream_partitioner.hpp"
+
+namespace sp::stream {
+
+class DbhPartitioner final : public StreamPartitioner {
+ public:
+  explicit DbhPartitioner(const StreamConfig& cfg) : StreamPartitioner(cfg) {}
+
+  std::string_view name() const override { return "dbh"; }
+  StreamMode mode() const override { return StreamMode::kEdge; }
+
+  BlockId assign(const StreamEdge& e) override;
+};
+
+}  // namespace sp::stream

@@ -1,0 +1,60 @@
+#include "stream/hdrf.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace sp::stream {
+
+BlockId HdrfPartitioner::assign(const StreamEdge& e) {
+  SP_ASSERT_MSG(!finished(), "assign after finish()");
+  SP_ASSERT_MSG(e.u != e.v, "self loop in edge stream");
+  bump_degree(e.u);
+  bump_degree(e.v);
+  const double du = partial_degree(e.u);
+  const double dv = partial_degree(e.v);
+  const double theta_u = du / (du + dv);
+  const double theta_v = 1.0 - theta_u;
+
+  const auto loads = block_edges();
+  const std::uint64_t maxload =
+      *std::max_element(loads.begin(), loads.end());
+  const std::uint64_t minload =
+      *std::min_element(loads.begin(), loads.end());
+  const double spread =
+      cfg_.epsilon + static_cast<double>(maxload - minload);
+
+  const std::uint64_t uh = e.uhash != 0 ? e.uhash : seeded_hash(e.u);
+  const std::uint64_t vh = e.vhash != 0 ? e.vhash : seeded_hash(e.v);
+
+  BlockId best = 0;
+  double best_score = -1.0;
+  std::uint64_t best_tie = 0;
+  for (BlockId p = 0; p < blocks(); ++p) {
+    double rep = 0.0;
+    if (in_block(e.u, p)) rep += 1.0 + (1.0 - theta_u);
+    if (in_block(e.v, p)) rep += 1.0 + (1.0 - theta_v);
+    const double bal =
+        static_cast<double>(maxload - loads[p]) / spread;
+    const double score = rep + cfg_.lambda * bal;
+    // Seeded deterministic tie-break: equal scores resolve by the hash of
+    // (edge, block), so ties spread across blocks but never depend on
+    // evaluation order or prior runs.
+    const std::uint64_t tie = hash64(uh ^ (vh << 1) ^ p);
+    if (score > best_score ||
+        (score == best_score && (tie < best_tie ||
+                                 (tie == best_tie && p < best)))) {
+      best = p;
+      best_score = score;
+      best_tie = tie;
+    }
+  }
+  add_to_block(e.u, best);
+  add_to_block(e.v, best);
+  count_edge(best);
+  count_item();
+  return best;
+}
+
+}  // namespace sp::stream

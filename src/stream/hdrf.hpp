@@ -1,0 +1,38 @@
+// HDRF — Highest-Degree Replicated First (Petroni et al., CIKM'15):
+// greedy streaming *edge* partitioning for power-law graphs.
+//
+// For edge {u,v} each block p is scored C(p) = C_REP(p) + λ·C_BAL(p):
+//
+//   θ(u) = δ(u) / (δ(u) + δ(v))           (partial-degree shares)
+//   g(x,p) = p ∈ A(x) ? 1 + (1 − θ(x)) : 0
+//   C_REP(p) = g(u,p) + g(v,p)
+//   C_BAL(p) = (maxload − load(p)) / (ε + maxload − minload)
+//
+// The degree term prefers to re-cut (replicate) the *higher*-degree
+// endpoint — hubs are replicated first, keeping the replication of the
+// power-law tail near 1 — and the λ-weighted balance term steers ties
+// toward lighter blocks, bounding edge imbalance. Partial degrees stand in
+// for true degrees, which is what makes this single-pass.
+#pragma once
+
+#include "stream/stream_partitioner.hpp"
+
+namespace sp::stream {
+
+class HdrfPartitioner final : public StreamPartitioner {
+ public:
+  explicit HdrfPartitioner(const StreamConfig& cfg)
+      : StreamPartitioner(cfg) {}
+
+  std::string_view name() const override { return "hdrf"; }
+  StreamMode mode() const override { return StreamMode::kEdge; }
+
+  BlockId assign(const StreamEdge& e) override;
+
+ private:
+  // Block loads are block_edges(); max/min are rescanned per edge — O(k)
+  // with k blocks, negligible next to the replica-set updates for the
+  // block counts this library targets.
+};
+
+}  // namespace sp::stream

@@ -1,0 +1,53 @@
+#include "stream/online_assignment.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace sp::stream {
+
+OnlineAssignment::OnlineAssignment(std::uint32_t blocks)
+    : blocks_(blocks), shards_(kShards) {
+  SP_ASSERT(blocks >= 1);
+}
+
+void OnlineAssignment::record_vertex(VertexId v, BlockId b) {
+  SP_ASSERT(b < blocks_);
+  add_(v, b);
+  records_.fetch_add(1, std::memory_order_release);
+}
+
+void OnlineAssignment::record_edge(VertexId u, VertexId v, BlockId b) {
+  SP_ASSERT(b < blocks_);
+  add_(u, b);
+  add_(v, b);
+  records_.fetch_add(1, std::memory_order_release);
+}
+
+void OnlineAssignment::add_(VertexId v, BlockId b) {
+  Shard& s = shard_(v);
+  std::lock_guard<std::mutex> lock(s.mu);
+  Entry& e = s.map[v];
+  if (e.primary == kNoBlock) e.primary = b;
+  auto it = std::lower_bound(e.block_ids.begin(), e.block_ids.end(), b);
+  if (it == e.block_ids.end() || *it != b) e.block_ids.insert(it, b);
+}
+
+OnlineAssignment::Lookup OnlineAssignment::lookup(VertexId v) const {
+  const Shard& s = shard_(v);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(v);
+  if (it == s.map.end()) return Lookup{};
+  return Lookup{true, it->second.primary,
+                static_cast<std::uint32_t>(it->second.block_ids.size())};
+}
+
+std::vector<BlockId> OnlineAssignment::replicas(VertexId v) const {
+  const Shard& s = shard_(v);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(v);
+  if (it == s.map.end()) return {};
+  return it->second.block_ids;
+}
+
+}  // namespace sp::stream

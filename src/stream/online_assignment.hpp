@@ -1,0 +1,87 @@
+// OnlineAssignment — the serving side of streaming partitioning: a
+// concurrent vertex -> block(s) store that answers partition-lookup
+// queries *while the stream is still being ingested*.
+//
+// Writes come from exactly one thread (the pipeline's sequential consumer
+// stage, which is also what keeps assignments deterministic); reads may
+// come from any number of threads at any time, including mid-ingest. The
+// store is sharded by vertex id with one mutex per shard, so lookups
+// contend only with writes to the same shard — the "millions of users"
+// query path never serialises behind ingest as a whole.
+//
+// A lookup during ingest is a consistent point-in-time answer: either the
+// vertex is not (yet) known, or the returned placement is exactly what the
+// partitioner had decided by some prefix of the stream. Placements only
+// grow (an edge partitioner may add replicas; a vertex partitioner never
+// reassigns), so served answers are never retracted.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/stream_partitioner.hpp"
+
+namespace sp::stream {
+
+class OnlineAssignment {
+ public:
+  explicit OnlineAssignment(std::uint32_t blocks);
+
+  // ---- Writer side (single sequential thread: the consumer stage) ----
+
+  /// Vertex partitioners: v lives in b.
+  void record_vertex(VertexId v, BlockId b);
+  /// Edge partitioners: edge {u,v} landed in b — both endpoints gain a
+  /// replica in b (idempotent per (vertex, block)).
+  void record_edge(VertexId u, VertexId v, BlockId b);
+  /// Marks ingest complete (readers can distinguish "not yet" from
+  /// "never").
+  void seal() { sealed_.store(true, std::memory_order_release); }
+
+  // ---- Reader side (any thread, any time) ----
+
+  struct Lookup {
+    bool known = false;
+    /// First block the vertex ever landed in (THE block, for vertex
+    /// partitioners).
+    BlockId primary = kNoBlock;
+    std::uint32_t replica_count = 0;
+  };
+
+  Lookup lookup(VertexId v) const;
+  /// All blocks holding v, ascending block id (copy; may be empty).
+  std::vector<BlockId> replicas(VertexId v) const;
+  bool sealed() const { return sealed_.load(std::memory_order_acquire); }
+  /// Record operations applied so far (monotone; readable mid-ingest).
+  std::uint64_t records() const {
+    return records_.load(std::memory_order_acquire);
+  }
+  std::uint32_t blocks() const { return blocks_; }
+
+ private:
+  struct Entry {
+    BlockId primary = kNoBlock;
+    std::vector<BlockId> block_ids;  // ascending
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<VertexId, Entry> map;
+  };
+
+  static constexpr std::uint32_t kShards = 64;
+
+  Shard& shard_(VertexId v) { return shards_[v % kShards]; }
+  const Shard& shard_(VertexId v) const { return shards_[v % kShards]; }
+  void add_(VertexId v, BlockId b);
+
+  std::uint32_t blocks_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> records_{0};
+  std::atomic<bool> sealed_{false};
+};
+
+}  // namespace sp::stream

@@ -1,0 +1,194 @@
+// The stream pipeline: reader -> prep workers -> sequential consumer,
+// chunked over bounded queues (the PARSA producer/consumer shape:
+// StreamReader feeding a threadsafe limited queue feeding partition
+// workers feeding writers).
+//
+//   reader (1 thread)   pulls chunks from the source in stream order,
+//                       recycling chunk buffers through a ChunkPool.
+//   workers (W threads) run a *pure per-chunk* prep function (endpoint
+//                       hashing, adjacency materialisation) — the only
+//                       stage that scales with W.
+//   consumer (caller)   reorders chunks by index and feeds the
+//                       partitioner strictly in stream order.
+//
+// Determinism argument (DESIGN.md §10): all partitioner state mutation
+// happens in the consumer, on one thread, in chunk-index order enforced
+// by the reorder buffer; prep is a pure function of the chunk contents.
+// Worker count and queue timing therefore change *when* chunks get
+// prepped, never *what* the partitioner sees or decides — assignments are
+// bit-identical for any W, which the tests assert at W ∈ {1, 4, 8}.
+//
+// Failure: an exception in any stage closes both queues (every blocked
+// thread wakes and unwinds), the pipeline joins, and the first captured
+// exception rethrows to the caller — a dying source can never leave a
+// dangling thread or a hung queue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "stream/bounded_queue.hpp"
+#include "stream/chunk.hpp"
+#include "stream/csr_source.hpp"
+#include "stream/online_assignment.hpp"
+#include "stream/stream_partitioner.hpp"
+#include "support/assert.hpp"
+
+namespace sp::stream {
+
+struct PipelineOptions {
+  /// Prep worker threads (>= 1). Assignments are identical for any value.
+  std::uint32_t workers = 1;
+  /// Bound, in chunks, of each inter-stage queue.
+  std::uint32_t queue_capacity = 8;
+};
+
+struct PipelineStats {
+  std::uint64_t chunks = 0;
+  std::uint64_t items = 0;
+  /// ChunkPool reuse counters (diagnostic, like comm/arena_*: they vary
+  /// with thread timing and are never part of compared output).
+  std::uint64_t pool_acquires = 0;
+  std::uint64_t pool_hits = 0;
+};
+
+/// Runs `source` chunks through prep workers into the sequential
+/// `consume` stage. `prep(ChunkT&)` must be pure per-chunk (it runs
+/// concurrently on worker threads); `consume(ChunkT&)` runs on the
+/// calling thread only, in exact stream order. Rethrows the first stage
+/// exception after the pipeline has fully shut down.
+template <typename ChunkT, typename SourceT, typename PrepFn,
+          typename ConsumeFn>
+PipelineStats run_pipeline(SourceT& source, PrepFn&& prep, ConsumeFn&& consume,
+                           const PipelineOptions& opt) {
+  SP_ASSERT(opt.workers >= 1);
+  BoundedQueue<ChunkT> raw(opt.queue_capacity);
+  BoundedQueue<ChunkT> done(opt.queue_capacity);
+  ChunkPool<ChunkT> pool;
+
+  std::mutex err_mu;
+  std::exception_ptr err;
+  auto fail = [&](std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!err) err = e;
+    }
+    raw.close();
+    done.close();
+  };
+
+  std::thread reader([&] {
+    try {
+      std::uint64_t index = 0;
+      for (;;) {
+        ChunkT c = pool.acquire(index);
+        if (!source.fill(c)) {
+          pool.release(std::move(c));
+          break;
+        }
+        ++index;
+        if (!raw.push(std::move(c))) return;  // pipeline aborted
+      }
+      raw.close();  // normal end of stream: workers drain and exit
+    } catch (...) {
+      fail(std::current_exception());
+    }
+  });
+
+  std::atomic<std::uint32_t> workers_left{opt.workers};
+  std::vector<std::thread> workers;
+  workers.reserve(opt.workers);
+  for (std::uint32_t w = 0; w < opt.workers; ++w) {
+    workers.emplace_back([&] {
+      try {
+        while (auto c = raw.pop()) {
+          prep(*c);
+          if (!done.push(std::move(*c))) break;  // pipeline aborted
+        }
+      } catch (...) {
+        fail(std::current_exception());
+      }
+      // Last worker out closes the consumer's queue.
+      if (workers_left.fetch_sub(1) == 1) done.close();
+    });
+  }
+
+  PipelineStats stats;
+  // Reorder buffer: workers race, the partitioner must not see it.
+  std::map<std::uint64_t, ChunkT> pending;
+  std::uint64_t next = 0;
+  try {
+    while (auto c = done.pop()) {
+      pending.emplace(c->index, std::move(*c));
+      for (auto it = pending.begin();
+           it != pending.end() && it->first == next; it = pending.begin()) {
+        consume(it->second);
+        ++next;
+        ++stats.chunks;
+        stats.items += it->second.items();
+        pool.release(std::move(it->second));
+        pending.erase(it);
+      }
+    }
+  } catch (...) {
+    fail(std::current_exception());
+    while (done.pop()) {
+      // Discard: unblock any worker still trying to push.
+    }
+  }
+
+  reader.join();
+  for (auto& t : workers) t.join();
+
+  {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (err) std::rethrow_exception(err);
+  }
+  const auto ps = pool.stats();
+  stats.pool_acquires = ps.acquires;
+  stats.pool_hits = ps.hits;
+  return stats;
+}
+
+/// One streaming run, end to end.
+struct StreamRunOptions {
+  std::uint32_t workers = 1;
+  std::uint32_t queue_capacity = 8;
+  std::uint32_t chunk_size = 4096;
+  /// Stream-order seed (graph::gen::EdgePermutation / vertex_permutation).
+  std::uint64_t order_seed = 1;
+};
+
+struct StreamRunResult {
+  /// Per-item block, in stream order (edge mode: one entry per edge;
+  /// vertex mode: one entry per streamed vertex).
+  std::vector<BlockId> assignments;
+  /// assignment_fingerprint(assignments) — the cross-thread-count and
+  /// cross-run determinism digest.
+  std::uint64_t fingerprint = 0;
+  PipelineStats stats;
+};
+
+/// Replays `g` as a seeded edge stream through an *edge* partitioner
+/// (HDRF/DBH), optionally publishing every placement to `online` as it is
+/// decided. Calls part.finish() (and online->seal()) at end of stream.
+StreamRunResult run_edge_stream(const graph::CsrGraph& g,
+                                StreamPartitioner& part,
+                                const StreamRunOptions& opt,
+                                OnlineAssignment* online = nullptr);
+
+/// Vertex-mode counterpart (SNE): streams vertices with adjacency; the
+/// prep workers materialise each chunk's adjacency lists from the CSR.
+StreamRunResult run_vertex_stream(const graph::CsrGraph& g,
+                                  StreamPartitioner& part,
+                                  const StreamRunOptions& opt,
+                                  OnlineAssignment* online = nullptr);
+
+}  // namespace sp::stream

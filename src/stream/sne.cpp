@@ -1,0 +1,104 @@
+#include "stream/sne.hpp"
+
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace sp::stream {
+
+SnePartitioner::SnePartitioner(const StreamConfig& cfg)
+    : StreamPartitioner(cfg),
+      tally_(cfg.blocks, 0),
+      heap_(cfg.candidates) {
+  SP_ASSERT_MSG(cfg.num_vertices_hint > 0,
+                "SNE needs num_vertices_hint to derive its block capacity");
+  const std::uint64_t ideal =
+      (cfg.num_vertices_hint + cfg.blocks - 1) / cfg.blocks;
+  capacity_ = static_cast<std::uint64_t>(
+      static_cast<double>(ideal) * (1.0 + cfg.capacity_slack));
+  if (capacity_ < ideal) capacity_ = ideal;  // slack never shrinks a block
+  assignment_.assign(cfg.num_vertices_hint, kNoBlock);
+}
+
+BlockId SnePartitioner::assign(VertexId v, std::span<const VertexId> nbrs) {
+  SP_ASSERT_MSG(!finished(), "assign after finish()");
+  if (v >= assignment_.size()) assignment_.resize(v + 1, kNoBlock);
+  SP_ASSERT_MSG(assignment_[v] == kNoBlock,
+                "vertex streamed twice in one pass");
+
+  // Tally the blocks of already-placed neighbours (k-wide scratch, reset
+  // via the touched list so the pass is O(deg), not O(k)).
+  for (VertexId w : nbrs) {
+    const BlockId b = block_of_(w);
+    if (b == kNoBlock) continue;
+    if (tally_[b] == 0) touched_blocks_.push_back(b);
+    ++tally_[b];
+  }
+
+  const std::uint64_t vh = seeded_hash(v);
+  const auto loads = block_vertices();
+
+  // Stage 1: bounded heap keeps the top-C neighbour counts. The heap
+  // ranks by raw count — the balance discount is applied in stage 2 so a
+  // nearly-full block with many neighbours still competes on even terms
+  // before the capacity check rejects it.
+  heap_.clear();
+  for (BlockId b : touched_blocks_) {
+    heap_.push(static_cast<double>(tally_[b]), hash64(vh ^ b), b);
+  }
+
+  // Stage 2: balance-discounted score over the kept candidates, skipping
+  // full blocks.
+  BlockId best = kNoBlock;
+  double best_score = -1.0;
+  std::uint64_t best_tie = 0;
+  for (const auto& cand : heap_.sorted_best_first()) {
+    const BlockId b = cand.payload;
+    if (loads[b] >= capacity_) continue;
+    const double fill =
+        static_cast<double>(loads[b]) / static_cast<double>(capacity_);
+    const double score = static_cast<double>(tally_[b]) * (1.0 - fill);
+    const std::uint64_t tie = hash64(vh ^ b);
+    if (score > best_score ||
+        (score == best_score && (tie < best_tie ||
+                                 (tie == best_tie && b < best)))) {
+      best = b;
+      best_score = score;
+      best_tie = tie;
+    }
+  }
+
+  // Fallback: no placed neighbours, or every candidate block is full —
+  // take the least-loaded block with capacity left (ties by seeded hash).
+  if (best == kNoBlock) {
+    std::uint64_t best_load = ~0ull;
+    for (BlockId b = 0; b < blocks(); ++b) {
+      if (loads[b] >= capacity_) continue;
+      const std::uint64_t tie = hash64(vh ^ b);
+      if (loads[b] < best_load ||
+          (loads[b] == best_load && tie < best_tie)) {
+        best = b;
+        best_load = loads[b];
+        best_tie = tie;
+      }
+    }
+  }
+  SP_ASSERT_MSG(best != kNoBlock,
+                "all blocks at capacity: num_vertices_hint too small for "
+                "the stream");
+
+  for (BlockId b : touched_blocks_) tally_[b] = 0;
+  touched_blocks_.clear();
+
+  assignment_[v] = best;
+  bump_degree(v);
+  add_to_block(v, best);
+  // Intra-block edges discovered at assign time (each counted once, when
+  // its second endpoint lands).
+  for (VertexId w : nbrs) {
+    if (block_of_(w) == best && w != v) count_edge(best);
+  }
+  count_item();
+  return best;
+}
+
+}  // namespace sp::stream

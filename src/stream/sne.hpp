@@ -1,0 +1,53 @@
+// SNE — streaming neighbourhood expansion: greedy *vertex* streaming with
+// a bounded candidate heap.
+//
+// Each vertex arrives once, with its adjacency, and is placed into the
+// block where it has the most already-assigned neighbours — expanding
+// existing block neighbourhoods instead of opening new ones — discounted
+// by how full that block is and subject to a hard capacity
+// (1 + capacity_slack) * ceil(n / k) vertices per block:
+//
+//   score(b) = |N(v) ∩ assigned(b)| * (1 − load(b) / capacity)
+//
+// Neighbour blocks are tallied into a k-wide scratch and the non-zero
+// tallies flow through a BoundedMinHeap keeping the top-C counts, so the
+// balance-aware scoring pass is O(C), not O(k). A vertex with no placed
+// neighbours (or whose candidate blocks are all full) falls back to the
+// least-loaded block. Ties everywhere resolve by seeded hash of
+// (vertex, block). This is the edge-cut face of the subsystem: quality is
+// cut + vertex balance, replication factor is exactly 1 by construction.
+#pragma once
+
+#include "stream/bounded_heap.hpp"
+#include "stream/stream_partitioner.hpp"
+
+namespace sp::stream {
+
+class SnePartitioner final : public StreamPartitioner {
+ public:
+  explicit SnePartitioner(const StreamConfig& cfg);
+
+  std::string_view name() const override { return "sne"; }
+  StreamMode mode() const override { return StreamMode::kVertex; }
+
+  BlockId assign(VertexId v, std::span<const VertexId> neighbors) override;
+
+  std::span<const BlockId> vertex_assignment() const override {
+    return assignment_;
+  }
+  /// Hard per-block vertex capacity derived from the num_vertices_hint.
+  std::uint64_t capacity() const { return capacity_; }
+
+ private:
+  BlockId block_of_(VertexId v) const {
+    return v < assignment_.size() ? assignment_[v] : kNoBlock;
+  }
+
+  std::uint64_t capacity_ = 0;
+  std::vector<BlockId> assignment_;      // vertex -> block (kNoBlock unset)
+  std::vector<std::uint32_t> tally_;     // k-wide neighbour-count scratch
+  std::vector<BlockId> touched_blocks_;  // which tallies to reset
+  BoundedMinHeap<BlockId> heap_;
+};
+
+}  // namespace sp::stream

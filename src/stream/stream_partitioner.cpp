@@ -1,0 +1,101 @@
+#include "stream/stream_partitioner.hpp"
+
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace sp::stream {
+
+StreamPartitioner::StreamPartitioner(const StreamConfig& cfg)
+    : cfg_(cfg),
+      words_per_vertex_((cfg.blocks + 63) / 64),
+      block_edges_(cfg.blocks, 0),
+      block_vertices_(cfg.blocks, 0) {
+  SP_ASSERT_MSG(cfg.blocks >= 1, "StreamConfig.blocks must be >= 1");
+  if (cfg.num_vertices_hint > 0) {
+    replica_bits_.reserve(static_cast<std::size_t>(cfg.num_vertices_hint) *
+                          words_per_vertex_);
+    degree_.reserve(cfg.num_vertices_hint);
+  }
+}
+
+BlockId StreamPartitioner::assign(const StreamEdge&) {
+  SP_ASSERT_MSG(false, "assign(edge) called on a vertex partitioner");
+  return kNoBlock;
+}
+
+BlockId StreamPartitioner::assign(VertexId, std::span<const VertexId>) {
+  SP_ASSERT_MSG(false, "assign(vertex) called on an edge partitioner");
+  return kNoBlock;
+}
+
+void StreamPartitioner::finish() { finished_ = true; }
+
+std::uint32_t StreamPartitioner::replicas(VertexId v) const {
+  const std::size_t base = static_cast<std::size_t>(v) * words_per_vertex_;
+  if (base >= replica_bits_.size()) return 0;
+  std::uint32_t count = 0;
+  for (std::size_t w = 0; w < words_per_vertex_; ++w) {
+    count += static_cast<std::uint32_t>(
+        __builtin_popcountll(replica_bits_[base + w]));
+  }
+  return count;
+}
+
+double StreamPartitioner::replication_factor() const {
+  return touched_vertices_ > 0
+             ? static_cast<double>(total_replicas_) / touched_vertices_
+             : 0.0;
+}
+
+std::uint64_t StreamPartitioner::seeded_hash(VertexId v) const {
+  return hash64(cfg_.seed ^ (0x9E3779B97F4A7C15ull + v));
+}
+
+std::uint32_t StreamPartitioner::partial_degree(VertexId v) const {
+  return v < degree_.size() ? degree_[v] : 0;
+}
+
+void StreamPartitioner::bump_degree(VertexId v) {
+  ensure_vertex_(v);
+  ++degree_[v];
+}
+
+bool StreamPartitioner::in_block(VertexId v, BlockId b) const {
+  const std::size_t base = static_cast<std::size_t>(v) * words_per_vertex_;
+  if (base >= replica_bits_.size()) return false;
+  return (replica_bits_[base + b / 64] >> (b % 64)) & 1u;
+}
+
+void StreamPartitioner::add_to_block(VertexId v, BlockId b) {
+  SP_ASSERT(b < cfg_.blocks);
+  ensure_vertex_(v);
+  std::uint64_t& word =
+      replica_bits_[static_cast<std::size_t>(v) * words_per_vertex_ + b / 64];
+  const std::uint64_t mask = 1ull << (b % 64);
+  if ((word & mask) == 0) {
+    word |= mask;
+    ++total_replicas_;
+    ++block_vertices_[b];
+    // First replica anywhere == first sighting of the vertex: replicas(v)
+    // just went 0 -> 1 iff this was the vertex's only set bit.
+    if (replicas(v) == 1) ++touched_vertices_;
+  }
+}
+
+void StreamPartitioner::ensure_vertex_(VertexId v) {
+  if (v >= degree_.size()) {
+    degree_.resize(v + 1, 0);
+    replica_bits_.resize(static_cast<std::size_t>(v + 1) * words_per_vertex_,
+                         0);
+  }
+}
+
+std::uint64_t assignment_fingerprint(std::span<const BlockId> assignment) {
+  std::uint64_t fp = 0xA076'1D64'78BD'642Full;
+  for (BlockId b : assignment) {
+    fp = hash64(fp ^ (static_cast<std::uint64_t>(b) + 0x2545F4914F6CDD1Dull));
+  }
+  return fp;
+}
+
+}  // namespace sp::stream

@@ -1,0 +1,166 @@
+// sp::stream — single-pass streaming partitioners.
+//
+// The multilevel pipeline (core/scalapart.cpp) materialises the whole
+// graph before it cuts; this subsystem covers the complementary workload:
+// graphs that arrive as unbounded edge (or vertex) streams and partition
+// assignments that must be queryable while ingest is still running. Each
+// partitioner sees every stream item exactly once, keeps O(N + k) state
+// (partial degrees, replica tables, block loads) and never revisits a
+// decision — the PARSA/PowerGraph family of algorithms.
+//
+// Two models share one interface:
+//  - *edge partitioners* (HDRF, DBH) assign each EDGE to a block; a vertex
+//    is replicated into every block that holds one of its edges (vertex
+//    cut). Quality: replication factor + edge balance
+//    (graph::analyze_vertex_cut).
+//  - *vertex partitioners* (SNE) assign each VERTEX to a block (edge cut).
+//    Quality: cut + vertex balance (graph::analyze_partition).
+//
+// Determinism contract: assign() is a pure function of (partitioner state,
+// item, seed). All tie-breaking is by seeded hash (support/random.hpp
+// hash64), never by wall time, pointer values, or container order — so a
+// fixed (stream order, seed) pair yields bit-identical assignments
+// regardless of how the feeding pipeline is threaded (see pipeline.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace sp::stream {
+
+using graph::VertexId;
+using graph::Weight;
+using BlockId = std::uint32_t;
+
+inline constexpr BlockId kNoBlock = static_cast<BlockId>(-1);
+
+/// One streamed edge. `uhash`/`vhash` are the seeded endpoint hashes
+/// (hash64(seed ^ id)) the partitioners use for placement and
+/// tie-breaking; they are precomputed by the pipeline's worker stage (a
+/// pure per-item computation, safe to parallelise) but assign() recomputes
+/// them when zero so hand-fed edges work too.
+struct StreamEdge {
+  VertexId u = 0;
+  VertexId v = 0;
+  std::uint64_t uhash = 0;
+  std::uint64_t vhash = 0;
+};
+
+enum class StreamMode : std::uint8_t { kEdge, kVertex };
+
+struct StreamConfig {
+  /// Number of blocks (k).
+  std::uint32_t blocks = 8;
+  /// Seed for every hash-based placement and tie-break decision.
+  std::uint64_t seed = 1;
+  /// HDRF balance weight (λ). 1.0 reproduces plain "highest degree
+  /// replicated first"; larger values trade replication for balance.
+  double lambda = 1.1;
+  /// HDRF balance-term denominator slack (ε in the paper's C_BAL).
+  double epsilon = 1.0;
+  /// SNE: hard per-block vertex capacity slack — a block never holds more
+  /// than (1 + capacity_slack) * ceil(n / k) vertices.
+  double capacity_slack = 0.05;
+  /// SNE: bounded candidate-heap width (top-C neighbour blocks scored).
+  std::uint32_t candidates = 8;
+  /// Expected vertex-id upper bound; tables are pre-sized to it and grow
+  /// on demand beyond (0 = grow from empty). SNE requires a positive hint
+  /// to derive its capacity.
+  VertexId num_vertices_hint = 0;
+};
+
+/// Common interface + shared per-vertex/per-block tables of the streaming
+/// partitioners. Not thread-safe by design: the pipeline funnels all
+/// assign() calls through one sequential consumer stage (that is what
+/// makes the output independent of worker-thread timing); concurrent
+/// *lookup* of finished assignments is OnlineAssignment's job.
+class StreamPartitioner {
+ public:
+  explicit StreamPartitioner(const StreamConfig& cfg);
+  virtual ~StreamPartitioner() = default;
+  StreamPartitioner(const StreamPartitioner&) = delete;
+  StreamPartitioner& operator=(const StreamPartitioner&) = delete;
+
+  virtual std::string_view name() const = 0;
+  virtual StreamMode mode() const = 0;
+
+  /// Edge partitioners: the block for this edge. SP_ASSERTs on vertex
+  /// partitioners.
+  virtual BlockId assign(const StreamEdge& e);
+
+  /// Vertex partitioners: the block for vertex `v` given its adjacency.
+  /// SP_ASSERTs on edge partitioners.
+  virtual BlockId assign(VertexId v, std::span<const VertexId> neighbors);
+
+  /// End of stream. Idempotent; assign() must not be called afterwards.
+  virtual void finish();
+  bool finished() const { return finished_; }
+
+  const StreamConfig& config() const { return cfg_; }
+  std::uint32_t blocks() const { return cfg_.blocks; }
+
+  /// Edges per block (edge partitioners count assignments; vertex
+  /// partitioners count intra-block edges discovered at assign time).
+  std::span<const std::uint64_t> block_edges() const { return block_edges_; }
+  /// Vertices per block: replicas for edge partitioners, owned vertices
+  /// for vertex partitioners.
+  std::span<const std::uint64_t> block_vertices() const {
+    return block_vertices_;
+  }
+
+  /// Number of blocks vertex `v` is present in (0 = never seen).
+  std::uint32_t replicas(VertexId v) const;
+  std::uint64_t total_replicas() const { return total_replicas_; }
+  /// Vertices seen in at least one stream item.
+  VertexId touched_vertices() const { return touched_vertices_; }
+  /// Mean replicas per touched vertex (the streaming headline metric).
+  double replication_factor() const;
+  std::uint64_t assigned_items() const { return assigned_items_; }
+
+  /// Vertex partitioners: the per-vertex block table (indexed by vertex
+  /// id, kNoBlock = unassigned). Empty span for edge partitioners.
+  virtual std::span<const BlockId> vertex_assignment() const { return {}; }
+
+  /// Seeded endpoint hash — public because it doubles as the pipeline
+  /// worker-stage precomputation (pure function of (seed, id): safe to
+  /// call concurrently with anything).
+  std::uint64_t seeded_hash(VertexId v) const;
+
+ protected:
+  /// Partial degree of `v` (count of stream items it appeared in so far).
+  std::uint32_t partial_degree(VertexId v) const;
+  void bump_degree(VertexId v);
+
+  bool in_block(VertexId v, BlockId b) const;
+  /// Inserts v into b's replica set; updates block/replica accounting.
+  void add_to_block(VertexId v, BlockId b);
+
+  void count_edge(BlockId b) { ++block_edges_[b]; }
+  void count_item() { ++assigned_items_; }
+
+  StreamConfig cfg_;
+
+ private:
+  void ensure_vertex_(VertexId v);
+
+  std::size_t words_per_vertex_;
+  std::vector<std::uint64_t> replica_bits_;  // n * words_per_vertex_
+  std::vector<std::uint32_t> degree_;        // partial degrees
+  std::vector<std::uint64_t> block_edges_;
+  std::vector<std::uint64_t> block_vertices_;
+  std::uint64_t total_replicas_ = 0;
+  std::uint64_t assigned_items_ = 0;
+  VertexId touched_vertices_ = 0;
+  bool finished_ = false;
+};
+
+/// Order-sensitive 64-bit digest of an assignment sequence — the
+/// determinism fingerprint benches and tests compare across pipeline
+/// worker counts (and bench_gate compares across CI runs, as part_fp).
+std::uint64_t assignment_fingerprint(std::span<const BlockId> assignment);
+
+}  // namespace sp::stream

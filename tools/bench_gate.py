@@ -67,7 +67,11 @@ def indexed_rows(doc):
 # per-stage profile obs::flight contributes), metrics, artifacts — is
 # measured or environment-dependent and deliberately ignored here; only
 # the noise-banded wall comparison below ever looks at wall_ms.
-EXACT_FIELDS = ("cut", "modeled_seconds", "part_fp")
+# replication_factor / balance are the streaming-quality fields
+# (BENCH_stream.json): pure functions of (graph, seed, stream order), so
+# a drift is an algorithm change, never noise.
+EXACT_FIELDS = ("cut", "modeled_seconds", "part_fp", "replication_factor",
+                "balance")
 
 
 def check_exact(errors, key, field, base_val, cand_val):
@@ -111,12 +115,9 @@ def compare(base, cands, noise, min_speedup):
             errors.append(f"row {key}: missing from candidate report(s)")
             continue
         for crow in present:
-            check_exact(errors, key, "cut", brow.get("cut"), crow.get("cut"))
-            check_exact(errors, key, "modeled_seconds",
-                        brow.get("modeled_seconds"),
-                        crow.get("modeled_seconds"))
-            check_exact(errors, key, "part_fp", brow.get("part_fp"),
-                        crow.get("part_fp"))
+            for field in EXACT_FIELDS:
+                check_exact(errors, key, field, brow.get(field),
+                            crow.get(field))
 
         bwall = brow.get("wall_ms")
         cwalls = [r["wall_ms"] for r in present if "wall_ms" in r]

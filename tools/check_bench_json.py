@@ -75,6 +75,20 @@ REQUIRED_WALL_STAGE = [
     "imbalance",
     "modeled_max_seconds",
 ]
+# Streaming bench (bench/stream_partition.cpp, bench name "stream"): every
+# row is one (graph, k, method) measurement and must carry the streaming
+# quality metrics — replication factor, balance, throughput — plus the
+# assignment fingerprint the gate compares bit-exactly.
+STREAM_REQUIRED_ROW = [
+    "graph",
+    "p",
+    "label",
+    "replication_factor",
+    "balance",
+    "edges_per_sec",
+    "part_fp",
+]
+
 # Keep in sync with obs/stage_names.hpp.
 CANONICAL_STAGES = {
     "main",
@@ -119,6 +133,29 @@ def check_file(path):
         for i, row in enumerate(doc["rows"]):
             if not isinstance(row, dict):
                 errors.append(f"rows[{i}] must be an object")
+                continue
+            if doc.get("bench") == "stream":
+                where = f"rows[{i}]"
+                require(errors, row, STREAM_REQUIRED_ROW, where)
+                rf = row.get("replication_factor")
+                if rf is not None and (
+                        not isinstance(rf, (int, float)) or rf < 1.0 - 1e-9):
+                    errors.append(
+                        f"{where}: replication_factor {rf!r} must be a "
+                        "number >= 1")
+                bal = row.get("balance")
+                if bal is not None and (
+                        not isinstance(bal, (int, float))
+                        or bal < 1.0 - 1e-9):
+                    errors.append(
+                        f"{where}: balance {bal!r} must be a number >= 1 "
+                        "(max load / ideal load)")
+                eps = row.get("edges_per_sec")
+                if eps is not None and (
+                        not isinstance(eps, (int, float)) or eps < 0):
+                    errors.append(
+                        f"{where}: edges_per_sec must be a non-negative "
+                        "number")
 
     if not isinstance(doc["runs"], list):
         errors.append("runs must be an array")

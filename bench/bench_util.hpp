@@ -9,8 +9,8 @@
 //               (see bench_report.hpp; DIR may also be a .json file path)
 //   --trace=DIR write Chrome-trace + JSONL artifacts of the instrumented
 //               run (binaries that do a dedicated traced run only)
-//   --backend=fiber|threads   execution backend for the BSP runs (results
-//               are bit-identical; only wall time changes)
+//   --backend=fiber|threads|process   execution backend for the BSP runs
+//               (results are bit-identical; only wall time changes)
 //   --threads=N worker-thread cap for --backend=threads (0 = all cores)
 //   --reps=N    repetitions of each timed run; reported walls are the
 //               median of N (default 1). Modeled clocks, cuts, and

@@ -81,6 +81,7 @@ std::string BackendPoint::label() const {
   if (backend == exec::Backend::kFiber) {
     return std::string("fiber/") + comm::schedule_name(schedule);
   }
+  if (backend == exec::Backend::kProcess) return "process";
   return "threads/T=" + std::to_string(threads);
 }
 
@@ -94,6 +95,13 @@ std::vector<BackendPoint> default_backend_points() {
                       0, 2});
     points.push_back({exec::Backend::kThreads, comm::Schedule::kRoundRobin,
                       0, 8});
+  }
+  if (exec::process_backend_available()) {
+    // Forked-rank point: proves the wire protocol (packed frames, RPC
+    // replay, host-memory seam) reproduces the in-process results bit
+    // for bit, not just approximately.
+    points.push_back({exec::Backend::kProcess, comm::Schedule::kRoundRobin,
+                      0, 0});
   }
   return points;
 }

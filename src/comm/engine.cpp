@@ -18,6 +18,14 @@
 #include "support/random.hpp"
 #include "support/timer.hpp"
 
+#ifdef SP_EXEC_PROCESS
+#include <unistd.h>
+
+#include "comm/process_host.hpp"
+#include "comm/process_proto.hpp"
+#include "comm/wire.hpp"
+#endif
+
 namespace sp::comm {
 
 namespace detail {
@@ -66,6 +74,49 @@ void append_frame(std::vector<std::byte>& buf,
   }
 }
 }  // namespace
+
+#ifdef SP_EXEC_PROCESS
+/// Byte-level combiner (the same std::function type as Comm's private
+/// Combiner alias, spelled out so free helpers can name it).
+using ByteCombiner = std::function<void(std::vector<std::byte>&,
+                                        const std::vector<std::byte>&)>;
+
+namespace {
+/// Unpacks a process-mode allreduce result — the contributions shipped as
+/// group-rank-ordered [u64 len][payload] frames — and folds them with
+/// `combiner`: the same left comb over ranks 0..P-1 the in-process
+/// combine runs, so results are bit-identical across backends.
+std::vector<std::byte> fold_packed_allreduce(
+    const std::vector<std::byte>& packed, const ByteCombiner& combiner) {
+  std::vector<std::byte> acc;
+  std::vector<std::byte> next;
+  std::size_t off = 0;
+  bool first = true;
+  while (off < packed.size()) {
+    std::uint64_t len = 0;
+    std::memcpy(&len, packed.data() + off, sizeof(len));
+    off += sizeof(len);
+    const std::byte* frame = packed.data() + off;
+    if (first) {
+      acc.assign(frame, frame + len);
+      first = false;
+    } else {
+      next.assign(frame, frame + len);
+      combiner(acc, next);
+    }
+    off += static_cast<std::size_t>(len);
+  }
+  return acc;
+}
+
+/// Serializes a resolved call site for the child->parent RPC stream.
+void write_site(WireWriter& w, const analysis::CallSite& site) {
+  w.str(site.file != nullptr ? site.file : "");
+  w.u32(site.line);
+  w.str(site.function != nullptr ? site.function : "");
+}
+}  // namespace
+#endif  // SP_EXEC_PROCESS
 
 /// Thrown into a rank to unwind it when the fault plan kills it.
 /// Deliberately not derived from std::exception so that user-level
@@ -179,6 +230,26 @@ class EngineImpl {
     world_->members.resize(opt_.nranks);
     for (std::uint32_t r = 0; r < opt_.nranks; ++r) world_->members[r] = r;
 
+#ifdef SP_EXEC_PROCESS
+    // Multi-process backend: fork ranks 1..P-1 now (before any rank body
+    // runs, so every address both sides will ever name is fork-stable),
+    // handshake, and seed one world mirror per child. In a child,
+    // setup_process_backend_ never returns. A single-rank world needs no
+    // children — the normal local path already is the process backend.
+    const bool process_ranks =
+        opt_.backend == exec::Backend::kProcess && opt_.nranks > 1;
+    if (process_ranks) setup_process_backend_();
+    // Children must be reaped on *every* exit path out of this frame —
+    // a DeadlockError from the stall handler, a rethrown rank exception,
+    // a failed-run RankFailedError — or they would outlive the run.
+    struct ProcessTeardown {
+      EngineImpl* engine;
+      ~ProcessTeardown() {
+        if (engine != nullptr) engine->teardown_process_backend_();
+      }
+    } process_teardown{process_ranks ? this : nullptr};
+#endif
+
 #ifdef SP_ANALYSIS
     // Rank spawn, happens-before-wise: all ranks fork from the host here
     // with fresh vector clocks (race_hook.hpp).
@@ -200,6 +271,15 @@ class EngineImpl {
     });
     exec_->run(opt_.nranks,
                [this](std::uint32_t rank) { rank_main_(rank); });
+
+#ifdef SP_EXEC_PROCESS
+    if (process_ranks) {
+      // Clean completion: tear down deterministically (EOF the channels,
+      // reap every child) before the result-integrity checks below.
+      process_teardown.engine = nullptr;
+      teardown_process_backend_();
+    }
+#endif
 
     for (auto& ex : exceptions_) {
       if (ex) std::rethrow_exception(ex);
@@ -342,6 +422,17 @@ class EngineImpl {
   // by the park/join that precedes them.
 
   void add_compute(std::uint32_t world_rank, double units) {
+#ifdef SP_EXEC_PROCESS
+    if (child_ != nullptr) {
+      // One-way: FIFO ordering on the data socket lands it in the
+      // parent's accounting before this rank's next rendezvous.
+      WireWriter w;
+      w.u8(static_cast<std::uint8_t>(Verb::kAddCompute));
+      w.f64(units);
+      child_->data->send(w.buffer());
+      return;
+    }
+#endif
     double seconds =
         units * opt_.model.seconds_per_unit * fault_time_scale_(world_rank);
     clocks_[world_rank] += seconds;
@@ -352,15 +443,28 @@ class EngineImpl {
   }
 
   void set_stage(std::uint32_t world_rank, const std::string& stage) {
-    stages_[world_rank] = stage;
+    stages_[world_rank] = stage;  // keeps stage_of() current child-side too
     stage_events_[world_rank] = 0;
+#ifdef SP_EXEC_PROCESS
+    if (child_ != nullptr) {
+      WireWriter w;
+      w.u8(static_cast<std::uint8_t>(Verb::kSetStage));
+      w.str(stage);
+      child_->data->send(w.buffer());
+    }
+#endif
   }
 
   const std::string& stage_of(std::uint32_t world_rank) const {
     return stages_[world_rank];
   }
 
-  double clock(std::uint32_t world_rank) const { return clocks_[world_rank]; }
+  double clock(std::uint32_t world_rank) const {
+#ifdef SP_EXEC_PROCESS
+    if (child_ != nullptr) return child_clock();
+#endif
+    return clocks_[world_rank];
+  }
 
   const CostModel& model() const { return opt_.model; }
 
@@ -628,6 +732,9 @@ class EngineImpl {
   }
 
   const CostSnapshot& snapshot(std::uint32_t world_rank) const {
+#ifdef SP_EXEC_PROCESS
+    if (child_ != nullptr) return child_cost_snapshot();
+#endif
     return totals_[world_rank];
   }
 
@@ -646,6 +753,208 @@ class EngineImpl {
   void add_coalesced_batches(std::uint32_t world_rank, std::uint64_t n) {
     coalesced_batches_[world_rank] += n;
   }
+
+  // ---- Multi-process backend (SP_EXEC_PROCESS; DESIGN.md §11) ----
+  //
+  // Parent side: ranks 1..P-1 are forked child processes. Each gets a
+  // proxy fiber (proxy_main_) that replays the child's RPC stream against
+  // the real rendezvous code through per-group mirror Comm objects, so
+  // every modeled clock, trace, signature check, and fault trigger runs
+  // through exactly the fiber-backend code — which is why partitions and
+  // fingerprints are bit-identical across backends. Child side: Comm
+  // operations branch to the child_* RPC stubs below instead of touching
+  // engine state. The invariant that makes blocking I/O safe everywhere:
+  // a proxy is awaiting a frame if and only if its child is executing
+  // user code between engine calls — strict request/reply alternation on
+  // the data socket, with the few one-way verbs riding the same FIFO.
+
+  /// True in a forked child process (this rank's Comm calls go over the
+  /// wire).
+  bool in_child() const {
+#ifdef SP_EXEC_PROCESS
+    return child_ != nullptr;
+#else
+    return false;
+#endif
+  }
+
+  /// True in the parent while supervising forked rank processes.
+  bool process_mode() const { return process_mode_; }
+
+#ifdef SP_EXEC_PROCESS
+  // ---- Child-side RPC stubs (Comm methods call these via in_child()) ----
+
+  std::vector<std::byte> child_collective(Comm& comm, Comm::CollKind kind,
+                                          std::vector<std::byte> payload,
+                                          std::uint32_t root,
+                                          const Comm::Combiner& combiner,
+                                          std::vector<std::size_t>* counts,
+                                          std::uint32_t elem_width,
+                                          const analysis::CallSite& site) {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(Verb::kCollective));
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u64(comm.group_->id);
+    w.u32(root);
+    w.u32(elem_width);
+    write_site(w, site);
+    w.blob(payload.data(), payload.size());
+    const std::vector<std::byte> reply = child_rpc_(w);
+    WireReader r(reply);
+    (void)read_verb(r);  // kReplyOk (child_rpc_ rethrew on kReplyError)
+    const bool packed = r.u8() != 0;
+    std::vector<std::byte> result = r.blob();
+    const std::uint64_t n_sizes = r.u64();
+    std::vector<std::size_t> sizes;
+    sizes.reserve(n_sizes);
+    for (std::uint64_t i = 0; i < n_sizes; ++i) {
+      sizes.push_back(static_cast<std::size_t>(r.u64()));
+    }
+    r.expect_done();
+    if (counts != nullptr) *counts = std::move(sizes);
+    // Allreduce results arrive as packed per-rank contributions (the
+    // proxy has no combiner — the typed fold lives here, in the child).
+    if (packed && combiner) result = fold_packed_allreduce(result, combiner);
+    return result;
+  }
+
+  std::vector<Comm::Packet> child_exchange(Comm& comm,
+                                           std::vector<Comm::Packet> outgoing,
+                                           const analysis::CallSite& site) {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(Verb::kExchange));
+    w.u64(comm.group_->id);
+    write_site(w, site);
+    w.u64(outgoing.size());
+    for (const Comm::Packet& p : outgoing) {
+      w.u32(p.peer);
+      w.blob(p.data.data(), p.data.size());
+    }
+    // Serialized: the buffers can go back to this rank's (child-local)
+    // arena for the next superstep.
+    BufferArena& arena = arenas_[comm.world_rank_];
+    for (Comm::Packet& p : outgoing) arena.release(std::move(p.data));
+    const std::vector<std::byte> reply = child_rpc_(w);
+    WireReader r(reply);
+    (void)read_verb(r);
+    const std::uint64_t n = r.u64();
+    std::vector<InboxEntry> entries;
+    entries.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      InboxEntry e;
+      e.src = r.u32();
+      e.packed = r.u8() != 0;
+      e.data = r.blob();
+      entries.push_back(std::move(e));
+    }
+    r.expect_done();
+    // The engine's coalesced packing travelled the wire verbatim; expand
+    // it locally, exactly as the in-process path would.
+    return comm.unpack_entries_(std::move(entries));
+  }
+
+  Comm child_split(Comm& comm, std::uint32_t color, std::uint32_t key,
+                   const analysis::CallSite& site) {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(Verb::kSplit));
+    w.u64(comm.group_->id);
+    w.u32(color);
+    w.u32(key);
+    write_site(w, site);
+    return read_group_reply_(comm, child_rpc_(w));
+  }
+
+  Comm child_shrink(Comm& comm, const analysis::CallSite& site) {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(Verb::kShrink));
+    w.u64(comm.group_->id);
+    write_site(w, site);
+    return read_group_reply_(comm, child_rpc_(w));
+  }
+
+  double child_clock() const {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(Verb::kClockQuery));
+    const std::vector<std::byte> reply = child_rpc_(w);
+    WireReader r(reply);
+    (void)read_verb(r);
+    const double value = r.f64();
+    r.expect_done();
+    return value;
+  }
+
+  const CostSnapshot& child_cost_snapshot() const {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(Verb::kSnapshotQuery));
+    const std::vector<std::byte> reply = child_rpc_(w);
+    WireReader r(reply);
+    (void)read_verb(r);
+    child_snapshot_.compute_seconds = r.f64();
+    child_snapshot_.comm_seconds = r.f64();
+    child_snapshot_.messages = r.u64();
+    child_snapshot_.bytes_sent = r.u64();
+    child_snapshot_.collectives = r.u64();
+    r.expect_done();
+    return child_snapshot_;
+  }
+
+  // Host-memory seam, child side (Comm::host_* route here). Fork keeps
+  // every pre-fork address — data and code alike — valid in both
+  // processes, so raw virtual addresses and function pointers are the
+  // wire representation.
+
+  void child_host_store(void* addr, const void* src, std::size_t len) const {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(Verb::kHostStore));
+    // sp-lint-allow(pointer-order): fork-stable host address on the wire
+    w.u64(reinterpret_cast<std::uintptr_t>(addr));
+    w.blob(src, len);
+    child_->data->send(w.buffer());
+  }
+
+  void child_host_load(const void* addr, void* dst, std::size_t len) const {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(Verb::kHostLoad));
+    // sp-lint-allow(pointer-order): fork-stable host address on the wire
+    w.u64(reinterpret_cast<std::uintptr_t>(addr));
+    w.u64(len);
+    const std::vector<std::byte> reply = child_rpc_(w);
+    WireReader r(reply);
+    (void)read_verb(r);
+    const std::vector<std::byte> bytes = r.blob();
+    r.expect_done();
+    SP_ASSERT(bytes.size() == len);
+    if (len != 0) std::memcpy(dst, bytes.data(), len);
+  }
+
+  void child_host_call_store(Comm::HostStoreThunk fn, void* ctx,
+                             const std::byte* data, std::size_t len) const {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(Verb::kHostCallStore));
+    // sp-lint-allow(pointer-order): fork-stable code/context addresses
+    w.u64(reinterpret_cast<std::uintptr_t>(fn));
+    // sp-lint-allow(pointer-order): fork-stable code/context addresses
+    w.u64(reinterpret_cast<std::uintptr_t>(ctx));
+    w.blob(data, len);
+    child_->data->send(w.buffer());
+  }
+
+  std::vector<std::byte> child_host_call_load(Comm::HostLoadThunk fn,
+                                              const void* ctx) const {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(Verb::kHostCallLoad));
+    // sp-lint-allow(pointer-order): fork-stable code/context addresses
+    w.u64(reinterpret_cast<std::uintptr_t>(fn));
+    // sp-lint-allow(pointer-order): fork-stable code/context addresses
+    w.u64(reinterpret_cast<std::uintptr_t>(ctx));
+    const std::vector<std::byte> reply = child_rpc_(w);
+    WireReader r(reply);
+    (void)read_verb(r);
+    std::vector<std::byte> out = r.blob();
+    r.expect_done();
+    return out;
+  }
+#endif  // SP_EXEC_PROCESS
 
  private:
   /// Straggler model: the product of all active slowdown factors for a
@@ -694,10 +1003,400 @@ class EngineImpl {
     throw RankKilled{};
   }
 
+#ifdef SP_EXEC_PROCESS
+  // ---- Parent-side supervisor machinery ----
+
+  /// Handshake nonce: pid + per-engine run counter, hashed. Unique enough
+  /// to catch a stale or foreign peer, with no wall clock or RNG involved.
+  std::uint64_t next_nonce_() {
+    return hash64((static_cast<std::uint64_t>(::getpid()) << 20) ^
+                  ++run_counter_);
+  }
+
+  void setup_process_backend_() {
+    process_mode_ = true;
+    proxy_awaiting_.assign(opt_.nranks, 0);
+    mirrors_.assign(opt_.nranks, {});
+    interned_.clear();
+    host_ = std::make_unique<ProcessHost>(opt_.nranks, next_nonce_());
+    for (std::uint32_t r = 1; r < opt_.nranks; ++r) {
+      std::unique_ptr<ChildEndpoint> ep = host_->spawn(r);
+      if (ep != nullptr) child_run_(std::move(ep));  // child: never returns
+    }
+    for (std::uint32_t r = 1; r < opt_.nranks; ++r) host_->handshake(r);
+    for (std::uint32_t r = 1; r < opt_.nranks; ++r) {
+      // The proxy replays rank r through mirror Comms — one per group the
+      // child opens — seeded with the world communicator.
+      mirrors_[r].emplace(world_->id, Comm(this, world_, r, r));
+    }
+    exec_->set_idle_handler([this] { return pump_children_(); });
+  }
+
+  void teardown_process_backend_() {
+    if (host_ != nullptr) host_->shutdown();
+    host_.reset();
+    mirrors_.clear();
+    proxy_awaiting_.clear();
+    exec_->set_idle_handler(nullptr);
+    process_mode_ = false;
+  }
+
+  /// Fiber-sweep idle hook (parent): when no fiber is runnable, block in
+  /// poll(2) on the channels of every rank whose proxy is parked waiting
+  /// for child traffic. Returns true if any frame or EOF arrived (some
+  /// proxy predicate may now pass). Returns false when no proxy is
+  /// waiting on the wire — every unfinished rank is parked in a
+  /// rendezvous, which is a genuine stall, and the deadlock handler takes
+  /// over with the same diagnostics as the fiber backend.
+  bool pump_children_() {
+    if (host_ == nullptr) return false;
+    std::vector<std::uint32_t> awaiting;
+    for (std::uint32_t r = 1; r < opt_.nranks; ++r) {
+      if (proxy_awaiting_[r] != 0) awaiting.push_back(r);
+    }
+    if (awaiting.empty()) return false;
+    return host_->poll_ranks(awaiting);
+  }
+
+  /// Whole life of a forked child: handshake, run the rank body with Comm
+  /// calls routed over the wire, report Exit, and _exit. Never returns.
+  [[noreturn]] void child_run_(std::unique_ptr<ChildEndpoint> ep) {
+    const std::uint32_t rank = ep->rank;
+    const std::uint64_t nonce = host_->nonce();
+    host_.reset();  // the parent's supervisor state means nothing here
+    child_ = std::move(ep);
+    try {
+      ProcessHost::child_handshake(*child_, opt_.nranks, nonce);
+      try {
+        Comm comm(this, world_, rank, rank);
+        (*program_)(comm);
+        WireWriter w;
+        w.u8(static_cast<std::uint8_t>(Verb::kExitOk));
+        child_->ctrl->send(w.buffer());
+      } catch (...) {
+        // Rank body threw (including a typed RankFailedError the program
+        // chose not to recover from): ship it; the proxy records it in
+        // this rank's exception slot exactly as the fiber backend would.
+        WireWriter w;
+        w.u8(static_cast<std::uint8_t>(Verb::kExitError));
+        write_exception(w, encode_exception(std::current_exception()));
+        child_->ctrl->send(w.buffer());
+      }
+    } catch (...) {
+      // Wire failure talking to the parent (teardown EOF after a peer's
+      // death, handshake mismatch): there is nobody left to report to.
+    }
+    // _exit, not exit: the child shares the parent's atexit/coverage
+    // state and must not run any of it.
+    ::_exit(0);
+  }
+
+  /// Child side of one request/reply RPC. Rethrows a kReplyError payload
+  /// as its typed exception; otherwise returns the raw reply frame for
+  /// the caller to decode (the caller re-reads the leading verb).
+  std::vector<std::byte> child_rpc_(const WireWriter& w) const {
+    child_->data->send(w.buffer());
+    std::vector<std::byte> reply = child_->data->recv();
+    WireReader r(reply);
+    if (read_verb(r) == Verb::kReplyError) {
+      rethrow_wire_exception(read_exception(r));
+    }
+    return reply;
+  }
+
+  /// Decodes a split/shrink reply (group id, my index, members) into a
+  /// child-local communicator.
+  Comm read_group_reply_(const Comm& comm,
+                         const std::vector<std::byte>& reply) {
+    WireReader r(reply);
+    (void)read_verb(r);
+    auto group = std::make_shared<GroupInfo>();
+    group->id = r.u64();
+    const std::uint32_t my_index = r.u32();
+    const std::uint64_t n = r.u64();
+    group->members.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) group->members.push_back(r.u32());
+    r.expect_done();
+    return Comm(this, std::move(group), my_index, comm.world_rank_);
+  }
+
+  /// Parent-side proxy body for a forked rank: replays the child's RPC
+  /// stream against the real engine until the child reports Exit or dies.
+  void proxy_main_(std::uint32_t rank) {
+    for (;;) {
+      std::vector<std::byte> frame = next_child_frame_(rank);
+      WireReader r(frame);
+      const Verb verb = read_verb(r);
+      if (verb == Verb::kExitOk) {
+        r.expect_done();
+        return;
+      }
+      if (verb == Verb::kExitError) {
+        exceptions_[rank] = decode_exception(read_exception(r));
+        return;
+      }
+      dispatch_(rank, verb, r);
+    }
+  }
+
+  /// Blocks the proxy fiber until its child sends a frame (data channel
+  /// preferred — the child sends Exit only after its last RPC round trip,
+  /// so no data frame is ever pending behind an Exit) or dies. EOF with
+  /// no frame is a real crash (SIGKILL, abort): it lands in kill_rank_ —
+  /// the modeled fail-stop path — so peers observe an ordinary
+  /// RankFailedError and shrink-and-recover works unchanged.
+  std::vector<std::byte> next_child_frame_(std::uint32_t rank) {
+    ProcessHost::Child& c = host_->child(rank);
+    FrameChannel& data = *c.data;
+    FrameChannel& ctrl = *c.ctrl;
+    exec::ExecLock guard(*exec_);
+    const exec::Executor::ReadyFn ready = [&data, &ctrl] {
+      return data.has_frame() || ctrl.has_frame() || data.eof() || ctrl.eof();
+    };
+    if (!ready()) {
+      proxy_awaiting_[rank] = 1;
+      exec_->block_until(rank, ready);
+      proxy_awaiting_[rank] = 0;
+    }
+    if (data.has_frame()) return data.take_frame();
+    if (ctrl.has_frame()) return ctrl.take_frame();
+    host_->close_child(rank);
+    kill_rank_(rank);
+  }
+
+  /// Sends a reply frame to `rank`'s child, mapping a dead reply path
+  /// (the child was killed while its operation was in flight) onto the
+  /// modeled failure machinery instead of failing the whole run.
+  void send_to_child_(std::uint32_t rank,
+                      const std::vector<std::byte>& frame) {
+    try {
+      host_->child(rank).data->send(frame);
+    } catch (const WireError&) {
+      exec::ExecLock guard(*exec_);
+      host_->close_child(rank);
+      if (!failed_[rank]) kill_rank_(rank);
+      throw RankKilled{};
+    }
+  }
+
+  Comm& mirror_(std::uint32_t rank, std::uint64_t gid) {
+    auto& m = mirrors_[rank];
+    auto it = m.find(gid);
+    if (it == m.end()) {
+      throw WireError(WireError::Kind::kDecode,
+                      "child rank " + std::to_string(rank) +
+                          " referenced unknown group " + std::to_string(gid));
+    }
+    return it->second;
+  }
+
+  /// Decodes a child call site, interning the strings (CallSite holds
+  /// const char*; std::set node addresses are stable for the engine's
+  /// lifetime).
+  analysis::CallSite read_site_(WireReader& r) {
+    std::string file = r.str();
+    const std::uint32_t line = r.u32();
+    std::string function = r.str();
+    analysis::CallSite site;
+    site.file = interned_.insert(std::move(file)).first->c_str();
+    site.line = line;
+    site.function = interned_.insert(std::move(function)).first->c_str();
+    return site;
+  }
+
+  /// Executes one RPC from rank `rank`'s child against the mirror state
+  /// and replies. Error discipline: a rank-level exception out of the
+  /// replay (divergence, usage error, RankFailedError at a dead
+  /// communicator) is encoded as kReplyError — the child rethrows it
+  /// typed and its program reacts exactly as a fiber-backend rank would.
+  /// RankKilled (the mirror rank died: fault plan, detector, dead reply
+  /// path) EOFs the child and unwinds the proxy like any killed rank.
+  /// Run teardown (RunAborted) and protocol corruption (WireError)
+  /// propagate — they are run-level, not rank-level.
+  void dispatch_(std::uint32_t rank, Verb verb, WireReader& r) {
+    switch (verb) {
+      case Verb::kAddCompute: {
+        const double units = r.f64();
+        r.expect_done();
+        add_compute(rank, units);
+        return;
+      }
+      case Verb::kSetStage: {
+        const std::string stage = r.str();
+        r.expect_done();
+        set_stage(rank, stage);
+        return;
+      }
+      case Verb::kHostStore: {
+        auto* addr =
+            reinterpret_cast<void*>(static_cast<std::uintptr_t>(r.u64()));
+        const std::vector<std::byte> data = r.blob();
+        r.expect_done();
+        if (!data.empty()) std::memcpy(addr, data.data(), data.size());
+        return;
+      }
+      case Verb::kHostCallStore: {
+        auto fn = reinterpret_cast<Comm::HostStoreThunk>(
+            static_cast<std::uintptr_t>(r.u64()));
+        auto* ctx =
+            reinterpret_cast<void*>(static_cast<std::uintptr_t>(r.u64()));
+        const std::vector<std::byte> data = r.blob();
+        r.expect_done();
+        fn(ctx, data.data(), data.size());
+        return;
+      }
+      default:
+        break;
+    }
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(Verb::kReplyOk));
+    try {
+      switch (verb) {
+        case Verb::kClockQuery: {
+          r.expect_done();
+          w.f64(clocks_[rank]);
+          break;
+        }
+        case Verb::kSnapshotQuery: {
+          r.expect_done();
+          const CostSnapshot& s = totals_[rank];
+          w.f64(s.compute_seconds);
+          w.f64(s.comm_seconds);
+          w.u64(s.messages);
+          w.u64(s.bytes_sent);
+          w.u64(s.collectives);
+          break;
+        }
+        case Verb::kHostLoad: {
+          const auto* addr = reinterpret_cast<const void*>(
+              static_cast<std::uintptr_t>(r.u64()));
+          const std::uint64_t len = r.u64();
+          r.expect_done();
+          w.blob(addr, static_cast<std::size_t>(len));
+          break;
+        }
+        case Verb::kHostCallLoad: {
+          auto fn = reinterpret_cast<Comm::HostLoadThunk>(
+              static_cast<std::uintptr_t>(r.u64()));
+          const auto* ctx = reinterpret_cast<const void*>(
+              static_cast<std::uintptr_t>(r.u64()));
+          r.expect_done();
+          std::vector<std::byte> out;
+          fn(ctx, out);
+          w.blob(out.data(), out.size());
+          break;
+        }
+        case Verb::kCollective: {
+          const auto kind = static_cast<Comm::CollKind>(r.u8());
+          const std::uint64_t gid = r.u64();
+          const std::uint32_t root = r.u32();
+          const std::uint32_t elem_width = r.u32();
+          const analysis::CallSite site = read_site_(r);
+          std::vector<std::byte> payload = r.blob();
+          r.expect_done();
+          std::vector<std::size_t> sizes;
+          std::vector<std::byte> result = mirror_(rank, gid).collective_(
+              kind, std::move(payload), root, nullptr, &sizes, elem_width,
+              site);
+          w.u8(kind == Comm::CollKind::kAllReduce ? 1 : 0);
+          w.blob(result.data(), result.size());
+          w.u64(sizes.size());
+          for (std::size_t s : sizes) w.u64(s);
+          break;
+        }
+        case Verb::kExchange: {
+          const std::uint64_t gid = r.u64();
+          const analysis::CallSite site = read_site_(r);
+          const std::uint64_t n = r.u64();
+          std::vector<Comm::Packet> outgoing;
+          outgoing.reserve(n);
+          for (std::uint64_t i = 0; i < n; ++i) {
+            Comm::Packet p;
+            p.peer = r.u32();
+            p.data = r.blob();
+            outgoing.push_back(std::move(p));
+          }
+          r.expect_done();
+          Comm& m = mirror_(rank, gid);
+          std::vector<InboxEntry> entries =
+              m.exchange_core_(std::move(outgoing), site);
+          {
+            exec::ExecLock guard(*exec_);
+            kill_if_doomed(rank);
+          }
+          // The coalesced packed entries ARE the wire payload — shipped
+          // verbatim; the child unpacks with the same code the
+          // in-process path uses.
+          w.u64(entries.size());
+          for (const InboxEntry& e : entries) {
+            w.u32(e.src);
+            w.u8(e.packed ? 1 : 0);
+            w.blob(e.data.data(), e.data.size());
+          }
+          break;
+        }
+        case Verb::kSplit: {
+          const std::uint64_t gid = r.u64();
+          const std::uint32_t color = r.u32();
+          const std::uint32_t key = r.u32();
+          const analysis::CallSite site = read_site_(r);
+          r.expect_done();
+          Comm sub = mirror_(rank, gid).split_(color, key, site);
+          w.u64(sub.group_->id);
+          w.u32(sub.group_rank_);
+          w.u64(sub.group_->members.size());
+          for (std::uint32_t m : sub.group_->members) w.u32(m);
+          mirrors_[rank].insert_or_assign(sub.group_->id, std::move(sub));
+          break;
+        }
+        case Verb::kShrink: {
+          const std::uint64_t gid = r.u64();
+          const analysis::CallSite site = read_site_(r);
+          r.expect_done();
+          Comm sub = mirror_(rank, gid).shrink_(site);
+          w.u64(sub.group_->id);
+          w.u32(sub.group_rank_);
+          w.u64(sub.group_->members.size());
+          for (std::uint32_t m : sub.group_->members) w.u32(m);
+          mirrors_[rank].insert_or_assign(sub.group_->id, std::move(sub));
+          break;
+        }
+        default:
+          throw WireError(WireError::Kind::kDecode,
+                          std::string("unexpected request verb ") +
+                              verb_name(verb));
+      }
+    } catch (const RankKilled&) {
+      host_->close_child(rank);
+      throw;
+    } catch (const exec::RunAborted&) {
+      throw;
+    } catch (const WireError&) {
+      throw;
+    } catch (...) {
+      WireWriter err;
+      err.u8(static_cast<std::uint8_t>(Verb::kReplyError));
+      write_exception(err, encode_exception(std::current_exception()));
+      send_to_child_(rank, err.buffer());
+      return;
+    }
+    send_to_child_(rank, w.buffer());
+  }
+#endif  // SP_EXEC_PROCESS
+
   void rank_main_(std::uint32_t rank) {
     try {
+#ifdef SP_EXEC_PROCESS
+      if (process_mode_ && rank > 0) {
+        proxy_main_(rank);
+      } else {
+        Comm comm(this, world_, rank, rank);
+        (*program_)(comm);
+      }
+#else
       Comm comm(this, world_, rank, rank);
       (*program_)(comm);
+#endif
     } catch (const RankKilled&) {
       // Fault-plan crash: the death is already recorded; the rank just
       // retires without surfacing an exception.
@@ -747,6 +1446,20 @@ class EngineImpl {
       group_registry_;
   std::set<std::uint64_t> group_ids_used_;
   std::shared_ptr<GroupInfo> world_;
+
+  /// True while run() supervises forked rank processes (parent side; the
+  /// children inherit it as true, but in_child() dominates there).
+  bool process_mode_ = false;
+#ifdef SP_EXEC_PROCESS
+  std::unique_ptr<ProcessHost> host_;         // parent-side supervisor
+  std::vector<std::uint8_t> proxy_awaiting_;  // proxy parked on child traffic
+  /// Per remote rank: group id -> mirror Comm the proxy replays through.
+  std::vector<std::map<std::uint64_t, Comm>> mirrors_;
+  std::set<std::string> interned_;  // stable child call-site strings
+  std::uint64_t run_counter_ = 0;   // handshake nonce derivation
+  std::unique_ptr<ChildEndpoint> child_;  // child side; null in the parent
+  mutable CostSnapshot child_snapshot_;   // reply buffer, cost_snapshot RPC
+#endif
 
  public:
   void resize_blocked() { blocked_on_.assign(opt_.nranks, nullptr); }
@@ -852,7 +1565,8 @@ CostSnapshot Comm::cost_snapshot() const {
 }
 
 void Comm::barrier(std::source_location loc) {
-  collective_(CollKind::kBarrier, {}, 0, nullptr, nullptr, 0, loc);
+  collective_(CollKind::kBarrier, {}, 0, nullptr, nullptr, 0,
+              analysis::CallSite::from(loc));
 }
 
 namespace {
@@ -878,7 +1592,13 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
                                          std::uint32_t root, Combiner combiner,
                                          std::vector<std::size_t>* counts,
                                          std::uint32_t elem_width,
-                                         const std::source_location& loc) {
+                                         const analysis::CallSite& site) {
+#ifdef SP_EXEC_PROCESS
+  if (engine_->in_child()) {
+    return engine_->child_collective(*this, kind, std::move(payload), root,
+                                     combiner, counts, elem_width, site);
+  }
+#endif
   // The engine lock spans the whole rendezvous (released only while
   // parked in wait_all_arrived); RAII so every throw path unlocks.
   exec::ExecLock guard(engine_->executor());
@@ -906,7 +1626,7 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
     sig.payload_bytes = payload.size();
     sig.world_rank = world_rank_;
     sig.group_rank = group_rank_;
-    sig.site = analysis::CallSite::from(loc);
+    sig.site = site;
     sig.stage = engine_->stage_of(world_rank_);
     engine_->check_and_record(st, sig);
   }
@@ -950,10 +1670,21 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
       case CollKind::kBarrier:
         break;
       case CollKind::kAllReduce: {
-        SP_ASSERT(combiner != nullptr);
-        st.result = st.contribs[0];
-        for (std::uint32_t r = 1; r < st.expected; ++r) {
-          combiner(st.result, st.contribs[r]);
+        if (engine_->process_mode()) {
+          // Proxy ranks carry no combiner — the typed fold lives in each
+          // child — so the "combined" result is the contributions packed
+          // as [u64 len][payload] frames in group-rank order: every
+          // picker with a combiner folds them itself, in the exact order
+          // the branch below would have.
+          for (std::uint32_t r = 0; r < st.expected; ++r) {
+            detail::append_frame(st.result, st.contribs[r]);
+          }
+        } else {
+          SP_ASSERT(combiner != nullptr);
+          st.result = st.contribs[0];
+          for (std::uint32_t r = 1; r < st.expected; ++r) {
+            combiner(st.result, st.contribs[r]);
+          }
         }
         break;
       }
@@ -975,11 +1706,32 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
     st.contribs.shrink_to_fit();
   }
 
-  // Cost accounting (recursive-doubling style collectives).
+  // Cost accounting (recursive-doubling style collectives). The result
+  // size is derived from the contribution sizes, not st.result.size():
+  // equal for every kind on the direct path, but in process mode an
+  // allreduce "result" carries per-contribution frame headers that must
+  // not be charged.
   const CostModel& model = engine_->model();
   const auto p = static_cast<std::uint32_t>(group_->members.size());
   const double log_p = detail::ceil_log2(p);
-  const auto result_bytes = static_cast<double>(st.result.size());
+  double result_bytes = 0.0;
+  switch (kind) {
+    case CollKind::kBarrier:
+      break;
+    case CollKind::kAllReduce:
+      result_bytes = static_cast<double>(st.contrib_sizes[0]);
+      break;
+    case CollKind::kAllGather:
+    case CollKind::kGather: {
+      std::size_t total = 0;
+      for (std::size_t s : st.contrib_sizes) total += s;
+      result_bytes = static_cast<double>(total);
+      break;
+    }
+    case CollKind::kBroadcast:
+      result_bytes = static_cast<double>(st.contrib_sizes[root]);
+      break;
+  }
   double seconds = 0.0;
   std::uint64_t msgs = static_cast<std::uint64_t>(log_p);
   std::uint64_t bytes = 0;
@@ -1026,6 +1778,14 @@ std::vector<std::byte> Comm::collective_(CollKind kind,
     my_result = st.result;
   }
   if (counts) *counts = st.contrib_sizes;
+#ifdef SP_EXEC_PROCESS
+  if (engine_->process_mode() && kind == CollKind::kAllReduce &&
+      combiner != nullptr) {
+    // The in-parent rank folds its own copy of the packed contributions
+    // (proxies ship theirs to the child instead; see the combine above).
+    my_result = detail::fold_packed_allreduce(my_result, combiner);
+  }
+#endif
 
 #ifdef SP_ANALYSIS
   // Pickup: this rank leaves with the join of every member's arrival
@@ -1056,8 +1816,15 @@ void Comm::recycle_(std::vector<std::byte>&& data) {
 
 std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
                                          std::source_location loc) {
+  return exchange_(std::move(outgoing), analysis::CallSite::from(loc));
+}
+
+std::vector<Comm::Packet> Comm::exchange_(std::vector<Packet> outgoing,
+                                          const analysis::CallSite& site) {
   // Validate peers before touching any engine state: a bad destination
-  // must not corrupt the rendezvous it would have joined.
+  // must not corrupt the rendezvous it would have joined. Child ranks
+  // validate locally too, so the error surfaces in the caller's frame
+  // instead of crossing the wire.
   for (const Packet& p : outgoing) {
     if (p.peer >= group_->members.size()) {
       throw CommUsageError(
@@ -1068,6 +1835,21 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
           std::to_string(nranks()) + " rank(s)");
     }
   }
+#ifdef SP_EXEC_PROCESS
+  if (engine_->in_child()) {
+    return engine_->child_exchange(*this, std::move(outgoing), site);
+  }
+#endif
+  auto inbox = unpack_entries_(exchange_core_(std::move(outgoing), site));
+  // Detector escalation unwinds the doomed rank after its inbox is fully
+  // formed (proxy dispatch does the same before serializing the reply).
+  exec::ExecLock guard(engine_->executor());
+  engine_->kill_if_doomed(world_rank_);
+  return inbox;
+}
+
+std::vector<detail::InboxEntry> Comm::exchange_core_(
+    std::vector<Packet> outgoing, const analysis::CallSite& site) {
   exec::ExecLock guard(engine_->executor());
   engine_->on_comm_event(world_rank_);
 #ifdef SP_OBS
@@ -1087,7 +1869,7 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
     sig.world_rank = world_rank_;
     sig.group_rank = group_rank_;
     for (const Packet& p : outgoing) sig.payload_bytes += p.data.size();
-    sig.site = analysis::CallSite::from(loc);
+    sig.site = site;
     sig.stage = engine_->stage_of(world_rank_);
     engine_->check_and_record(st, sig);
   }
@@ -1170,33 +1952,24 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
 
   // msgs_in mirrors msgs_out's accounting: received *messages*, i.e.
   // mailbox entries — per-peer batches when coalescing, packets otherwise.
+  // bytes_in counts payload bytes only (the frame headers of a packed
+  // batch are wire overhead, invisible to the cost model); it is computed
+  // by walking the entries so the actual unpack can happen outside the
+  // engine lock — for a remote rank, in the child's own address space.
   const std::uint64_t msgs_in = entries.size();
-  std::vector<Packet> inbox;
-  inbox.reserve(entries.size());
   std::uint64_t bytes_in = 0;
-  for (auto& e : entries) {
+  for (const auto& e : entries) {
     if (!e.packed) {
       bytes_in += e.data.size();
-      inbox.push_back(Packet{e.src, std::move(e.data)});
       continue;
     }
-    // Unpack one batch into per-packet buffers from this rank's arena;
-    // only payload bytes (not frame headers) reach the cost model, so
-    // bytes_in matches the legacy path exactly.
-    BufferArena& arena = engine_->arena(world_rank_);
     std::size_t off = 0;
     while (off < e.data.size()) {
       std::uint64_t len = 0;
       std::memcpy(&len, e.data.data() + off, sizeof(len));
-      off += sizeof(len);
-      std::vector<std::byte> buf =
-          arena.acquire(static_cast<std::size_t>(len));
-      if (len != 0) std::memcpy(buf.data(), e.data.data() + off, len);
-      off += static_cast<std::size_t>(len);
+      off += sizeof(len) + static_cast<std::size_t>(len);
       bytes_in += len;
-      inbox.push_back(Packet{e.src, std::move(buf)});
     }
-    arena.release(std::move(e.data));
   }
   const CostModel& model = engine_->model();
   double seconds =
@@ -1233,13 +2006,94 @@ std::vector<Comm::Packet> Comm::exchange(std::vector<Packet> outgoing,
   if (++st.pickups == st.expected) {
     engine_->erase_state(*group_, my_seq);
   }
-  // See collective_: escalation unwinds the doomed rank at its own pickup.
-  engine_->kill_if_doomed(world_rank_);
+  return entries;
+}
+
+std::vector<Comm::Packet> Comm::unpack_entries_(
+    std::vector<detail::InboxEntry> entries) {
+  std::vector<Packet> inbox;
+  inbox.reserve(entries.size());
+  for (auto& e : entries) {
+    if (!e.packed) {
+      inbox.push_back(Packet{e.src, std::move(e.data)});
+      continue;
+    }
+    // Unpack one batch into per-packet buffers from this rank's arena.
+    BufferArena& arena = engine_->arena(world_rank_);
+    std::size_t off = 0;
+    while (off < e.data.size()) {
+      std::uint64_t len = 0;
+      std::memcpy(&len, e.data.data() + off, sizeof(len));
+      off += sizeof(len);
+      std::vector<std::byte> buf = arena.acquire(static_cast<std::size_t>(len));
+      if (len != 0) std::memcpy(buf.data(), e.data.data() + off, len);
+      off += static_cast<std::size_t>(len);
+      inbox.push_back(Packet{e.src, std::move(buf)});
+    }
+    arena.release(std::move(e.data));
+  }
   return inbox;
+}
+
+bool Comm::remote_memory() const {
+#ifdef SP_EXEC_PROCESS
+  return engine_->in_child();
+#else
+  return false;
+#endif
+}
+
+void Comm::host_store(void* addr, const void* src, std::size_t len) const {
+#ifdef SP_EXEC_PROCESS
+  if (engine_->in_child()) {
+    engine_->child_host_store(addr, src, len);
+    return;
+  }
+#endif
+  if (len != 0) std::memcpy(addr, src, len);
+}
+
+void Comm::host_load(const void* addr, void* dst, std::size_t len) const {
+#ifdef SP_EXEC_PROCESS
+  if (engine_->in_child()) {
+    engine_->child_host_load(addr, dst, len);
+    return;
+  }
+#endif
+  if (len != 0) std::memcpy(dst, addr, len);
+}
+
+void Comm::host_call_store(HostStoreThunk fn, void* ctx, const std::byte* data,
+                           std::size_t len) const {
+#ifdef SP_EXEC_PROCESS
+  if (engine_->in_child()) {
+    engine_->child_host_call_store(fn, ctx, data, len);
+    return;
+  }
+#endif
+  fn(ctx, data, len);
+}
+
+std::vector<std::byte> Comm::host_call_load(HostLoadThunk fn,
+                                            const void* ctx) const {
+#ifdef SP_EXEC_PROCESS
+  if (engine_->in_child()) return engine_->child_host_call_load(fn, ctx);
+#endif
+  std::vector<std::byte> out;
+  fn(ctx, out);
+  return out;
 }
 
 Comm Comm::split(std::uint32_t color, std::uint32_t key,
                  std::source_location loc) {
+  return split_(color, key, analysis::CallSite::from(loc));
+}
+
+Comm Comm::split_(std::uint32_t color, std::uint32_t key,
+                  const analysis::CallSite& site) {
+#ifdef SP_EXEC_PROCESS
+  if (engine_->in_child()) return engine_->child_split(*this, color, key, site);
+#endif
   // Gather (color, key, world rank) triples from the whole group. The
   // user's split call site is forwarded so divergence reports name it,
   // not this internal allgather.
@@ -1247,7 +2101,11 @@ Comm Comm::split(std::uint32_t color, std::uint32_t key,
     std::uint32_t color, key, world_rank;
   };
   Entry mine{color, key, world_rank_};
-  auto all = allgatherv(std::span<const Entry>(&mine, 1), nullptr, loc);
+  auto all = from_bytes_<Entry>(
+      collective_(CollKind::kAllGather, as_bytes_(std::span<const Entry>(
+                                            &mine, 1)),
+                  /*root=*/0, nullptr, /*counts=*/nullptr, sizeof(Entry),
+                  site));
 
   std::vector<Entry> members;
   for (const Entry& e : all) {
@@ -1273,6 +2131,13 @@ Comm Comm::split(std::uint32_t color, std::uint32_t key,
 }
 
 Comm Comm::shrink(std::source_location loc) {
+  return shrink_(analysis::CallSite::from(loc));
+}
+
+Comm Comm::shrink_(const analysis::CallSite& site) {
+#ifdef SP_EXEC_PROCESS
+  if (engine_->in_child()) return engine_->child_shrink(*this, site);
+#endif
   // Shrink rendezvous are keyed off the engine-global failure count, not
   // this comm's seq_ counter: survivors reach shrink() having consumed
   // different numbers of sequence slots (some threw at entry, some were
@@ -1299,7 +2164,7 @@ Comm Comm::shrink(std::source_location loc) {
       sig.seq = key;
       sig.world_rank = world_rank_;
       sig.group_rank = group_rank_;
-      sig.site = analysis::CallSite::from(loc);
+      sig.site = site;
       sig.stage = engine_->stage_of(world_rank_);
       engine_->check_and_record(st, sig);
     }

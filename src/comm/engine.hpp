@@ -3,7 +3,11 @@
 // BspEngine runs P "ranks" on a pluggable execution backend (sp::exec):
 // the default fiber backend cooperatively schedules all ranks on one OS
 // thread; the threads backend runs each rank on its own thread, throttled
-// to T runnable at a time. Ranks communicate only through the Comm API
+// to T runnable at a time; the process backend forks ranks 1..P-1 into
+// real OS processes that speak the engine's packed frame format over
+// Unix-domain sockets while parent-side proxy fibers replay their
+// operations through the real rendezvous code (DESIGN.md §11). Ranks
+// communicate only through the Comm API
 // (MPI-flavoured collectives, bulk point-to-point supersteps, communicator
 // splitting), so the algorithms written against it have exactly the
 // communication structure of a real MPI implementation — runnable at
@@ -44,6 +48,7 @@ namespace sp::comm {
 namespace detail {
 class EngineImpl;
 struct GroupInfo;
+struct InboxEntry;
 }  // namespace detail
 
 enum class ReduceOp { kSum, kMin, kMax };
@@ -134,7 +139,8 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     auto combined = collective_(CollKind::kAllReduce, as_bytes_(values),
                                 /*root=*/0, make_combiner_<T>(op),
-                                /*counts=*/nullptr, sizeof(T), loc);
+                                /*counts=*/nullptr, sizeof(T),
+                                analysis::CallSite::from(loc));
     return from_bytes_<T>(combined);
   }
 
@@ -155,7 +161,8 @@ class Comm {
       std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
     auto combined = collective_(CollKind::kAllGather, as_bytes_(values),
-                                /*root=*/0, nullptr, counts, sizeof(T), loc);
+                                /*root=*/0, nullptr, counts, sizeof(T),
+                                analysis::CallSite::from(loc));
     if (counts) {
       for (auto& c : *counts) c /= sizeof(T);
     }
@@ -170,7 +177,8 @@ class Comm {
       std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
     auto combined = collective_(CollKind::kGather, as_bytes_(values), root,
-                                nullptr, counts, sizeof(T), loc);
+                                nullptr, counts, sizeof(T),
+                                analysis::CallSite::from(loc));
     if (counts) {
       for (auto& c : *counts) c /= sizeof(T);
     }
@@ -187,7 +195,8 @@ class Comm {
     std::span<const T> mine =
         rank() == root ? values : std::span<const T>{};
     auto combined = collective_(CollKind::kBroadcast, as_bytes_(mine), root,
-                                nullptr, /*counts=*/nullptr, sizeof(T), loc);
+                                nullptr, /*counts=*/nullptr, sizeof(T),
+                                analysis::CallSite::from(loc));
     return from_bytes_<T>(combined);
   }
 
@@ -263,6 +272,44 @@ class Comm {
   /// is that of a small allgather over the survivors.
   Comm shrink(std::source_location loc = std::source_location::current());
 
+  // ---- Host (parent-process) memory seam ----
+  //
+  // Under the multi-process backend a rank body runs in a forked child:
+  // writes to rank-shared host state (the analysis::SharedSpan /
+  // shared_store slots) must reach the *parent's* memory to be visible
+  // after the run. These accessors are that seam: in the parent (fiber /
+  // threads backends, or world rank 0 of a process run) they are plain
+  // memory accesses; in a child they ship the access over the RPC socket,
+  // where FIFO ordering against this rank's rendezvous traffic preserves
+  // the write -> barrier -> read discipline. Fork keeps every pre-fork
+  // address (and function address) valid in both processes, which is what
+  // makes the raw-address and thunk forms sound. Zero modeled cost.
+
+  /// True when this rank body executes in a forked child process (reads
+  /// of host state return stale copy-on-write snapshots unless routed
+  /// through host_load / the thunk calls).
+  bool remote_memory() const;
+
+  /// Copies `len` bytes to / from parent-process memory at `addr` (which
+  /// must be a pre-fork-stable address of trivially-copyable data).
+  void host_store(void* addr, const void* src, std::size_t len) const;
+  void host_load(const void* addr, void* dst, std::size_t len) const;
+
+  /// Host-call thunks: plain function pointers (valid across fork)
+  /// executed in the parent process with a pre-fork-stable context
+  /// pointer. The store form ships a byte payload to the parent; the
+  /// load form returns bytes produced in the parent. These carry
+  /// non-trivially-copyable updates (vector assigns, persist callbacks)
+  /// across the process boundary.
+  using HostStoreThunk = void (*)(void* ctx, const std::byte* data,
+                                  std::size_t len);
+  using HostLoadThunk = void (*)(const void* ctx,
+                                 std::vector<std::byte>& out);
+  void host_call_store(HostStoreThunk fn, void* ctx, const std::byte* data,
+                       std::size_t len) const;
+  std::vector<std::byte> host_call_load(HostLoadThunk fn,
+                                        const void* ctx) const;
+
   /// Implementation detail, public only so the engine's rendezvous state
   /// can name it; not part of the user API.
   enum class CollKind { kBarrier, kAllReduce, kAllGather, kGather, kBroadcast };
@@ -277,13 +324,34 @@ class Comm {
 
   /// Type-erased collective core (defined in engine.cpp). `elem_width` is
   /// sizeof(T) at the typed call site (0 = untyped), recorded into the
-  /// call signature the matching lint validates across ranks.
+  /// call signature the matching lint validates across ranks. Takes a
+  /// resolved CallSite (not a source_location) so the process backend's
+  /// proxy fibers can replay a child rank's operation under the child's
+  /// original call site.
   std::vector<std::byte> collective_(CollKind kind,
                                      std::vector<std::byte> payload,
                                      std::uint32_t root, Combiner combiner,
                                      std::vector<std::size_t>* counts,
                                      std::uint32_t elem_width,
-                                     const std::source_location& loc);
+                                     const analysis::CallSite& site);
+
+  // CallSite-based internals behind the public exchange/split/shrink
+  // wrappers, shared by the direct (fiber/threads) path and the process
+  // backend's proxy replay. exchange is further split around the wire
+  // boundary: exchange_core_ runs the full rendezvous/fault/cost pipeline
+  // and returns the coalesced inbox entries *packed* (what a child is
+  // sent verbatim — the packing is the wire format); unpack_entries_
+  // expands them into packets via this rank's arena (thread-confined, so
+  // it runs without the engine lock, in whichever process the rank body
+  // lives).
+  std::vector<Packet> exchange_(std::vector<Packet> outgoing,
+                                const analysis::CallSite& site);
+  std::vector<detail::InboxEntry> exchange_core_(
+      std::vector<Packet> outgoing, const analysis::CallSite& site);
+  std::vector<Packet> unpack_entries_(std::vector<detail::InboxEntry> entries);
+  Comm split_(std::uint32_t color, std::uint32_t key,
+              const analysis::CallSite& site);
+  Comm shrink_(const analysis::CallSite& site);
 
   /// Copies `bytes` bytes from `src` into a buffer acquired from this
   /// rank's arena (defined in engine.cpp; arenas are thread-confined so

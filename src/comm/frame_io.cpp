@@ -9,7 +9,7 @@
 namespace sp::comm {
 
 namespace {
-constexpr char kMagic[8] = {'S', 'P', 'F', 'R', 'A', 'M', 'E', '\0'};
+constexpr const char (&kMagic)[8] = kFrameMagic;
 }  // namespace
 
 std::uint64_t frame_checksum(const void* data, std::size_t len) {

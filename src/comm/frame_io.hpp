@@ -37,6 +37,12 @@ class FrameError : public std::runtime_error {
 /// Current durable frame format version (bump on incompatible change).
 inline constexpr std::uint32_t kFrameFormatVersion = 1;
 
+/// The 8-byte header magic. Shared with the process backend's socket
+/// handshake (comm/wire.hpp), which validates the same magic + version
+/// before any RPC traffic flows.
+inline constexpr char kFrameMagic[8] = {'S', 'P', 'F', 'R', 'A', 'M', 'E',
+                                        '\0'};
+
 /// Checksum of a payload as stored in a frame trailer.
 std::uint64_t frame_checksum(const void* data, std::size_t len);
 

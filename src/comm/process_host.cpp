@@ -1,0 +1,180 @@
+#include "comm/process_host.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "comm/process_proto.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace sp::comm::detail {
+
+namespace {
+
+std::pair<int, int> make_socketpair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw WireError(WireError::Kind::kIo,
+                    std::string("socketpair failed: ") + std::strerror(errno));
+  }
+  return {fds[0], fds[1]};
+}
+
+}  // namespace
+
+ProcessHost::ProcessHost(std::uint32_t nranks, std::uint64_t nonce)
+    : nranks_(nranks), nonce_(nonce), children_(nranks) {}
+
+ProcessHost::~ProcessHost() { shutdown(); }
+
+std::unique_ptr<ChildEndpoint> ProcessHost::spawn(std::uint32_t rank) {
+  SP_ASSERT(rank > 0 && rank < nranks_);
+  auto [ctrl_parent, ctrl_child] = make_socketpair();
+  auto [data_parent, data_child] = make_socketpair();
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(ctrl_parent);
+    ::close(ctrl_child);
+    ::close(data_parent);
+    ::close(data_child);
+    throw WireError(WireError::Kind::kIo,
+                    std::string("fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: keep only our own child-side ends. Drop the parent-side
+    // ends of this pair and every fd inherited from earlier siblings, so
+    // each socket has exactly two owners.
+    ::close(ctrl_parent);
+    ::close(data_parent);
+    for (Child& sibling : children_) {
+      sibling.ctrl.reset();
+      sibling.data.reset();
+      sibling.pid = -1;
+      sibling.reaped = true;
+    }
+    auto ep = std::make_unique<ChildEndpoint>();
+    ep->rank = rank;
+    ep->ctrl = std::make_unique<FrameChannel>(ctrl_child);
+    ep->data = std::make_unique<FrameChannel>(data_child);
+    return ep;
+  }
+
+  // Parent.
+  ::close(ctrl_child);
+  ::close(data_child);
+  Child& c = children_[rank];
+  c.pid = pid;
+  c.ctrl = std::make_unique<FrameChannel>(ctrl_parent);
+  c.data = std::make_unique<FrameChannel>(data_parent);
+  c.reaped = false;
+  return nullptr;
+}
+
+void ProcessHost::handshake(std::uint32_t rank) {
+  Child& c = child(rank);
+  c.ctrl->send(encode_handshake(Verb::kHello, rank, nranks_, nonce_));
+  const std::vector<std::byte> welcome = c.ctrl->recv();
+  check_handshake(welcome, Verb::kWelcome, rank, nranks_, nonce_);
+}
+
+void ProcessHost::child_handshake(ChildEndpoint& ep, std::uint32_t nranks,
+                                  std::uint64_t nonce) {
+  const std::vector<std::byte> hello = ep.ctrl->recv();
+  check_handshake(hello, Verb::kHello, ep.rank, nranks, nonce);
+  ep.ctrl->send(encode_handshake(Verb::kWelcome, ep.rank, nranks, nonce));
+}
+
+ProcessHost::Child& ProcessHost::child(std::uint32_t rank) {
+  SP_ASSERT(rank > 0 && rank < nranks_);
+  return children_[rank];
+}
+
+bool ProcessHost::poll_ranks(const std::vector<std::uint32_t>& ranks) {
+  std::vector<pollfd> fds;
+  std::vector<FrameChannel*> channels;
+  for (std::uint32_t r : ranks) {
+    Child& c = child(r);
+    for (FrameChannel* ch : {c.ctrl.get(), c.data.get()}) {
+      if (ch == nullptr || ch->fd() < 0 || ch->eof()) continue;
+      fds.push_back(pollfd{ch->fd(), POLLIN, 0});
+      channels.push_back(ch);
+    }
+  }
+  if (fds.empty()) return false;
+
+  int ready;
+  do {
+    ready = ::poll(fds.data(), fds.size(), /*timeout=*/-1);
+  } while (ready < 0 && errno == EINTR);
+  if (ready < 0) {
+    throw WireError(WireError::Kind::kIo,
+                    std::string("poll failed: ") + std::strerror(errno));
+  }
+  bool progressed = false;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    try {
+      channels[i]->pump();
+    } catch (const WireError& e) {
+      // A child killed mid-send leaves a dangling partial frame; the
+      // channel is already at EOF, so let the proxy's eof predicate map
+      // it to a rank failure. Anything else (corruption on a live
+      // channel) is a real wire fault and propagates.
+      if (e.kind() != WireError::Kind::kTruncated) throw;
+    }
+    progressed = true;
+  }
+  return progressed;
+}
+
+void ProcessHost::close_child(std::uint32_t rank) {
+  Child& c = child(rank);
+  if (c.ctrl) c.ctrl->close();
+  if (c.data) c.data->close();
+}
+
+void ProcessHost::shutdown() {
+  // EOF every child first so a blocked one unwinds and exits on its own.
+  for (Child& c : children_) {
+    if (c.ctrl) c.ctrl->close();
+    if (c.data) c.data->close();
+  }
+  // Grace period for voluntary exits, then SIGKILL the stragglers. The
+  // deadline is supervision plumbing (like wall_seconds), not anything
+  // modeled.
+  WallTimer timer;
+  const double kGraceSeconds = 10.0;
+  for (;;) {
+    bool pending = false;
+    for (Child& c : children_) {
+      if (c.pid <= 0 || c.reaped) continue;
+      int status = 0;
+      const pid_t got = ::waitpid(c.pid, &status, WNOHANG);
+      if (got == c.pid || (got < 0 && errno == ECHILD)) {
+        c.reaped = true;
+      } else {
+        pending = true;
+      }
+    }
+    if (!pending) return;
+    if (timer.seconds() > kGraceSeconds) break;
+    ::usleep(2000);
+  }
+  for (Child& c : children_) {
+    if (c.pid <= 0 || c.reaped) continue;
+    ::kill(c.pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(c.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    c.reaped = true;
+  }
+}
+
+}  // namespace sp::comm::detail

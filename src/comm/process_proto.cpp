@@ -1,0 +1,226 @@
+#include "comm/process_proto.hpp"
+
+#include <cstring>
+
+#include "comm/engine.hpp"
+#include "comm/fault_plan.hpp"
+#include "comm/frame_io.hpp"
+
+namespace sp::comm {
+
+const char* verb_name(Verb v) {
+  switch (v) {
+    case Verb::kHello:
+      return "hello";
+    case Verb::kWelcome:
+      return "welcome";
+    case Verb::kExitOk:
+      return "exit-ok";
+    case Verb::kExitError:
+      return "exit-error";
+    case Verb::kCollective:
+      return "collective";
+    case Verb::kExchange:
+      return "exchange";
+    case Verb::kSplit:
+      return "split";
+    case Verb::kShrink:
+      return "shrink";
+    case Verb::kClockQuery:
+      return "clock-query";
+    case Verb::kSnapshotQuery:
+      return "snapshot-query";
+    case Verb::kHostLoad:
+      return "host-load";
+    case Verb::kHostCallLoad:
+      return "host-call-load";
+    case Verb::kAddCompute:
+      return "add-compute";
+    case Verb::kSetStage:
+      return "set-stage";
+    case Verb::kHostStore:
+      return "host-store";
+    case Verb::kHostCallStore:
+      return "host-call-store";
+    case Verb::kReplyOk:
+      return "reply-ok";
+    case Verb::kReplyError:
+      return "reply-error";
+  }
+  return "?";
+}
+
+Verb read_verb(WireReader& reader) {
+  const std::uint8_t raw = reader.u8();
+  if (raw < static_cast<std::uint8_t>(Verb::kHello) ||
+      raw > static_cast<std::uint8_t>(Verb::kReplyError)) {
+    throw WireError(WireError::Kind::kDecode,
+                    "unknown frame verb " + std::to_string(raw));
+  }
+  return static_cast<Verb>(raw);
+}
+
+std::vector<std::byte> encode_handshake(Verb verb, std::uint32_t world_rank,
+                                        std::uint32_t nranks,
+                                        std::uint64_t nonce) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(verb));
+  w.bytes(kFrameMagic, sizeof(kFrameMagic));
+  w.u32(kFrameFormatVersion);
+  w.u32(world_rank);
+  w.u32(nranks);
+  w.u64(nonce);
+  return w.take();
+}
+
+void check_handshake(std::span<const std::byte> frame, Verb expect_verb,
+                     std::uint32_t expect_rank, std::uint32_t expect_nranks,
+                     std::uint64_t expect_nonce) {
+  WireReader r(frame);
+  const Verb verb = read_verb(r);
+  if (verb != expect_verb) {
+    throw WireError(WireError::Kind::kHandshake,
+                    std::string("expected ") + verb_name(expect_verb) +
+                        " frame, got " + verb_name(verb));
+  }
+  char magic[sizeof(kFrameMagic)];
+  std::span<const std::byte> raw = r.raw(sizeof(kFrameMagic));
+  std::memcpy(magic, raw.data(), sizeof(magic));
+  if (std::memcmp(magic, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    throw WireError(WireError::Kind::kHandshake, "bad SPFRAME magic");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kFrameFormatVersion) {
+    throw WireError(WireError::Kind::kHandshake,
+                    "frame format version mismatch: peer " +
+                        std::to_string(version) + ", this build " +
+                        std::to_string(kFrameFormatVersion));
+  }
+  const std::uint32_t rank = r.u32();
+  if (rank != expect_rank) {
+    throw WireError(WireError::Kind::kHandshake,
+                    "peer identifies as rank " + std::to_string(rank) +
+                        ", expected rank " + std::to_string(expect_rank));
+  }
+  const std::uint32_t nranks = r.u32();
+  if (nranks != expect_nranks) {
+    throw WireError(WireError::Kind::kHandshake,
+                    "peer world size " + std::to_string(nranks) +
+                        ", expected " + std::to_string(expect_nranks));
+  }
+  const std::uint64_t nonce = r.u64();
+  if (nonce != expect_nonce) {
+    throw WireError(WireError::Kind::kHandshake,
+                    "session nonce mismatch (stale or foreign peer)");
+  }
+  r.expect_done();
+}
+
+namespace {
+
+WireException make_wire_exception(const char* type, const std::exception& e,
+                                  std::vector<std::byte> payload = {}) {
+  WireException we;
+  we.type = type;
+  we.what = e.what();
+  we.payload = std::move(payload);
+  return we;
+}
+
+std::vector<std::byte> encode_failed_ranks(const RankFailedError& e) {
+  WireWriter w;
+  const auto& failed = e.failed_ranks();
+  w.u64(failed.size());
+  for (std::uint32_t r : failed) w.u32(r);
+  return w.take();
+}
+
+std::vector<std::uint32_t> decode_failed_ranks(
+    const std::vector<std::byte>& payload) {
+  WireReader r(payload);
+  const std::uint64_t n = r.u64();
+  std::vector<std::uint32_t> failed;
+  failed.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) failed.push_back(r.u32());
+  r.expect_done();
+  return failed;
+}
+
+}  // namespace
+
+WireException encode_exception(const std::exception_ptr& e) {
+  // Probe most-derived first: the first catch that matches names the
+  // wire type. Anything unrecognized degrades to its nearest std base so
+  // the child still sees a sensible typed error.
+  try {
+    std::rethrow_exception(e);
+  } catch (const RankFailedError& ex) {
+    return make_wire_exception("RankFailedError", ex, encode_failed_ranks(ex));
+  } catch (const SpmdDivergenceError& ex) {
+    return make_wire_exception("SpmdDivergenceError", ex);
+  } catch (const CommUsageError& ex) {
+    return make_wire_exception("CommUsageError", ex);
+  } catch (const DeadlockError& ex) {
+    return make_wire_exception("DeadlockError", ex);
+  } catch (const FrameError& ex) {
+    return make_wire_exception("FrameError", ex);
+  } catch (const WireError& ex) {
+    return make_wire_exception("WireError", ex);
+  } catch (const FaultPlanError& ex) {
+    return make_wire_exception("FaultPlanError", ex);
+  } catch (const std::invalid_argument& ex) {
+    return make_wire_exception("std::invalid_argument", ex);
+  } catch (const std::logic_error& ex) {
+    return make_wire_exception("std::logic_error", ex);
+  } catch (const std::runtime_error& ex) {
+    return make_wire_exception("std::runtime_error", ex);
+  } catch (const std::exception& ex) {
+    return make_wire_exception("std::exception", ex);
+  } catch (...) {
+    WireException we;
+    we.type = "unknown";
+    we.what = "non-std exception crossed the process boundary";
+    return we;
+  }
+}
+
+void write_exception(WireWriter& writer, const WireException& we) {
+  writer.str(we.type);
+  writer.str(we.what);
+  writer.blob(we.payload.data(), we.payload.size());
+}
+
+WireException read_exception(WireReader& reader) {
+  WireException we;
+  we.type = reader.str();
+  we.what = reader.str();
+  we.payload = reader.blob();
+  return we;
+}
+
+void rethrow_wire_exception(const WireException& we) {
+  if (we.type == "RankFailedError") {
+    throw RankFailedError(decode_failed_ranks(we.payload));
+  }
+  if (we.type == "SpmdDivergenceError") throw SpmdDivergenceError(we.what);
+  if (we.type == "CommUsageError") throw CommUsageError(we.what);
+  if (we.type == "DeadlockError") throw DeadlockError(we.what);
+  if (we.type == "FrameError") throw FrameError(we.what);
+  if (we.type == "FaultPlanError") throw FaultPlanError(we.what);
+  if (we.type == "std::invalid_argument") {
+    throw std::invalid_argument(we.what);
+  }
+  if (we.type == "std::logic_error") throw std::logic_error(we.what);
+  if (we.type == "std::runtime_error") throw std::runtime_error(we.what);
+  throw RemoteError(we.type, we.what);
+}
+
+std::exception_ptr decode_exception(const WireException& we) {
+  try {
+    rethrow_wire_exception(we);
+  } catch (...) {
+    return std::current_exception();
+  }
+}
+
+}  // namespace sp::comm

@@ -1,0 +1,128 @@
+// RPC protocol between a child rank process and the parent supervisor
+// (the multi-process backend, DESIGN.md §11).
+//
+// Every frame on a process-backend socket (comm/wire.hpp framing) is
+// [u8 verb][verb-specific payload]. The child is a thin client: its Comm
+// methods encode one request per operation and block for the reply; the
+// parent replays the operation against the real rendezvous state through
+// a proxy fiber, so all matching/combining/cost logic runs parent-side
+// and the modeled clocks are bit-identical to the fiber backend.
+//
+// Two sockets per child keep concerns separate:
+//   control  handshake (SPFRAME magic + format version, checksummed like
+//            every frame) and the final Exit frame;
+//   data     all RPC traffic.
+//
+// Errors cross the wire as WireException — a (type, what, payload)
+// triple encoded by probing a fixed codec list from most-derived to
+// least. rethrow_wire_exception() reverses it, reconstructing the typed
+// exception where the engine's semantics depend on the type (a child
+// must catch a real RankFailedError to run shrink-and-recover) and
+// falling back to RemoteError (which preserves the type name in its
+// message) for everything else.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/wire.hpp"
+
+namespace sp::comm {
+
+/// Frame verbs. Request verbs flow child -> parent on the data socket;
+/// kReply* flow back. kHello/kWelcome/kExit* live on the control socket.
+enum class Verb : std::uint8_t {
+  // Handshake + lifecycle (control socket).
+  kHello = 1,    // parent -> child: identity + wire-format check
+  kWelcome,      // child -> parent: echo of kHello
+  kExitOk,       // child -> parent: rank body returned normally
+  kExitError,    // child -> parent: rank body threw (WireException)
+  // Comm operations (data socket, request/reply).
+  kCollective,   // barrier/allreduce/allgather/gather/broadcast
+  kExchange,     // bulk point-to-point superstep
+  kSplit,        // communicator split
+  kShrink,       // ULFM shrink among survivors
+  kClockQuery,   // -> f64 virtual clock
+  kSnapshotQuery,  // -> CostSnapshot fields
+  kHostLoad,     // read parent memory (shared-state seam)
+  kHostCallLoad,   // run a load thunk in the parent
+  // Comm operations (data socket, one-way — FIFO ordering makes the
+  // next request/reply a sufficient acknowledgement).
+  kAddCompute,
+  kSetStage,
+  kHostStore,    // write parent memory (shared-state seam)
+  kHostCallStore,  // run a store thunk in the parent
+  // Replies (parent -> child on the data socket).
+  kReplyOk,
+  kReplyError,   // payload: WireException
+};
+
+const char* verb_name(Verb v);
+
+/// Reads and validates the leading verb byte of a frame.
+Verb read_verb(WireReader& reader);
+
+// ---- Handshake ----
+
+/// Builds a kHello/kWelcome frame: verb + SPFRAME magic + frame-format
+/// version + rank identity + session nonce.
+std::vector<std::byte> encode_handshake(Verb verb, std::uint32_t world_rank,
+                                        std::uint32_t nranks,
+                                        std::uint64_t nonce);
+
+/// Validates a handshake frame end to end (verb, magic, version, rank,
+/// nranks, nonce). Throws WireError{kHandshake} naming the first
+/// mismatching field.
+void check_handshake(std::span<const std::byte> frame, Verb expect_verb,
+                     std::uint32_t expect_rank, std::uint32_t expect_nranks,
+                     std::uint64_t expect_nonce);
+
+// ---- Exceptions over the wire ----
+
+/// A type-tagged serialized exception. `payload` carries per-type extra
+/// state (e.g. RankFailedError's failed-rank list); empty for types whose
+/// what() is their whole state.
+struct WireException {
+  std::string type;
+  std::string what;
+  std::vector<std::byte> payload;
+};
+
+/// Encodes the in-flight exception `e` (most-derived known type wins).
+WireException encode_exception(const std::exception_ptr& e);
+
+/// Serializes a WireException into `writer` (type, what, payload).
+void write_exception(WireWriter& writer, const WireException& we);
+
+/// Reads a WireException previously written by write_exception.
+WireException read_exception(WireReader& reader);
+
+/// Reconstructs and throws the typed exception: real RankFailedError /
+/// SpmdDivergenceError / CommUsageError / DeadlockError / FrameError /
+/// std::invalid_argument / std::logic_error / std::runtime_error, or
+/// RemoteError for any type this build cannot reconstruct.
+[[noreturn]] void rethrow_wire_exception(const WireException& we);
+
+/// As rethrow_wire_exception, but returns the exception_ptr instead of
+/// throwing (for recording in per-rank exception slots).
+std::exception_ptr decode_exception(const WireException& we);
+
+/// Fallback for remote exception types with no local reconstruction: the
+/// remote type name is preserved in remote_type() and the message.
+class RemoteError : public std::runtime_error {
+ public:
+  RemoteError(std::string type, const std::string& what)
+      : std::runtime_error("remote " + type + ": " + what),
+        type_(std::move(type)) {}
+  const std::string& remote_type() const { return type_; }
+
+ private:
+  std::string type_;
+};
+
+}  // namespace sp::comm

@@ -1,0 +1,280 @@
+#include "comm/wire.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "comm/frame_io.hpp"
+
+namespace sp::comm {
+
+const char* WireError::kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kTruncated:
+      return "truncated";
+    case Kind::kChecksum:
+      return "checksum";
+    case Kind::kOversized:
+      return "oversized";
+    case Kind::kEof:
+      return "eof";
+    case Kind::kHandshake:
+      return "handshake";
+    case Kind::kIo:
+      return "io";
+    case Kind::kDecode:
+      return "decode";
+  }
+  return "?";
+}
+
+namespace {
+std::string errno_str(const char* what) {
+  return std::string(what) + " failed: " + std::strerror(errno);
+}
+}  // namespace
+
+FrameChannel::FrameChannel(int fd, std::size_t max_frame_len)
+    : fd_(fd), max_frame_len_(max_frame_len) {}
+
+FrameChannel::~FrameChannel() { close(); }
+
+FrameChannel::FrameChannel(FrameChannel&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      max_frame_len_(other.max_frame_len_),
+      eof_(other.eof_),
+      inbuf_(std::move(other.inbuf_)),
+      consumed_(other.consumed_),
+      frames_(std::move(other.frames_)) {}
+
+FrameChannel& FrameChannel::operator=(FrameChannel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    max_frame_len_ = other.max_frame_len_;
+    eof_ = other.eof_;
+    inbuf_ = std::move(other.inbuf_);
+    consumed_ = other.consumed_;
+    frames_ = std::move(other.frames_);
+  }
+  return *this;
+}
+
+void FrameChannel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void FrameChannel::send(const void* data, std::size_t len) {
+  if (fd_ < 0) {
+    throw WireError(WireError::Kind::kIo, "send on a closed channel");
+  }
+  // Assemble header + payload + trailer into one buffer so small RPCs
+  // are one syscall, then write it out handling partial sends/EINTR.
+  // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE (the
+  // supervisor maps it to a rank failure).
+  const std::uint64_t len64 = len;
+  const std::uint64_t sum = frame_checksum(data, len);
+  std::vector<std::byte> buf(sizeof(len64) + len + sizeof(sum));
+  std::memcpy(buf.data(), &len64, sizeof(len64));
+  if (len > 0) std::memcpy(buf.data() + sizeof(len64), data, len);
+  std::memcpy(buf.data() + sizeof(len64) + len, &sum, sizeof(sum));
+
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n =
+        ::send(fd_, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(WireError::Kind::kIo, errno_str("send"));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+bool FrameChannel::pump() {
+  if (eof_) return false;
+  if (fd_ < 0) {
+    throw WireError(WireError::Kind::kIo, "pump on a closed channel");
+  }
+  std::byte chunk[64 * 1024];
+  ssize_t n;
+  do {
+    n = ::recv(fd_, chunk, sizeof(chunk), 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    // ECONNRESET from a SIGKILLed peer is a stream end, not an I/O bug:
+    // report it like EOF so the supervisor maps it to a rank failure.
+    if (errno == ECONNRESET) {
+      feed_eof();
+      return false;
+    }
+    throw WireError(WireError::Kind::kIo, errno_str("recv"));
+  }
+  if (n == 0) {
+    feed_eof();
+    return false;
+  }
+  feed(chunk, static_cast<std::size_t>(n));
+  return true;
+}
+
+std::vector<std::byte> FrameChannel::recv() {
+  while (!has_frame()) {
+    if (eof_) {
+      throw WireError(WireError::Kind::kEof,
+                      "peer closed before a frame arrived");
+    }
+    pump();
+  }
+  return take_frame();
+}
+
+std::vector<std::byte> FrameChannel::take_frame() {
+  std::vector<std::byte> frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+void FrameChannel::feed(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const std::byte*>(data);
+  inbuf_.insert(inbuf_.end(), bytes, bytes + len);
+  parse_();
+}
+
+void FrameChannel::feed_eof() {
+  eof_ = true;
+  if (inbuf_.size() - consumed_ > 0) {
+    throw WireError(
+        WireError::Kind::kTruncated,
+        "stream ended mid-frame with " +
+            std::to_string(inbuf_.size() - consumed_) + " dangling byte(s)");
+  }
+}
+
+void FrameChannel::parse_() {
+  for (;;) {
+    const std::size_t avail = inbuf_.size() - consumed_;
+    if (avail < sizeof(std::uint64_t)) break;
+    std::uint64_t len = 0;
+    std::memcpy(&len, inbuf_.data() + consumed_, sizeof(len));
+    if (len > max_frame_len_) {
+      throw WireError(WireError::Kind::kOversized,
+                      "frame length " + std::to_string(len) +
+                          " exceeds the cap of " +
+                          std::to_string(max_frame_len_) + " bytes");
+    }
+    const std::size_t need = sizeof(std::uint64_t) + static_cast<std::size_t>(
+                                                         len) +
+                             sizeof(std::uint64_t);
+    if (avail < need) break;
+    const std::byte* payload = inbuf_.data() + consumed_ + sizeof(len);
+    std::uint64_t sum = 0;
+    std::memcpy(&sum, payload + len, sizeof(sum));
+    const std::uint64_t expect = frame_checksum(payload, len);
+    if (sum != expect) {
+      throw WireError(WireError::Kind::kChecksum,
+                      "frame checksum mismatch (got " + std::to_string(sum) +
+                          ", expected " + std::to_string(expect) + " over " +
+                          std::to_string(len) + " bytes)");
+    }
+    frames_.emplace_back(payload, payload + len);
+    consumed_ += need;
+  }
+  compact_();
+}
+
+void FrameChannel::compact_() {
+  // Drop parsed-away prefix bytes once they dominate the buffer, so a
+  // long-lived channel does not grow without bound.
+  if (consumed_ > 0 &&
+      (consumed_ == inbuf_.size() || consumed_ >= (64u * 1024))) {
+    inbuf_.erase(inbuf_.begin(),
+                 inbuf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+void WireWriter::raw_(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const std::byte*>(data);
+  out_.insert(out_.end(), bytes, bytes + len);
+}
+
+void WireReader::need_(std::size_t k) const {
+  if (n_ - pos_ < k) {
+    throw WireError(WireError::Kind::kDecode,
+                    "payload underrun: need " + std::to_string(k) +
+                        " byte(s) at offset " + std::to_string(pos_) +
+                        " of " + std::to_string(n_));
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  need_(1);
+  std::uint8_t v;
+  std::memcpy(&v, p_ + pos_, 1);
+  pos_ += 1;
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  need_(sizeof(std::uint32_t));
+  std::uint32_t v;
+  std::memcpy(&v, p_ + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  need_(sizeof(std::uint64_t));
+  std::uint64_t v;
+  std::memcpy(&v, p_ + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+double WireReader::f64() {
+  need_(sizeof(double));
+  double v;
+  std::memcpy(&v, p_ + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+std::vector<std::byte> WireReader::blob() {
+  const std::uint64_t len = u64();
+  need_(len);
+  std::vector<std::byte> out(p_ + pos_, p_ + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+std::string WireReader::str() {
+  const std::uint64_t len = u64();
+  need_(len);
+  std::string out(reinterpret_cast<const char*>(p_ + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+std::span<const std::byte> WireReader::raw(std::size_t n) {
+  need_(n);
+  std::span<const std::byte> out(p_ + pos_, n);
+  pos_ += n;
+  return out;
+}
+
+void WireReader::expect_done() const {
+  if (!done()) {
+    throw WireError(WireError::Kind::kDecode,
+                    std::to_string(remaining()) +
+                        " trailing byte(s) after the last field");
+  }
+}
+
+}  // namespace sp::comm

@@ -1,0 +1,200 @@
+// Socket framing for the multi-process backend (DESIGN.md §11).
+//
+// The process backend ships every RPC between a child rank and the
+// parent supervisor as one checksummed frame — the durable-checkpoint
+// frame layout from comm/frame_io, put on a Unix-domain socket:
+//
+//   frame := [u64 length][length payload bytes][u64 checksum]
+//
+// with the same chained-splitmix64 checksum (frame_checksum) seeded by
+// the length, so truncation, bit-flips, and desynchronized frame
+// boundaries are caught at decode time, never delivered. The coalesced
+// exchange path's [u64 len | payload] packed entries travel *inside*
+// these frames byte-for-byte: the engine's in-memory packing is the
+// actual wire format.
+//
+// FrameChannel owns one socket end and an incremental decoder that
+// tolerates arbitrary read fragmentation (short reads split anywhere,
+// including mid-header). Malformed input raises WireError with a
+// structured Kind — a channel never hangs on garbage and never delivers
+// a partial payload. The decoder is also directly byte-addressable via
+// feed(), which is how the fuzz tests drive it without sockets.
+//
+// WireWriter/WireReader are the bounds-checked little-endian
+// scalar/blob codec used for RPC payloads (process_proto.hpp). Reader
+// overruns throw WireError{kDecode} rather than reading out of bounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sp::comm {
+
+/// Raised on any malformed or failed socket-frame traffic.
+class WireError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    kTruncated,  // stream ended (or was fed) mid-frame
+    kChecksum,   // frame checksum mismatch
+    kOversized,  // length word exceeds the channel's frame cap
+    kEof,        // peer closed with no frame pending (clean EOF surfaced
+                 // to a caller that still expected one)
+    kHandshake,  // bad magic/version/peer identity during handshake
+    kIo,         // send/recv syscall failure (errno in the message)
+    kDecode,     // well-framed payload with malformed contents
+  };
+
+  WireError(Kind kind, const std::string& msg)
+      : std::runtime_error(std::string("wire error (") + kind_name(kind) +
+                           "): " + msg),
+        kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+  static const char* kind_name(Kind kind);
+
+ private:
+  Kind kind_;
+};
+
+/// Default per-frame payload cap. Generous (mailbox batches of large
+/// exchanges must fit) but finite, so a corrupted length word fails as
+/// kOversized instead of triggering a multi-gigabyte allocation.
+inline constexpr std::size_t kMaxWireFrameLen = std::size_t{1} << 31;
+
+/// One end of a framed byte stream (a Unix-domain socket in production,
+/// a feed()-driven buffer in tests). Owns the fd; closes it on
+/// destruction. Movable, not copyable.
+class FrameChannel {
+ public:
+  /// `fd` may be -1 for a socketless (feed-driven) channel.
+  explicit FrameChannel(int fd, std::size_t max_frame_len = kMaxWireFrameLen);
+  ~FrameChannel();
+  FrameChannel(FrameChannel&& other) noexcept;
+  FrameChannel& operator=(FrameChannel&& other) noexcept;
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+
+  /// Sends one frame (blocking until fully written). Throws
+  /// WireError{kIo} on syscall failure or a closed channel.
+  void send(const void* data, std::size_t len);
+  void send(const std::vector<std::byte>& payload) {
+    send(payload.data(), payload.size());
+  }
+
+  /// Blocking receive of the next frame. Throws WireError{kEof} if the
+  /// peer closed cleanly before a frame arrived, kTruncated if it closed
+  /// mid-frame, kChecksum/kOversized on corruption.
+  std::vector<std::byte> recv();
+
+  /// One read() into the decoder (call when poll() reported the fd
+  /// readable, or on a blocking fd). Returns false on EOF with an empty
+  /// decode buffer (peer closed cleanly); true otherwise. Throws
+  /// WireError on syscall failure, corruption, or EOF mid-frame.
+  bool pump();
+
+  bool has_frame() const { return !frames_.empty(); }
+
+  /// Pops the oldest decoded frame (has_frame() must be true).
+  std::vector<std::byte> take_frame();
+
+  /// True once the peer closed its end (all decoded frames may still be
+  /// taken).
+  bool eof() const { return eof_; }
+
+  int fd() const { return fd_; }
+
+  /// Closes the fd now (e.g. to EOF the peer before destruction).
+  void close();
+
+  /// Test entry point: appends raw bytes to the decode buffer and runs
+  /// the frame parser, exactly as if they had arrived on the socket.
+  void feed(const void* data, std::size_t len);
+
+  /// Test entry point: marks the stream ended, raising kTruncated if a
+  /// partial frame is pending.
+  void feed_eof();
+
+ private:
+  void parse_();
+  void compact_();
+
+  int fd_ = -1;
+  std::size_t max_frame_len_ = kMaxWireFrameLen;
+  bool eof_ = false;
+  std::vector<std::byte> inbuf_;
+  std::size_t consumed_ = 0;  // bytes of inbuf_ already parsed away
+  std::deque<std::vector<std::byte>> frames_;
+};
+
+/// Bounds-unchecked append-only scalar/blob encoder (the writer cannot
+/// overrun — it grows; the checks live on the read side).
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { raw_(&v, 1); }
+  void u32(std::uint32_t v) { raw_(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw_(&v, sizeof(v)); }
+  void f64(double v) { raw_(&v, sizeof(v)); }
+
+  /// u64 length + raw bytes.
+  void blob(const void* data, std::size_t len) {
+    u64(len);
+    raw_(data, len);
+  }
+  void blob(std::span<const std::byte> bytes) {
+    blob(bytes.data(), bytes.size());
+  }
+  void str(std::string_view s) { blob(s.data(), s.size()); }
+
+  /// Raw bytes, no length prefix (caller's layout already implies it).
+  void bytes(const void* data, std::size_t len) { raw_(data, len); }
+
+  const std::vector<std::byte>& buffer() const { return out_; }
+  std::vector<std::byte> take() { return std::move(out_); }
+
+ private:
+  void raw_(const void* data, std::size_t len);
+  std::vector<std::byte> out_;
+};
+
+/// Bounds-checked decoder over one frame payload. Every accessor throws
+/// WireError{kDecode} instead of overrunning.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> data)
+      : p_(data.data()), n_(data.size()) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+
+  /// Reads a u64 length + that many bytes.
+  std::vector<std::byte> blob();
+  std::string str();
+
+  /// Raw view of the next `n` bytes (no copy); valid while the frame
+  /// buffer lives.
+  std::span<const std::byte> raw(std::size_t n);
+
+  std::size_t remaining() const { return n_ - pos_; }
+  bool done() const { return pos_ == n_; }
+
+  /// Throws kDecode unless the payload was fully consumed — catches
+  /// encoder/decoder drift.
+  void expect_done() const;
+
+ private:
+  void need_(std::size_t k) const;
+  const std::byte* p_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sp::comm

@@ -300,9 +300,15 @@ ScalaPartResult scalapart_run(const CsrGraph& g, const ScalaPartOptions& opt,
           const bool active = world.rank() < p2;
           if (world.rank() == 0) {
             // Successive writers (rank 0 of each shrunken world) are
-            // ordered by the shrink every survivor just joined.
-            analysis::shared_store(world, recoveries, recoveries + 1,
-                                   "core/recoveries");
+            // ordered by the shrink every survivor just joined. The
+            // increment reads through the seam too: after the original
+            // rank 0 died, the new writer may be a process-backend child
+            // whose own image of the counter is stale.
+            analysis::shared_store(
+                world, recoveries,
+                analysis::shared_load(world, recoveries, "core/recoveries") +
+                    1,
+                "core/recoveries");
             analysis::shared_store(world, final_active, p2,
                                    "core/final_active");
             obs::count(world, "fault/recoveries");
@@ -401,8 +407,8 @@ ScalaPartResult scalapart_run(const CsrGraph& g, const ScalaPartOptions& opt,
           obs::Span stage_span(world, obs::stages::kOutput, "stage");
           auto gathered = embed::gather_embedding(world, emb, n);
           if (world.rank() == 0) {
-            analysis::note_shared_write(world, coords, "core/coords");
-            coords = std::move(gathered);
+            analysis::shared_assign_vec(world, coords, std::move(gathered),
+                                        "core/coords");
             analysis::shared_store(world, cut, gmt.cut, "core/cut");
             analysis::shared_store(world, strip_size, gmt.strip_size,
                                    "core/strip_size");

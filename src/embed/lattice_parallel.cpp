@@ -566,6 +566,14 @@ void smooth_level(comm::Comm& sub, LevelLocal& local, const CsrGraph& g,
   }
 }
 
+/// Host-call thunk: runs the checkpoint's persist hook in the process
+/// that owns the canonical checkpoint object.
+void persist_checkpoint(void* ctx, const std::byte* /*data*/,
+                        std::size_t /*len*/) {
+  auto& ckpt = *static_cast<EmbedCheckpoint*>(ctx);
+  if (ckpt.persist) ckpt.persist(ckpt);
+}
+
 /// Gathers the level's full coordinate array into `ckpt` (every rank
 /// receives the gather; rank 0 of the active sub-communicator writes the
 /// shared slot, atomically w.r.t. the cooperative scheduler). Traced
@@ -588,9 +596,12 @@ void write_checkpoint(comm::Comm& sub, const LevelLocal& local, VertexId n,
     // resume entry / restore) by the allgather above and the shrink that
     // precedes any recovery read. Object-granular annotation — the inner
     // buffers reallocate, so the struct's own range is the stable name.
+    // Built locally, then published through the shared-memory seam: on
+    // the process backend the writer may be a child whose in-image copy
+    // of `ckpt` is stale, and only the seam reaches the canonical object.
     analysis::note_shared_write(sub, ckpt, "embed/checkpoint");
-    ckpt.coords.assign(n, Vec2{});
-    ckpt.owner.assign(n, 0);
+    std::vector<Vec2> coords(n, Vec2{});
+    std::vector<std::uint32_t> owner(n, 0);
     // The gather is concatenated in group-rank order, so the counts
     // vector identifies each message's sender — the ownership map rides
     // along at zero extra modeled cost.
@@ -598,16 +609,23 @@ void write_checkpoint(comm::Comm& sub, const LevelLocal& local, VertexId n,
     for (std::uint32_t r = 0; r < counts.size(); ++r) {
       for (std::size_t i = 0; i < counts[r]; ++i, ++at) {
         const CoordMsg& msg = all[at];
-        ckpt.coords[msg.id] = geom::vec2(msg.x, msg.y);
-        ckpt.owner[msg.id] = r;
+        coords[msg.id] = geom::vec2(msg.x, msg.y);
+        owner[msg.id] = r;
       }
     }
-    ckpt.level = local.level;
-    ckpt.pl = local.pl;
-    ckpt.box = local.box;
-    ckpt.valid = true;
+    analysis::shared_assign_vec(sub, ckpt.coords, std::move(coords),
+                                "embed/checkpoint");
+    analysis::shared_assign_vec(sub, ckpt.owner, std::move(owner),
+                                "embed/checkpoint");
+    analysis::shared_store(sub, ckpt.level, local.level, "embed/checkpoint");
+    analysis::shared_store(sub, ckpt.pl, local.pl, "embed/checkpoint");
+    analysis::shared_store(sub, ckpt.box, local.box, "embed/checkpoint");
+    analysis::shared_store(sub, ckpt.valid, true, "embed/checkpoint");
     obs::count(sub, "fault/checkpoints");
-    if (ckpt.persist) ckpt.persist(ckpt);
+    // The persist hook runs where the canonical checkpoint lives (the
+    // supervisor, on the process backend): it reads the fields published
+    // above and bumps host-side bookkeeping the caller inspects.
+    sub.host_call_store(&persist_checkpoint, &ckpt, nullptr, 0);
   }
   sub.add_compute(static_cast<double>(all.size()));
   sub.set_stage(prev);
@@ -632,13 +650,21 @@ LevelLocal restore_level(comm::Comm& sub, const EmbedCheckpoint& ckpt,
   init.cols = cols;
   // Every rank reads the checkpoint object below (pl/owner on all ranks,
   // coords on rank 0); the writer's allgather + the recovery shrink
-  // order those reads after the write.
+  // order those reads after the write. All reads go through the seam —
+  // on the process backend a child's own image of the checkpoint is
+  // stale (the writer published into the supervisor's copy).
   analysis::note_shared_read(sub, ckpt, "embed/checkpoint");
   std::vector<Vec2> coords;
-  if (sub.rank() == 0) coords = ckpt.coords;
+  if (sub.rank() == 0) {
+    coords = analysis::shared_fetch_vec(sub, ckpt.coords, "embed/checkpoint");
+  }
   coords = sub.broadcast_vec(std::span<const Vec2>(coords), 0);
   SP_ASSERT(coords.size() == g.num_vertices());
-  if (ckpt.pl == pl && ckpt.owner.size() == g.num_vertices()) {
+  const std::uint32_t ckpt_pl =
+      analysis::shared_load(sub, ckpt.pl, "embed/checkpoint");
+  const std::vector<std::uint32_t> ckpt_owner =
+      analysis::shared_fetch_vec(sub, ckpt.owner, "embed/checkpoint");
+  if (ckpt_pl == pl && ckpt_owner.size() == g.num_vertices()) {
     // ---- Exact restore (cold restart on the same rank count) ----
     // The checkpoint's own box and ownership map reproduce the level's
     // state as projection left it, bit for bit. That exactness matters:
@@ -646,13 +672,13 @@ LevelLocal restore_level(comm::Comm& sub, const EmbedCheckpoint& ckpt,
     // children, so any redistribution here would perturb the eventual
     // partition. The balanced grid is left unbuilt — only smoothing needs
     // it, and the resumed level is already smoothed.
-    init.box = ckpt.box;
+    init.box = analysis::shared_load(sub, ckpt.box, "embed/checkpoint");
     // Shared-directory discipline: every entry has exactly one owner, so
     // each rank writes only its own entries (distinct indices), and the
     // barrier below publishes the completed directory.
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (ckpt.owner[v] == sub.rank()) {
-        owner.write(sub, v, ckpt.owner[v]);
+      if (ckpt_owner[v] == sub.rank()) {
+        owner.write(sub, v, ckpt_owner[v]);
         init.owned.push_back(v);
         init.pos.push_back(coords[v]);
       }
@@ -724,13 +750,21 @@ RankEmbedding lattice_embed(comm::Comm& world, EmbedWorkspace& workspace,
     return shift >= 32 ? 1u : std::max(P >> shift, 1u);
   };
 
+  bool resume = false;
+  std::size_t start_level = coarsest;
   if (checkpoint != nullptr) {
-    // All ranks inspect the shared checkpoint to agree on resume-vs-fresh.
+    // All ranks inspect the shared checkpoint to agree on resume-vs-fresh
+    // — through the seam, since a recovered process-backend child's own
+    // image of the checkpoint predates the write.
     analysis::note_shared_read(world, *checkpoint, "embed/checkpoint");
+    resume =
+        analysis::shared_load(world, checkpoint->valid, "embed/checkpoint");
   }
-  const bool resume = checkpoint && checkpoint->valid;
-  SP_ASSERT(!resume || checkpoint->level < levels);
-  const std::size_t start_level = resume ? checkpoint->level : coarsest;
+  if (resume) {
+    start_level =
+        analysis::shared_load(world, checkpoint->level, "embed/checkpoint");
+    SP_ASSERT(start_level < levels);
+  }
 
   LevelLocal local;
 
@@ -749,9 +783,12 @@ RankEmbedding lattice_embed(comm::Comm& world, EmbedWorkspace& workspace,
         // checkpoint; the finer levels are projected from it as usual. ----
         auto owner = workspace.owner(lvl);
         local = restore_level(sub, *checkpoint, lvl, pl, rows, cols, g, owner);
+        // One bulk snapshot of the completed directory (restore_level
+        // barriers before returning) instead of a per-vertex read.
+        const std::vector<std::uint32_t> owner_now = owner.snapshot(sub);
         build_halo(
-            local, g, [&](VertexId u) { return owner.read(sub, u); },
-            sub.rank(), sub);
+            local, g, [&](VertexId u) { return owner_now[u]; }, sub.rank(),
+            sub);
       } else if (lvl == coarsest) {
         // Deterministic random initial embedding in the unit box; every
         // rank derives the same positions, so ownership needs no
@@ -890,9 +927,11 @@ RankEmbedding lattice_embed(comm::Comm& world, EmbedWorkspace& workspace,
         }
         sub.barrier();  // owner directory complete
         local = std::move(next);
+        // Bulk snapshot, same reasoning as the resume path above.
+        const std::vector<std::uint32_t> owner_now = owner.snapshot(sub);
         build_halo(
-            local, g, [&](VertexId u) { return owner.read(sub, u); },
-            sub.rank(), sub);
+            local, g, [&](VertexId u) { return owner_now[u]; }, sub.rank(),
+            sub);
         smooth_level(sub, local, g, opt, opt.smooth_iterations,
                      /*initial_step_factor=*/0.5, /*final_step_fraction=*/0.05);
       }

@@ -13,6 +13,8 @@ const char* backend_name(Backend b) {
       return "fiber";
     case Backend::kThreads:
       return "threads";
+    case Backend::kProcess:
+      return "process";
   }
   return "?";
 }
@@ -20,13 +22,22 @@ const char* backend_name(Backend b) {
 Backend parse_backend(std::string_view name) {
   if (name == "fiber") return Backend::kFiber;
   if (name == "threads") return Backend::kThreads;
-  throw std::invalid_argument("unknown execution backend '" +
-                              std::string(name) +
-                              "' (expected 'fiber' or 'threads')");
+  if (name == "process") return Backend::kProcess;
+  throw std::invalid_argument(
+      "unknown execution backend '" + std::string(name) +
+      "' (expected 'fiber', 'threads', or 'process')");
 }
 
 bool threads_backend_available() {
 #ifdef SP_EXEC_THREADS
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool process_backend_available() {
+#ifdef SP_EXEC_PROCESS
   return true;
 #else
   return false;
@@ -41,8 +52,15 @@ std::unique_ptr<Executor> Executor::make(const ExecOptions& options) {
 #ifdef SP_EXEC_THREADS
       return detail::make_thread_executor(options);
 #else
-      throw std::runtime_error(
-          "threads backend disabled at build time (SP_EXEC_THREADS=OFF)");
+      throw UnsupportedBackendError(
+          Backend::kThreads, "disabled at build time (SP_EXEC_THREADS=OFF)");
+#endif
+    case Backend::kProcess:
+#ifdef SP_EXEC_PROCESS
+      return detail::make_process_executor(options);
+#else
+      throw UnsupportedBackendError(
+          Backend::kProcess, "disabled at build time (SP_EXEC_PROCESS=OFF)");
 #endif
   }
   throw std::invalid_argument("unknown execution backend");

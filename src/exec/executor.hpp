@@ -12,7 +12,7 @@
 //   stall handler    invoked when no rank can make progress (mismatched
 //                    collectives) to produce the error to surface.
 //
-// Two backends implement this contract:
+// Three backends implement this contract:
 //
 //   kFiber    the deterministic cooperative scheduler: all ranks are
 //             ucontext fibers on one OS thread, resumed in a configurable
@@ -28,12 +28,22 @@
 //             group-rank order under the engine lock — thread
 //             interleaving can only change *when* state mutates, never
 //             the order contributions are folded in.
+//
+//   kProcess  ranks 1..R-1 are forked OS processes talking to the parent
+//             over Unix-domain socket pairs (DESIGN.md §11); the engine
+//             runs parent-side proxy fibers that replay each child's
+//             comm operations, so rendezvous state stays parent-local.
+//             Structurally this is the fiber executor plus an idle
+//             handler that pumps the sockets, which is exactly how it is
+//             implemented (a thin wrapper over the fiber scheduler).
 #pragma once
 
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "exec/schedule.hpp"
@@ -43,18 +53,38 @@ namespace sp::exec {
 enum class Backend : std::uint8_t {
   kFiber,    // deterministic single-thread fiber scheduler
   kThreads,  // one thread per rank, T runnable at a time
+  kProcess,  // one forked OS process per rank > 0, sockets to the parent
 };
 
 const char* backend_name(Backend b);
 
-/// Parses "fiber" / "threads". Throws std::invalid_argument on anything
-/// else (including "threads" in a build with SP_EXEC_THREADS off — the
-/// factory would reject it later anyway; parse keeps the error close to
-/// the flag).
+/// Parses "fiber" / "threads" / "process". Throws std::invalid_argument
+/// on anything else (a compiled-out backend parses fine — the factory
+/// rejects it with UnsupportedBackendError; parse keeps the spelling
+/// check close to the flag and availability close to construction).
 Backend parse_backend(std::string_view name);
 
 /// True when this build can construct the kThreads backend.
 bool threads_backend_available();
+
+/// True when this build can construct the kProcess backend.
+bool process_backend_available();
+
+/// Thrown by Executor::make when the requested backend was compiled out
+/// (SP_EXEC_THREADS=OFF / SP_EXEC_PROCESS=OFF). A structured error — not
+/// an assert — so callers that sweep backends (audit_backends, benches)
+/// can skip unavailable ones and CLIs can print a clean message.
+class UnsupportedBackendError : public std::runtime_error {
+ public:
+  UnsupportedBackendError(Backend backend, std::string reason)
+      : std::runtime_error(std::string(backend_name(backend)) +
+                           " backend unavailable: " + reason),
+        backend_(backend) {}
+  Backend requested_backend() const { return backend_; }
+
+ private:
+  Backend backend_;
+};
 
 struct ExecOptions {
   Backend backend = Backend::kFiber;
@@ -126,8 +156,18 @@ class Executor {
 
   virtual void set_stall_handler(StallHandler handler) = 0;
 
-  /// Builds the configured backend. Throws std::runtime_error for
-  /// kThreads when the build has SP_EXEC_THREADS off.
+  /// Called when a scheduler sweep finds no runnable rank, *before* the
+  /// stall handler: returns true if it made external progress (so parked
+  /// predicates may now pass and the sweep should retry), false if there
+  /// is nothing to wait for (a genuine stall). The process backend pumps
+  /// its sockets here; the default ignores the handler, so backends with
+  /// no external event source stall immediately as before.
+  using IdleHandler = std::function<bool()>;
+  virtual void set_idle_handler(IdleHandler handler) { (void)handler; }
+
+  /// Builds the configured backend. Throws UnsupportedBackendError when
+  /// the requested backend was compiled out (SP_EXEC_THREADS=OFF /
+  /// SP_EXEC_PROCESS=OFF).
   static std::unique_ptr<Executor> make(const ExecOptions& options);
 };
 

@@ -96,6 +96,10 @@ class FiberExecutor final : public Executor {
         if (finished_[r]) --remaining;
       }
       if (!progressed && remaining > 0) {
+        // No runnable fiber. Give the idle handler (the process backend's
+        // socket pump) a chance to make external progress before calling
+        // it a stall.
+        if (idle_ && idle_()) continue;
         // Stalled. The handler returns the error to surface, or nullptr
         // when per-rank exceptions already explain it — then just abandon
         // the parked fibers (their stacks are reused next run) and let
@@ -126,6 +130,10 @@ class FiberExecutor final : public Executor {
 
   void set_stall_handler(StallHandler handler) override {
     stall_ = std::move(handler);
+  }
+
+  void set_idle_handler(IdleHandler handler) override {
+    idle_ = std::move(handler);
   }
 
  private:
@@ -186,6 +194,7 @@ class FiberExecutor final : public Executor {
   std::vector<bool> finished_;
   std::vector<const ReadyFn*> parked_;
   StallHandler stall_;
+  IdleHandler idle_;
 };
 
 thread_local FiberExecutor* FiberExecutor::current_exec_ = nullptr;

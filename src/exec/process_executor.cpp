@@ -1,0 +1,65 @@
+// kProcess executor: scheduling shell for the multi-process backend.
+//
+// The heavy lifting of the process backend — forking the child ranks,
+// the SPFRAME handshake, the RPC pump, failure supervision — lives in
+// the BSP engine (comm/process_host, DESIGN.md §11), because only the
+// engine knows how to replay a child's comm operations against the
+// rendezvous state. What the *executor* contributes is scheduling: the
+// parent runs one proxy fiber per remote rank (plus the real rank-0
+// body), and those fibers park/resume exactly like rank fibers do. So
+// this backend is the deterministic fiber scheduler with one addition
+// wired through set_idle_handler(): when no fiber is runnable, the
+// engine's socket pump gets a chance to convert child I/O into runnable
+// proxies before the sweep declares a stall.
+//
+// concurrency() is 1: parent-side rendezvous combining is single-
+// threaded (the determinism argument is the fiber backend's, verbatim),
+// while the real parallelism lives in the child processes.
+#include "exec/backends.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace sp::exec::detail {
+
+namespace {
+
+class ProcessExecutor final : public Executor {
+ public:
+  explicit ProcessExecutor(const ExecOptions& options)
+      : inner_(make_fiber_executor(options)) {}
+
+  void run(std::uint32_t nranks, const RankBody& body) override {
+    inner_->run(nranks, body);
+  }
+
+  void block_until(std::uint32_t rank, const ReadyFn& ready) override {
+    inner_->block_until(rank, ready);
+  }
+
+  void notify() override { inner_->notify(); }
+  void lock() override { inner_->lock(); }
+  void unlock() override { inner_->unlock(); }
+
+  Backend backend() const override { return Backend::kProcess; }
+  std::uint32_t concurrency() const override { return 1; }
+
+  void set_stall_handler(StallHandler handler) override {
+    inner_->set_stall_handler(std::move(handler));
+  }
+
+  void set_idle_handler(IdleHandler handler) override {
+    inner_->set_idle_handler(std::move(handler));
+  }
+
+ private:
+  std::unique_ptr<Executor> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<Executor> make_process_executor(const ExecOptions& options) {
+  return std::make_unique<ProcessExecutor>(options);
+}
+
+}  // namespace sp::exec::detail

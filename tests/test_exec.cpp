@@ -32,10 +32,39 @@ using comm::RunStats;
 TEST(ExecBackend, ParseAndName) {
   EXPECT_EQ(exec::parse_backend("fiber"), exec::Backend::kFiber);
   EXPECT_EQ(exec::parse_backend("threads"), exec::Backend::kThreads);
+  EXPECT_EQ(exec::parse_backend("process"), exec::Backend::kProcess);
   EXPECT_THROW(exec::parse_backend("openmp"), std::invalid_argument);
   EXPECT_THROW(exec::parse_backend(""), std::invalid_argument);
   EXPECT_STREQ(exec::backend_name(exec::Backend::kFiber), "fiber");
   EXPECT_STREQ(exec::backend_name(exec::Backend::kThreads), "threads");
+  EXPECT_STREQ(exec::backend_name(exec::Backend::kProcess), "process");
+}
+
+// parse_backend accepts the spelling of every known backend even when it
+// is compiled out; Executor::make is where a disabled backend fails, and
+// it must fail with the structured UnsupportedBackendError (so callers
+// can report "rebuild with SP_EXEC_*=ON"), never an assert.
+TEST(ExecBackend, CompiledOutBackendsFailStructured) {
+  for (exec::Backend b :
+       {exec::Backend::kThreads, exec::Backend::kProcess}) {
+    const bool available = b == exec::Backend::kThreads
+                               ? exec::threads_backend_available()
+                               : exec::process_backend_available();
+    exec::ExecOptions eo;
+    eo.backend = b;
+    if (available) {
+      EXPECT_NE(exec::Executor::make(eo), nullptr);
+      continue;
+    }
+    try {
+      (void)exec::Executor::make(eo);
+      FAIL() << exec::backend_name(b)
+             << ": expected UnsupportedBackendError";
+    } catch (const exec::UnsupportedBackendError& e) {
+      EXPECT_NE(std::string(e.what()).find("disabled at build time"),
+                std::string::npos);
+    }
+  }
 }
 
 TEST(ExecBackend, FiberBackendAlwaysAvailable) {

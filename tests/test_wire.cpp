@@ -1,0 +1,362 @@
+// Wire-decode negative and fuzz tests for the process backend's socket
+// framing (comm/wire.hpp, DESIGN.md §11).
+//
+// The supervisor's invariant is that a FrameChannel either delivers a
+// checksum-verified frame or raises a structured WireError — it never
+// hangs on garbage, never delivers a partial payload, and never reads
+// out of bounds. These tests drive the decoder directly through the
+// socketless feed() entry point: truncations at every boundary,
+// checksum corruption, oversized length words, arbitrary read
+// fragmentation, WireReader overrun/drift, handshake field mismatches,
+// typed-exception codec round-trips, and a seeded (replayable) fuzz
+// loop over mutated frame streams.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/fault_plan.hpp"
+#include "comm/frame_io.hpp"
+#include "comm/process_proto.hpp"
+#include "comm/wire.hpp"
+
+namespace sp::comm {
+namespace {
+
+// Encodes payload exactly as FrameChannel::send puts it on the socket:
+// [u64 length][payload][u64 checksum].
+std::vector<std::byte> frame_bytes(const std::vector<std::byte>& payload) {
+  const std::uint64_t len = payload.size();
+  const std::uint64_t sum = frame_checksum(payload.data(), payload.size());
+  std::vector<std::byte> out(sizeof(len) + payload.size() + sizeof(sum));
+  std::memcpy(out.data(), &len, sizeof(len));
+  if (!payload.empty()) {
+    std::memcpy(out.data() + sizeof(len), payload.data(), payload.size());
+  }
+  std::memcpy(out.data() + sizeof(len) + payload.size(), &sum, sizeof(sum));
+  return out;
+}
+
+std::vector<std::byte> make_payload(std::size_t n, unsigned seed = 7) {
+  std::vector<std::byte> p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::byte>((i * 131 + seed) & 0xFF);
+  }
+  return p;
+}
+
+WireError::Kind feed_kind(const std::vector<std::byte>& bytes, bool then_eof,
+                          std::size_t max_frame_len = kMaxWireFrameLen) {
+  FrameChannel ch(-1, max_frame_len);
+  try {
+    if (!bytes.empty()) ch.feed(bytes.data(), bytes.size());
+    if (then_eof) ch.feed_eof();
+  } catch (const WireError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected a WireError";
+  return WireError::Kind::kIo;
+}
+
+TEST(WireFrame, RoundTripSingleAndBackToBack) {
+  FrameChannel ch(-1);
+  const auto p1 = make_payload(13);
+  const auto p2 = make_payload(0);
+  const auto p3 = make_payload(4096, 3);
+  std::vector<std::byte> stream;
+  for (const auto* p : {&p1, &p2, &p3}) {
+    const auto f = frame_bytes(*p);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  ch.feed(stream.data(), stream.size());
+  ASSERT_TRUE(ch.has_frame());
+  EXPECT_EQ(ch.take_frame(), p1);
+  EXPECT_EQ(ch.take_frame(), p2);
+  EXPECT_EQ(ch.take_frame(), p3);
+  EXPECT_FALSE(ch.has_frame());
+  ch.feed_eof();  // clean EOF at a frame boundary: no error
+  EXPECT_TRUE(ch.eof());
+}
+
+TEST(WireFrame, ToleratesArbitraryFragmentation) {
+  // Byte-at-a-time delivery must decode identically — short reads can
+  // split anywhere, including mid-header and mid-checksum.
+  const auto payload = make_payload(257);
+  const auto f = frame_bytes(payload);
+  FrameChannel ch(-1);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_FALSE(ch.has_frame());
+    ch.feed(&f[i], 1);
+  }
+  ASSERT_TRUE(ch.has_frame());
+  EXPECT_EQ(ch.take_frame(), payload);
+}
+
+TEST(WireFrame, TruncationAtEveryBoundaryIsStructured) {
+  const auto f = frame_bytes(make_payload(32));
+  // Cut mid-header, mid-payload, and mid-checksum: all kTruncated.
+  for (std::size_t cut : {std::size_t{3}, std::size_t{8}, std::size_t{20},
+                          f.size() - 3}) {
+    std::vector<std::byte> part(f.begin(),
+                                f.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_EQ(feed_kind(part, /*then_eof=*/true), WireError::Kind::kTruncated)
+        << "cut at byte " << cut;
+  }
+}
+
+TEST(WireFrame, ChecksumCorruptionIsStructured) {
+  const auto payload = make_payload(64);
+  // Flip one bit in every byte position of payload and trailer: always
+  // kChecksum, never a delivered frame. (Header bytes are length, not
+  // checksummed — covered by the oversized/fuzz tests.)
+  const auto clean = frame_bytes(payload);
+  for (std::size_t i = sizeof(std::uint64_t); i < clean.size(); ++i) {
+    auto bad = clean;
+    bad[i] ^= std::byte{0x10};
+    EXPECT_EQ(feed_kind(bad, /*then_eof=*/false), WireError::Kind::kChecksum)
+        << "flip at byte " << i;
+  }
+}
+
+TEST(WireFrame, OversizedLengthWordIsStructuredNotAllocated) {
+  // A corrupted length word must fail fast against the cap instead of
+  // attempting a huge allocation or waiting forever for bytes that will
+  // never come.
+  std::vector<std::byte> bytes(sizeof(std::uint64_t));
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  std::memcpy(bytes.data(), &huge, sizeof(huge));
+  EXPECT_EQ(feed_kind(bytes, /*then_eof=*/false), WireError::Kind::kOversized);
+
+  // Per-channel caps bind too: a 100-byte frame on a 16-byte channel.
+  const auto f = frame_bytes(make_payload(100));
+  EXPECT_EQ(feed_kind(f, /*then_eof=*/false, /*max_frame_len=*/16),
+            WireError::Kind::kOversized);
+}
+
+TEST(WireFrame, SendAndPumpOnClosedChannelAreIo) {
+  FrameChannel ch(-1);
+  const auto payload = make_payload(8);
+  try {
+    ch.send(payload);
+    FAIL() << "send on fd=-1 must throw";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.kind(), WireError::Kind::kIo);
+  }
+  try {
+    ch.pump();
+    FAIL() << "pump on fd=-1 must throw";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.kind(), WireError::Kind::kIo);
+  }
+}
+
+TEST(WireReaderTest, OverrunAndDriftAreDecodeErrors) {
+  WireWriter w;
+  w.u32(7);
+  w.str("abc");
+  const auto buf = w.buffer();
+
+  {  // scalar overrun
+    WireReader r({buf.data(), buf.size()});
+    EXPECT_EQ(r.u32(), 7u);
+    EXPECT_EQ(r.str(), "abc");
+    try {
+      (void)r.u64();
+      FAIL() << "overrun must throw";
+    } catch (const WireError& e) {
+      EXPECT_EQ(e.kind(), WireError::Kind::kDecode);
+    }
+  }
+  {  // blob length word larger than the remaining payload
+    WireWriter w2;
+    w2.u64(1000);  // blob header promising bytes that are not there
+    const auto b2 = w2.buffer();
+    WireReader r({b2.data(), b2.size()});
+    try {
+      (void)r.blob();
+      FAIL() << "blob overrun must throw";
+    } catch (const WireError& e) {
+      EXPECT_EQ(e.kind(), WireError::Kind::kDecode);
+    }
+  }
+  {  // encoder/decoder drift: trailing bytes
+    WireReader r({buf.data(), buf.size()});
+    EXPECT_EQ(r.u32(), 7u);
+    try {
+      r.expect_done();
+      FAIL() << "drift must throw";
+    } catch (const WireError& e) {
+      EXPECT_EQ(e.kind(), WireError::Kind::kDecode);
+    }
+  }
+}
+
+TEST(Handshake, FieldMismatchesAreHandshakeErrors) {
+  const auto hello = encode_handshake(Verb::kHello, /*world_rank=*/3,
+                                      /*nranks=*/8, /*nonce=*/0xABCDEFu);
+  // The clean frame validates.
+  check_handshake({hello.data(), hello.size()}, Verb::kHello, 3, 8, 0xABCDEFu);
+
+  auto expect_handshake_error = [&](std::span<const std::byte> frame,
+                                    Verb verb, std::uint32_t rank,
+                                    std::uint32_t nranks, std::uint64_t nonce,
+                                    const char* what) {
+    try {
+      check_handshake(frame, verb, rank, nranks, nonce);
+      ADD_FAILURE() << "expected kHandshake for " << what;
+    } catch (const WireError& e) {
+      EXPECT_EQ(e.kind(), WireError::Kind::kHandshake) << what;
+    }
+  };
+  expect_handshake_error({hello.data(), hello.size()}, Verb::kWelcome, 3, 8,
+                         0xABCDEFu, "wrong verb");
+  expect_handshake_error({hello.data(), hello.size()}, Verb::kHello, 4, 8,
+                         0xABCDEFu, "wrong rank");
+  expect_handshake_error({hello.data(), hello.size()}, Verb::kHello, 3, 16,
+                         0xABCDEFu, "wrong nranks");
+  expect_handshake_error({hello.data(), hello.size()}, Verb::kHello, 3, 8,
+                         0xDEADu, "wrong nonce");
+
+  auto bad_magic = hello;
+  bad_magic[1] ^= std::byte{0xFF};  // first magic byte follows the verb
+  expect_handshake_error({bad_magic.data(), bad_magic.size()}, Verb::kHello, 3,
+                         8, 0xABCDEFu, "corrupted magic");
+}
+
+TEST(WireExceptionCodec, TypedRoundTripAndFallback) {
+  // RankFailedError must survive with its failed-rank payload: a child
+  // catches it to run shrink-and-recover.
+  const std::vector<std::uint32_t> failed{2, 5};
+  const auto we = encode_exception(
+      std::make_exception_ptr(RankFailedError(failed)));
+  try {
+    rethrow_wire_exception(we);
+    FAIL();
+  } catch (const RankFailedError& e) {
+    EXPECT_EQ(e.failed_ranks(), failed);
+  }
+
+  // Plain runtime errors keep their message.
+  const auto rt = encode_exception(
+      std::make_exception_ptr(std::runtime_error("boom in rank body")));
+  try {
+    rethrow_wire_exception(rt);
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom in rank body"),
+              std::string::npos);
+  }
+
+  // Unknown remote types degrade to RemoteError, preserving the name.
+  WireException alien;
+  alien.type = "acme::FlightComputerError";
+  alien.what = "gyro drift";
+  try {
+    rethrow_wire_exception(alien);
+    FAIL();
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.remote_type(), "acme::FlightComputerError");
+    EXPECT_NE(std::string(e.what()).find("gyro drift"), std::string::npos);
+  }
+
+  // Serialized form round-trips through the scalar codec.
+  WireWriter w;
+  write_exception(w, we);
+  const auto& buf = w.buffer();
+  WireReader r({buf.data(), buf.size()});
+  const WireException back = read_exception(r);
+  r.expect_done();
+  EXPECT_EQ(back.type, we.type);
+  EXPECT_EQ(back.what, we.what);
+  EXPECT_EQ(back.payload, we.payload);
+}
+
+// Seeded, replayable fuzz: mutate valid frame streams (truncate, flip,
+// splice, reorder) and deliver them in random fragments. The channel
+// must either decode checksum-clean frames or throw a structured
+// WireError — and a mutated stream must never yield a frame that was
+// not one of the originals.
+TEST(WireFuzz, MutatedStreamsNeverHangOrLeakPartialFrames) {
+  constexpr std::uint64_t kSeed = 0x5ca1ab1e;  // fixed: failures replay
+  std::mt19937_64 rng(kSeed);
+  std::size_t decoded = 0, rejected = 0;
+
+  for (int iter = 0; iter < 400; ++iter) {
+    // A stream of 1-4 frames with assorted payload sizes.
+    const std::size_t nframes = 1 + rng() % 4;
+    std::vector<std::vector<std::byte>> payloads;
+    std::vector<std::byte> stream;
+    for (std::size_t i = 0; i < nframes; ++i) {
+      payloads.push_back(
+          make_payload(rng() % 300, static_cast<unsigned>(rng())));
+      const auto f = frame_bytes(payloads.back());
+      stream.insert(stream.end(), f.begin(), f.end());
+    }
+
+    // Apply 0-3 mutations.
+    const std::size_t nmut = rng() % 4;
+    for (std::size_t m = 0; m < nmut && !stream.empty(); ++m) {
+      switch (rng() % 3) {
+        case 0:  // bit flip
+          stream[rng() % stream.size()] ^=
+              static_cast<std::byte>(1u << (rng() % 8));
+          break;
+        case 1:  // truncate tail
+          stream.resize(rng() % (stream.size() + 1));
+          break;
+        case 2: {  // splice garbage
+          const std::size_t at = rng() % (stream.size() + 1);
+          const auto junk = make_payload(1 + rng() % 24,
+                                         static_cast<unsigned>(rng()));
+          stream.insert(stream.begin() + static_cast<std::ptrdiff_t>(at),
+                        junk.begin(), junk.end());
+          break;
+        }
+      }
+    }
+
+    FrameChannel ch(-1, /*max_frame_len=*/1 << 20);
+    bool errored = false;
+    try {
+      // Random fragmentation, then EOF.
+      std::size_t off = 0;
+      while (off < stream.size()) {
+        const std::size_t n =
+            std::min<std::size_t>(1 + rng() % 97, stream.size() - off);
+        ch.feed(stream.data() + off, n);
+        off += n;
+      }
+      ch.feed_eof();
+    } catch (const WireError&) {
+      errored = true;  // structured rejection: acceptable outcome
+    }
+    // Everything decoded before any error must be one of the original
+    // payloads, verbatim — corruption may drop frames, never alter one.
+    std::size_t next = 0;
+    while (ch.has_frame()) {
+      const auto frame = ch.take_frame();
+      bool matched = false;
+      for (std::size_t i = next; i < payloads.size() && !matched; ++i) {
+        if (frame == payloads[i]) {
+          next = i + 1;
+          matched = true;
+        }
+      }
+      EXPECT_TRUE(matched) << "iter " << iter
+                           << ": decoded a frame that was never sent";
+      ++decoded;
+    }
+    if (errored) ++rejected;
+  }
+  // The corpus must exercise both paths; with this seed it does, and the
+  // counts are deterministic.
+  EXPECT_GT(decoded, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+}  // namespace
+}  // namespace sp::comm

@@ -24,7 +24,7 @@ REQUIRED_RUN = [
     "report",
     "recovery",
 ]
-VALID_BACKENDS = {"fiber", "threads"}
+VALID_BACKENDS = {"fiber", "threads", "process"}
 REQUIRED_STAGES = [
     "coarsen_seconds",
     "embed_seconds",
